@@ -1,0 +1,277 @@
+// Benchmarks: one per paper figure (the paper's evaluation has no numbered
+// tables — every result is a figure) plus kernel micro-benchmarks. The
+// figure benchmarks run reduced configurations (short durations, fewer
+// rate points) so `go test -bench=.` completes in minutes; use
+// cmd/cic-experiments for full-scale regeneration.
+package cic_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cic"
+	"cic/internal/chirp"
+	"cic/internal/core"
+	"cic/internal/dsp"
+	"cic/internal/eval"
+	"cic/internal/frame"
+	"cic/internal/phy"
+	"cic/internal/rx"
+	"cic/internal/sim"
+)
+
+// benchEvalConfig is a reduced experiment configuration for benchmarks.
+func benchEvalConfig() eval.Config {
+	cfg := eval.DefaultConfig()
+	cfg.Rates = []float64{40}
+	cfg.Duration = 0.5
+	cfg.PayloadLen = 16
+	cfg.Workers = 0
+	return cfg
+}
+
+// --- Kernel micro-benchmarks ---------------------------------------------
+
+func BenchmarkFFT1024(b *testing.B) {
+	fft := dsp.PlanFor(1024)
+	buf := make([]complex128, 1024)
+	for i := range buf {
+		buf[i] = complex(float64(i%7), float64(i%3))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fft.Forward(buf)
+	}
+}
+
+func BenchmarkDechirpAndFold(b *testing.B) {
+	p := chirp.Params{SF: 8, Bandwidth: 250e3, OSR: 4}
+	gen, err := chirp.NewGenerator(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := p.SamplesPerSymbol()
+	sym := make([]complex128, m)
+	gen.Symbol(sym, 99)
+	buf := make([]complex128, m)
+	spec := make(dsp.Spectrum, p.ChipCount())
+	fft := dsp.PlanFor(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Dechirp(buf, sym)
+		fft.Forward(buf)
+		dsp.FoldMagnitude(spec, buf, p.ChipCount(), p.OSR)
+	}
+}
+
+func BenchmarkPHYEncodeDecode(b *testing.B) {
+	cfg := phy.Config{SF: 8, CR: phy.CR45, HasCRC: true}
+	payload := make([]byte, 28)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syms, err := phy.Encode(payload, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := phy.Decode(syms, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCollisionSource builds a reusable n-packet collision air.
+func benchCollisionSource(b testing.TB, n int) (rx.SampleSource, []*rx.Packet, frame.Config) {
+	b.Helper()
+	cfg := benchEvalConfig().Frame
+	symSamples := int64(cfg.Chirp.SamplesPerSymbol())
+	var ems []cic.Emission
+	pub := cic.DefaultConfig()
+	rng := rand.New(rand.NewSource(91))
+	for i := 0; i < n; i++ {
+		payload := make([]byte, 20)
+		rng.Read(payload)
+		ems = append(ems, cic.Emission{
+			Payload:     payload,
+			StartSample: 4096 + int64(i)*9*symSamples + int64(rng.Intn(int(symSamples))),
+			SNR:         22 + 6*rng.Float64(),
+			CFO:         (2*rng.Float64() - 1) * 9150,
+		})
+	}
+	src, err := cic.SimulateCollision(pub, ems, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	adapted := adaptedSource{src}
+	det, err := rx.NewDetector(cfg, rx.DetectorOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkts := det.ScanDownchirp(adapted)
+	if len(pkts) == 0 {
+		b.Fatal("no packets detected for benchmark")
+	}
+	return adapted, pkts, cfg
+}
+
+type adaptedSource struct{ s cic.SampleSource }
+
+func (a adaptedSource) Read(dst []complex128, start int64) { a.s.Read(dst, start) }
+func (a adaptedSource) Span() (int64, int64)               { return a.s.Span() }
+
+func BenchmarkCICSymbol3Interferers(b *testing.B) {
+	src, pkts, cfg := benchCollisionSource(b, 4)
+	dm, err := core.NewDemodulator(cfg, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkt := pkts[0]
+	pkt.NSymbols = 40
+	others := pkts[1:]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dm.DemodulateSymbol(src, pkt, 20, others)
+	}
+}
+
+func BenchmarkPreambleScanDownchirp(b *testing.B) {
+	src, _, cfg := benchCollisionSource(b, 3)
+	det, err := rx.NewDetector(cfg, rx.DetectorOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.ScanDownchirp(src)
+	}
+}
+
+func BenchmarkFullReceive3Packets(b *testing.B) {
+	src, _, cfg := benchCollisionSource(b, 3)
+	recv, err := core.NewReceiver(cfg, core.Options{}, rx.DetectorOptions{}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := recv.Receive(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure benchmarks -----------------------------------------------------
+
+func benchFigure(b *testing.B, run func(eval.Config) (eval.Figure, error)) {
+	cfg := benchEvalConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err := run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFig12to14Spectra(b *testing.B) { benchFigure(b, eval.SpectraDemo) }
+func BenchmarkFig15Heisenberg(b *testing.B)  { benchFigure(b, eval.Heisenberg) }
+func BenchmarkFig17Cancellation(b *testing.B) {
+	benchFigure(b, eval.Cancellation)
+}
+func BenchmarkFig19to20PreambleClutter(b *testing.B) { benchFigure(b, eval.PreambleClutter) }
+func BenchmarkFig22to26DeploymentMaps(b *testing.B)  { benchFigure(b, eval.DeploymentMaps) }
+func BenchmarkFig27SNRDistribution(b *testing.B)     { benchFigure(b, eval.SNRDistribution) }
+
+func benchThroughput(b *testing.B, dep sim.Deployment) {
+	benchFigure(b, func(cfg eval.Config) (eval.Figure, error) {
+		return eval.Throughput(cfg, dep)
+	})
+}
+
+func BenchmarkFig28ThroughputD1(b *testing.B) { benchThroughput(b, sim.D1) }
+func BenchmarkFig29ThroughputD2(b *testing.B) { benchThroughput(b, sim.D2) }
+func BenchmarkFig30ThroughputD3(b *testing.B) { benchThroughput(b, sim.D3) }
+func BenchmarkFig31ThroughputD4(b *testing.B) { benchThroughput(b, sim.D4) }
+
+func benchDetection(b *testing.B, dep sim.Deployment) {
+	benchFigure(b, func(cfg eval.Config) (eval.Figure, error) {
+		return eval.Detection(cfg, dep)
+	})
+}
+
+func BenchmarkFig32DetectionD1(b *testing.B) { benchDetection(b, sim.D1) }
+func BenchmarkFig33DetectionD2(b *testing.B) { benchDetection(b, sim.D2) }
+func BenchmarkFig34DetectionD3(b *testing.B) { benchDetection(b, sim.D3) }
+func BenchmarkFig35DetectionD4(b *testing.B) { benchDetection(b, sim.D4) }
+
+func BenchmarkFig36AblationD1(b *testing.B) {
+	benchFigure(b, func(cfg eval.Config) (eval.Figure, error) {
+		return eval.Ablation(cfg, sim.D1)
+	})
+}
+
+func BenchmarkFig37AblationD4(b *testing.B) {
+	benchFigure(b, func(cfg eval.Config) (eval.Figure, error) {
+		return eval.Ablation(cfg, sim.D4)
+	})
+}
+
+func BenchmarkFig38TemporalProximity(b *testing.B) {
+	benchFigure(b, func(cfg eval.Config) (eval.Figure, error) {
+		cfg.PayloadLen = 8 // 10 offsets × 2 packets per iteration: keep it lean
+		return eval.TemporalProximity(cfg)
+	})
+}
+
+// --- Design-choice ablation benchmarks --------------------------------------
+// These measure the throughput cost/benefit of the design decisions called
+// out in DESIGN.md §6 on a fixed 4-packet collision: the optimal ICSS vs
+// the strawman, SED on/off, and the §5.7 filters on/off. The reported
+// metric of interest is `decoded/op` (packets recovered per run).
+
+func benchAblation(b *testing.B, opts core.Options) {
+	src, pkts, cfg := benchCollisionSource(b, 4)
+	recv, err := core.NewReceiver(cfg, opts, rx.DetectorOptions{}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	decoded := 0
+	for i := 0; i < b.N; i++ {
+		results, err := recv.DecodeAll(src, clonePkts(pkts))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range results {
+			if res.OK() {
+				decoded++
+			}
+		}
+	}
+	b.ReportMetric(float64(decoded)/float64(b.N), "decoded/op")
+}
+
+func clonePkts(pkts []*rx.Packet) []*rx.Packet {
+	out := make([]*rx.Packet, len(pkts))
+	for i, p := range pkts {
+		c := *p
+		out[i] = &c
+	}
+	return out
+}
+
+func BenchmarkAblationFullCIC(b *testing.B)  { benchAblation(b, core.Options{}) }
+func BenchmarkAblationStrawman(b *testing.B) { benchAblation(b, core.Options{Strawman: true}) }
+func BenchmarkAblationNoSED(b *testing.B)    { benchAblation(b, core.Options{DisableSED: true}) }
+func BenchmarkAblationNoFilters(b *testing.B) {
+	benchAblation(b, core.Options{DisableCFOFilter: true, DisablePowerFilter: true})
+}
+func BenchmarkAblationRelativeSED(b *testing.B) {
+	benchAblation(b, core.Options{RelativeSED: true})
+}

@@ -1,0 +1,322 @@
+package cic_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"cic"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := cic.DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SampleRate() != 1e6 {
+		t.Errorf("sample rate %g", cfg.SampleRate())
+	}
+	if cfg.SamplesPerSymbol() != 1024 {
+		t.Errorf("samples/symbol %d", cfg.SamplesPerSymbol())
+	}
+	n, err := cfg.PacketSamples(28)
+	if err != nil || n <= 0 {
+		t.Errorf("PacketSamples: %d, %v", n, err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, mutate := range []func(*cic.Config){
+		func(c *cic.Config) { c.SpreadingFactor = 3 },
+		func(c *cic.Config) { c.Bandwidth = 0 },
+		func(c *cic.Config) { c.Oversampling = 3 },
+		func(c *cic.Config) { c.CodingRate = 9 },
+	} {
+		cfg := cic.DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%+v validated", cfg)
+		}
+	}
+}
+
+func TestTransmitterReceiverLoopback(t *testing.T) {
+	cfg := cic.DefaultConfig()
+	payload := []byte("public API loopback")
+	src, err := cic.SimulateCollision(cfg, []cic.Emission{
+		{Payload: payload, StartSample: 5000, SNR: 25, CFO: 1500},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := cic.NewReceiver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := recv.DecodeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 1 || !pkts[0].OK || !bytes.Equal(pkts[0].Payload, payload) {
+		t.Fatalf("loopback failed: %+v", pkts)
+	}
+	if math.Abs(pkts[0].CFO-1500) > 300 {
+		t.Errorf("CFO estimate %g", pkts[0].CFO)
+	}
+	if pkts[0].Start < 4990 || pkts[0].Start > 5010 {
+		t.Errorf("start %d", pkts[0].Start)
+	}
+}
+
+func TestCollisionDecodeViaPublicAPI(t *testing.T) {
+	cfg := cic.DefaultConfig()
+	// 4/7 coding: one marginal ±1-bin symbol slip per packet stays inside
+	// the FEC budget, keeping this deterministic test robust.
+	cfg.CodingRate = 3
+	symSamples := int64(cfg.SamplesPerSymbol())
+	p1 := []byte("collision packet alpha")
+	p2 := []byte("collision packet bravo")
+	src, err := cic.SimulateCollision(cfg, []cic.Emission{
+		{Payload: p1, StartSample: 4096, SNR: 25, CFO: 900},
+		{Payload: p2, StartSample: 4096 + 18*symSamples + 300, SNR: 22, CFO: -2100},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, _ := cic.NewReceiver(cfg)
+	pkts, err := recv.DecodeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded := 0
+	for _, p := range pkts {
+		if p.OK && (bytes.Equal(p.Payload, p1) || bytes.Equal(p.Payload, p2)) {
+			decoded++
+		}
+	}
+	if decoded != 2 {
+		t.Errorf("decoded %d of 2 collided packets", decoded)
+	}
+}
+
+func TestAlgorithmSelection(t *testing.T) {
+	cfg := cic.DefaultConfig()
+	payload := []byte("algo check")
+	src, err := cic.SimulateCollision(cfg, []cic.Emission{
+		{Payload: payload, StartSample: 4096, SNR: 25},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iq := cic.Samples(src)
+	for _, algo := range cic.Algorithms() {
+		recv, err := cic.NewReceiver(cfg, cic.WithAlgorithm(algo), cic.WithWorkers(2))
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if recv.Algorithm() != algo {
+			t.Errorf("Algorithm() = %s, want %s", recv.Algorithm(), algo)
+		}
+		pkts, err := recv.DecodeBuffer(iq)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		ok := false
+		for _, p := range pkts {
+			if p.OK && bytes.Equal(p.Payload, payload) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s failed to decode a clean packet", algo)
+		}
+	}
+	if _, err := cic.NewReceiver(cfg, cic.WithAlgorithm("nope")); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+}
+
+func TestAblationOptionsAccepted(t *testing.T) {
+	cfg := cic.DefaultConfig()
+	if _, err := cic.NewReceiver(cfg,
+		cic.WithoutSED(), cic.WithoutCFOFilter(), cic.WithoutPowerFilter()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCF32RoundTrip(t *testing.T) {
+	iq := []complex128{1, 2i, complex(-0.5, 0.25), complex(1e-3, -1e-3)}
+	var buf bytes.Buffer
+	if err := cic.WriteCF32(&buf, iq); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != len(iq)*8 {
+		t.Errorf("cf32 size %d", buf.Len())
+	}
+	back, err := cic.ReadCF32(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(iq) {
+		t.Fatalf("round trip length %d", len(back))
+	}
+	for i := range iq {
+		if math.Abs(real(back[i])-real(iq[i])) > 1e-6 || math.Abs(imag(back[i])-imag(iq[i])) > 1e-6 {
+			t.Errorf("sample %d: %v != %v", i, back[i], iq[i])
+		}
+	}
+	// Truncated stream is an error.
+	bad := bytes.NewReader([]byte{1, 2, 3})
+	if _, err := cic.ReadCF32(bad); err == nil {
+		t.Error("truncated cf32 accepted")
+	}
+}
+
+func TestCF32File(t *testing.T) {
+	path := t.TempDir() + "/x.cf32"
+	iq := []complex128{1, -1i}
+	if err := cic.WriteCF32File(path, iq); err != nil {
+		t.Fatal(err)
+	}
+	back, err := cic.ReadCF32File(path)
+	if err != nil || len(back) != 2 {
+		t.Fatalf("file round trip: %v %d", err, len(back))
+	}
+}
+
+func TestMemorySamples(t *testing.T) {
+	src := cic.MemorySamples([]complex128{1, 2, 3})
+	s, e := src.Span()
+	if s != 0 || e != 3 {
+		t.Errorf("span [%d,%d)", s, e)
+	}
+	buf := make([]complex128, 5)
+	src.Read(buf, -1)
+	if buf[0] != 0 || buf[1] != 1 || buf[4] != 0 {
+		t.Errorf("read %v", buf)
+	}
+}
+
+// TestDecimateCaptureEndToEnd: a packet captured at 8x oversampling,
+// decimated by 2, decodes with a 4x configuration.
+func TestDecimateCaptureEndToEnd(t *testing.T) {
+	wide := cic.DefaultConfig()
+	wide.Oversampling = 8
+	payload := []byte("wideband capture")
+	src, err := cic.SimulateCollision(wide, []cic.Emission{
+		{Payload: payload, StartSample: 8192, SNR: 25, CFO: 2100},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iq := cic.Samples(src)
+	narrowIQ, err := cic.Decimate(iq, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := cic.DefaultConfig() // Oversampling 4
+	recv, err := cic.NewReceiver(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := recv.DecodeBuffer(narrowIQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := false
+	for _, p := range pkts {
+		if p.OK && bytes.Equal(p.Payload, payload) {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("decimated capture failed to decode: %+v", pkts)
+	}
+	if _, err := cic.Decimate(iq, 0); err == nil {
+		t.Error("factor 0 accepted")
+	}
+}
+
+// TestImplicitHeaderEndToEnd: implicit-header mode through the full radio
+// path (both ends configured with the fixed length).
+func TestImplicitHeaderEndToEnd(t *testing.T) {
+	cfg := cic.DefaultConfig()
+	cfg.ImplicitHeader = true
+	cfg.ImplicitLength = 16
+	payload := []byte("implicit mode 16")
+	src, err := cic.SimulateCollision(cfg, []cic.Emission{
+		{Payload: payload, StartSample: 4096, SNR: 25, CFO: 700},
+	}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := cic.NewReceiver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := recv.DecodeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 1 || !pkts[0].OK || !bytes.Equal(pkts[0].Payload, payload) {
+		t.Fatalf("implicit end-to-end failed: %+v", pkts)
+	}
+	// Wrong fixed length at the transmitter must be rejected.
+	tx, _ := cic.NewTransmitter(cfg)
+	if _, err := tx.Modulate([]byte("short")); err == nil {
+		t.Error("length mismatch accepted in implicit mode")
+	}
+}
+
+func TestTransmitterGeometryMatchesConfig(t *testing.T) {
+	cfg := cic.DefaultConfig()
+	tx, err := cic.NewTransmitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []int{0, 1, 28, 255} {
+		payload := make([]byte, l)
+		wave, err := tx.Modulate(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := cfg.PacketSamples(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wave) != want {
+			t.Errorf("payload %d: %d samples, want %d", l, len(wave), want)
+		}
+	}
+	if _, err := tx.Modulate(make([]byte, 256)); err == nil {
+		t.Error("oversize payload accepted")
+	}
+}
+
+func TestSamplesEmptySpan(t *testing.T) {
+	if s := cic.Samples(cic.MemorySamples(nil)); s != nil {
+		t.Errorf("empty source produced %d samples", len(s))
+	}
+}
+
+func TestSimulateCollisionDeterministic(t *testing.T) {
+	cfg := cic.DefaultConfig()
+	ems := []cic.Emission{{Payload: []byte("det"), StartSample: 1000, SNR: 20}}
+	a, err := cic.SimulateCollision(cfg, ems, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cic.SimulateCollision(cfg, ems, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := cic.Samples(a), cic.Samples(b)
+	if len(sa) != len(sb) {
+		t.Fatal("lengths differ")
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("same seed produced different airs")
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Command cic-experiments regenerates the evaluation figures of
+// "Concurrent Interference Cancellation: Decoding Multi-Packet Collisions
+// in LoRa" (SIGCOMM 2021).
+//
+// Usage:
+//
+//	cic-experiments [flags] <experiment>
+//
+// Experiments:
+//
+//	throughput   Figs 28–31: network capacity vs offered load (per deployment)
+//	detection    Figs 32–35: packet detection rate vs offered load
+//	ablation     Figs 36–37: CIC feature ablation (D1 and D4)
+//	temporal     Fig 38: SER vs sub-symbol collision offset
+//	cancellation Fig 17: cancellation depth vs Δτ and Δf
+//	heisenberg   Fig 15: spectral resolution vs window span
+//	clutter      Figs 19–20: up-chirp vs down-chirp detection clutter
+//	snr          Fig 27: deployment SNR distributions
+//	maps         Figs 22–26: deployment geometry
+//	spectra      Figs 12–14: collision spectra (LoRa/strawman/CIC)
+//	icss         extension: optimal-ICSS vs Strawman-CIC throughput
+//	all          everything above
+//
+// Flags select the deployment, rates, duration, seed and output format.
+// Figures are written to stdout (table) or to -outdir as CSV files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"cic/internal/eval"
+	"cic/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cic-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		deployment = flag.String("deployment", "", "deployment D1..D4 (default: all that apply)")
+		rates      = flag.String("rates", "5,10,20,40,60,80,100", "comma-separated offered loads (pkts/s)")
+		duration   = flag.Float64("duration", 2.0, "seconds of traffic per rate point (paper: 60)")
+		payload    = flag.Int("payload", 28, "payload length in bytes")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		sf         = flag.Int("sf", 8, "spreading factor")
+		bw         = flag.Float64("bw", 250e3, "bandwidth in Hz")
+		osr        = flag.Int("osr", 4, "oversampling ratio (paper capture: 8)")
+		workers    = flag.Int("workers", 0, "decode workers (0 = GOMAXPROCS)")
+		outdir     = flag.String("outdir", "", "write figures as CSV files into this directory")
+		svg        = flag.Bool("svg", false, "with -outdir: also write an .svg chart per figure")
+		format     = flag.String("format", "table", "stdout format: table or csv")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return fmt.Errorf("exactly one experiment required")
+	}
+	exp := flag.Arg(0)
+
+	cfg := eval.DefaultConfig()
+	cfg.Duration = *duration
+	cfg.PayloadLen = *payload
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+	cfg.Frame.Chirp.SF = *sf
+	cfg.Frame.Chirp.Bandwidth = *bw
+	cfg.Frame.Chirp.OSR = *osr
+	cfg.Frame.PHY.SF = *sf
+	cfg.Rates = cfg.Rates[:0]
+	for _, part := range strings.Split(*rates, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return fmt.Errorf("bad rate %q: %w", part, err)
+		}
+		cfg.Rates = append(cfg.Rates, v)
+	}
+
+	deps, err := selectDeployments(*deployment)
+	if err != nil {
+		return err
+	}
+
+	figs, err := runExperiment(exp, cfg, deps)
+	if err != nil {
+		return err
+	}
+	return emit(figs, *outdir, *format, *svg)
+}
+
+func selectDeployments(name string) ([]sim.Deployment, error) {
+	if name == "" {
+		return sim.Deployments(), nil
+	}
+	d, err := sim.DeploymentByName(strings.ToUpper(name))
+	if err != nil {
+		return nil, err
+	}
+	return []sim.Deployment{d}, nil
+}
+
+func runExperiment(exp string, cfg eval.Config, deps []sim.Deployment) ([]eval.Figure, error) {
+	var figs []eval.Figure
+	add := func(f eval.Figure, err error) error {
+		if err != nil {
+			return err
+		}
+		figs = append(figs, f)
+		return nil
+	}
+	switch exp {
+	case "throughput":
+		for _, d := range deps {
+			if err := add(eval.Throughput(cfg, d)); err != nil {
+				return nil, err
+			}
+			// Append the headline-ratio view computed from the same data.
+			if sum, err := eval.Summary(figs[len(figs)-1]); err == nil {
+				figs = append(figs, sum)
+			}
+		}
+	case "detection":
+		for _, d := range deps {
+			if err := add(eval.Detection(cfg, d)); err != nil {
+				return nil, err
+			}
+		}
+	case "ablation":
+		for _, d := range deps {
+			if d.Name != "D1" && d.Name != "D4" && len(deps) == 4 {
+				continue // the paper ablates only the two extremes
+			}
+			if err := add(eval.Ablation(cfg, d)); err != nil {
+				return nil, err
+			}
+		}
+	case "temporal":
+		return figs, add(eval.TemporalProximity(cfg))
+	case "cancellation":
+		return figs, add(eval.Cancellation(cfg))
+	case "heisenberg":
+		return figs, add(eval.Heisenberg(cfg))
+	case "clutter":
+		return figs, add(eval.PreambleClutter(cfg))
+	case "snr":
+		return figs, add(eval.SNRDistribution(cfg))
+	case "maps":
+		return figs, add(eval.DeploymentMaps(cfg))
+	case "spectra":
+		return figs, add(eval.SpectraDemo(cfg))
+	case "icss":
+		for _, d := range deps {
+			if d.Name != "D1" && len(deps) == 4 {
+				continue // one deployment suffices for the ICSS ablation
+			}
+			if err := add(eval.ICSSComparison(cfg, d)); err != nil {
+				return nil, err
+			}
+		}
+	case "all":
+		for _, sub := range []string{
+			"heisenberg", "cancellation", "clutter", "snr", "maps",
+			"spectra", "temporal", "throughput", "detection", "ablation",
+		} {
+			sf, err := runExperiment(sub, cfg, deps)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", sub, err)
+			}
+			figs = append(figs, sf...)
+		}
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", exp)
+	}
+	return figs, nil
+}
+
+func emit(figs []eval.Figure, outdir, format string, svg bool) error {
+	if outdir != "" {
+		if err := os.MkdirAll(outdir, 0o755); err != nil {
+			return err
+		}
+		for _, f := range figs {
+			path := filepath.Join(outdir, f.ID+".csv")
+			out, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := f.WriteCSV(out); err != nil {
+				out.Close()
+				return err
+			}
+			if err := out.Close(); err != nil {
+				return err
+			}
+			fmt.Println("wrote", path)
+			if svg {
+				spath := filepath.Join(outdir, f.ID+".svg")
+				sout, err := os.Create(spath)
+				if err != nil {
+					return err
+				}
+				if err := f.WriteSVG(sout); err != nil {
+					sout.Close()
+					return err
+				}
+				if err := sout.Close(); err != nil {
+					return err
+				}
+				fmt.Println("wrote", spath)
+			}
+		}
+		return nil
+	}
+	for _, f := range figs {
+		var err error
+		if format == "csv" {
+			err = f.WriteCSV(os.Stdout)
+		} else {
+			err = f.WriteTable(os.Stdout)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+// Quickstart: synthesise a three-packet LoRa collision and decode every
+// packet with CIC — the scenario a standard gateway resolves as at most
+// one packet.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cic"
+)
+
+func main() {
+	cfg := cic.DefaultConfig() // SF8, 250 kHz, CR 4/5 — the paper's setup
+
+	// Three transmitters send overlapping packets: each starts before the
+	// previous one ends, with distinct receive powers and oscillator
+	// offsets, exactly like independent devices in the wild.
+	symbol := int64(cfg.SamplesPerSymbol())
+	air, err := cic.SimulateCollision(cfg, []cic.Emission{
+		{Payload: []byte("sensor-A: 21.4C"), StartSample: 4096, SNR: 28, CFO: 1800},
+		{Payload: []byte("sensor-B: door open"), StartSample: 4096 + 15*symbol + 211, SNR: 24, CFO: -3400},
+		{Payload: []byte("sensor-C: 3.71V"), StartSample: 4096 + 31*symbol + 87, SNR: 26, CFO: 650},
+	}, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One receiver, two algorithms: standard LoRa (what a commercial
+	// gateway does) vs CIC.
+	for _, algo := range []cic.Algorithm{cic.AlgorithmLoRa, cic.AlgorithmCIC} {
+		recv, err := cic.NewReceiver(cfg, cic.WithAlgorithm(algo))
+		if err != nil {
+			log.Fatal(err)
+		}
+		packets, err := recv.DecodeSource(air)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s decoded %d packet(s):\n", algo, len(packets))
+		for _, p := range packets {
+			if p.OK {
+				fmt.Printf("  @%-7d snr=%4.1f dB cfo=%+5.0f Hz  %q\n", p.Start, p.SNR, p.CFO, p.Payload)
+			}
+		}
+	}
+}

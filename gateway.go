@@ -1,0 +1,320 @@
+package cic
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"cic/internal/core"
+	"cic/internal/frame"
+	"cic/internal/phy"
+	"cic/internal/rx"
+)
+
+// Gateway is a streaming CIC receiver: push raw IQ samples in arbitrary
+// chunks as they arrive from an SDR front end, and receive decoded packets
+// on a channel as soon as each transmission completes. This is the paper's
+// §6 deployment shape — a demodulator co-located with the radio or running
+// as a virtual gateway in the cloud — in contrast to the batch
+// Receiver.DecodeBuffer API.
+//
+//	gw, _ := cic.NewGateway(cfg)
+//	go func() {
+//	    for pkt := range gw.Packets() {
+//	        handle(pkt)
+//	    }
+//	}()
+//	for chunk := range sdr {
+//	    gw.Write(chunk)
+//	}
+//	gw.Close()
+//
+// Internally the gateway keeps a bounded ring of recent samples, scans each
+// newly arrived region for preambles incrementally, and decodes a packet
+// once the air has moved past its end (by which time every transmission
+// that could interfere with it has itself been detected, so the CIC
+// boundary bookkeeping is complete). Write and Close are not safe for
+// concurrent use with each other; the Packets channel may be consumed from
+// any goroutine.
+type Gateway struct {
+	cfg     Config
+	fcfg    frame.Config
+	det     *rx.Detector
+	dm      *core.Demodulator
+	out     chan Packet
+	closed  bool
+	maxPkt  int64 // samples in a max-length packet
+	scanLag int64 // how far detection trails the newest sample
+
+	mu       sync.Mutex
+	buf      []complex128 // ring storage
+	base     int64        // absolute index of buf[head]
+	head     int          // ring offset of absolute index `base`
+	count    int64        // valid samples in the ring
+	written  int64        // absolute index one past the newest sample
+	scanned  int64        // scan frontier (exclusive)
+	pending  []*rx.Packet // detected, not yet decoded
+	active   []*rx.Packet // all tracked packets still relevant as interferers
+	maxIDSeq int
+}
+
+// ErrGatewayClosed is returned by Write after Close.
+var ErrGatewayClosed = errors.New("cic: gateway closed")
+
+// NewGateway builds a streaming gateway. Options are as for NewReceiver;
+// only the CIC and strawman algorithms support streaming (the baselines
+// exist for offline comparison).
+func NewGateway(cfg Config, options ...Option) (*Gateway, error) {
+	fc, err := cfg.frameConfig()
+	if err != nil {
+		return nil, err
+	}
+	o := receiverOptions{algo: AlgorithmCIC}
+	for _, opt := range options {
+		opt(&o)
+	}
+	if o.algo != AlgorithmCIC && o.algo != AlgorithmStrawman && o.algo != "" {
+		return nil, fmt.Errorf("cic: gateway streaming supports cic/strawman, not %q", o.algo)
+	}
+	det, err := rx.NewDetector(fc, rx.DetectorOptions{})
+	if err != nil {
+		return nil, err
+	}
+	coreOpts := core.Options{
+		Strawman:           o.algo == AlgorithmStrawman,
+		DisableSED:         o.disableSED,
+		DisableCFOFilter:   o.disableCFOFilter,
+		DisablePowerFilter: o.disablePowerFilter,
+	}
+	dm, err := core.NewDemodulator(fc, coreOpts)
+	if err != nil {
+		return nil, err
+	}
+	maxPkt := int64(fc.PreambleSampleCount() + phy.MaxSymbolCount(fc.PHY)*fc.Chirp.SamplesPerSymbol())
+	m := int64(fc.Chirp.SamplesPerSymbol())
+	g := &Gateway{
+		cfg:     cfg,
+		fcfg:    fc,
+		det:     det,
+		dm:      dm,
+		out:     make(chan Packet, 64),
+		maxPkt:  maxPkt,
+		scanLag: 2 * m,
+		// Ring must hold the longest packet plus detection lag plus a full
+		// scan region; triple the packet length is comfortably enough.
+		buf: make([]complex128, 3*maxPkt),
+	}
+	return g, nil
+}
+
+// Packets returns the channel on which decoded packets are delivered. The
+// channel is closed by Close after the final flush.
+func (g *Gateway) Packets() <-chan Packet { return g.out }
+
+// BufferedSamples reports how many samples the gateway currently retains.
+func (g *Gateway) BufferedSamples() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.count
+}
+
+// Write appends IQ samples to the stream and processes whatever became
+// decodable. It may block when the Packets channel is full (backpressure).
+func (g *Gateway) Write(iq []complex128) (int, error) {
+	if g.closed {
+		return 0, ErrGatewayClosed
+	}
+	g.mu.Lock()
+	for _, v := range iq {
+		g.push(v)
+	}
+	g.mu.Unlock()
+	g.process(false)
+	return len(iq), nil
+}
+
+// Close flushes the stream (decoding every packet whose samples are fully
+// buffered, even if the air has not moved past its end) and closes the
+// Packets channel.
+func (g *Gateway) Close() error {
+	if g.closed {
+		return nil
+	}
+	g.process(true)
+	g.closed = true
+	close(g.out)
+	return nil
+}
+
+// push appends one sample to the ring, evicting the oldest when full.
+func (g *Gateway) push(v complex128) {
+	n := int64(len(g.buf))
+	if g.count == n {
+		// Evict the oldest sample.
+		g.head = (g.head + 1) % len(g.buf)
+		g.base++
+		g.count--
+	}
+	g.buf[(g.head+int(g.count))%len(g.buf)] = v
+	g.count++
+	g.written++
+}
+
+// ringSource adapts the ring buffer as an rx.SampleSource (zero outside).
+type ringSource struct{ g *Gateway }
+
+func (r ringSource) Read(dst []complex128, start int64) {
+	g := r.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := range dst {
+		idx := start + int64(i) - g.base
+		if idx >= 0 && idx < g.count {
+			dst[i] = g.buf[(g.head+int(idx))%len(g.buf)]
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+func (r ringSource) Span() (int64, int64) {
+	g := r.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.base, g.base + g.count
+}
+
+// process advances detection and decodes completed packets. flush forces
+// decoding of everything currently buffered.
+func (g *Gateway) process(flush bool) {
+	src := ringSource{g}
+	g.mu.Lock()
+	written := g.written
+	scanFrom := g.scanned
+	g.mu.Unlock()
+
+	// Detection trails the newest sample by scanLag so every scan window is
+	// fully buffered.
+	scanTo := written - g.scanLag
+	if flush {
+		scanTo = written
+	}
+	if scanTo > scanFrom {
+		found := g.det.ScanDownchirpRange(src, scanFrom, scanTo)
+		g.mu.Lock()
+		for _, p := range found {
+			if g.known(p) {
+				continue
+			}
+			g.maxIDSeq++
+			p.ID = g.maxIDSeq
+			p.NSymbols = phy.MaxSymbolCount(g.fcfg.PHY)
+			g.pending = append(g.pending, p)
+			g.active = append(g.active, p)
+		}
+		g.scanned = scanTo
+		g.mu.Unlock()
+	}
+
+	// Decode pending packets whose span is complete (or everything on
+	// flush), oldest first.
+	for {
+		g.mu.Lock()
+		var next *rx.Packet
+		idx := -1
+		for i, p := range g.pending {
+			if flush || p.End(g.fcfg)+g.scanLag <= written {
+				if next == nil || p.Start < next.Start {
+					next, idx = p, i
+				}
+			}
+		}
+		if next == nil {
+			g.mu.Unlock()
+			return
+		}
+		g.pending = append(g.pending[:idx], g.pending[idx+1:]...)
+		others := make([]*rx.Packet, 0, len(g.active)-1)
+		for _, q := range g.active {
+			if q != next {
+				others = append(others, q)
+			}
+		}
+		g.mu.Unlock()
+
+		pkt := g.decodeOne(src, next, others)
+		g.out <- pkt // may block: backpressure
+
+		// Retire tracked packets whose samples have left the ring: they can
+		// no longer interfere with anything still decodable.
+		g.mu.Lock()
+		keep := g.active[:0]
+		for _, q := range g.active {
+			if q.End(g.fcfg) > g.base {
+				keep = append(keep, q)
+			}
+		}
+		g.active = keep
+		g.mu.Unlock()
+	}
+}
+
+// decodeOne runs header-then-payload CIC demodulation for one packet,
+// including the pipeline's CRC-driven chase pass over ranked alternates.
+func (g *Gateway) decodeOne(src rx.SampleSource, p *rx.Packet, others []*rx.Packet) Packet {
+	fc := g.fcfg
+	syms := make([]uint16, 0, p.NSymbols)
+	for s := 0; s < phy.HeaderSymbolCount; s++ {
+		syms = append(syms, g.dm.DemodulateSymbol(src, p, s, others))
+	}
+	out := Packet{Start: p.Start, SNR: p.SNRdB, CFO: p.CFOHz}
+	hdr, ok := rx.HeaderFromSymbols(syms, fc.PHY)
+	if !ok {
+		return out
+	}
+	pcfg := fc.PHY
+	pcfg.CR = hdr.CR
+	pcfg.HasCRC = hdr.HasCRC
+	p.NSymbols = phy.SymbolCount(pcfg, int(hdr.Length))
+	var alternates [][]uint16
+	for s := phy.HeaderSymbolCount; s < p.NSymbols; s++ {
+		ranked := g.dm.PickSymbolAlternates(src, p, s, others)
+		syms = append(syms, ranked[0])
+		alternates = append(alternates, ranked)
+	}
+	dec, err := phy.Decode(syms, fc.PHY)
+	if err == nil && !dec.CRCOK {
+		if fixed, ok := rx.ChaseDecode(syms, alternates, fc.PHY); ok {
+			dec = fixed
+		}
+	}
+	if err != nil {
+		return out
+	}
+	out.Payload = dec.Payload
+	out.OK = dec.CRCOK
+	out.FECCorrected = dec.FECCorrected
+	return out
+}
+
+// known reports whether a detection duplicates a tracked packet.
+func (g *Gateway) known(p *rx.Packet) bool {
+	m := int64(g.fcfg.Chirp.SamplesPerSymbol())
+	for _, q := range g.active {
+		d := p.Start - q.Start
+		if d < 0 {
+			d = -d
+		}
+		if d < m/2 {
+			return true
+		}
+	}
+	return false
+}
+
+// Config returns the gateway's configuration.
+func (g *Gateway) Config() Config { return g.cfg }
+
+// MaxPacketSamples reports the airtime budget (in samples) the gateway
+// assumes for an undecoded packet — the ring holds three times this.
+func (g *Gateway) MaxPacketSamples() int64 { return g.maxPkt }

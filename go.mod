@@ -1,0 +1,3 @@
+module cic
+
+go 1.22

@@ -1,0 +1,138 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"cic/internal/baseline/choir"
+	"cic/internal/baseline/ftrack"
+	"cic/internal/baseline/stdlora"
+	"cic/internal/channel"
+	"cic/internal/chirp"
+	"cic/internal/frame"
+	"cic/internal/rx"
+)
+
+// symbolAir builds an air holding a single aligned data symbol at window
+// [0, M) (packet geometry faked via a negative start).
+func symbolAir(t *testing.T, cfg frame.Config, k int, cfoHz float64) (rx.SampleSource, *rx.Packet) {
+	t.Helper()
+	gen, err := chirp.NewGenerator(cfg.Chirp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cfg.Chirp.SamplesPerSymbol()
+	sym := make([]complex128, m)
+	gen.Symbol(sym, k)
+	wave := channel.Apply(sym, channel.Impairments{
+		Amplitude: 1, CFOHz: cfoHz, SampleRate: cfg.Chirp.SampleRate(),
+	})
+	src := &rx.MemorySource{Samples: wave}
+	pkt := &rx.Packet{
+		Start:    -int64(cfg.PreambleSampleCount()),
+		CFOHz:    cfoHz,
+		NSymbols: 1,
+		PeakAmp:  float64(m),
+	}
+	return src, pkt
+}
+
+func TestStdloraPickerAlignedSymbol(t *testing.T) {
+	cfg := testCfg()
+	p, err := stdlora.NewPicker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 5, 128, 255} {
+		src, pkt := symbolAir(t, cfg, k, 1300)
+		if got := p.PickSymbol(src, pkt, 0, nil); got != uint16(k) {
+			t.Errorf("stdlora picked %d, want %d", got, k)
+		}
+	}
+}
+
+func TestChoirPickerAlignedSymbol(t *testing.T) {
+	cfg := testCfg()
+	p, err := choir.NewPicker(cfg, choir.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{3, 77, 201} {
+		src, pkt := symbolAir(t, cfg, k, -2100)
+		if got := p.PickSymbol(src, pkt, 0, nil); got != uint16(k) {
+			t.Errorf("choir picked %d, want %d", got, k)
+		}
+	}
+}
+
+// TestChoirPickerPrefersOnGridPeak: with one on-grid tone (ours) and one
+// half-bin-offset stronger tone (an interferer with mismatched CFO), Choir
+// must choose the on-grid one.
+func TestChoirPickerPrefersOnGridPeak(t *testing.T) {
+	cfg := testCfg()
+	gen, _ := chirp.NewGenerator(cfg.Chirp)
+	m := cfg.Chirp.SamplesPerSymbol()
+	ours := make([]complex128, m)
+	gen.Symbol(ours, 40)
+	inter := make([]complex128, m)
+	gen.Symbol(inter, 170)
+	mixed := channel.Apply(inter, channel.Impairments{
+		Amplitude:  1.6, // stronger
+		CFOHz:      0.5 * cfg.Chirp.BinWidth(),
+		SampleRate: cfg.Chirp.SampleRate(),
+	})
+	for i := range mixed {
+		mixed[i] += ours[i]
+	}
+	src := &rx.MemorySource{Samples: mixed}
+	pkt := &rx.Packet{Start: -int64(cfg.PreambleSampleCount()), NSymbols: 1}
+	p, _ := choir.NewPicker(cfg, choir.Options{})
+	if got := p.PickSymbol(src, pkt, 0, nil); got != 40 {
+		t.Errorf("choir picked %d (the off-grid interferer?), want 40", got)
+	}
+}
+
+func TestFTrackPickerAlignedSymbol(t *testing.T) {
+	cfg := testCfg()
+	p, err := ftrack.NewPicker(cfg, ftrack.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, pkt := symbolAir(t, cfg, 99, 800)
+	if got := p.PickSymbol(src, pkt, 0, nil); got != 99 {
+		t.Errorf("ftrack picked %d, want 99", got)
+	}
+}
+
+// TestFTrackPickerPrefersFullTrack: a full-duration tone must beat a
+// stronger tone that exists only in the second half of the window.
+func TestFTrackPickerPrefersFullTrack(t *testing.T) {
+	cfg := testCfg()
+	gen, _ := chirp.NewGenerator(cfg.Chirp)
+	m := cfg.Chirp.SamplesPerSymbol()
+	ours := make([]complex128, m)
+	gen.Symbol(ours, 60)
+	inter := make([]complex128, m)
+	gen.Symbol(inter, 190)
+	mixed := make([]complex128, m)
+	copy(mixed, ours)
+	for i := m / 2; i < m; i++ {
+		mixed[i] += 2 * inter[i-m/2] // half-window, double amplitude
+	}
+	src := &rx.MemorySource{Samples: mixed}
+	pkt := &rx.Packet{Start: -int64(cfg.PreambleSampleCount()), NSymbols: 1}
+	p, _ := ftrack.NewPicker(cfg, ftrack.Options{})
+	if got := p.PickSymbol(src, pkt, 0, nil); got != 60 {
+		t.Errorf("ftrack picked %d, want the full-span track at 60", got)
+	}
+}
+
+func TestBaselineOptionDefaults(t *testing.T) {
+	var fo ftrack.Options
+	if _, err := ftrack.NewPicker(testCfg(), fo); err != nil {
+		t.Fatal(err)
+	}
+	var co choir.Options
+	if _, err := choir.NewPicker(testCfg(), co); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package stdlora implements the standard single-packet LoRa receiver used
+// as the paper's baseline: conventional up-chirp preamble detection, a
+// one-packet-at-a-time lock with capture behaviour, and plain
+// argmax-of-the-folded-spectrum demodulation. Under collisions it decodes
+// whichever transmission captures the radio and loses the rest — the
+// behaviour Figs 28–31 quantify.
+package stdlora
+
+import (
+	"cic/internal/dsp"
+	"cic/internal/frame"
+	"cic/internal/rx"
+)
+
+// CaptureMarginDB is how much stronger a later preamble must be to steal
+// the lock from the packet currently being received, mimicking the capture
+// effect of commercial transceivers.
+const CaptureMarginDB = 6
+
+// Receiver is the standard LoRa gateway baseline.
+type Receiver struct {
+	cfg     frame.Config
+	detOpts rx.DetectorOptions
+	pl      *rx.Pipeline
+}
+
+// New builds the baseline receiver. workers <= 0 selects GOMAXPROCS.
+func New(cfg frame.Config, detOpts rx.DetectorOptions, workers int) (*Receiver, error) {
+	pl, err := rx.NewPipeline(cfg, func() (rx.SymbolPicker, error) {
+		return NewPicker(cfg)
+	}, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Receiver{cfg: cfg, detOpts: detOpts, pl: pl}, nil
+}
+
+// Name identifies the receiver in evaluation output.
+func (r *Receiver) Name() string { return "LoRa" }
+
+// Receive detects packets with the conventional up-chirp scan, applies the
+// single-receiver lock with capture, and decodes the survivors.
+func (r *Receiver) Receive(src rx.SampleSource) ([]rx.Decoded, error) {
+	det, err := rx.NewDetector(r.cfg, r.detOpts)
+	if err != nil {
+		return nil, err
+	}
+	pkts := det.ScanUpchirp(src)
+	return r.DecodeAll(src, pkts)
+}
+
+// DecodeAll decodes the detection set, then applies the capture lock using
+// the header-derived packet lengths (a real gateway knows a packet's
+// airtime once its header arrives, and holds the lock that long). The
+// argmax picker is interference-blind, so decoding before filtering yields
+// the same per-packet symbols a locked receiver would see.
+func (r *Receiver) DecodeAll(src rx.SampleSource, pkts []*rx.Packet) ([]rx.Decoded, error) {
+	results, err := r.pl.DecodeAll(src, pkts)
+	if err != nil {
+		return nil, err
+	}
+	locked := CaptureFilter(r.cfg, pkts)
+	keep := make(map[*rx.Packet]bool, len(locked))
+	for _, p := range locked {
+		keep[p] = true
+	}
+	out := results[:0]
+	for _, res := range results {
+		if keep[res.Packet] {
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// CaptureFilter models the standard gateway's single demodulator: packets
+// are taken in arrival order; a packet arriving while another is being
+// received is dropped unless its preamble is at least CaptureMarginDB
+// stronger, in which case it steals the lock (the current packet is lost).
+func CaptureFilter(cfg frame.Config, pkts []*rx.Packet) []*rx.Packet {
+	margin := dsp.AmplitudeFromDB(CaptureMarginDB)
+	var out []*rx.Packet
+	var cur *rx.Packet
+	for _, p := range pkts {
+		if cur == nil || p.Start >= cur.End(cfg) {
+			if cur != nil {
+				out = append(out, cur)
+			}
+			cur = p
+			continue
+		}
+		// p arrives during cur's reception.
+		if p.PeakAmp > cur.PeakAmp*margin {
+			cur = p // capture: the stronger packet steals the lock
+		}
+		// else: p is lost (receiver busy).
+	}
+	if cur != nil {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Picker demodulates by taking the strongest folded bin — correct for a
+// lone transmission, and exactly what goes wrong during collisions.
+type Picker struct {
+	d *rx.Demod
+}
+
+// NewPicker builds the argmax symbol picker.
+func NewPicker(cfg frame.Config) (*Picker, error) {
+	d, err := rx.NewDemod(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Picker{d: d}, nil
+}
+
+// PickSymbol implements rx.SymbolPicker.
+func (p *Picker) PickSymbol(src rx.SampleSource, pkt *rx.Packet, symIdx int, _ []*rx.Packet) uint16 {
+	p.d.LoadWindow(src, pkt.SymbolStart(p.d.Config(), symIdx), pkt.CFOHz)
+	_, at := p.d.FoldedSpectrum().Max()
+	if at < 0 {
+		return 0
+	}
+	return uint16(at)
+}
+
+// PickSymbolAlternates implements rx.AlternatePicker: the strongest folded
+// peaks in descending power order, so the pipeline's CRC-driven chase pass
+// treats the baseline with the same decoder-side machinery as CIC.
+func (p *Picker) PickSymbolAlternates(src rx.SampleSource, pkt *rx.Packet, symIdx int, _ []*rx.Packet) []uint16 {
+	p.d.LoadWindow(src, pkt.SymbolStart(p.d.Config(), symIdx), pkt.CFOHz)
+	peaks := dsp.TopPeaks(p.d.FoldedSpectrum(), 0.05, 3)
+	if len(peaks) == 0 {
+		return []uint16{0}
+	}
+	out := make([]uint16, 0, len(peaks))
+	for _, pk := range peaks {
+		out = append(out, uint16(pk.Bin))
+	}
+	return out
+}

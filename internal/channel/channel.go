@@ -1,0 +1,189 @@
+// Package channel simulates the radio medium and front end between the
+// modulated LoRa waveforms and the gateway's baseband samples: per-device
+// impairments (amplitude, carrier frequency offset, phase, slow fading),
+// superposition of asynchronous transmissions, and additive white Gaussian
+// noise. It replaces the paper's physical deployments and USRP B200 front
+// end with a deterministic, seedable substitute.
+//
+// SNR convention. Noise is white over the full sampled bandwidth
+// fs = OSR·B, but SNR quotes follow the usual receiver convention of noise
+// power *within the signal bandwidth B*. The in-band noise power is fixed
+// at 1.0, so a transmission received at snr dB has amplitude
+// 10^(snr/20) and the generated noise has total power OSR (variance OSR/2
+// per I/Q component).
+package channel
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Impairments describes how one transmission arrives at the gateway.
+type Impairments struct {
+	Amplitude    float64 // linear amplitude (1.0 ⇒ 0 dB SNR in-band)
+	CFOHz        float64 // carrier frequency offset in Hz
+	InitialPhase float64 // radians
+	SampleRate   float64 // Hz, needed to apply CFOHz
+
+	// Optional slow amplitude fade: amplitude is modulated by
+	// 1 + FadeDepth·sin(2π·t/FadePeriod + FadePhase). Zero depth disables.
+	FadeDepth  float64
+	FadePeriod float64 // seconds
+	FadePhase  float64 // radians
+}
+
+// AmplitudeForSNR converts a target in-band SNR in dB to linear amplitude.
+func AmplitudeForSNR(snrDB float64) float64 { return math.Pow(10, snrDB/20) }
+
+// Apply returns a copy of wave with the impairments applied.
+func Apply(wave []complex128, imp Impairments) []complex128 {
+	out := make([]complex128, len(wave))
+	amp := imp.Amplitude
+	if amp == 0 {
+		amp = 1
+	}
+	phaseStep := 0.0
+	if imp.SampleRate > 0 {
+		phaseStep = 2 * math.Pi * imp.CFOHz / imp.SampleRate
+	}
+	fade := imp.FadeDepth != 0 && imp.FadePeriod > 0 && imp.SampleRate > 0
+	var fadeStep float64
+	if fade {
+		fadeStep = 2 * math.Pi / (imp.FadePeriod * imp.SampleRate)
+	}
+	phase := imp.InitialPhase
+	for i, v := range wave {
+		s, c := math.Sincos(phase)
+		a := amp
+		if fade {
+			a *= 1 + imp.FadeDepth*math.Sin(fadeStep*float64(i)+imp.FadePhase)
+		}
+		out[i] = v * complex(a*c, a*s)
+		phase += phaseStep
+	}
+	return out
+}
+
+// Emission is a waveform occupying the air from an absolute sample index.
+type Emission struct {
+	Start   int64
+	Samples []complex128
+}
+
+// End returns the first sample index after the emission.
+func (e Emission) End() int64 { return e.Start + int64(len(e.Samples)) }
+
+// Renderer mixes emissions and deterministic AWGN into arbitrary windows of
+// the air. The noise at absolute sample index i depends only on (seed, i),
+// so overlapping or repeated window renders agree sample-for-sample — the
+// property that lets experiments stream a long run in bounded memory.
+type Renderer struct {
+	emissions  []Emission
+	noiseSigma float64 // per-component standard deviation
+	seed       uint64
+}
+
+// NewRenderer creates a Renderer. osr scales the full-band noise so that
+// the in-band (bandwidth B) noise power is exactly 1.0; pass osr = 0 to
+// disable noise entirely (ideal channel).
+func NewRenderer(emissions []Emission, osr int, seed int64) *Renderer {
+	sigma := 0.0
+	if osr > 0 {
+		sigma = math.Sqrt(float64(osr) / 2)
+	}
+	return &Renderer{emissions: emissions, noiseSigma: sigma, seed: uint64(seed)}
+}
+
+// Render fills dst with the air's samples for the absolute window
+// [start, start+len(dst)).
+func (r *Renderer) Render(dst []complex128, start int64) {
+	end := start + int64(len(dst))
+	if r.noiseSigma == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+	} else {
+		for i := range dst {
+			nI, nQ := gaussPair(r.seed, uint64(start+int64(i)))
+			dst[i] = complex(nI*r.noiseSigma, nQ*r.noiseSigma)
+		}
+	}
+	for _, e := range r.emissions {
+		if e.End() <= start || e.Start >= end {
+			continue
+		}
+		lo := e.Start
+		if lo < start {
+			lo = start
+		}
+		hi := e.End()
+		if hi > end {
+			hi = end
+		}
+		src := e.Samples[lo-e.Start : hi-e.Start]
+		d := dst[lo-start:]
+		for i, v := range src {
+			d[i] += v
+		}
+	}
+}
+
+// TotalSpan returns the lowest start and highest end across all emissions
+// (0,0 when empty).
+func (r *Renderer) TotalSpan() (start, end int64) {
+	if len(r.emissions) == 0 {
+		return 0, 0
+	}
+	start, end = r.emissions[0].Start, r.emissions[0].End()
+	for _, e := range r.emissions[1:] {
+		if e.Start < start {
+			start = e.Start
+		}
+		if e.End() > end {
+			end = e.End()
+		}
+	}
+	return
+}
+
+// gaussPair derives two independent standard normal values from (seed, i)
+// via splitmix64 and the Box–Muller transform. Counter-based generation
+// gives random access: any window render sees identical noise.
+func gaussPair(seed, i uint64) (float64, float64) {
+	u1 := toUniform(splitmix64(seed ^ i*0x9E3779B97F4A7C15))
+	u2 := toUniform(splitmix64(seed ^ i*0x9E3779B97F4A7C15 ^ 0xBF58476D1CE4E5B9))
+	// Guard against log(0).
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	r := math.Sqrt(-2 * math.Log(u1))
+	s, c := math.Sincos(2 * math.Pi * u2)
+	return r * c, r * s
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
+	x = (x ^ x>>27) * 0x94D049BB133111EB
+	return x ^ x>>31
+}
+
+func toUniform(x uint64) float64 {
+	return float64(x>>11) / float64(1<<53)
+}
+
+// RandomCFO draws a carrier frequency offset for a device with the given
+// crystal tolerance (±ppm) at carrier frequency fc Hz.
+func RandomCFO(r *rand.Rand, ppm, fc float64) float64 {
+	return (2*r.Float64() - 1) * ppm * 1e-6 * fc
+}
+
+// AddAWGN adds in-band-unit-power AWGN (scaled for osr as in NewRenderer)
+// to a standalone waveform using r, for single-shot tests that do not need
+// a Renderer.
+func AddAWGN(wave []complex128, osr int, r *rand.Rand) {
+	sigma := math.Sqrt(float64(osr) / 2)
+	for i := range wave {
+		wave[i] += complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+	}
+}

@@ -1,0 +1,237 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"cic/internal/dsp"
+)
+
+func TestAmplitudeForSNR(t *testing.T) {
+	if a := AmplitudeForSNR(0); a != 1 {
+		t.Errorf("0 dB amplitude = %g", a)
+	}
+	if a := AmplitudeForSNR(20); math.Abs(a-10) > 1e-12 {
+		t.Errorf("20 dB amplitude = %g", a)
+	}
+	if a := AmplitudeForSNR(-20); math.Abs(a-0.1) > 1e-12 {
+		t.Errorf("-20 dB amplitude = %g", a)
+	}
+}
+
+func TestApplyAmplitudeAndPhase(t *testing.T) {
+	wave := []complex128{1, 1, 1, 1}
+	out := Apply(wave, Impairments{Amplitude: 2, InitialPhase: math.Pi / 2})
+	for i, v := range out {
+		if d := cmplx.Abs(v - 2i); d > 1e-12 {
+			t.Errorf("sample %d = %v, want 2i", i, v)
+		}
+	}
+	// Zero amplitude defaults to 1.
+	def := Apply(wave, Impairments{})
+	if def[0] != 1 {
+		t.Error("default amplitude not 1")
+	}
+}
+
+func TestApplyCFORotatesTone(t *testing.T) {
+	// A DC signal with CFO f becomes a tone at f: check with a DFT.
+	n := 1024
+	fs := 250e3
+	cfo := 3e3
+	wave := make([]complex128, n)
+	for i := range wave {
+		wave[i] = 1
+	}
+	out := Apply(wave, Impairments{Amplitude: 1, CFOHz: cfo, SampleRate: fs})
+	fft := dsp.PlanFor(n)
+	fft.Forward(out)
+	mag := make(dsp.Spectrum, n)
+	for i, v := range out {
+		mag[i] = real(v)*real(v) + imag(v)*imag(v)
+	}
+	_, at := mag.Max()
+	wantBin := int(math.Round(cfo / fs * float64(n)))
+	if at != wantBin {
+		t.Errorf("CFO tone at bin %d, want %d", at, wantBin)
+	}
+}
+
+func TestApplyFadeModulatesEnvelope(t *testing.T) {
+	n := 1000
+	wave := make([]complex128, n)
+	for i := range wave {
+		wave[i] = 1
+	}
+	out := Apply(wave, Impairments{
+		Amplitude: 1, SampleRate: 1000,
+		FadeDepth: 0.5, FadePeriod: 0.5, FadePhase: 0,
+	})
+	var minA, maxA = math.Inf(1), math.Inf(-1)
+	for _, v := range out {
+		a := cmplx.Abs(v)
+		minA = math.Min(minA, a)
+		maxA = math.Max(maxA, a)
+	}
+	if maxA < 1.45 || minA > 0.55 {
+		t.Errorf("fade envelope [%g,%g], want ≈[0.5,1.5]", minA, maxA)
+	}
+}
+
+func TestRendererDeterministicAcrossWindows(t *testing.T) {
+	r := NewRenderer(nil, 4, 42)
+	full := make([]complex128, 256)
+	r.Render(full, 1000)
+	// Render the same region in two halves: must agree exactly.
+	a := make([]complex128, 128)
+	b := make([]complex128, 128)
+	r.Render(a, 1000)
+	r.Render(b, 1128)
+	for i := range a {
+		if a[i] != full[i] {
+			t.Fatalf("first half sample %d differs", i)
+		}
+		if b[i] != full[128+i] {
+			t.Fatalf("second half sample %d differs", i)
+		}
+	}
+	// Different seed ⇒ different noise.
+	r2 := NewRenderer(nil, 4, 43)
+	other := make([]complex128, 256)
+	r2.Render(other, 1000)
+	same := 0
+	for i := range other {
+		if other[i] == full[i] {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("%d identical noise samples across seeds", same)
+	}
+}
+
+func TestRendererNoisePower(t *testing.T) {
+	osr := 8
+	r := NewRenderer(nil, osr, 7)
+	buf := make([]complex128, 1<<16)
+	r.Render(buf, 0)
+	p := dsp.SignalPower(buf)
+	if math.Abs(p-float64(osr)) > 0.2*float64(osr) {
+		t.Errorf("noise power %g, want ≈%d", p, osr)
+	}
+}
+
+func TestRendererMixesOverlappingEmissions(t *testing.T) {
+	e1 := Emission{Start: 10, Samples: []complex128{1, 1, 1, 1}}
+	e2 := Emission{Start: 12, Samples: []complex128{2i, 2i, 2i, 2i}}
+	r := NewRenderer([]Emission{e1, e2}, 0, 0) // noiseless
+	buf := make([]complex128, 10)
+	r.Render(buf, 8)
+	want := []complex128{0, 0, 1, 1, complex(1, 2), complex(1, 2), 2i, 2i, 0, 0}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Errorf("sample %d = %v, want %v", i, buf[i], want[i])
+		}
+	}
+}
+
+func TestRendererPartialWindowClipping(t *testing.T) {
+	e := Emission{Start: 0, Samples: []complex128{1, 2, 3, 4}}
+	r := NewRenderer([]Emission{e}, 0, 0)
+	buf := make([]complex128, 2)
+	r.Render(buf, 2) // window covers only the tail
+	if buf[0] != 3 || buf[1] != 4 {
+		t.Errorf("tail render = %v", buf)
+	}
+	r.Render(buf, -1) // window starts before the emission
+	if buf[0] != 0 || buf[1] != 1 {
+		t.Errorf("head render = %v", buf)
+	}
+}
+
+func TestTotalSpan(t *testing.T) {
+	r := NewRenderer([]Emission{
+		{Start: 50, Samples: make([]complex128, 10)},
+		{Start: 5, Samples: make([]complex128, 10)},
+	}, 0, 0)
+	s, e := r.TotalSpan()
+	if s != 5 || e != 60 {
+		t.Errorf("span [%d,%d), want [5,60)", s, e)
+	}
+	empty := NewRenderer(nil, 0, 0)
+	if s, e := empty.TotalSpan(); s != 0 || e != 0 {
+		t.Error("empty span not (0,0)")
+	}
+}
+
+func TestGaussPairStatistics(t *testing.T) {
+	n := 1 << 15
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		a, b := gaussPair(99, uint64(i))
+		sum += a + b
+		sumSq += a*a + b*b
+	}
+	mean := sum / float64(2*n)
+	variance := sumSq/float64(2*n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("noise mean %g", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("noise variance %g", variance)
+	}
+}
+
+func TestRandomCFOWithinTolerance(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		cfo := RandomCFO(r, 10, 915e6) // ±10 ppm at 915 MHz → ±9150 Hz
+		if math.Abs(cfo) > 9150 {
+			t.Fatalf("CFO %g exceeds tolerance", cfo)
+		}
+	}
+}
+
+func TestAddAWGNPower(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	buf := make([]complex128, 1<<15)
+	AddAWGN(buf, 4, r)
+	if p := dsp.SignalPower(buf); math.Abs(p-4) > 0.5 {
+		t.Errorf("AWGN power %g, want ≈4", p)
+	}
+}
+
+func TestEmissionEnd(t *testing.T) {
+	e := Emission{Start: 10, Samples: make([]complex128, 5)}
+	if e.End() != 15 {
+		t.Errorf("End = %d", e.End())
+	}
+}
+
+func TestApplyPreservesLength(t *testing.T) {
+	wave := make([]complex128, 123)
+	out := Apply(wave, Impairments{Amplitude: 2, CFOHz: 100, SampleRate: 1e6})
+	if len(out) != len(wave) {
+		t.Errorf("length %d", len(out))
+	}
+	// Input untouched.
+	for _, v := range wave {
+		if v != 0 {
+			t.Fatal("Apply mutated its input")
+		}
+	}
+}
+
+func TestRendererNoiselessWindowIsZero(t *testing.T) {
+	r := NewRenderer(nil, 0, 1)
+	buf := make([]complex128, 64)
+	buf[3] = 42 // stale
+	r.Render(buf, 100)
+	for i, v := range buf {
+		if v != 0 {
+			t.Fatalf("sample %d = %v, want 0", i, v)
+		}
+	}
+}

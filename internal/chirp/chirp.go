@@ -1,0 +1,133 @@
+package chirp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Generator produces and caches the chirp waveforms for one Params setting.
+// It is safe for concurrent use after construction (all fields are
+// read-only once built).
+type Generator struct {
+	p    Params
+	up   []complex128 // fundamental up-chirp C0, one symbol
+	down []complex128 // fundamental down-chirp C0*, one symbol
+}
+
+// NewGenerator builds a Generator, precomputing C0 and C0*.
+func NewGenerator(p Params) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{p: p}
+	g.up = baseChirp(p)
+	g.down = make([]complex128, len(g.up))
+	for i, v := range g.up {
+		g.down[i] = complex(real(v), -imag(v))
+	}
+	return g, nil
+}
+
+// baseChirp generates C0 by per-sample phase accumulation with midpoint
+// frequency sampling: the increment for sample n→n+1 is the instantaneous
+// normalised frequency ((n+½)/M − ½)/OSR cycles/sample, so the sweep covers
+// [−B/2, B/2) exactly once and the total accumulated phase over a symbol is
+// exactly zero. The zero total phase makes the waveform *cyclic*: a symbol
+// of value k is a cyclic shift of C0 with no phase seam at the frequency
+// wrap, so de-chirping yields coherent tones (Eqns 1–4).
+func baseChirp(p Params) []complex128 {
+	m := p.SamplesPerSymbol()
+	out := make([]complex128, m)
+	phase := 0.0
+	for n := 0; n < m; n++ {
+		s, c := math.Sincos(2 * math.Pi * phase)
+		out[n] = complex(c, s)
+		frac := (float64(n) + 0.5) / float64(m)
+		f := (frac - 0.5) / float64(p.OSR)
+		phase += f
+		if phase >= 1 {
+			phase -= 1
+		} else if phase < -1 {
+			phase += 1
+		}
+	}
+	return out
+}
+
+// Params returns the generator's parameter set.
+func (g *Generator) Params() Params { return g.p }
+
+// Upchirp returns the fundamental up-chirp C0 (shared backing array: callers
+// must not modify it).
+func (g *Generator) Upchirp() []complex128 { return g.up }
+
+// Downchirp returns the fundamental down-chirp C0* (shared backing array:
+// callers must not modify it).
+func (g *Generator) Downchirp() []complex128 { return g.down }
+
+// Symbol writes the waveform of data symbol value k (0 ≤ k < 2^SF) into
+// dst, which must have SamplesPerSymbol length. The symbol is the
+// fundamental chirp cyclically advanced by k chips — equivalent to the
+// frequency-shift-with-wrap definition in Eqn 1 up to a constant phase.
+func (g *Generator) Symbol(dst []complex128, k int) {
+	m := g.p.SamplesPerSymbol()
+	if len(dst) != m {
+		panic(fmt.Sprintf("chirp: Symbol dst length %d != %d", len(dst), m))
+	}
+	n := g.p.ChipCount()
+	if k < 0 || k >= n {
+		panic(fmt.Sprintf("chirp: symbol value %d out of range [0,%d)", k, n))
+	}
+	shift := k * g.p.OSR
+	c := copy(dst, g.up[shift:])
+	copy(dst[c:], g.up[:shift])
+}
+
+// AppendSymbol appends symbol value k to buf and returns the extended slice.
+func (g *Generator) AppendSymbol(buf []complex128, k int) []complex128 {
+	m := g.p.SamplesPerSymbol()
+	start := len(buf)
+	buf = append(buf, make([]complex128, m)...)
+	g.Symbol(buf[start:], k)
+	return buf
+}
+
+// AppendDownchirps appends count whole down-chirps plus a fraction frac
+// (0 ≤ frac < 1) of one more, as used by the LoRa preamble's 2.25
+// down-chirps.
+func (g *Generator) AppendDownchirps(buf []complex128, count int, frac float64) []complex128 {
+	for i := 0; i < count; i++ {
+		buf = append(buf, g.down...)
+	}
+	if frac > 0 {
+		n := int(frac * float64(g.p.SamplesPerSymbol()))
+		buf = append(buf, g.down[:n]...)
+	}
+	return buf
+}
+
+// Dechirp multiplies the received window by C0* into dst:
+// dst[n] = r[n]·conj(C0[n]). A time-aligned symbol k becomes a pure tone on
+// folded bin k. len(r) may be at most one symbol; dst must match len(r).
+func (g *Generator) Dechirp(dst, r []complex128) {
+	if len(dst) < len(r) || len(r) > len(g.down) {
+		panic(fmt.Sprintf("chirp: Dechirp window %d vs dst %d vs symbol %d", len(r), len(dst), len(g.down)))
+	}
+	for i, v := range r {
+		dst[i] = v * g.down[i]
+	}
+}
+
+// DechirpDown multiplies the received window by C0 (the up-chirp) into dst.
+// A received *down-chirp* delayed by d samples becomes a pure tone at
+// normalised frequency d/(M·OSR) — the basis of CIC's down-chirp preamble
+// detection (§5.8): data up-chirps do not concentrate under this operation,
+// so ongoing transmissions do not clutter the detector.
+func (g *Generator) DechirpDown(dst, r []complex128) {
+	if len(dst) < len(r) || len(r) > len(g.up) {
+		panic(fmt.Sprintf("chirp: DechirpDown window %d vs dst %d vs symbol %d", len(r), len(dst), len(g.up)))
+	}
+	for i, v := range r {
+		dst[i] = v * g.up[i]
+	}
+}

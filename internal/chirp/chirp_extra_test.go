@@ -1,0 +1,145 @@
+package chirp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"cic/internal/dsp"
+)
+
+// TestAllSpreadingFactorsDemodulate: the chirp/de-chirp loop must hold for
+// every LoRa spreading factor and several oversampling ratios.
+func TestAllSpreadingFactorsDemodulate(t *testing.T) {
+	for sf := 7; sf <= 12; sf++ {
+		for _, osr := range []int{1, 2, 4} {
+			p := Params{SF: sf, Bandwidth: 125e3, OSR: osr}
+			g := mustGen(t, p)
+			m := p.SamplesPerSymbol()
+			sym := make([]complex128, m)
+			for _, k := range []int{0, 1, p.ChipCount() / 2, p.ChipCount() - 1} {
+				g.Symbol(sym, k)
+				if got := demodAligned(g, sym); got != k {
+					t.Fatalf("SF%d OSR%d: symbol %d → %d", sf, osr, k, got)
+				}
+			}
+		}
+	}
+}
+
+// TestChirpCyclicProperty: the base chirp is exactly periodic — symbol k is
+// a cyclic shift with no phase seam, which is what makes de-chirped tones
+// coherent across the frequency wrap.
+func TestChirpCyclicProperty(t *testing.T) {
+	p := Params{SF: 9, Bandwidth: 125e3, OSR: 2}
+	g := mustGen(t, p)
+	up := g.Upchirp()
+	m := p.SamplesPerSymbol()
+	// The product conj(up[n])·up[(n+shift) mod M] must advance by a
+	// constant phase per sample within each wrap segment.
+	shift := 100 * p.OSR
+	var prevPhase float64
+	jumps := 0
+	for n := 0; n < m-1; n++ {
+		v := cmplx.Conj(up[n]) * up[(n+shift)%m]
+		w := cmplx.Conj(up[n+1]) * up[(n+1+shift)%m]
+		d := cmplx.Phase(w * cmplx.Conj(v))
+		if n > 0 {
+			delta := math.Abs(dsp.WrapToHalf(d-prevPhase, math.Pi))
+			if delta > 1e-6 {
+				jumps++
+			}
+		}
+		prevPhase = d
+	}
+	// Only the wrap crossings of the two copies may show increment changes
+	// (and those must be full 2π multiples ≡ 0; tolerate the two segment
+	// boundaries at most).
+	if jumps > 2 {
+		t.Errorf("phase increment changed %d times; chirp is not cyclic", jumps)
+	}
+}
+
+// TestSymbolEnergyConstant: every symbol has identical (unit) energy.
+func TestSymbolEnergyConstant(t *testing.T) {
+	p := Params{SF: 7, Bandwidth: 125e3, OSR: 2}
+	g := mustGen(t, p)
+	m := p.SamplesPerSymbol()
+	sym := make([]complex128, m)
+	for k := 0; k < p.ChipCount(); k += 17 {
+		g.Symbol(sym, k)
+		if e := dsp.SignalEnergy(sym); math.Abs(e-float64(m)) > 1e-9 {
+			t.Fatalf("symbol %d energy %g, want %d", k, e, m)
+		}
+	}
+}
+
+// TestDechirpOrthogonality: a symbol de-chirped against the wrong alignment
+// (the neighbouring symbol value) leaves almost no energy at the wrong bin.
+func TestDechirpOrthogonality(t *testing.T) {
+	p := Params{SF: 8, Bandwidth: 250e3, OSR: 1}
+	g := mustGen(t, p)
+	m := p.SamplesPerSymbol()
+	sym := make([]complex128, m)
+	g.Symbol(sym, 100)
+	buf := make([]complex128, m)
+	g.Dechirp(buf, sym)
+	dsp.PlanFor(m).Forward(buf)
+	spec := dsp.FoldMagnitude(nil, buf, p.ChipCount(), p.OSR)
+	peak := spec[100]
+	for _, wrong := range []int{99, 101, 0, 200} {
+		if spec[wrong] > peak/100 {
+			t.Errorf("bin %d holds %g (peak %g): symbols not orthogonal", wrong, spec[wrong], peak)
+		}
+	}
+}
+
+func TestDechirpPanicsOnOversizeWindow(t *testing.T) {
+	p := Params{SF: 7, Bandwidth: 125e3, OSR: 1}
+	g := mustGen(t, p)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for oversize window")
+		}
+	}()
+	g.Dechirp(make([]complex128, 2*p.SamplesPerSymbol()), make([]complex128, 2*p.SamplesPerSymbol()))
+}
+
+func TestGeneratorAccessors(t *testing.T) {
+	p := Params{SF: 7, Bandwidth: 125e3, OSR: 2}
+	g := mustGen(t, p)
+	if g.Params() != p {
+		t.Error("Params accessor")
+	}
+	if len(g.Upchirp()) != p.SamplesPerSymbol() || len(g.Downchirp()) != p.SamplesPerSymbol() {
+		t.Error("waveform lengths")
+	}
+	if p.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+// TestPartialDownchirpTone: DechirpDown on a window containing only part of
+// a down-chirp still concentrates that part's energy on the delay bin.
+func TestPartialDownchirpTone(t *testing.T) {
+	p := Params{SF: 8, Bandwidth: 250e3, OSR: 4}
+	g := mustGen(t, p)
+	m := p.SamplesPerSymbol()
+	win := make([]complex128, m)
+	// Down-chirp occupying only the last 40% of the window.
+	d := 6 * m / 10
+	copy(win[d:], g.Downchirp()[:m-d])
+	buf := make([]complex128, m)
+	g.DechirpDown(buf, win)
+	dsp.PlanFor(m).Forward(buf)
+	mag := make(dsp.Spectrum, m)
+	for i, v := range buf {
+		mag[i] = real(v)*real(v) + imag(v)*imag(v)
+	}
+	_, at := mag.Max()
+	// d is not a multiple of OSR here, so the tone sits between bins;
+	// accept either neighbour.
+	if want := d / p.OSR; at != want && at != want+1 {
+		t.Errorf("partial down-chirp tone at %d, want %d±1", at, want)
+	}
+}

@@ -1,0 +1,62 @@
+// Package chirp implements LoRa Chirp Spread Spectrum (CSS) modulation:
+// generation of up- and down-chirps for any spreading factor, bandwidth and
+// oversampling ratio, and de-chirping of received windows onto the folded
+// LoRa bin grid (paper §3, Eqns 1–4).
+//
+// Discrete-time model. All signals are complex baseband sampled at
+// fs = OSR·B. A symbol spans M = 2^SF·OSR samples. The fundamental up-chirp
+// C0 sweeps its instantaneous frequency linearly from −B/2 to B/2 over the
+// symbol; symbol value k shifts the start frequency by k·B/2^SF with
+// wrap-around at B/2 (Eqn 1). Phase is accumulated per sample so the
+// frequency wrap is handled exactly; de-chirping a time-aligned symbol k
+// yields tone images on FFT bins k and k+(OSR−1)·2^SF of the M-point grid,
+// which dsp.FoldMagnitude folds onto LoRa bin k.
+package chirp
+
+import (
+	"fmt"
+	"time"
+)
+
+// Params fixes the LoRa PHY dimensioning shared by a whole network.
+type Params struct {
+	SF        int     // spreading factor, 7..12
+	Bandwidth float64 // Hz, e.g. 125e3, 250e3, 500e3
+	OSR       int     // oversampling ratio (fs = OSR·Bandwidth), power of two >= 1
+}
+
+// Validate checks the parameter ranges.
+func (p Params) Validate() error {
+	if p.SF < 5 || p.SF > 12 {
+		return fmt.Errorf("chirp: SF %d out of range [5,12]", p.SF)
+	}
+	if p.Bandwidth <= 0 {
+		return fmt.Errorf("chirp: bandwidth %g must be positive", p.Bandwidth)
+	}
+	if p.OSR < 1 || p.OSR&(p.OSR-1) != 0 {
+		return fmt.Errorf("chirp: OSR %d must be a power of two >= 1", p.OSR)
+	}
+	return nil
+}
+
+// ChipCount returns 2^SF, the number of chips (and LoRa bins) per symbol.
+func (p Params) ChipCount() int { return 1 << p.SF }
+
+// SamplesPerSymbol returns 2^SF · OSR.
+func (p Params) SamplesPerSymbol() int { return p.ChipCount() * p.OSR }
+
+// SampleRate returns OSR · Bandwidth in Hz.
+func (p Params) SampleRate() float64 { return float64(p.OSR) * p.Bandwidth }
+
+// SymbolDuration returns Ts = 2^SF / B.
+func (p Params) SymbolDuration() time.Duration {
+	return time.Duration(float64(p.ChipCount()) / p.Bandwidth * float64(time.Second))
+}
+
+// BinWidth returns the LoRa bin spacing B / 2^SF in Hz.
+func (p Params) BinWidth() float64 { return p.Bandwidth / float64(p.ChipCount()) }
+
+// String implements fmt.Stringer.
+func (p Params) String() string {
+	return fmt.Sprintf("SF%d/BW%.0fkHz/OSR%d", p.SF, p.Bandwidth/1e3, p.OSR)
+}

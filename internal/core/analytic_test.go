@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestAnalyticCancellationShape(t *testing.T) {
+	// Near the origin: almost no cancellation (the paper's Fig 17 corner).
+	if c := AnalyticCancellation(8, 0.02, 0.02); c > 6 {
+		t.Errorf("cancellation at (0.02,0.02) = %.1f dB, want small", c)
+	}
+	// Far field: strong cancellation.
+	if c := AnalyticCancellation(8, 0.5, 0.5); c < 15 {
+		t.Errorf("cancellation at (0.5,0.5) = %.1f dB, want >= 15", c)
+	}
+	// Monotone-ish growth along the diagonal (allowing Dirichlet ripple).
+	prev := -1.0
+	for _, x := range []float64{0.05, 0.1, 0.2, 0.4} {
+		c := AnalyticCancellation(8, x, x)
+		if c < prev-6 {
+			t.Errorf("cancellation dropped sharply along diagonal at %g: %.1f after %.1f", x, c, prev)
+		}
+		if c > prev {
+			prev = c
+		}
+	}
+	// Degenerate window.
+	if c := AnalyticCancellation(8, 0.001, 0.3); c != 0 {
+		t.Errorf("sub-chip window predicted %.1f dB", c)
+	}
+}
+
+// TestAnalyticMatchesMeasuredTrend: the analytic model and the empirical
+// Fig 17 measurement must agree on which regions cancel well. Exact values
+// differ (the measurement includes folding and both interferer halves), so
+// the test compares coarse categories.
+func TestAnalyticMatchesMeasuredTrend(t *testing.T) {
+	// From the measured fig17 at SF8 (see eval.Cancellation): near-origin
+	// ≈ 0 dB, (0.1, 0.25) ≈ 20 dB, (0.5, 0.5) ≈ 30 dB.
+	cases := []struct {
+		dtau, df   float64
+		minC, maxC float64
+	}{
+		{0.02, 0.02, 0, 6},
+		{0.1, 0.25, 8, 45},
+		{0.5, 0.5, 15, 60},
+	}
+	for _, c := range cases {
+		got := AnalyticCancellation(8, c.dtau, c.df)
+		if got < c.minC || got > c.maxC {
+			t.Errorf("analytic(%g,%g) = %.1f dB, want in [%g,%g]", c.dtau, c.df, got, c.minC, c.maxC)
+		}
+	}
+}

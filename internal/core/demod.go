@@ -1,0 +1,739 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"cic/internal/dsp"
+	"cic/internal/frame"
+	"cic/internal/rx"
+)
+
+// Demodulator decodes symbols of one packet amid collisions. It is not
+// safe for concurrent use; create one per worker goroutine (demodulation is
+// allocation-light after construction).
+type Demodulator struct {
+	cfg  frame.Config
+	opts Options
+	d    *rx.Demod
+
+	// scratch
+	acc     dsp.Spectrum
+	sub     dsp.Spectrum
+	full    dsp.Spectrum
+	lh, rh  dsp.Spectrum
+	sedTmp  dsp.Spectrum
+	boundsB []int
+	refAmp  float64 // current packet's preamble amplitude (set per symbol)
+}
+
+// NewDemodulator builds a CIC demodulator.
+func NewDemodulator(cfg frame.Config, opts Options) (*Demodulator, error) {
+	opts.setDefaults()
+	d, err := rx.NewDemod(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.Chirp.ChipCount()
+	return &Demodulator{
+		cfg:    cfg,
+		opts:   opts,
+		d:      d,
+		acc:    make(dsp.Spectrum, n),
+		sub:    make(dsp.Spectrum, n),
+		full:   make(dsp.Spectrum, n),
+		lh:     make(dsp.Spectrum, n),
+		rh:     make(dsp.Spectrum, n),
+		sedTmp: make(dsp.Spectrum, n),
+	}, nil
+}
+
+// Options returns the demodulator's options.
+func (dm *Demodulator) Options() Options { return dm.opts }
+
+// BoundariesIn returns the sample offsets (strictly inside (0, M)) at which
+// interferer q has a symbol boundary within the window [winStart,
+// winStart+M). The preamble up-chirps and SYNC symbols transition on the
+// grid q.Start + k·M; the 2.25 down-chirps shift the data grid to
+// q.Start + 12.25·M + j·M.
+func BoundariesIn(cfg frame.Config, q *rx.Packet, winStart int64) []int {
+	m := int64(cfg.Chirp.SamplesPerSymbol())
+	end := winStart + m
+	var out []int
+	qEnd := q.End(cfg)
+	if q.Start >= end || qEnd <= winStart {
+		return nil
+	}
+	add := func(t int64) {
+		if t > winStart && t < end {
+			out = append(out, int(t-winStart))
+		}
+	}
+	// Preamble grid: boundaries at q.Start + k·M up to the data start.
+	preEnd := q.DataStart(cfg)
+	k0 := (winStart - q.Start) / m
+	if k0 < 1 {
+		k0 = 1
+	}
+	for k := k0 - 1; ; k++ {
+		t := q.Start + k*m
+		if t > preEnd || t >= end {
+			break
+		}
+		add(t)
+	}
+	// The preamble/data junction itself (down-chirps end mid-grid).
+	add(preEnd)
+	// Data grid: boundaries at DataStart + j·M up to the packet end.
+	j0 := (winStart - preEnd) / m
+	if j0 < 1 {
+		j0 = 1
+	}
+	for j := j0 - 1; ; j++ {
+		t := preEnd + j*m
+		if t > qEnd || t >= end {
+			break
+		}
+		add(t)
+	}
+	sort.Ints(out)
+	// Deduplicate (the junction may coincide with a grid point).
+	uniq := out[:0]
+	for i, v := range out {
+		if i == 0 || v != uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	return uniq
+}
+
+// CollectBoundaries merges the boundaries of all interferers inside the
+// window, coalescing boundaries closer than one chip (they cancel at
+// indistinguishable resolution anyway) and capping the count.
+func (dm *Demodulator) CollectBoundaries(winStart int64, others []*rx.Packet) []int {
+	dm.boundsB = dm.boundsB[:0]
+	for _, q := range others {
+		dm.boundsB = append(dm.boundsB, BoundariesIn(dm.cfg, q, winStart)...)
+	}
+	sort.Ints(dm.boundsB)
+	osr := dm.cfg.Chirp.OSR
+	merged := dm.boundsB[:0]
+	for i, b := range dm.boundsB {
+		if i == 0 || b-merged[len(merged)-1] >= osr {
+			merged = append(merged, b)
+		}
+	}
+	if len(merged) > dm.opts.MaxBoundaries {
+		merged = merged[:dm.opts.MaxBoundaries]
+	}
+	return merged
+}
+
+// Candidate is one surviving frequency-bin hypothesis for a symbol.
+type Candidate struct {
+	Bin      int     // local-maximum bin on the intersected spectrum
+	Pos      float64 // refined full-spectrum peak position (folded bins)
+	Power    float64 // intersected-spectrum power
+	FullAmp  float64 // peak amplitude on the full-symbol spectrum
+	FracBins float64 // distance of Pos from its nearest integer bin
+	SED      float64 // spectral edge difference (set when SED runs)
+}
+
+// Value returns the symbol value this candidate decodes to: the nearest
+// integer bin to the refined position, folded onto [0, 2^SF).
+func (c Candidate) Value(n int) int {
+	v := int(math.Round(c.Pos)) % n
+	if v < 0 {
+		v += n
+	}
+	return v
+}
+
+// PickSymbol implements rx.SymbolPicker.
+func (dm *Demodulator) PickSymbol(src rx.SampleSource, pkt *rx.Packet, symIdx int, others []*rx.Packet) uint16 {
+	return dm.DemodulateSymbol(src, pkt, symIdx, others)
+}
+
+// PickSymbolAlternates implements rx.AlternatePicker: it returns the
+// surviving candidates' symbol values best-first, so the pipeline's
+// CRC-driven chase pass can retry the runner-up on marginal symbols.
+func (dm *Demodulator) PickSymbolAlternates(src rx.SampleSource, pkt *rx.Packet, symIdx int, others []*rx.Packet) []uint16 {
+	winStart := pkt.SymbolStart(dm.cfg, symIdx)
+	dm.refAmp = pkt.PeakAmp
+	dm.d.LoadWindow(src, winStart, pkt.CFOHz)
+	bounds := dm.CollectBoundaries(winStart, others)
+	spec := dm.intersectICSS(bounds)
+	cands := dm.candidates(spec)
+	cands = dm.excludeKnownTones(cands, pkt, winStart, others)
+	cands = dm.excludeInterfererSignatures(cands, pkt, winStart, others)
+	// The primary value must match DemodulateSymbol exactly (including the
+	// edge-window bin vote); the remaining candidates follow in rank order.
+	primary := uint16(dm.refineBinVote(dm.selectCandidate(cands, pkt), bounds))
+	ranked := dm.rankCandidates(cands, pkt)
+	n := dm.cfg.Chirp.ChipCount()
+	out := []uint16{primary}
+	for _, c := range ranked {
+		v := uint16(c.Value(n))
+		dup := false
+		for _, prev := range out {
+			if prev == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// DemodulateSymbol decodes data symbol symIdx of pkt, cancelling the
+// interferers listed in others. It returns the chosen bin value.
+func (dm *Demodulator) DemodulateSymbol(src rx.SampleSource, pkt *rx.Packet, symIdx int, others []*rx.Packet) uint16 {
+	winStart := pkt.SymbolStart(dm.cfg, symIdx)
+	dm.refAmp = pkt.PeakAmp
+	dm.d.LoadWindow(src, winStart, pkt.CFOHz)
+	bounds := dm.CollectBoundaries(winStart, others)
+	spec := dm.intersectICSS(bounds)
+	cands := dm.candidates(spec)
+	cands = dm.excludeKnownTones(cands, pkt, winStart, others)
+	cands = dm.excludeInterfererSignatures(cands, pkt, winStart, others)
+	best := dm.selectCandidate(cands, pkt)
+	// A partially-cancelled interferer adjacent to the true tone biases any
+	// single position estimate by up to a bin. Each interfering symbol is
+	// absent from one edge sub-window, so a vote among the full-window
+	// estimate and the two edge estimates recovers the true bin whenever at
+	// least two estimates are uncontaminated.
+	return uint16(dm.refineBinVote(best, bounds))
+}
+
+// refineBinVote refines the winning candidate's integer bin by majority
+// vote over three DTFT position estimates: the full window and the two
+// boundary-delimited edge sub-windows (which exclude C_next and C_prev
+// interference respectively).
+func (dm *Demodulator) refineBinVote(best Candidate, bounds []int) int {
+	n := dm.cfg.Chirp.ChipCount()
+	m := dm.cfg.Chirp.SamplesPerSymbol()
+	v := best.Value(n)
+	if len(bounds) == 0 {
+		return v
+	}
+	first, last := bounds[0], bounds[len(bounds)-1]
+	minSpan := m / 4 // edge estimates need enough span to refine to ±½ bin
+	votes := []int{v}
+	dech := dm.d.Dechirped()
+	for _, w := range []struct{ from, to int }{{0, first}, {last, m}} {
+		if w.to-w.from < minSpan {
+			continue
+		}
+		pos, _ := refineWindowed(dech[w.from:w.to], m, w.from, best.Pos, dm.cfg.Chirp.OSR, n)
+		votes = append(votes, pos)
+	}
+	if len(votes) == 1 {
+		return v
+	}
+	counts := map[int]int{}
+	for _, b := range votes {
+		counts[b]++
+	}
+	bestBin, bestCount := v, 0
+	for b, c := range counts {
+		if c > bestCount || (c == bestCount && b == v) {
+			bestBin, bestCount = b, c
+		}
+	}
+	return bestBin
+}
+
+// refineWindowed estimates the integer bin of a tone near approxPos using
+// only the samples of a sub-window. The sub-window's phase reference is the
+// window start, so the DTFT is probed with the appropriate offset.
+func refineWindowed(sub []complex128, m, offset int, approxPos float64, osr, n int) (int, float64) {
+	// Probe both OSR images around the approximate position.
+	best := math.Inf(-1)
+	bestBin := int(math.Round(approxPos))
+	for img := 0; img < 2; img++ {
+		base := approxPos
+		if img == 1 {
+			base += float64((osr - 1) * n)
+		}
+		for s := -12; s <= 12; s++ {
+			pos := base + float64(s)/8.0
+			// DTFT over the sub-window with the global time origin: the
+			// phase offset from the window start is e^{-2πi·pos·offset/m},
+			// constant per pos — irrelevant for magnitude.
+			val := dsp.DFTBin(sub, m, pos)
+			p := real(val)*real(val) + imag(val)*imag(val)
+			if p > best {
+				best = p
+				bb := int(math.Round(pos)) % n
+				if bb < 0 {
+					bb += n
+				}
+				bestBin = bb
+			}
+		}
+	}
+	return bestBin, best
+}
+
+// KnownPreambleTone predicts the folded bin (fractional) at which
+// interferer q's preamble or SYNC region appears inside the window starting
+// at winStart, de-chirped with pkt's CFO correction. ok is false when q's
+// preamble/SYNC does not overlap the window. A misaligned continuous
+// up-chirp stream is a constant tone — it has no symbol transitions, so CIC
+// cannot cancel it and SED reads it as uniform; but its position is fully
+// determined by the tracker state, so it can simply be excluded from
+// candidacy.
+func KnownPreambleTone(cfg frame.Config, pkt, q *rx.Packet, winStart int64) (float64, bool) {
+	m := int64(cfg.Chirp.SamplesPerSymbol())
+	upEnd := q.Start + int64((frame.PreambleUpchirps+frame.SyncSymbols)*int(m))
+	if q.Start >= winStart+m || upEnd <= winStart {
+		return 0, false
+	}
+	n := cfg.Chirp.ChipCount()
+	osr := cfg.Chirp.OSR
+	e := ((q.Start-winStart)%m + m) % m
+	delta := (q.CFOHz - pkt.CFOHz) / cfg.Chirp.BinWidth()
+	base := -float64(e)/float64(osr) + delta
+	// Which of q's symbols covers most of the window? If the overlap is the
+	// SYNC region the tone shifts by the sync symbol value.
+	mid := winStart + m/2
+	symIdx := (mid - q.Start) / m
+	shift := 0.0
+	x, y := cfg.SyncSymbolValues()
+	switch symIdx {
+	case int64(frame.PreambleUpchirps):
+		shift = float64(x)
+	case int64(frame.PreambleUpchirps + 1):
+		shift = float64(y)
+	}
+	bin := math.Mod(base+shift, float64(n))
+	if bin < 0 {
+		bin += float64(n)
+	}
+	return bin, true
+}
+
+// excludeKnownTones removes candidates that sit on a tracked interferer's
+// preamble/SYNC tone (within 1.2 bins — covering both estimation error and
+// the tone's own lobe), keeping at least one candidate.
+func (dm *Demodulator) excludeKnownTones(cands []Candidate, pkt *rx.Packet, winStart int64, others []*rx.Packet) []Candidate {
+	if len(cands) <= 1 {
+		return cands
+	}
+	n := float64(dm.cfg.Chirp.ChipCount())
+	var tones []float64
+	for _, q := range others {
+		if t, ok := KnownPreambleTone(dm.cfg, pkt, q, winStart); ok {
+			tones = append(tones, t)
+		}
+	}
+	if len(tones) == 0 {
+		return cands
+	}
+	kept := cands[:0:0]
+	for _, c := range cands {
+		hit := false
+		for _, t := range tones {
+			if math.Abs(dsp.WrapToHalf(c.Pos-t, n/2)) < 1.2 {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) == 0 {
+		return cands
+	}
+	return kept
+}
+
+// InterfererSignature returns the fractional-bin offset at which every data
+// tone of interferer q appears in pkt's de-chirped windows. Both C_prev and
+// C_next of q share one signature: their apparent positions are
+// k ± τ_q/OSR + δrel, and τ_q (mod OSR) plus the CFO difference fix the
+// fractional part regardless of k. ok is false when q's data region does
+// not overlap the window. This is the §5.7 CFO filter taken to its
+// tracker-informed conclusion: the receiver knows each transmission's CFO
+// and boundary phase from its preamble, so a candidate sitting on another
+// transmission's fractional grid is an interfering symbol.
+func InterfererSignature(cfg frame.Config, pkt, q *rx.Packet, winStart int64) (float64, bool) {
+	m := int64(cfg.Chirp.SamplesPerSymbol())
+	dataStart := q.DataStart(cfg)
+	if q.End(cfg) <= winStart || dataStart >= winStart+m {
+		return 0, false
+	}
+	osr := float64(cfg.Chirp.OSR)
+	tau := float64(((dataStart-winStart)%m + m) % m)
+	delta := (q.CFOHz - pkt.CFOHz) / cfg.Chirp.BinWidth()
+	frac := math.Mod(-tau/osr+delta, 1)
+	return dsp.WrapToHalf(frac, 0.5), true
+}
+
+// excludeInterfererSignatures drops candidates whose fractional offset
+// matches a tracked interferer's data-tone signature while clearly not
+// matching our own grid (fractional ≈ 0 after CFO correction). At least one
+// candidate is always kept.
+func (dm *Demodulator) excludeInterfererSignatures(cands []Candidate, pkt *rx.Packet, winStart int64, others []*rx.Packet) []Candidate {
+	if len(cands) <= 1 || dm.opts.DisableCFOFilter {
+		return cands
+	}
+	var sigs []float64
+	for _, q := range others {
+		if s, ok := InterfererSignature(dm.cfg, pkt, q, winStart); ok {
+			// Signatures indistinguishable from our own grid cannot be
+			// used for exclusion.
+			if math.Abs(s) > 2*dm.opts.CFOToleranceBins {
+				sigs = append(sigs, s)
+			}
+		}
+	}
+	if len(sigs) == 0 {
+		return cands
+	}
+	kept := cands[:0:0]
+	for _, c := range cands {
+		hit := false
+		if math.Abs(c.FracBins) > dm.opts.CFOToleranceBins {
+			for _, s := range sigs {
+				if math.Abs(dsp.WrapToHalf(c.FracBins-s, 0.5)) < dm.opts.CFOToleranceBins/2 {
+					hit = true
+					break
+				}
+			}
+		}
+		if !hit {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) == 0 {
+		return cands
+	}
+	return kept
+}
+
+// IntersectedSpectrum exposes the post-cancellation spectrum for the loaded
+// window (used by the figure harness). The caller owns the returned copy.
+func (dm *Demodulator) IntersectedSpectrum(src rx.SampleSource, pkt *rx.Packet, symIdx int, others []*rx.Packet) dsp.Spectrum {
+	winStart := pkt.SymbolStart(dm.cfg, symIdx)
+	dm.d.LoadWindow(src, winStart, pkt.CFOHz)
+	bounds := dm.CollectBoundaries(winStart, others)
+	return append(dsp.Spectrum(nil), dm.intersectICSS(bounds)...)
+}
+
+// intersectICSS computes the spectral intersection over the ICSS for the
+// currently loaded window (Eqn 12), leaving the result in dm.acc. It also
+// fills dm.full with the full-symbol spectrum (un-normalised).
+func (dm *Demodulator) intersectICSS(bounds []int) dsp.Spectrum {
+	m := dm.cfg.Chirp.SamplesPerSymbol()
+	// Full symbol spectrum: keep an un-normalised copy for the power
+	// filter, then seed the accumulator with its normalised form.
+	fullRaw := dm.d.SubSymbolSpectrum(dm.full, 0, m)
+	copy(dm.acc, fullRaw)
+	dm.acc.Normalize()
+
+	minSpan := int(dm.opts.MinSubSymbolFrac * float64(m))
+	if dm.opts.Strawman {
+		// Strawman ICSS: {r_{1→2}, r_{N→N+1}} only.
+		if len(bounds) > 0 {
+			first, last := bounds[0], bounds[len(bounds)-1]
+			if first >= minSpan {
+				dsp.IntersectInto(dm.acc, dm.d.SubSymbolSpectrum(dm.sub, 0, first).Normalize())
+			}
+			if m-last >= minSpan {
+				dsp.IntersectInto(dm.acc, dm.d.SubSymbolSpectrum(dm.sub, last, m).Normalize())
+			}
+		}
+		return dm.acc
+	}
+	for _, b := range bounds {
+		// The pair r_{1→i}, r_{i→N+1} cancels the transmission whose
+		// boundary sits at b, each at its best achievable resolution (§5.4).
+		// Sub-symbols below the minimum span are skipped: they cannot
+		// resolve the interferer they would cancel, and their
+		// noise-dominated spectra degrade the intersection.
+		if b >= minSpan {
+			dsp.IntersectInto(dm.acc, dm.d.SubSymbolSpectrum(dm.sub, 0, b).Normalize())
+		}
+		if m-b >= minSpan {
+			dsp.IntersectInto(dm.acc, dm.d.SubSymbolSpectrum(dm.sub, b, m).Normalize())
+		}
+	}
+	return dm.acc
+}
+
+// candidates extracts candidate bins from the intersected spectrum and
+// annotates them with full-spectrum amplitude and fractional offset.
+func (dm *Demodulator) candidates(spec dsp.Spectrum) []Candidate {
+	peaks := dsp.TopPeaks(spec, dm.opts.CandidateFraction, dm.opts.MaxCandidates)
+	cands := make([]Candidate, 0, len(peaks))
+	m := dm.cfg.Chirp.SamplesPerSymbol()
+	n := dm.cfg.Chirp.ChipCount()
+	osr := dm.cfg.Chirp.OSR
+	for _, p := range peaks {
+		c := Candidate{Bin: p.Bin, Power: p.Power}
+		// Refine the position on both M-grid images of this folded bin over
+		// ±1.2 bins (the genuine tone may sit a full bin away from the
+		// intersected spectrum's local maximum when interference skews the
+		// lobe) and keep the stronger refined peak. Selecting the image
+		// *after* refinement matters: at an off-by-one bin the weak image's
+		// wider lobe out-powers the strong image's narrow one, and refining
+		// on the weak image would re-centre on blur instead of the tone.
+		hiImage := p.Bin + (osr-1)*n
+		dech := dm.d.Dechirped()
+		loPos, loPow := dsp.RefinePeakRange(dech, m, p.Bin, dm.opts.CFOZoom, 1.2)
+		hiPos, hiPow := dsp.RefinePeakRange(dech, m, hiImage, dm.opts.CFOZoom, 1.2)
+		pos, pow, weak := loPos, loPow, hiPow
+		if hiPow > loPow {
+			pos, pow, weak = hiPos, hiPow, loPow
+		}
+		folded := math.Mod(pos, float64(n))
+		if folded < 0 {
+			folded += float64(n)
+		}
+		c.Pos = folded
+		c.FracBins = pos - math.Round(pos)
+		// Amplitude from the refined (de-scalloped) strong image plus the
+		// weak image's refined peak, summed as amplitudes to match the
+		// coherent folding convention used for the preamble reference.
+		c.FullAmp = math.Sqrt(pow) + math.Sqrt(weak)
+		cands = append(cands, c)
+	}
+	// Candidates whose refined positions round to the same value are
+	// duplicates (adjacent local maxima of one broadened lobe): keep the
+	// one with the strongest intersected power.
+	dedup := cands[:0]
+	for _, c := range cands {
+		dup := false
+		for j := range dedup {
+			if dedup[j].Value(n) == c.Value(n) {
+				dup = true
+				if c.Power > dedup[j].Power {
+					dedup[j] = c
+				}
+				break
+			}
+		}
+		if !dup {
+			dedup = append(dedup, c)
+		}
+	}
+	return dedup
+}
+
+// selectCandidate applies the §5.6–§5.7 pipeline: CFO filter, power filter,
+// then SED; falling back to the strongest intersected peak when a stage
+// eliminates everything.
+func (dm *Demodulator) selectCandidate(cands []Candidate, pkt *rx.Packet) Candidate {
+	if len(cands) == 0 {
+		return Candidate{}
+	}
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	// Gate policy: prefer candidates passing both filters; when the gates
+	// conflict, trust the power gate first (Fig 36: received power is the
+	// stronger discriminator), then the CFO gate, then give up filtering.
+	filtered := cands
+	cfoSet := cands
+	if !dm.opts.DisableCFOFilter {
+		cfoSet = dm.filterCFO(cands)
+	}
+	powSet := cands
+	if !dm.opts.DisablePowerFilter {
+		powSet = dm.filterPower(cands, pkt)
+	}
+	switch {
+	case len(intersectCands(cfoSet, powSet)) > 0:
+		filtered = intersectCands(cfoSet, powSet)
+	case !dm.opts.DisablePowerFilter && len(powSet) > 0:
+		filtered = powSet
+	case !dm.opts.DisableCFOFilter && len(cfoSet) > 0:
+		filtered = cfoSet
+	}
+	if len(filtered) == 1 {
+		return filtered[0]
+	}
+	if !dm.opts.DisableSED {
+		return dm.selectBySED(filtered)
+	}
+	// No SED: strongest surviving intersected peak.
+	best := filtered[0]
+	for _, c := range filtered[1:] {
+		if c.Power > best.Power {
+			best = c
+		}
+	}
+	return best
+}
+
+// rankCandidates returns the gate-surviving candidates ordered by the same
+// criterion selectCandidate uses to pick the winner (composite score with
+// SED, or intersected power without it).
+func (dm *Demodulator) rankCandidates(cands []Candidate, pkt *rx.Packet) []Candidate {
+	if len(cands) <= 1 {
+		return cands
+	}
+	filtered := cands
+	cfoSet := cands
+	if !dm.opts.DisableCFOFilter {
+		cfoSet = dm.filterCFO(cands)
+	}
+	powSet := cands
+	if !dm.opts.DisablePowerFilter {
+		powSet = dm.filterPower(cands, pkt)
+	}
+	switch {
+	case len(intersectCands(cfoSet, powSet)) > 0:
+		filtered = intersectCands(cfoSet, powSet)
+	case !dm.opts.DisablePowerFilter && len(powSet) > 0:
+		filtered = powSet
+	case !dm.opts.DisableCFOFilter && len(cfoSet) > 0:
+		filtered = cfoSet
+	}
+	out := append([]Candidate(nil), filtered...)
+	if !dm.opts.DisableSED {
+		// selectBySED fills the SED fields; reuse its scoring.
+		dm.selectBySED(out)
+		sort.Slice(out, func(a, b int) bool {
+			return dm.candidateScore(out[a]) < dm.candidateScore(out[b])
+		})
+	} else {
+		sort.Slice(out, func(a, b int) bool { return out[a].Power > out[b].Power })
+	}
+	return out
+}
+
+// intersectCands returns candidates present (by Bin) in both sets.
+func intersectCands(a, b []Candidate) []Candidate {
+	var out []Candidate
+	for _, x := range a {
+		for _, y := range b {
+			if x.Bin == y.Bin {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// filterCFO keeps candidates whose fractional peak offset (the residual
+// CFO after correcting with the packet's own estimate) is within tolerance
+// — interfering symbols carry other transmitters' CFOs plus the
+// boundary-offset shift Δf (Eqn 10), which is generically off-grid.
+func (dm *Demodulator) filterCFO(cands []Candidate) []Candidate {
+	out := cands[:0:0]
+	for _, c := range cands {
+		if math.Abs(c.FracBins) <= dm.opts.CFOToleranceBins {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// filterPower keeps candidates whose full-spectrum peak amplitude is within
+// PowerToleranceDB of the packet's preamble-estimated amplitude.
+func (dm *Demodulator) filterPower(cands []Candidate, pkt *rx.Packet) []Candidate {
+	if pkt.PeakAmp <= 0 {
+		return cands
+	}
+	out := cands[:0:0]
+	for _, c := range cands {
+		if c.FullAmp <= 0 {
+			continue
+		}
+		dev := math.Abs(20 * math.Log10(c.FullAmp/pkt.PeakAmp))
+		if dev <= dm.opts.PowerToleranceDB {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// selectBySED computes the Spectral Edge Difference for each candidate and
+// returns the bin with the smallest difference (§5.6): the true symbol's
+// frequency is present uniformly across the symbol, so its edge spectra
+// carry equal energy, while an interferer's C_prev/C_next is stronger at
+// one edge.
+func (dm *Demodulator) selectBySED(cands []Candidate) Candidate {
+	m := dm.cfg.Chirp.SamplesPerSymbol()
+	n := dm.opts.SEDWindows
+	half := m / 2
+	// Slide over a quarter symbol per edge: left windows start in
+	// [0, M/4], right windows end in [3M/4 … M]. Narrower sliding keeps
+	// the two sets disjoint enough to expose edge asymmetry.
+	step := (m / 4) / n
+	if step < 1 {
+		step = 1
+	}
+	for i := range dm.lh {
+		dm.lh[i] = math.Inf(1)
+		dm.rh[i] = math.Inf(1)
+	}
+	for i := 0; i < n; i++ {
+		from := i * step
+		dsp.IntersectInto(dm.lh, dm.d.SubSymbolSpectrum(dm.sedTmp, from, from+half))
+		to := m - i*step
+		dsp.IntersectInto(dm.rh, dm.d.SubSymbolSpectrum(dm.sedTmp, to-half, to))
+	}
+	best := cands[0]
+	bestScore := math.Inf(1)
+	nBins := dm.cfg.Chirp.ChipCount()
+	for i := range cands {
+		b := cands[i].Value(nBins)
+		sed := math.Abs(dm.rh[b] - dm.lh[b])
+		if dm.opts.RelativeSED {
+			if tot := dm.rh[b] + dm.lh[b]; tot > 0 {
+				sed /= tot
+			}
+		}
+		cands[i].SED = sed
+		if score := dm.candidateScore(cands[i]); score < bestScore {
+			bestScore = score
+			best = cands[i]
+		}
+	}
+	return best
+}
+
+// candidateScore combines the SED with the soft CFO and power residuals.
+// SED (relative to the candidate's edge energy) is the primary
+// discriminator per §5.6; the residuals break the near-ties that occur
+// when an interferer repeats a symbol across its boundary and therefore
+// also reads as edge-uniform.
+func (dm *Demodulator) candidateScore(c Candidate) float64 {
+	b := c.Value(dm.cfg.Chirp.ChipCount())
+	tot := dm.rh[b] + dm.lh[b]
+	sedRel := 1.0
+	if tot > 0 {
+		sedRel = math.Abs(dm.rh[b]-dm.lh[b]) / tot
+	}
+	score := sedRel
+	if !dm.opts.DisableCFOFilter {
+		score += 0.5 * math.Abs(c.FracBins) / dm.opts.CFOToleranceBins
+	}
+	if !dm.opts.DisablePowerFilter && c.FullAmp > 0 && dm.refAmp > 0 {
+		dev := math.Abs(20 * math.Log10(c.FullAmp/dm.refAmp))
+		score += 0.5 * dev / dm.opts.PowerToleranceDB
+	}
+	return score
+}
+
+// CandidatesForTest exposes the candidate pipeline for diagnostics and
+// white-box tests: it reloads the window and returns the candidate set
+// after known-tone and signature exclusion.
+func (dm *Demodulator) CandidatesForTest(src rx.SampleSource, pkt *rx.Packet, symIdx int, others []*rx.Packet) []Candidate {
+	winStart := pkt.SymbolStart(dm.cfg, symIdx)
+	dm.refAmp = pkt.PeakAmp
+	dm.d.LoadWindow(src, winStart, pkt.CFOHz)
+	bounds := dm.CollectBoundaries(winStart, others)
+	spec := dm.intersectICSS(bounds)
+	cands := dm.candidates(spec)
+	cands = dm.excludeKnownTones(cands, pkt, winStart, others)
+	return dm.excludeInterfererSignatures(cands, pkt, winStart, others)
+}

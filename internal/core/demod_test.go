@@ -1,0 +1,284 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cic/internal/channel"
+	"cic/internal/chirp"
+	"cic/internal/dsp"
+	"cic/internal/frame"
+	"cic/internal/rx"
+)
+
+// TestKnownPreambleTonePrediction: the predicted folded bin of an
+// interferer's preamble must match the measured spectral peak.
+func TestKnownPreambleTonePrediction(t *testing.T) {
+	cfg := testCfg()
+	m := int64(cfg.Chirp.SamplesPerSymbol())
+	gen, err := chirp.NewGenerator(cfg.Chirp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		qStart int64
+		qCFO   float64
+	}{
+		{qStart: -3*m + 217, qCFO: 0},
+		{qStart: -2*m + 800, qCFO: 2 * cfg.Chirp.BinWidth()},
+		{qStart: -5*m + 64, qCFO: -3.5 * cfg.Chirp.BinWidth()},
+	} {
+		// Build an air containing only q's preamble region around window
+		// [0, m). q.Start is negative so its up-chirps cover the window.
+		mod, err := frame.NewModulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wave := mod.ModulateSymbols(nil) // preamble only
+		em := channel.Emission{Start: tc.qStart, Samples: channel.Apply(wave, channel.Impairments{
+			Amplitude: 1, CFOHz: tc.qCFO, SampleRate: cfg.Chirp.SampleRate(),
+		})}
+		src := rx.SourceFromRenderer(channel.NewRenderer([]channel.Emission{em}, 0, 0))
+
+		pkt := &rx.Packet{Start: -int64(cfg.PreambleSampleCount()), CFOHz: 0, NSymbols: 1}
+		q := &rx.Packet{Start: tc.qStart, CFOHz: tc.qCFO, NSymbols: 100}
+
+		predicted, ok := KnownPreambleTone(cfg, pkt, q, 0)
+		if !ok {
+			t.Fatalf("prediction unavailable for qStart=%d", tc.qStart)
+		}
+		// Measure the actual peak.
+		d, err := rx.NewDemod(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.LoadWindow(src, 0, 0)
+		_, at := d.FoldedSpectrum().Max()
+		n := float64(cfg.Chirp.ChipCount())
+		diff := math.Abs(dsp.WrapToHalf(float64(at)-predicted, n/2))
+		if diff > 1.0 {
+			t.Errorf("qStart=%d cfo=%.0f: predicted %.2f, measured %d (diff %.2f)",
+				tc.qStart, tc.qCFO, predicted, at, diff)
+		}
+		_ = gen
+	}
+}
+
+// TestKnownPreambleToneOutOfRange: windows that do not overlap q's
+// preamble/SYNC region yield no prediction.
+func TestKnownPreambleToneOutOfRange(t *testing.T) {
+	cfg := testCfg()
+	m := int64(cfg.Chirp.SamplesPerSymbol())
+	pkt := &rx.Packet{Start: 0}
+	q := &rx.Packet{Start: 0, NSymbols: 50}
+	// Window far after q's up-chirp region (10 symbols of preamble+sync).
+	if _, ok := KnownPreambleTone(cfg, pkt, q, q.Start+11*m); ok {
+		t.Error("prediction offered past the up-chirp region")
+	}
+	// Window before q begins.
+	if _, ok := KnownPreambleTone(cfg, pkt, q, q.Start-2*m); ok {
+		t.Error("prediction offered before the packet")
+	}
+}
+
+// TestInterfererSignatureMatchesMeasuredFraction: the fractional offset of
+// an interferer's data tone must match the tracker-computed signature.
+func TestInterfererSignatureMatchesMeasuredFraction(t *testing.T) {
+	cfg := testCfg()
+	m := int64(cfg.Chirp.SamplesPerSymbol())
+	mod, err := frame.NewModulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("signature test payload!!")
+	wave, _, err := mod.Modulate(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qStart := int64(4096)
+	qCFO := 1.37 * cfg.Chirp.BinWidth()
+	em := channel.Emission{Start: qStart, Samples: channel.Apply(wave, channel.Impairments{
+		Amplitude: 1, CFOHz: qCFO, SampleRate: cfg.Chirp.SampleRate(),
+	})}
+	src := rx.SourceFromRenderer(channel.NewRenderer([]channel.Emission{em}, 0, 0))
+
+	q := &rx.Packet{Start: qStart, CFOHz: qCFO, NSymbols: 40}
+	// Our hypothetical packet: zero CFO, window placed mid-way through q's
+	// data with an odd sub-symbol offset.
+	winStart := q.DataStart(cfg) + 7*m + 333
+	pkt := &rx.Packet{Start: winStart - int64(cfg.PreambleSampleCount()), CFOHz: 0, NSymbols: 1}
+
+	sig, ok := InterfererSignature(cfg, pkt, q, winStart)
+	if !ok {
+		t.Fatal("no signature for overlapping data region")
+	}
+	// Measure: de-chirp the window (our grid) and refine the strongest
+	// peak's fractional position.
+	d, err := rx.NewDemod(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.LoadWindow(src, winStart, 0)
+	spec := d.FoldedSpectrum()
+	_, at := spec.Max()
+	mTotal := cfg.Chirp.SamplesPerSymbol()
+	n := cfg.Chirp.ChipCount()
+	// Try both images, keep the stronger refined peak.
+	p1, w1 := dsp.RefinePeakRange(d.Dechirped(), mTotal, at, 16, 1.2)
+	p2, w2 := dsp.RefinePeakRange(d.Dechirped(), mTotal, at+(cfg.Chirp.OSR-1)*n, 16, 1.2)
+	pos := p1
+	if w2 > w1 {
+		pos = p2
+	}
+	frac := pos - math.Round(pos)
+	if d := math.Abs(dsp.WrapToHalf(frac-sig, 0.5)); d > 0.15 {
+		t.Errorf("signature %.3f, measured fraction %.3f (diff %.3f)", sig, frac, d)
+	}
+}
+
+// TestIntersectionSuppressesInterferer: the intersected spectrum's value at
+// an interfering bin must be at most its full-spectrum value (normalised),
+// for any boundary position.
+func TestIntersectionSuppressesInterferer(t *testing.T) {
+	cfg := testCfg()
+	m := cfg.Chirp.SamplesPerSymbol()
+	gen, err := chirp.NewGenerator(cfg.Chirp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tau := range []int{m / 8, m / 3, m / 2, 3 * m / 4} {
+		win := make([]complex128, m)
+		tmp := make([]complex128, m)
+		gen.Symbol(win, 10) // our symbol
+		kPrev, kNext := 70, 180
+		gen.Symbol(tmp, kPrev)
+		for i := 0; i < tau; i++ {
+			win[i] += tmp[(i+m-tau)%m]
+		}
+		gen.Symbol(tmp, kNext)
+		for i := tau; i < m; i++ {
+			win[i] += tmp[i-tau]
+		}
+		src := &rx.MemorySource{Samples: win}
+		pre := int64(cfg.PreambleSampleCount())
+		pkt := &rx.Packet{Start: -pre, NSymbols: 1}
+		q := &rx.Packet{Start: int64(tau) - pre - 20*int64(m), NSymbols: 1000}
+
+		dm, err := NewDemodulator(cfg, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inter := dm.IntersectedSpectrum(src, pkt, 0, []*rx.Packet{q}).Normalize()
+
+		d, err := rx.NewDemod(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.LoadWindow(src, 0, 0)
+		full := append(dsp.Spectrum(nil), d.FoldedSpectrum()...)
+		full.Normalize()
+
+		// Apparent bins of the interferer's two halves.
+		n := cfg.Chirp.ChipCount()
+		osr := cfg.Chirp.OSR
+		appPrev := ((kPrev+(m-tau)/osr)%n + n) % n
+		appNext := ((kNext-tau/osr)%n + n) % n
+		for _, b := range []int{appPrev, appNext} {
+			if inter[b] > full[b]*1.05 {
+				t.Errorf("tau=%d: intersected[%d]=%g exceeds full %g", tau, b, inter[b], full[b])
+			}
+		}
+		// Our own bin must be the argmax of the intersection.
+		if _, at := inter.Max(); at != 10 {
+			t.Errorf("tau=%d: intersected argmax at %d, want 10", tau, at)
+		}
+	}
+}
+
+// TestDemodulateSymbolDeterministic: same input, same output.
+func TestDemodulateSymbolDeterministic(t *testing.T) {
+	cfg := testCfg()
+	payload := []byte("determinism check")
+	src := collision(t, cfg, []int64{0, 9000}, []float64{25, 22}, []float64{1000, -900},
+		[][]byte{payload, payload}, 9)
+	pkts := []*rx.Packet{
+		{ID: 0, Start: 4096, CFOHz: 1000, NSymbols: 10, PeakAmp: 1000},
+		{ID: 1, Start: 13096, CFOHz: -900, NSymbols: 10, PeakAmp: 1000},
+	}
+	dm1, _ := NewDemodulator(cfg, Options{})
+	dm2, _ := NewDemodulator(cfg, Options{})
+	for s := 0; s < 10; s++ {
+		a := dm1.DemodulateSymbol(src, pkts[0], s, pkts[1:])
+		b := dm2.DemodulateSymbol(src, pkts[0], s, pkts[1:])
+		if a != b {
+			t.Fatalf("symbol %d: %d != %d across fresh demodulators", s, a, b)
+		}
+		// Repeat with the same instance: scratch reuse must not leak state.
+		c := dm1.DemodulateSymbol(src, pkts[0], s, pkts[1:])
+		if a != c {
+			t.Fatalf("symbol %d: %d != %d on repeat", s, a, c)
+		}
+	}
+}
+
+func TestCandidateValueFolding(t *testing.T) {
+	n := 256
+	cases := []struct {
+		pos  float64
+		want int
+	}{
+		{0.2, 0}, {255.6, 0}, {255.4, 255}, {-0.3, 0}, {-0.8, 255}, {128.5, 129},
+	}
+	for _, c := range cases {
+		if got := (Candidate{Pos: c.pos}).Value(n); got != c.want {
+			t.Errorf("Value(%g) = %d, want %d", c.pos, got, c.want)
+		}
+	}
+}
+
+// TestAlternatesPrimaryMatchesPick: PickSymbolAlternates[0] must equal
+// PickSymbol for the same window — the chase pass depends on it.
+func TestAlternatesPrimaryMatchesPick(t *testing.T) {
+	cfg := testCfg()
+	p1 := []byte("alternates consistency A")
+	p2 := []byte("alternates consistency B")
+	src := collision(t, cfg, []int64{0, 15000}, []float64{25, 23}, []float64{1200, -2400},
+		[][]byte{p1, p2}, 13)
+	pkts := []*rx.Packet{
+		{ID: 0, Start: 4096, CFOHz: 1200, NSymbols: 20, PeakAmp: 4000},
+		{ID: 1, Start: 19096, CFOHz: -2400, NSymbols: 20, PeakAmp: 4000},
+	}
+	dmA, _ := NewDemodulator(cfg, Options{})
+	dmB, _ := NewDemodulator(cfg, Options{})
+	for s := 0; s < 20; s++ {
+		pick := dmA.PickSymbol(src, pkts[0], s, pkts[1:])
+		alts := dmB.PickSymbolAlternates(src, pkts[0], s, pkts[1:])
+		if len(alts) == 0 {
+			t.Fatalf("symbol %d: empty alternates", s)
+		}
+		if alts[0] != pick {
+			t.Fatalf("symbol %d: primary alternate %d != pick %d", s, alts[0], pick)
+		}
+		seen := map[uint16]bool{}
+		for _, v := range alts {
+			if seen[v] {
+				t.Fatalf("symbol %d: duplicate alternate %d", s, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestInterfererSignatureOutOfRange(t *testing.T) {
+	cfg := testCfg()
+	pkt := &rx.Packet{Start: 0}
+	q := &rx.Packet{Start: 0, NSymbols: 5}
+	// Window long after q ended.
+	if _, ok := InterfererSignature(cfg, pkt, q, q.End(cfg)+1000); ok {
+		t.Error("signature offered after q ended")
+	}
+	// Window before q's data begins.
+	if _, ok := InterfererSignature(cfg, pkt, q, q.Start-100000); ok {
+		t.Error("signature offered before q began")
+	}
+}

@@ -1,0 +1,136 @@
+// Package dsp provides the signal-processing kernel used throughout the
+// repository: an allocation-free radix-2 complex FFT, folded LoRa spectra,
+// peak detection with sub-bin interpolation, and small statistics helpers.
+//
+// The package is deliberately self-contained (stdlib only) because the rest
+// of the system — chirp modulation, de-chirping, CIC spectral intersection —
+// is built directly on these primitives.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// FFT is a reusable plan for forward and inverse complex FFTs of a fixed
+// power-of-two size. A plan is safe for concurrent use by multiple
+// goroutines: Transform writes into caller-provided scratch only.
+type FFT struct {
+	n       int
+	logN    int
+	perm    []int        // bit-reversal permutation
+	twiddle []complex128 // twiddle[k] = exp(-2πi k / n), k < n/2
+}
+
+var (
+	planMu    sync.Mutex
+	planCache = map[int]*FFT{}
+)
+
+// NewFFT returns an FFT plan for size n. n must be a power of two and >= 1.
+func NewFFT(n int) (*FFT, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("dsp: FFT size %d is not a positive power of two", n)
+	}
+	f := &FFT{n: n, logN: bits.TrailingZeros(uint(n))}
+	f.perm = make([]int, n)
+	shift := 64 - uint(f.logN)
+	for i := range f.perm {
+		f.perm[i] = int(bits.Reverse64(uint64(i)) >> shift)
+	}
+	f.twiddle = make([]complex128, n/2)
+	for k := range f.twiddle {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		f.twiddle[k] = complex(c, s)
+	}
+	return f, nil
+}
+
+// PlanFor returns a cached FFT plan for size n, creating it on first use.
+// It panics if n is not a positive power of two; use NewFFT to handle the
+// error explicitly.
+func PlanFor(n int) *FFT {
+	planMu.Lock()
+	defer planMu.Unlock()
+	if p, ok := planCache[n]; ok {
+		return p
+	}
+	p, err := NewFFT(n)
+	if err != nil {
+		panic(err)
+	}
+	planCache[n] = p
+	return p
+}
+
+// Size returns the transform length of the plan.
+func (f *FFT) Size() int { return f.n }
+
+// Forward computes the in-place forward DFT of x. len(x) must equal the plan
+// size.
+func (f *FFT) Forward(x []complex128) {
+	f.transform(x)
+}
+
+// Inverse computes the in-place inverse DFT of x (including the 1/n
+// scaling). len(x) must equal the plan size.
+func (f *FFT) Inverse(x []complex128) {
+	for i := range x {
+		x[i] = complex(imag(x[i]), real(x[i])) // conjugate trick, part 1
+	}
+	f.transform(x)
+	inv := 1 / float64(f.n)
+	for i := range x {
+		// part 2: swap back and scale
+		x[i] = complex(imag(x[i])*inv, real(x[i])*inv)
+	}
+}
+
+func (f *FFT) transform(x []complex128) {
+	if len(x) != f.n {
+		panic(fmt.Sprintf("dsp: FFT input length %d != plan size %d", len(x), f.n))
+	}
+	// Bit-reversal permutation.
+	for i, j := range f.perm {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative Cooley-Tukey butterflies.
+	for size := 2; size <= f.n; size <<= 1 {
+		half := size >> 1
+		step := f.n / size
+		for start := 0; start < f.n; start += size {
+			tw := 0
+			for k := start; k < start+half; k++ {
+				w := f.twiddle[tw]
+				tw += step
+				a, b := x[k], x[k+half]*w
+				x[k], x[k+half] = a+b, a-b
+			}
+		}
+	}
+}
+
+// ForwardInto copies src into dst (zero-padding or truncating to the plan
+// size) and transforms dst in place. dst must have the plan size.
+func (f *FFT) ForwardInto(dst, src []complex128) {
+	if len(dst) != f.n {
+		panic(fmt.Sprintf("dsp: FFT dst length %d != plan size %d", len(dst), f.n))
+	}
+	n := copy(dst, src)
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
+	f.transform(dst)
+}
+
+// NextPow2 returns the smallest power of two >= n (and >= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}

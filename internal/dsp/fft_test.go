@@ -1,0 +1,215 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is an O(n²) reference implementation.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func randSignal(r *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return x
+}
+
+func maxErr(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestNewFFTRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, -1, 3, 6, 12, 1000} {
+		if _, err := NewFFT(n); err == nil {
+			t.Errorf("NewFFT(%d) succeeded, want error", n)
+		}
+	}
+	for _, n := range []int{1, 2, 4, 8, 1024} {
+		if _, err := NewFFT(n); err != nil {
+			t.Errorf("NewFFT(%d) failed: %v", n, err)
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := randSignal(r, n)
+		want := naiveDFT(x)
+		got := make([]complex128, n)
+		copy(got, x)
+		PlanFor(n).Forward(got)
+		if e := maxErr(got, want); e > 1e-9*float64(n) {
+			t.Errorf("n=%d: max error %g vs naive DFT", n, e)
+		}
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 16, 128, 2048} {
+		f := PlanFor(n)
+		x := randSignal(r, n)
+		y := make([]complex128, n)
+		copy(y, x)
+		f.Forward(y)
+		f.Inverse(y)
+		if e := maxErr(x, y); e > 1e-10*float64(n) {
+			t.Errorf("n=%d: round-trip error %g", n, e)
+		}
+	}
+}
+
+func TestFFTPureToneLandsOnBin(t *testing.T) {
+	n := 256
+	f := PlanFor(n)
+	for _, bin := range []int{0, 1, 17, n / 2, n - 1} {
+		x := make([]complex128, n)
+		for t2 := range x {
+			ang := 2 * math.Pi * float64(bin) * float64(t2) / float64(n)
+			x[t2] = cmplx.Exp(complex(0, ang))
+		}
+		f.Forward(x)
+		_, at := Spectrum(magSq(x)).Max()
+		if at != bin {
+			t.Errorf("tone at bin %d detected at %d", bin, at)
+		}
+	}
+}
+
+func magSq(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = real(v)*real(v) + imag(v)*imag(v)
+	}
+	return out
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	f := PlanFor(64)
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(3))}
+	prop := func(seed int64, ar, ai, br, bi float64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randSignal(r, 64)
+		y := randSignal(r, 64)
+		a := complex(clampF(ar), clampF(ai))
+		b := complex(clampF(br), clampF(bi))
+		// FFT(a·x + b·y)
+		comb := make([]complex128, 64)
+		for i := range comb {
+			comb[i] = a*x[i] + b*y[i]
+		}
+		f.Forward(comb)
+		// a·FFT(x) + b·FFT(y)
+		fx := append([]complex128(nil), x...)
+		fy := append([]complex128(nil), y...)
+		f.Forward(fx)
+		f.Forward(fy)
+		for i := range fx {
+			fx[i] = a*fx[i] + b*fy[i]
+		}
+		return maxErr(comb, fx) < 1e-8
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// clampF keeps quick-generated values in a numerically reasonable range.
+func clampF(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 1
+	}
+	return math.Mod(x, 8)
+}
+
+func TestFFTParsevalProperty(t *testing.T) {
+	f := PlanFor(128)
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(4))}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randSignal(r, 128)
+		te := SignalEnergy(x)
+		y := append([]complex128(nil), x...)
+		f.Forward(y)
+		fe := SignalEnergy(y) / 128
+		return math.Abs(te-fe) < 1e-8*(te+1)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForwardIntoZeroPads(t *testing.T) {
+	f := PlanFor(16)
+	src := []complex128{1, 2, 3}
+	dst := make([]complex128, 16)
+	for i := range dst {
+		dst[i] = complex(99, 99) // stale garbage that must be overwritten
+	}
+	f.ForwardInto(dst, src)
+	// DC bin must equal the sum of src.
+	if d := cmplx.Abs(dst[0] - complex(6, 0)); d > 1e-12 {
+		t.Errorf("DC bin = %v, want 6", dst[0])
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestDFTBinMatchesFFT(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n := 64
+	x := randSignal(r, n)
+	y := append([]complex128(nil), x...)
+	PlanFor(n).Forward(y)
+	for _, bin := range []int{0, 1, 31, 63} {
+		got := DFTBin(x, n, float64(bin))
+		if d := cmplx.Abs(got - y[bin]); d > 1e-9 {
+			t.Errorf("DFTBin(%d) = %v, FFT bin = %v (err %g)", bin, got, y[bin], d)
+		}
+	}
+}
+
+func TestRefinePeakFindsFractionalTone(t *testing.T) {
+	n := 256
+	trueBin := 41.3125 // 41 + 5/16
+	x := make([]complex128, n)
+	for t2 := range x {
+		ang := 2 * math.Pi * trueBin * float64(t2) / float64(n)
+		x[t2] = cmplx.Exp(complex(0, ang))
+	}
+	pos, _ := RefinePeak(x, n, 41, 16)
+	if math.Abs(pos-trueBin) > 1.0/32 {
+		t.Errorf("RefinePeak = %g, want %g", pos, trueBin)
+	}
+}

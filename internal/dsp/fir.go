@@ -1,0 +1,144 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Window shapes for FIR design and spectral analysis.
+
+// HammingWindow returns the n-point Hamming window.
+func HammingWindow(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// HannWindow returns the n-point Hann window.
+func HannWindow(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 - 0.5*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// BlackmanWindow returns the n-point Blackman window.
+func BlackmanWindow(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		x := 2 * math.Pi * float64(i) / float64(n-1)
+		w[i] = 0.42 - 0.5*math.Cos(x) + 0.08*math.Cos(2*x)
+	}
+	return w
+}
+
+// LowpassFIR designs a linear-phase low-pass FIR filter by the
+// windowed-sinc method (Hamming window). cutoff is the normalised cutoff
+// frequency in cycles/sample, 0 < cutoff < 0.5. The taps are normalised to
+// unit DC gain.
+func LowpassFIR(taps int, cutoff float64) ([]float64, error) {
+	if taps < 3 || taps%2 == 0 {
+		return nil, fmt.Errorf("dsp: FIR taps %d must be odd and >= 3", taps)
+	}
+	if cutoff <= 0 || cutoff >= 0.5 {
+		return nil, fmt.Errorf("dsp: cutoff %g out of (0, 0.5)", cutoff)
+	}
+	h := make([]float64, taps)
+	mid := (taps - 1) / 2
+	win := HammingWindow(taps)
+	var sum float64
+	for i := range h {
+		x := float64(i - mid)
+		var s float64
+		if x == 0 {
+			s = 2 * cutoff
+		} else {
+			s = math.Sin(2*math.Pi*cutoff*x) / (math.Pi * x)
+		}
+		h[i] = s * win[i]
+		sum += h[i]
+	}
+	for i := range h {
+		h[i] /= sum
+	}
+	return h, nil
+}
+
+// Decimator low-pass filters and downsamples complex baseband by an
+// integer factor — the digital front end between a wideband SDR capture
+// and the decoder's working rate. It is stateless per call: Process
+// consumes one complete buffer (edge samples use zero padding).
+type Decimator struct {
+	factor int
+	taps   []float64
+}
+
+// NewDecimator builds a Decimator for the given integer factor (>= 1).
+// taps <= 0 selects a default length scaled to the factor. The anti-alias
+// cutoff is placed at 80% of the post-decimation Nyquist.
+func NewDecimator(factor, taps int) (*Decimator, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dsp: decimation factor %d < 1", factor)
+	}
+	if factor == 1 {
+		return &Decimator{factor: 1}, nil
+	}
+	if taps <= 0 {
+		taps = 16*factor + 1
+	}
+	if taps%2 == 0 {
+		taps++
+	}
+	h, err := LowpassFIR(taps, 0.4/float64(factor))
+	if err != nil {
+		return nil, err
+	}
+	return &Decimator{factor: factor, taps: h}, nil
+}
+
+// Factor returns the decimation factor.
+func (d *Decimator) Factor() int { return d.factor }
+
+// Process filters and downsamples iq, returning ceil(len/factor) samples.
+// Only output phases are computed (polyphase evaluation), so the cost is
+// len(iq)·taps/factor multiply-adds.
+func (d *Decimator) Process(iq []complex128) []complex128 {
+	if d.factor == 1 {
+		out := make([]complex128, len(iq))
+		copy(out, iq)
+		return out
+	}
+	n := (len(iq) + d.factor - 1) / d.factor
+	out := make([]complex128, n)
+	mid := (len(d.taps) - 1) / 2
+	for o := 0; o < n; o++ {
+		center := o * d.factor
+		var accR, accI float64
+		for k, h := range d.taps {
+			idx := center + k - mid
+			if idx < 0 || idx >= len(iq) {
+				continue
+			}
+			v := iq[idx]
+			accR += h * real(v)
+			accI += h * imag(v)
+		}
+		out[o] = complex(accR, accI)
+	}
+	return out
+}

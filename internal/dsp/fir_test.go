@@ -1,0 +1,148 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestWindowsBasicShape(t *testing.T) {
+	for name, fn := range map[string]func(int) []float64{
+		"hamming": HammingWindow, "hann": HannWindow, "blackman": BlackmanWindow,
+	} {
+		w := fn(65)
+		if len(w) != 65 {
+			t.Fatalf("%s length", name)
+		}
+		// Symmetric, peaked in the middle, edges at or below the peak.
+		for i := 0; i < 32; i++ {
+			if math.Abs(w[i]-w[64-i]) > 1e-12 {
+				t.Errorf("%s not symmetric at %d", name, i)
+			}
+		}
+		if w[32] < w[0] || w[32] > 1.0001 {
+			t.Errorf("%s peak wrong: mid=%g edge=%g", name, w[32], w[0])
+		}
+		if one := fn(1); len(one) != 1 || one[0] != 1 {
+			t.Errorf("%s single-point window", name)
+		}
+	}
+}
+
+func TestLowpassFIRValidation(t *testing.T) {
+	if _, err := LowpassFIR(4, 0.2); err == nil {
+		t.Error("even taps accepted")
+	}
+	if _, err := LowpassFIR(1, 0.2); err == nil {
+		t.Error("too few taps accepted")
+	}
+	if _, err := LowpassFIR(33, 0.6); err == nil {
+		t.Error("cutoff >= 0.5 accepted")
+	}
+	if _, err := LowpassFIR(33, 0); err == nil {
+		t.Error("zero cutoff accepted")
+	}
+}
+
+// firResponse evaluates the filter's magnitude response at a normalised
+// frequency.
+func firResponse(h []float64, freq float64) float64 {
+	var acc complex128
+	for i, v := range h {
+		ang := -2 * math.Pi * freq * float64(i)
+		acc += complex(v, 0) * cmplx.Exp(complex(0, ang))
+	}
+	return cmplx.Abs(acc)
+}
+
+func TestLowpassFIRResponse(t *testing.T) {
+	h, err := LowpassFIR(129, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := firResponse(h, 0); math.Abs(g-1) > 1e-9 {
+		t.Errorf("DC gain %g", g)
+	}
+	if g := firResponse(h, 0.05); g < 0.95 {
+		t.Errorf("passband (0.05) gain %g", g)
+	}
+	if g := firResponse(h, 0.2); g > 0.01 {
+		t.Errorf("stopband (0.2) gain %g", g)
+	}
+}
+
+func TestDecimatorValidation(t *testing.T) {
+	if _, err := NewDecimator(0, 0); err == nil {
+		t.Error("factor 0 accepted")
+	}
+	d, err := NewDecimator(1, 0)
+	if err != nil || d.Factor() != 1 {
+		t.Fatal("factor 1 rejected")
+	}
+	in := []complex128{1, 2, 3}
+	out := d.Process(in)
+	if len(out) != 3 || out[1] != 2 {
+		t.Error("factor-1 passthrough broken")
+	}
+	// Passthrough must copy, not alias.
+	out[0] = 99
+	if in[0] == 99 {
+		t.Error("factor-1 output aliases input")
+	}
+}
+
+// TestDecimatorTonePreservation: an in-band tone survives decimation with
+// the right frequency and ~unit gain; an out-of-band tone is crushed.
+func TestDecimatorTonePreservation(t *testing.T) {
+	const factor = 4
+	d, err := NewDecimator(factor, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 4096
+	makeTone := func(freq float64) []complex128 {
+		x := make([]complex128, n)
+		for i := range x {
+			ang := 2 * math.Pi * freq * float64(i)
+			x[i] = cmplx.Exp(complex(0, ang))
+		}
+		return x
+	}
+	// In-band: freq 0.05 (post-decimation 0.2 < 0.5).
+	out := d.Process(makeTone(0.05))
+	mid := out[len(out)/4 : 3*len(out)/4] // avoid edge transients
+	if p := SignalPower(mid); math.Abs(p-1) > 0.05 {
+		t.Errorf("in-band tone power %g after decimation", p)
+	}
+	// Frequency must scale by the factor: measure via FFT.
+	fn := NextPow2(len(out))
+	buf := make([]complex128, fn)
+	copy(buf, out)
+	PlanFor(fn).Forward(buf)
+	mag := make(Spectrum, fn)
+	for i, v := range buf {
+		mag[i] = real(v)*real(v) + imag(v)*imag(v)
+	}
+	_, at := mag.Max()
+	wantBin := int(math.Round(0.05 * factor * float64(fn)))
+	if at != wantBin && at != wantBin+1 && at != wantBin-1 {
+		t.Errorf("tone at bin %d after decimation, want ≈%d", at, wantBin)
+	}
+	// Out-of-band: freq 0.3 (would alias) must be attenuated hard.
+	out = d.Process(makeTone(0.3))
+	mid = out[len(out)/4 : 3*len(out)/4]
+	if p := SignalPower(mid); p > 1e-3 {
+		t.Errorf("out-of-band tone leaked power %g", p)
+	}
+}
+
+func TestDecimatorOutputLength(t *testing.T) {
+	d, _ := NewDecimator(3, 31)
+	for _, n := range []int{0, 1, 2, 3, 10, 100} {
+		out := d.Process(make([]complex128, n))
+		want := (n + 2) / 3
+		if len(out) != want {
+			t.Errorf("n=%d: %d outputs, want %d", n, len(out), want)
+		}
+	}
+}

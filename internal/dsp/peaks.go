@@ -1,0 +1,69 @@
+package dsp
+
+import "sort"
+
+// Peak is a local maximum of a spectrum.
+type Peak struct {
+	Bin   int     // integer bin index
+	Power float64 // bin power
+}
+
+// FindPeaks returns local maxima of s whose power is at least minPower,
+// sorted by descending power and truncated to maxPeaks (maxPeaks <= 0 means
+// unlimited). The spectrum is treated as circular, matching the LoRa bin
+// space. A plateau contributes a single peak at its first bin.
+func FindPeaks(s Spectrum, minPower float64, maxPeaks int) []Peak {
+	n := len(s)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		if s[0] >= minPower {
+			return []Peak{{Bin: 0, Power: s[0]}}
+		}
+		return nil
+	}
+	var peaks []Peak
+	for i := 0; i < n; i++ {
+		v := s[i]
+		if v < minPower {
+			continue
+		}
+		prev := s[(i-1+n)%n]
+		next := s[(i+1)%n]
+		if v > prev && v >= next {
+			peaks = append(peaks, Peak{Bin: i, Power: v})
+		}
+	}
+	sort.Slice(peaks, func(a, b int) bool { return peaks[a].Power > peaks[b].Power })
+	if maxPeaks > 0 && len(peaks) > maxPeaks {
+		peaks = peaks[:maxPeaks]
+	}
+	return peaks
+}
+
+// TopPeaks returns up to maxPeaks local maxima whose power is at least
+// frac times the global maximum. frac in [0,1].
+func TopPeaks(s Spectrum, frac float64, maxPeaks int) []Peak {
+	maxV, at := s.Max()
+	if at < 0 || maxV <= 0 {
+		return nil
+	}
+	return FindPeaks(s, maxV*frac, maxPeaks)
+}
+
+// NoiseFloor estimates the noise floor of a spectrum as the median bin
+// power. The median is robust to a handful of strong signal peaks.
+func NoiseFloor(s Spectrum) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	tmp := make([]float64, len(s))
+	copy(tmp, s)
+	sort.Float64s(tmp)
+	m := len(tmp) / 2
+	if len(tmp)%2 == 1 {
+		return tmp[m]
+	}
+	return 0.5 * (tmp[m-1] + tmp[m])
+}

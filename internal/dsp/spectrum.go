@@ -1,0 +1,205 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Spectrum is a folded LoRa power spectrum: bins bins of non-negative power
+// values, one per LoRa frequency bin (2^SF bins regardless of oversampling).
+type Spectrum []float64
+
+// FoldMagnitude folds an M-point FFT output X (M = bins*osr) into a
+// bins-point LoRa power spectrum, writing into dst (allocated if nil).
+//
+// After de-chirping, a time-aligned LoRa symbol of value k produces two tone
+// images: one at FFT bin k (the pre-wrap segment of the chirp, L₁ samples)
+// and one at bin k+(osr-1)*bins (the post-wrap segment aliased by −B, L₂
+// samples). Folding sums the *amplitudes* of the two images before
+// squaring, so the folded bin carries (L₁+L₂)² — the same value a
+// contiguous tone of the full duration would produce. (Summing powers
+// instead would yield L₁²+L₂², penalising windows that straddle the wrap by
+// up to 3 dB, which skews both spectral intersection and the spectral edge
+// difference.) With osr == 1 both segments alias onto one bin coherently
+// and the fold is the plain magnitude-squared spectrum.
+func FoldMagnitude(dst Spectrum, x []complex128, bins, osr int) Spectrum {
+	if len(x) != bins*osr {
+		panic(fmt.Sprintf("dsp: fold input length %d != bins*osr = %d", len(x), bins*osr))
+	}
+	if dst == nil {
+		dst = make(Spectrum, bins)
+	}
+	if len(dst) != bins {
+		panic(fmt.Sprintf("dsp: fold dst length %d != bins %d", len(dst), bins))
+	}
+	if osr == 1 {
+		for k := 0; k < bins; k++ {
+			re, im := real(x[k]), imag(x[k])
+			dst[k] = re*re + im*im
+		}
+		return dst
+	}
+	hi := (osr - 1) * bins
+	for k := 0; k < bins; k++ {
+		re0, im0 := real(x[k]), imag(x[k])
+		re1, im1 := real(x[hi+k]), imag(x[hi+k])
+		a := math.Sqrt(re0*re0+im0*im0) + math.Sqrt(re1*re1+im1*im1)
+		dst[k] = a * a
+	}
+	return dst
+}
+
+// Energy returns the total power in the spectrum.
+func (s Spectrum) Energy() float64 {
+	var e float64
+	for _, v := range s {
+		e += v
+	}
+	return e
+}
+
+// Normalize scales the spectrum in place to unit total energy. A zero
+// spectrum is left untouched. It returns the receiver for chaining.
+func (s Spectrum) Normalize() Spectrum {
+	e := s.Energy()
+	if e <= 0 {
+		return s
+	}
+	inv := 1 / e
+	for i := range s {
+		s[i] *= inv
+	}
+	return s
+}
+
+// Scale multiplies every bin by a.
+func (s Spectrum) Scale(a float64) Spectrum {
+	for i := range s {
+		s[i] *= a
+	}
+	return s
+}
+
+// Max returns the maximum bin value and its index. For an empty spectrum it
+// returns (0, -1).
+func (s Spectrum) Max() (float64, int) {
+	best, at := 0.0, -1
+	for i, v := range s {
+		if at == -1 || v > best {
+			best, at = v, i
+		}
+	}
+	return best, at
+}
+
+// Intersect computes the spectral intersection of a and b — the element-wise
+// minimum (paper §5.2) — writing the result into dst (allocated if nil).
+// The operation is commutative and associative (property P1) and preserves
+// the better frequency resolution available for each constituent frequency
+// (property P2). Inputs are normally unit-energy normalised first.
+func Intersect(dst, a, b Spectrum) Spectrum {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("dsp: intersect length mismatch %d != %d", len(a), len(b)))
+	}
+	if dst == nil {
+		dst = make(Spectrum, len(a))
+	}
+	for i := range a {
+		if a[i] <= b[i] {
+			dst[i] = a[i]
+		} else {
+			dst[i] = b[i]
+		}
+	}
+	return dst
+}
+
+// IntersectInto folds b into acc with the element-wise minimum (acc ∩= b).
+func IntersectInto(acc, b Spectrum) {
+	if len(acc) != len(b) {
+		panic(fmt.Sprintf("dsp: intersect length mismatch %d != %d", len(acc), len(b)))
+	}
+	for i, v := range b {
+		if v < acc[i] {
+			acc[i] = v
+		}
+	}
+}
+
+// DFTBin evaluates the DTFT of x at the (possibly fractional) FFT bin
+// position of an n-point transform: X(bin) = Σ x[t]·exp(-2πi·bin·t/n).
+// This equals zero-padded-FFT interpolation without computing the full
+// zoomed transform; the paper's 16× zoom FFT (§5.7) is realised by probing
+// DFTBin on a 1/16-bin grid around a peak.
+func DFTBin(x []complex128, n int, bin float64) complex128 {
+	// Use a phase recurrence: w = exp(-2πi·bin/n), acc multiplies by w each
+	// sample. Renormalise occasionally to bound drift.
+	s, c := math.Sincos(-2 * math.Pi * bin / float64(n))
+	w := complex(c, s)
+	acc := complex(1, 0)
+	var sum complex128
+	for t, v := range x {
+		sum += v * acc
+		acc *= w
+		if t&1023 == 1023 {
+			acc /= complex(cmplx.Abs(acc), 0)
+		}
+	}
+	return sum
+}
+
+// RefinePeak locates the fractional peak position near an integer FFT bin by
+// probing the DTFT on a fine grid of zoom sub-bins on each side (a local
+// zoom FFT). It returns the refined fractional bin and the power there.
+// x is the time-domain (already de-chirped) signal, n the FFT length the
+// integer bin refers to.
+func RefinePeak(x []complex128, n, bin, zoom int) (float64, float64) {
+	return RefinePeakRange(x, n, bin, zoom, 1)
+}
+
+// RefinePeakRange is RefinePeak with an explicit search radius in bins
+// (spread may be fractional): positions bin ± spread are probed at 1/zoom
+// bin steps.
+func RefinePeakRange(x []complex128, n, bin, zoom int, spread float64) (float64, float64) {
+	if zoom < 1 {
+		zoom = 1
+	}
+	steps := int(spread * float64(zoom))
+	bestPos := float64(bin)
+	bestPow := -1.0
+	for s := -steps; s <= steps; s++ {
+		pos := float64(bin) + float64(s)/float64(zoom)
+		v := DFTBin(x, n, pos)
+		p := real(v)*real(v) + imag(v)*imag(v)
+		if p > bestPow {
+			bestPow, bestPos = p, pos
+		}
+	}
+	return bestPos, bestPow
+}
+
+// QuadInterp performs three-point quadratic (parabolic) interpolation of a
+// peak at index i of spectrum s, returning the fractional offset in
+// [-0.5, 0.5] and the interpolated peak height. Neighbours wrap modulo the
+// spectrum length, matching the circular LoRa bin space.
+func QuadInterp(s Spectrum, i int) (offset, height float64) {
+	n := len(s)
+	if n < 3 {
+		return 0, s[i]
+	}
+	l := s[(i-1+n)%n]
+	c := s[i]
+	r := s[(i+1)%n]
+	den := l - 2*c + r
+	if den == 0 {
+		return 0, c
+	}
+	d := 0.5 * (l - r) / den
+	if d > 0.5 {
+		d = 0.5
+	} else if d < -0.5 {
+		d = -0.5
+	}
+	return d, c - 0.25*(l-r)*d
+}

@@ -1,0 +1,74 @@
+package dsp
+
+import "math"
+
+// DB converts a power ratio to decibels. Non-positive ratios map to -Inf.
+func DB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(ratio)
+}
+
+// FromDB converts decibels to a power ratio.
+func FromDB(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// AmplitudeFromDB converts decibels to an amplitude (voltage) ratio.
+func AmplitudeFromDB(db float64) float64 {
+	return math.Pow(10, db/20)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// SignalEnergy returns Σ|x|² of a complex signal.
+func SignalEnergy(x []complex128) float64 {
+	var e float64
+	for _, v := range x {
+		e += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return e
+}
+
+// SignalPower returns the mean power of a complex signal (0 for empty).
+func SignalPower(x []complex128) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return SignalEnergy(x) / float64(len(x))
+}
+
+// WrapToHalf wraps x into the circular interval [-half, half).
+func WrapToHalf(x, half float64) float64 {
+	period := 2 * half
+	x = math.Mod(x+half, period)
+	if x < 0 {
+		x += period
+	}
+	return x - half
+}

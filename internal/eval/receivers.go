@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"fmt"
+
+	"cic/internal/baseline/choir"
+	"cic/internal/baseline/ftrack"
+	"cic/internal/baseline/stdlora"
+	"cic/internal/core"
+	"cic/internal/frame"
+	"cic/internal/rx"
+)
+
+// Receiver is the common surface every evaluated gateway implements.
+type Receiver interface {
+	Name() string
+	Receive(src rx.SampleSource) ([]rx.Decoded, error)
+}
+
+// DefaultReceivers builds the four receivers the paper compares:
+// CIC, FTrack, Choir, and standard LoRa.
+func DefaultReceivers(cfg frame.Config, workers int) ([]Receiver, error) {
+	cic, err := core.NewReceiver(cfg, core.Options{}, rx.DetectorOptions{}, workers)
+	if err != nil {
+		return nil, fmt.Errorf("eval: CIC receiver: %w", err)
+	}
+	ft, err := ftrack.New(cfg, ftrack.Options{}, rx.DetectorOptions{}, workers)
+	if err != nil {
+		return nil, fmt.Errorf("eval: FTrack receiver: %w", err)
+	}
+	ch, err := choir.New(cfg, choir.Options{}, rx.DetectorOptions{}, workers)
+	if err != nil {
+		return nil, fmt.Errorf("eval: Choir receiver: %w", err)
+	}
+	std, err := stdlora.New(cfg, rx.DetectorOptions{}, workers)
+	if err != nil {
+		return nil, fmt.Errorf("eval: LoRa receiver: %w", err)
+	}
+	return []Receiver{cic, ft, ch, std}, nil
+}
+
+// CICVariants builds the four ablation variants of Figs 36–37.
+func CICVariants(cfg frame.Config, workers int) (map[string]Receiver, error) {
+	variants := map[string]core.Options{
+		"CIC":             {},
+		"CIC-(CFO)":       {DisableCFOFilter: true},
+		"CIC-(Power)":     {DisablePowerFilter: true},
+		"CIC-(Power,CFO)": {DisableCFOFilter: true, DisablePowerFilter: true},
+	}
+	out := make(map[string]Receiver, len(variants))
+	for name, opts := range variants {
+		r, err := core.NewReceiver(cfg, opts, rx.DetectorOptions{}, workers)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = namedReceiver{name: name, Receiver: r}
+	}
+	return out, nil
+}
+
+// namedReceiver overrides the display name of a wrapped receiver.
+type namedReceiver struct {
+	Receiver
+	name string
+}
+
+func (n namedReceiver) Name() string { return n.name }

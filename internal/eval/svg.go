@@ -1,0 +1,113 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteSVG renders the figure as a simple self-contained SVG line chart:
+// one polyline per series, axes with tick labels, and a legend. It is
+// deliberately dependency-free so `cic-experiments -outdir x -svg` can
+// produce viewable figures anywhere.
+func (f Figure) WriteSVG(w io.Writer) error {
+	const (
+		width   = 760.0
+		height  = 480.0
+		left    = 70.0
+		right   = 20.0
+		top     = 48.0
+		bottom  = 56.0
+		legendY = 16.0
+	)
+	plotW := width - left - right
+	plotH := height - top - bottom
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	for _, s := range f.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) || maxX == minX {
+		minX, maxX = 0, 1
+	}
+	if math.IsInf(maxY, -1) || maxY <= minY {
+		maxY = 1
+	}
+	maxY *= 1.05 // headroom
+
+	xPos := func(x float64) float64 { return left + (x-minX)/(maxX-minX)*plotW }
+	yPos := func(y float64) float64 { return top + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n", width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%g" y="20" font-family="sans-serif" font-size="14" font-weight="bold">%s — %s</text>`+"\n",
+		left, escape(strings.ToUpper(f.ID)), escape(f.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", left, top, left, top+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", left, top+plotH, left+plotW, top+plotH)
+	// Ticks: 5 per axis.
+	for i := 0; i <= 5; i++ {
+		fx := minX + (maxX-minX)*float64(i)/5
+		fy := minY + (maxY-minY)*float64(i)/5
+		x := xPos(fx)
+		y := yPos(fy)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", x, top+plotH, x, top+plotH+5)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, top+plotH+18, trimNum(fx))
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", left-5, y, left, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			left-8, y+4, trimNum(fy))
+	}
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		left+plotW/2, height-12, escape(f.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+		top+plotH/2, top+plotH/2, escape(f.YLabel))
+
+	palette := []string{"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#17becf", "#7f7f7f"}
+	for si, s := range f.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xPos(s.X[i]), yPos(s.Y[i])))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		for _, p := range pts {
+			var px, py float64
+			fmt.Sscanf(p, "%f,%f", &px, &py)
+			fmt.Fprintf(&b, `<circle cx="%g" cy="%g" r="2.5" fill="%s"/>`+"\n", px, py, color)
+		}
+		// Legend entry.
+		lx := left + 10 + float64(si%2)*(plotW/2)
+		ly := top + legendY*float64(si/2) + 4
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n", lx, ly, lx+22, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n", lx+28, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// escape performs minimal XML escaping for labels.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// trimNum formats an axis tick without trailing noise.
+func trimNum(x float64) string {
+	if math.Abs(x) >= 100 || x == math.Trunc(x) {
+		return fmt.Sprintf("%.0f", x)
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", x), "0"), ".")
+}

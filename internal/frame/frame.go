@@ -1,0 +1,136 @@
+// Package frame assembles complete LoRa packets as complex-baseband IQ
+// waveforms: the 8-up-chirp preamble, two SYNC symbols, 2.25 down-chirps
+// and the PHY-encoded data symbols (paper Fig 5). It replaces the COTS
+// transmitter (Adafruit RFM95) in the paper's deployments.
+package frame
+
+import (
+	"fmt"
+
+	"cic/internal/chirp"
+	"cic/internal/phy"
+)
+
+// Preamble structure constants (paper §3, Fig 5).
+const (
+	PreambleUpchirps  = 8    // repeated C0 symbols opening every packet
+	SyncSymbols       = 2    // two SYNC-word symbols
+	DownchirpsWhole   = 2    // whole down-chirps after the SYNC word
+	DownchirpFraction = 0.25 // plus a quarter down-chirp
+)
+
+// PreambleSymbols is the preamble length in symbol durations (12.25).
+const PreambleSymbols = PreambleUpchirps + SyncSymbols + DownchirpsWhole + DownchirpFraction
+
+// Config describes one transmitter's full PHY configuration.
+type Config struct {
+	Chirp    chirp.Params
+	PHY      phy.Config
+	SyncWord byte // network sync word; maps to the two SYNC symbols
+}
+
+// Validate checks both layers and their agreement on SF.
+func (c Config) Validate() error {
+	if err := c.Chirp.Validate(); err != nil {
+		return err
+	}
+	if err := c.PHY.Validate(); err != nil {
+		return err
+	}
+	if c.Chirp.SF != c.PHY.SF {
+		return fmt.Errorf("frame: chirp SF %d != PHY SF %d", c.Chirp.SF, c.PHY.SF)
+	}
+	return nil
+}
+
+// SyncSymbolValues derives the two SYNC symbol values from the sync word:
+// x = 8·hi-nibble, y = x + 8 per the paper (§3: "two SYNC symbols Cx, Cy
+// (x ≠ 0, y = x+8)"). A zero hi-nibble is bumped to 1 to honour x ≠ 0.
+func (c Config) SyncSymbolValues() (x, y int) {
+	hi := int(c.SyncWord >> 4)
+	if hi == 0 {
+		hi = 1
+	}
+	x = 8 * hi
+	n := c.Chirp.ChipCount()
+	y = (x + 8) % n
+	x %= n
+	return
+}
+
+// Info reports the sample-domain geometry of a modulated packet.
+type Info struct {
+	DataSymbols     int // number of PHY data symbols (header block included)
+	PreambleSamples int // samples before the first data symbol
+	TotalSamples    int // full packet length in samples
+}
+
+// PreambleSampleCount returns the number of samples occupied by the
+// preamble (8 up-chirps + 2 SYNC + 2.25 down-chirps).
+func (c Config) PreambleSampleCount() int {
+	m := c.Chirp.SamplesPerSymbol()
+	return (PreambleUpchirps+SyncSymbols+DownchirpsWhole)*m + m/4
+}
+
+// PacketSampleCount returns the total number of samples for a payload of
+// the given length.
+func (c Config) PacketSampleCount(payloadLen int) int {
+	return c.PreambleSampleCount() + phy.SymbolCount(c.PHY, payloadLen)*c.Chirp.SamplesPerSymbol()
+}
+
+// Modulator turns payloads into IQ waveforms for one Config.
+type Modulator struct {
+	cfg Config
+	gen *chirp.Generator
+}
+
+// NewModulator builds a Modulator.
+func NewModulator(cfg Config) (*Modulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := chirp.NewGenerator(cfg.Chirp)
+	if err != nil {
+		return nil, err
+	}
+	return &Modulator{cfg: cfg, gen: g}, nil
+}
+
+// Config returns the modulator's configuration.
+func (m *Modulator) Config() Config { return m.cfg }
+
+// Generator exposes the underlying chirp generator (shared, read-only).
+func (m *Modulator) Generator() *chirp.Generator { return m.gen }
+
+// Modulate encodes payload and synthesises the packet waveform at unit
+// amplitude.
+func (m *Modulator) Modulate(payload []byte) ([]complex128, Info, error) {
+	symbols, err := phy.Encode(payload, m.cfg.PHY)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	wave := m.ModulateSymbols(symbols)
+	info := Info{
+		DataSymbols:     len(symbols),
+		PreambleSamples: m.cfg.PreambleSampleCount(),
+		TotalSamples:    len(wave),
+	}
+	return wave, info, nil
+}
+
+// ModulateSymbols synthesises preamble plus the given raw data symbols.
+func (m *Modulator) ModulateSymbols(symbols []uint16) []complex128 {
+	sps := m.cfg.Chirp.SamplesPerSymbol()
+	buf := make([]complex128, 0, m.cfg.PreambleSampleCount()+len(symbols)*sps)
+	for i := 0; i < PreambleUpchirps; i++ {
+		buf = append(buf, m.gen.Upchirp()...)
+	}
+	x, y := m.cfg.SyncSymbolValues()
+	buf = m.gen.AppendSymbol(buf, x)
+	buf = m.gen.AppendSymbol(buf, y)
+	buf = m.gen.AppendDownchirps(buf, DownchirpsWhole, DownchirpFraction)
+	for _, s := range symbols {
+		buf = m.gen.AppendSymbol(buf, int(s))
+	}
+	return buf
+}

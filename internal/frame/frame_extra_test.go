@@ -1,0 +1,89 @@
+package frame
+
+import (
+	"testing"
+
+	"cic/internal/chirp"
+	"cic/internal/phy"
+)
+
+func TestPacketSampleCountScalesWithPayload(t *testing.T) {
+	c := testConfig()
+	prev := 0
+	for _, l := range []int{0, 1, 10, 100, 255} {
+		n := c.PacketSampleCount(l)
+		// Non-decreasing: tiny payloads can share a block count.
+		if n < prev {
+			t.Fatalf("PacketSampleCount(%d) = %d decreased", l, n)
+		}
+		prev = n
+	}
+	if c.PacketSampleCount(255) <= c.PacketSampleCount(0) {
+		t.Error("large payloads must occupy more samples")
+	}
+}
+
+func TestPreambleSymbolsConstant(t *testing.T) {
+	// The preamble is 12.25 symbols by construction.
+	if PreambleSymbols != 12.25 {
+		t.Errorf("PreambleSymbols = %v", PreambleSymbols)
+	}
+}
+
+func TestModulateSymbolsLengths(t *testing.T) {
+	c := testConfig()
+	mod, err := NewModulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.Chirp.SamplesPerSymbol()
+	for _, nsym := range []int{0, 1, 5} {
+		syms := make([]uint16, nsym)
+		wave := mod.ModulateSymbols(syms)
+		want := c.PreambleSampleCount() + nsym*m
+		if len(wave) != want {
+			t.Errorf("%d symbols: %d samples, want %d", nsym, len(wave), want)
+		}
+	}
+}
+
+func TestNewModulatorRejectsBadConfig(t *testing.T) {
+	c := testConfig()
+	c.Chirp.OSR = 3
+	if _, err := NewModulator(c); err == nil {
+		t.Error("bad OSR accepted")
+	}
+	c = testConfig()
+	c.PHY.CR = phy.CodingRate(9)
+	if _, err := NewModulator(c); err == nil {
+		t.Error("bad CR accepted")
+	}
+}
+
+func TestModulateAllSpreadingFactors(t *testing.T) {
+	for sf := 7; sf <= 12; sf++ {
+		c := Config{
+			Chirp:    chirp.Params{SF: sf, Bandwidth: 125e3, OSR: 1},
+			PHY:      phy.Config{SF: sf, CR: phy.CR45, HasCRC: true},
+			SyncWord: 0x12,
+		}
+		mod, err := NewModulator(c)
+		if err != nil {
+			t.Fatalf("SF%d: %v", sf, err)
+		}
+		wave, info, err := mod.Modulate([]byte("sf sweep"))
+		if err != nil {
+			t.Fatalf("SF%d: %v", sf, err)
+		}
+		if len(wave) != info.TotalSamples || info.DataSymbols <= 0 {
+			t.Errorf("SF%d geometry: %+v", sf, info)
+		}
+	}
+}
+
+func TestModulateOversizePayload(t *testing.T) {
+	mod, _ := NewModulator(testConfig())
+	if _, _, err := mod.Modulate(make([]byte, 256)); err == nil {
+		t.Error("256-byte payload accepted")
+	}
+}

@@ -1,0 +1,169 @@
+package frame
+
+import (
+	"math"
+	"testing"
+
+	"cic/internal/chirp"
+	"cic/internal/dsp"
+	"cic/internal/phy"
+)
+
+func testConfig() Config {
+	return Config{
+		Chirp:    chirp.Params{SF: 8, Bandwidth: 250e3, OSR: 2},
+		PHY:      phy.Config{SF: 8, CR: phy.CR45, HasCRC: true},
+		SyncWord: 0x34,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	c := testConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c.PHY.SF = 9
+	if err := c.Validate(); err == nil {
+		t.Error("SF mismatch accepted")
+	}
+}
+
+func TestSyncSymbolValues(t *testing.T) {
+	c := testConfig() // sync 0x34 → hi=3 → x=24, y=32
+	x, y := c.SyncSymbolValues()
+	if x != 24 || y != 32 {
+		t.Errorf("sync symbols = %d,%d want 24,32", x, y)
+	}
+	c.SyncWord = 0x04 // hi=0 → bumped to 1 → x=8
+	x, y = c.SyncSymbolValues()
+	if x != 8 || y != 16 {
+		t.Errorf("zero-hi sync symbols = %d,%d want 8,16", x, y)
+	}
+}
+
+func TestPreambleSampleCount(t *testing.T) {
+	c := testConfig()
+	m := c.Chirp.SamplesPerSymbol()
+	want := 12*m + m/4
+	if got := c.PreambleSampleCount(); got != want {
+		t.Errorf("PreambleSampleCount = %d, want %d", got, want)
+	}
+}
+
+func TestModulateGeometry(t *testing.T) {
+	c := testConfig()
+	mod, err := NewModulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("28-byte payload for the test")
+	wave, info, err := mod.Modulate(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TotalSamples != len(wave) {
+		t.Error("TotalSamples mismatch")
+	}
+	if info.TotalSamples != c.PacketSampleCount(len(payload)) {
+		t.Errorf("PacketSampleCount = %d, Modulate produced %d",
+			c.PacketSampleCount(len(payload)), info.TotalSamples)
+	}
+	if info.DataSymbols != phy.SymbolCount(c.PHY, len(payload)) {
+		t.Error("DataSymbols mismatch")
+	}
+	// Unit amplitude everywhere.
+	for i, v := range wave {
+		if mag := real(v)*real(v) + imag(v)*imag(v); math.Abs(mag-1) > 1e-9 {
+			t.Fatalf("sample %d |v|² = %g", i, mag)
+		}
+	}
+}
+
+// TestModulatedPacketDecodesSymbolBySymbol: de-chirping each data symbol
+// window of the clean waveform must reproduce the encoded symbol values,
+// and the PHY decode must return the payload.
+func TestModulatedPacketDecodesSymbolBySymbol(t *testing.T) {
+	c := testConfig()
+	mod, _ := NewModulator(c)
+	payload := []byte("loopback through the ether")
+	syms, err := phy.Encode(payload, c.PHY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave := mod.ModulateSymbols(syms)
+
+	g := mod.Generator()
+	sps := c.Chirp.SamplesPerSymbol()
+	n := c.Chirp.ChipCount()
+	fft := dsp.PlanFor(sps)
+	buf := make([]complex128, sps)
+	start := c.PreambleSampleCount()
+	got := make([]uint16, len(syms))
+	for i := range syms {
+		win := wave[start+i*sps : start+(i+1)*sps]
+		g.Dechirp(buf, win)
+		fft.Forward(buf)
+		spec := dsp.FoldMagnitude(nil, buf, n, c.Chirp.OSR)
+		_, at := spec.Max()
+		got[i] = uint16(at)
+	}
+	for i := range syms {
+		if got[i] != syms[i] {
+			t.Fatalf("symbol %d: demodulated %d, want %d", i, got[i], syms[i])
+		}
+	}
+	res, err := phy.Decode(got, c.PHY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Payload) != string(payload) || !res.CRCOK {
+		t.Error("full loopback decode failed")
+	}
+}
+
+// TestPreambleStructure: the first 8 symbol windows de-chirp to bin 0, the
+// next two to the SYNC values, and the down-chirp region de-chirps to a
+// clean tone under DechirpDown.
+func TestPreambleStructure(t *testing.T) {
+	c := testConfig()
+	mod, _ := NewModulator(c)
+	wave := mod.ModulateSymbols(nil)
+	g := mod.Generator()
+	sps := c.Chirp.SamplesPerSymbol()
+	n := c.Chirp.ChipCount()
+	fft := dsp.PlanFor(sps)
+	buf := make([]complex128, sps)
+	demod := func(off int) int {
+		g.Dechirp(buf, wave[off:off+sps])
+		fft.Forward(buf)
+		_, at := dsp.FoldMagnitude(nil, buf, n, c.Chirp.OSR).Max()
+		return at
+	}
+	for i := 0; i < PreambleUpchirps; i++ {
+		if got := demod(i * sps); got != 0 {
+			t.Errorf("preamble up-chirp %d demodulates to %d", i, got)
+		}
+	}
+	x, y := c.SyncSymbolValues()
+	if got := demod(8 * sps); got != x {
+		t.Errorf("SYNC1 = %d, want %d", got, x)
+	}
+	if got := demod(9 * sps); got != y {
+		t.Errorf("SYNC2 = %d, want %d", got, y)
+	}
+	// Down-chirp window: DechirpDown concentrates on M-bin 0.
+	off := 10 * sps
+	g.DechirpDown(buf, wave[off:off+sps])
+	fft.Forward(buf)
+	mag := make(dsp.Spectrum, sps)
+	for i, v := range buf {
+		mag[i] = real(v)*real(v) + imag(v)*imag(v)
+	}
+	peak, at := mag.Max()
+	if at != 0 {
+		t.Errorf("down-chirp tone at M-bin %d, want 0", at)
+	}
+	if frac := peak / mag.Energy(); frac < 0.9 {
+		t.Errorf("down-chirp tone share %.2f, want >= 0.9", frac)
+	}
+}

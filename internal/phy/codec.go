@@ -1,0 +1,278 @@
+package phy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config dimensions the codec for one packet.
+type Config struct {
+	SF          int        // spreading factor, 7..12
+	CR          CodingRate // payload coding rate
+	HasCRC      bool       // append CRC-16 to the payload
+	LowDataRate bool       // low data-rate optimisation: all blocks reduced-rate
+
+	// ImplicitHeader omits the explicit header: both ends must agree on
+	// ImplicitLength, CR and HasCRC out of band (LoRa's implicit/fixed
+	// mode, used by latency-sensitive deployments). The first block is
+	// still sent reduced-rate at CR 4/8 for robustness, carrying payload
+	// nibbles directly.
+	ImplicitHeader bool
+	// ImplicitLength is the fixed payload length in implicit-header mode.
+	ImplicitLength int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.SF < 7 || c.SF > 12 {
+		return fmt.Errorf("phy: SF %d out of range [7,12]", c.SF)
+	}
+	if c.ImplicitHeader && (c.ImplicitLength < 0 || c.ImplicitLength > 255) {
+		return fmt.Errorf("phy: implicit length %d out of [0,255]", c.ImplicitLength)
+	}
+	return c.CR.Validate()
+}
+
+// rows returns the interleaver row count for a block: the header block (and
+// every block under low data-rate optimisation) is reduced-rate with SF−2
+// rows; normal payload blocks use SF rows.
+func (c Config) rows(block int) int {
+	if block == 0 || c.LowDataRate {
+		return c.SF - 2
+	}
+	return c.SF
+}
+
+// blockCR returns the coding rate for a block: the header block is always
+// 4/8 for robustness; payload blocks use the configured rate.
+func (c Config) blockCR(block int) CodingRate {
+	if block == 0 {
+		return CR48
+	}
+	return c.CR
+}
+
+// reduced reports whether a block's symbols are sent at reduced rate (the
+// symbol value is left-shifted by two bins so ±1-bin errors round away).
+func (c Config) reduced(block int) bool {
+	return block == 0 || c.LowDataRate
+}
+
+// DecodeResult reports the outcome of a packet decode.
+type DecodeResult struct {
+	Header       Header
+	Payload      []byte
+	CRCOK        bool // payload CRC matched (always true when !HasCRC and header decoded)
+	FECCorrected int  // number of single-bit FEC corrections applied
+}
+
+// ErrHeader is returned when the header block cannot be decoded.
+var ErrHeader = errors.New("phy: header decode failed")
+
+// ErrTooFewSymbols is returned when fewer symbols are supplied than the
+// header-declared payload needs.
+var ErrTooFewSymbols = errors.New("phy: not enough symbols for declared payload")
+
+// nibbleCount returns how many nibbles a packet with the given payload
+// length carries (header when explicit + whitened payload + optional CRC).
+func nibbleCount(length int, hasCRC, implicit bool) int {
+	n := 2 * length
+	if !implicit {
+		n += headerNibbles
+	}
+	if hasCRC {
+		n += 4
+	}
+	return n
+}
+
+// HeaderSymbolCount is the number of symbols in the header block (CR 4/8).
+const HeaderSymbolCount = 8
+
+// SymbolCount returns the total number of data symbols (first block
+// included) for a payload of the given length under cfg.
+func SymbolCount(cfg Config, length int) int {
+	total := nibbleCount(length, cfg.HasCRC, cfg.ImplicitHeader)
+	remaining := total - (cfg.SF - 2) // nibbles carried by the first block
+	syms := HeaderSymbolCount
+	block := 1
+	for remaining > 0 {
+		remaining -= cfg.rows(block)
+		syms += cfg.blockCR(block).CodewordBits()
+		block++
+	}
+	return syms
+}
+
+// MaxSymbolCount bounds the symbol count for any payload up to 255 bytes
+// (or exactly the fixed length in implicit mode) — used by receivers before
+// the header is known.
+func MaxSymbolCount(cfg Config) int {
+	if cfg.ImplicitHeader {
+		return SymbolCount(cfg, cfg.ImplicitLength)
+	}
+	return SymbolCount(cfg, 255)
+}
+
+// Encode converts a payload into chirp symbol values under cfg. Returned
+// values are in [0, 2^SF).
+func Encode(payload []byte, cfg Config) ([]uint16, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(payload) > 255 {
+		return nil, fmt.Errorf("phy: payload length %d exceeds 255", len(payload))
+	}
+	if cfg.ImplicitHeader && len(payload) != cfg.ImplicitLength {
+		return nil, fmt.Errorf("phy: implicit mode expects %d-byte payloads, got %d", cfg.ImplicitLength, len(payload))
+	}
+
+	// Assemble the nibble stream: header (explicit mode only), whitened
+	// payload, CRC of the *plaintext* payload.
+	var nibs []byte
+	if !cfg.ImplicitHeader {
+		hdr := Header{Length: byte(len(payload)), CR: cfg.CR, HasCRC: cfg.HasCRC}
+		nibs = EncodeHeader(hdr)
+	}
+	white := Whiten(payload)
+	for _, b := range white {
+		nibs = append(nibs, b&0x0F, b>>4)
+	}
+	if cfg.HasCRC {
+		crc := CRC16(payload)
+		nibs = append(nibs,
+			byte(crc)&0x0F, byte(crc)>>4,
+			byte(crc>>8)&0x0F, byte(crc>>12))
+	}
+
+	var symbols []uint16
+	block := 0
+	for pos := 0; pos < len(nibs) || block == 0; block++ {
+		rows := cfg.rows(block)
+		cr := cfg.blockCR(block)
+		cws := make([]uint16, rows)
+		for r := 0; r < rows; r++ {
+			var nib byte
+			if pos < len(nibs) {
+				nib = nibs[pos]
+				pos++
+			}
+			cws[r] = HammingEncode(nib, cr)
+		}
+		interleaved, err := Interleave(cws, cr, rows)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range interleaved {
+			g := uint16(GrayEncode(int(v)))
+			if cfg.reduced(block) {
+				g <<= 2
+			}
+			symbols = append(symbols, g)
+		}
+	}
+	return symbols, nil
+}
+
+// Decode converts received symbol values back into a payload. It first
+// decodes the header block, then consumes exactly the number of payload
+// symbols the header declares; extra symbols are ignored. Symbol values
+// must be in [0, 2^SF).
+func Decode(symbols []uint16, cfg Config) (*DecodeResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(symbols) < HeaderSymbolCount {
+		return nil, fmt.Errorf("%w: %d symbols < header block of %d", ErrTooFewSymbols, len(symbols), HeaderSymbolCount)
+	}
+	res := &DecodeResult{}
+
+	nibs, err := decodeBlock(symbols[:HeaderSymbolCount], cfg, 0, res)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHeader, err)
+	}
+	var hdr Header
+	if cfg.ImplicitHeader {
+		hdr = Header{Length: byte(cfg.ImplicitLength), CR: cfg.CR, HasCRC: cfg.HasCRC}
+	} else {
+		hdr, err = DecodeHeader(nibs)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrHeader, err)
+		}
+	}
+	res.Header = hdr
+
+	// The payload coding rate comes from the header, not from cfg.
+	pcfg := cfg
+	pcfg.CR = hdr.CR
+	pcfg.HasCRC = hdr.HasCRC
+
+	total := nibbleCount(int(hdr.Length), hdr.HasCRC, cfg.ImplicitHeader)
+	stream := nibs // first-block nibbles beyond the header carry payload
+	pos := HeaderSymbolCount
+	for block := 1; len(stream) < total; block++ {
+		cols := pcfg.blockCR(block).CodewordBits()
+		if pos+cols > len(symbols) {
+			return res, fmt.Errorf("%w: need %d symbols, have %d", ErrTooFewSymbols, pos+cols, len(symbols))
+		}
+		blk, err := decodeBlock(symbols[pos:pos+cols], pcfg, block, res)
+		if err != nil {
+			return res, err
+		}
+		stream = append(stream, blk...)
+		pos += cols
+	}
+	if !cfg.ImplicitHeader {
+		stream = stream[headerNibbles:] // drop header nibbles
+	}
+
+	// Reassemble whitened payload bytes, then CRC nibbles.
+	payload := make([]byte, hdr.Length)
+	for i := range payload {
+		payload[i] = stream[2*i]&0x0F | stream[2*i+1]<<4
+	}
+	NewWhitener().Apply(payload)
+	res.Payload = payload
+	res.CRCOK = true
+	if hdr.HasCRC {
+		at := 2 * int(hdr.Length)
+		recv := uint16(stream[at]&0x0F) | uint16(stream[at+1])<<4 |
+			uint16(stream[at+2])<<8 | uint16(stream[at+3])<<12
+		res.CRCOK = recv == CRC16(payload)
+	}
+	return res, nil
+}
+
+// decodeBlock de-maps, deinterleaves and FEC-decodes one block, returning
+// its data nibbles. FEC detection failures are tolerated (the nibble is
+// passed through) so that the payload CRC delivers the final verdict;
+// correction counts accumulate into res.
+func decodeBlock(symbols []uint16, cfg Config, block int, res *DecodeResult) ([]byte, error) {
+	rows := cfg.rows(block)
+	cr := cfg.blockCR(block)
+	vals := make([]uint16, len(symbols))
+	mask := uint16(1)<<rows - 1
+	for i, s := range symbols {
+		if cfg.reduced(block) {
+			// Reduced rate: round to the nearest multiple of 4 so ±1-bin
+			// demodulation slips vanish. Masking before the Gray decode
+			// folds the circular wrap at the top of the bin range.
+			s = (s + 2) >> 2
+		}
+		vals[i] = uint16(GrayDecode(int(s & mask)))
+	}
+	cws, err := Deinterleave(vals, cr, rows)
+	if err != nil {
+		return nil, err
+	}
+	nibs := make([]byte, rows)
+	for r, cw := range cws {
+		nib, corrected, ok := HammingDecode(cw, cr)
+		if corrected {
+			res.FECCorrected++
+		}
+		_ = ok // detection-only failures resolved by the payload CRC
+		nibs[r] = nib
+	}
+	return nibs, nil
+}

@@ -1,0 +1,90 @@
+package phy
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary symbol streams to the PHY decoder: it must
+// never panic, and must never return CRCOK for a stream that was not
+// produced by Encode (except for the astronomically unlikely CRC
+// collision, which the fuzzer will not find).
+func FuzzDecode(f *testing.F) {
+	cfg := Config{SF: 8, CR: CR45, HasCRC: true}
+	good, _ := Encode([]byte("seed corpus payload"), cfg)
+	seed := make([]byte, 0, len(good)*2)
+	for _, s := range good {
+		seed = append(seed, byte(s), byte(s>>8))
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 40))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		syms := make([]uint16, len(raw)/2)
+		for i := range syms {
+			syms[i] = (uint16(raw[2*i]) | uint16(raw[2*i+1])<<8) % 256
+		}
+		res, err := Decode(syms, cfg)
+		if err != nil {
+			return // rejected: fine
+		}
+		if res == nil {
+			t.Fatal("nil result with nil error")
+		}
+		if int(res.Header.Length) != len(res.Payload) {
+			t.Fatalf("header length %d != payload %d", res.Header.Length, len(res.Payload))
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip: every payload Encode accepts must decode back
+// to itself with a passing CRC.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add([]byte("hello"), uint8(1), true)
+	f.Add([]byte{}, uint8(4), false)
+	f.Add(bytes.Repeat([]byte{0xA5}, 200), uint8(2), true)
+	f.Fuzz(func(t *testing.T, payload []byte, crRaw uint8, hasCRC bool) {
+		if len(payload) > 255 {
+			payload = payload[:255]
+		}
+		cfg := Config{SF: 8, CR: CodingRate(crRaw%4) + 1, HasCRC: hasCRC}
+		syms, err := Encode(payload, cfg)
+		if err != nil {
+			t.Fatalf("encode rejected valid payload: %v", err)
+		}
+		res, err := Decode(syms, cfg)
+		if err != nil {
+			t.Fatalf("decode failed on clean symbols: %v", err)
+		}
+		if !res.CRCOK {
+			t.Fatal("CRC failed on clean round trip")
+		}
+		if !bytes.Equal(res.Payload, payload) && !(len(payload) == 0 && len(res.Payload) == 0) {
+			t.Fatalf("payload mismatch: %x != %x", res.Payload, payload)
+		}
+	})
+}
+
+// FuzzHeaderDecode: arbitrary nibble quintets must never panic and must
+// round-trip when they happen to be valid.
+func FuzzHeaderDecode(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Fuzz(func(t *testing.T, nibs []byte) {
+		if len(nibs) < headerNibbles {
+			if _, err := DecodeHeader(nibs); err == nil {
+				t.Fatal("short header accepted")
+			}
+			return
+		}
+		h, err := DecodeHeader(nibs[:headerNibbles])
+		if err != nil {
+			return
+		}
+		// A header that decodes must re-encode to nibbles that decode to
+		// the same header (the low nibble bits are canonical).
+		again, err := DecodeHeader(EncodeHeader(h))
+		if err != nil || again != h {
+			t.Fatalf("valid header did not round-trip: %+v vs %+v (%v)", h, again, err)
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package phy
+
+import "fmt"
+
+// CodingRate selects the LoRa forward-error-correction strength. LoRa
+// encodes each data nibble into a (4+CR)-bit codeword, giving the familiar
+// 4/5, 4/6, 4/7 and 4/8 rates.
+type CodingRate int
+
+const (
+	CR45 CodingRate = 1 // 4/5: single parity bit, error detection only
+	CR46 CodingRate = 2 // 4/6: two parity bits, error detection only
+	CR47 CodingRate = 3 // 4/7: Hamming(7,4), single-bit correction
+	CR48 CodingRate = 4 // 4/8: Hamming(8,4) SECDED
+)
+
+// Validate reports whether the coding rate is one of the four LoRa rates.
+func (cr CodingRate) Validate() error {
+	if cr < CR45 || cr > CR48 {
+		return fmt.Errorf("phy: coding rate %d out of range [1,4]", int(cr))
+	}
+	return nil
+}
+
+// CodewordBits returns 4 + CR, the number of bits per FEC codeword.
+func (cr CodingRate) CodewordBits() int { return 4 + int(cr) }
+
+// String implements fmt.Stringer ("4/5" … "4/8").
+func (cr CodingRate) String() string { return fmt.Sprintf("4/%d", 4+int(cr)) }
+
+// Hamming parity helpers. Data nibble bits are d0 (LSB) … d3; the classic
+// Hamming(7,4) parities are:
+//
+//	p0 = d0 ⊕ d1 ⊕ d3
+//	p1 = d0 ⊕ d2 ⊕ d3
+//	p2 = d1 ⊕ d2 ⊕ d3
+//
+// Codeword layout (LSB first): d0 d1 d2 d3 p0 p1 p2 [p3] where p3 is the
+// overall parity used by Hamming(8,4). CR 4/5 sends only the overall
+// parity; CR 4/6 sends p0 and p1.
+func hammingParities(nib byte) (p0, p1, p2, pAll byte) {
+	d0 := nib & 1
+	d1 := (nib >> 1) & 1
+	d2 := (nib >> 2) & 1
+	d3 := (nib >> 3) & 1
+	p0 = d0 ^ d1 ^ d3
+	p1 = d0 ^ d2 ^ d3
+	p2 = d1 ^ d2 ^ d3
+	pAll = d0 ^ d1 ^ d2 ^ d3
+	return
+}
+
+// HammingEncode encodes a data nibble (low 4 bits of nib) into a
+// (4+CR)-bit codeword.
+func HammingEncode(nib byte, cr CodingRate) uint16 {
+	nib &= 0x0F
+	p0, p1, p2, pAll := hammingParities(nib)
+	cw := uint16(nib)
+	switch cr {
+	case CR45:
+		cw |= uint16(pAll) << 4
+	case CR46:
+		cw |= uint16(p0)<<4 | uint16(p1)<<5
+	case CR47:
+		cw |= uint16(p0)<<4 | uint16(p1)<<5 | uint16(p2)<<6
+	case CR48:
+		p3 := pAll ^ p0 ^ p1 ^ p2 // overall parity of the 7-bit codeword
+		cw |= uint16(p0)<<4 | uint16(p1)<<5 | uint16(p2)<<6 | uint16(p3)<<7
+	default:
+		panic(fmt.Sprintf("phy: invalid coding rate %d", cr))
+	}
+	return cw
+}
+
+// HammingDecode decodes a (4+CR)-bit codeword. It returns the data nibble,
+// whether a single-bit error was corrected, and whether the codeword is
+// valid. CR 4/7 and 4/8 correct single-bit errors; CR 4/5 and 4/6 only
+// detect errors (ok=false on parity failure). CR 4/8 additionally detects
+// (without mis-correcting) double-bit errors.
+func HammingDecode(cw uint16, cr CodingRate) (nib byte, corrected, ok bool) {
+	nib = byte(cw & 0x0F)
+	switch cr {
+	case CR45:
+		_, _, _, pAll := hammingParities(nib)
+		return nib, false, pAll == byte((cw>>4)&1)
+	case CR46:
+		p0, p1, _, _ := hammingParities(nib)
+		return nib, false, p0 == byte((cw>>4)&1) && p1 == byte((cw>>5)&1)
+	case CR47:
+		n, corr := hamming74Correct(cw)
+		return n, corr, true
+	case CR48:
+		// Split off the overall parity, correct on the inner (7,4) code,
+		// then check overall parity for double-error detection.
+		inner := cw & 0x7F
+		pRecv := byte((cw >> 7) & 1)
+		var pInner byte
+		for i := 0; i < 7; i++ {
+			pInner ^= byte((inner >> i) & 1)
+		}
+		n, corr := hamming74Correct(inner)
+		if !corr {
+			// No inner error: overall parity must match, else the error is
+			// in p3 itself (still decodable).
+			return n, pInner != pRecv, true
+		}
+		// Inner correction happened. If overall parity *matched* before
+		// correction, there were two errors: uncorrectable.
+		if pInner == pRecv {
+			return n, false, false
+		}
+		return n, true, true
+	default:
+		panic(fmt.Sprintf("phy: invalid coding rate %d", cr))
+	}
+}
+
+// hamming74Correct corrects up to one bit error in a 7-bit codeword and
+// returns the data nibble plus whether a correction was applied.
+func hamming74Correct(cw uint16) (byte, bool) {
+	nib := byte(cw & 0x0F)
+	p0r := byte((cw >> 4) & 1)
+	p1r := byte((cw >> 5) & 1)
+	p2r := byte((cw >> 6) & 1)
+	p0, p1, p2, _ := hammingParities(nib)
+	s := (p0 ^ p0r) | (p1^p1r)<<1 | (p2^p2r)<<2
+	if s == 0 {
+		return nib, false
+	}
+	// Syndrome → bit position. Syndromes for data bits:
+	// d0 ∈ p0,p1   → s=0b011
+	// d1 ∈ p0,p2   → s=0b101
+	// d2 ∈ p1,p2   → s=0b110
+	// d3 ∈ p0,p1,p2→ s=0b111
+	// single parity-bit errors give s ∈ {001,010,100}: data unaffected.
+	switch s {
+	case 0b011:
+		nib ^= 1 << 0
+	case 0b101:
+		nib ^= 1 << 1
+	case 0b110:
+		nib ^= 1 << 2
+	case 0b111:
+		nib ^= 1 << 3
+	}
+	return nib, true
+}

@@ -1,0 +1,60 @@
+package phy
+
+import "fmt"
+
+// Header is the LoRa explicit PHY header, transmitted in the reduced-rate
+// first interleaving block at coding rate 4/8 so that receivers can learn
+// the payload geometry before committing to a full-packet decode.
+type Header struct {
+	Length byte       // payload length in bytes
+	CR     CodingRate // coding rate of the payload blocks
+	HasCRC bool       // whether a 16-bit payload CRC trails the payload
+}
+
+// headerNibbles is the number of nibbles the encoded header occupies.
+const headerNibbles = 5
+
+// flags packs CR and the CRC-present bit into one nibble.
+func (h Header) flags() byte {
+	f := byte(h.CR) << 1
+	if h.HasCRC {
+		f |= 1
+	}
+	return f & 0x0F
+}
+
+// checksum derives the 8-bit header checksum from length and flags.
+func (h Header) checksum() byte {
+	return byte(CRC16([]byte{h.Length, h.flags()}) & 0xFF)
+}
+
+// EncodeHeader serialises the header into its five nibbles
+// (low nibble first within each conceptual byte).
+func EncodeHeader(h Header) []byte {
+	chk := h.checksum()
+	return []byte{
+		h.Length & 0x0F, h.Length >> 4,
+		h.flags(),
+		chk & 0x0F, chk >> 4,
+	}
+}
+
+// DecodeHeader parses five header nibbles, validating the checksum.
+func DecodeHeader(nibs []byte) (Header, error) {
+	if len(nibs) < headerNibbles {
+		return Header{}, fmt.Errorf("phy: header needs %d nibbles, got %d", headerNibbles, len(nibs))
+	}
+	h := Header{
+		Length: nibs[0]&0x0F | nibs[1]<<4,
+		CR:     CodingRate((nibs[2] >> 1) & 0x07),
+		HasCRC: nibs[2]&1 == 1,
+	}
+	if err := h.CR.Validate(); err != nil {
+		return Header{}, fmt.Errorf("phy: header carries invalid coding rate: %w", err)
+	}
+	chk := nibs[3]&0x0F | nibs[4]<<4
+	if chk != h.checksum() {
+		return Header{}, fmt.Errorf("phy: header checksum mismatch (got %#02x, want %#02x)", chk, h.checksum())
+	}
+	return h, nil
+}

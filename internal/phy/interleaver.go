@@ -1,0 +1,57 @@
+package phy
+
+import "fmt"
+
+// The LoRa diagonal interleaver maps a block of `rows` FEC codewords of
+// (4+CR) bits each onto (4+CR) chirp symbols of `rows` bits each. Bit c of
+// codeword r is transmitted as bit r of symbol c — shifted diagonally so
+// that the loss of one whole *symbol* touches at most one bit of each
+// *codeword*, which Hamming(7,4)/(8,4) can then correct. `rows` is SF for
+// normal blocks and SF−2 for reduced-rate blocks (header block and low
+// data-rate optimisation).
+
+// Interleave maps one block of codewords onto symbol values.
+// len(codewords) must equal rows; each codeword uses the low (4+CR) bits.
+// The returned slice holds 4+CR symbol values, each with `rows` significant
+// bits.
+func Interleave(codewords []uint16, cr CodingRate, rows int) ([]uint16, error) {
+	if len(codewords) != rows {
+		return nil, fmt.Errorf("phy: interleave block has %d codewords, want %d", len(codewords), rows)
+	}
+	if rows < 1 || rows > 16 {
+		return nil, fmt.Errorf("phy: interleave rows %d out of range [1,16]", rows)
+	}
+	cols := cr.CodewordBits()
+	out := make([]uint16, cols)
+	for c := 0; c < cols; c++ {
+		var sym uint16
+		for r := 0; r < rows; r++ {
+			src := (r + c) % rows // diagonal shift
+			bit := (codewords[src] >> c) & 1
+			sym |= bit << r
+		}
+		out[c] = sym
+	}
+	return out, nil
+}
+
+// Deinterleave inverts Interleave. len(symbols) must equal 4+CR; the result
+// holds `rows` codewords.
+func Deinterleave(symbols []uint16, cr CodingRate, rows int) ([]uint16, error) {
+	cols := cr.CodewordBits()
+	if len(symbols) != cols {
+		return nil, fmt.Errorf("phy: deinterleave block has %d symbols, want %d", len(symbols), cols)
+	}
+	if rows < 1 || rows > 16 {
+		return nil, fmt.Errorf("phy: deinterleave rows %d out of range [1,16]", rows)
+	}
+	out := make([]uint16, rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			src := (r + c) % rows
+			bit := (symbols[c] >> r) & 1
+			out[src] |= bit << c
+		}
+	}
+	return out, nil
+}

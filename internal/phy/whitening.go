@@ -1,0 +1,45 @@
+package phy
+
+// Whitener generates the PN9 whitening sequence (polynomial x⁹+x⁵+1, seed
+// all-ones) used to scramble payload bytes so the radio sees a DC-balanced
+// bit stream. Whitening is an involution: applying the same sequence twice
+// restores the original bytes.
+type Whitener struct {
+	state uint16
+}
+
+// NewWhitener returns a Whitener in its initial (seed) state.
+func NewWhitener() *Whitener { return &Whitener{state: 0x1FF} }
+
+// Reset returns the whitener to the seed state.
+func (w *Whitener) Reset() { w.state = 0x1FF }
+
+// NextByte produces the next whitening byte of the PN9 sequence.
+func (w *Whitener) NextByte() byte {
+	var b byte
+	for i := 0; i < 8; i++ {
+		bit := w.state & 1
+		b |= byte(bit) << i
+		// x^9 + x^5 + 1: feedback from taps 0 and 5.
+		fb := (w.state ^ (w.state >> 5)) & 1
+		w.state = (w.state >> 1) | (fb << 8)
+	}
+	return b
+}
+
+// Apply XORs the whitening sequence over data in place, starting from the
+// whitener's current state, and returns data.
+func (w *Whitener) Apply(data []byte) []byte {
+	for i := range data {
+		data[i] ^= w.NextByte()
+	}
+	return data
+}
+
+// Whiten scrambles (or descrambles) a copy of data with a fresh PN9
+// sequence.
+func Whiten(data []byte) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	return NewWhitener().Apply(out)
+}

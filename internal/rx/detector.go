@@ -1,0 +1,710 @@
+package rx
+
+import (
+	"math"
+	"sort"
+
+	"cic/internal/dsp"
+	"cic/internal/frame"
+)
+
+// DetectorOptions tunes preamble detection.
+type DetectorOptions struct {
+	// DownchirpThreshold: a down-chirp candidate needs a de-chirped peak at
+	// least this many times the spectrum's MEAN bin power. A genuine
+	// down-chirp concentrates coherently (peak/mean ≈ 2^SF at high SNR)
+	// while mismatched data chirps smear into speckle with peak/mean ≈ 10–20,
+	// so the mean — unlike the median — is robust to how much of the band
+	// the interference occupies. Default 40.
+	DownchirpThreshold float64
+	// UpchirpThreshold: minimum peak-to-floor ratio for a window to
+	// contribute peaks to the up-chirp run matcher. Default 8.
+	UpchirpThreshold float64
+	// UpchirpRun: number of consecutive symbol windows whose top peaks must
+	// agree (±1 bin) for the conventional up-chirp detector. Default 6.
+	UpchirpRun int
+	// UpchirpTopK: how many peaks per window participate in up-chirp run
+	// matching. Default 1 — the conventional receiver searches for "8
+	// consecutive peaks with the same frequency" (paper §3), i.e. the
+	// global maximum only, which is what collisions and sub-noise SNR
+	// defeat (Figs 32–35). Track-based receivers (FTrack) raise this.
+	UpchirpTopK int
+	// VerifyMinScore: minimum number of preamble/SYNC symbols (of 10) that
+	// must demodulate correctly to accept a detection. Default 8: a
+	// ±1-symbol misalignment matches at most 7 of 10, so 8 rejects the
+	// shifted aliases of a real preamble while tolerating two noise-lost
+	// symbols.
+	VerifyMinScore int
+	// VerifyPeakFactor: a preamble/SYNC symbol counts as matched when the
+	// folded power at the expected bin (±1) is at least this many times the
+	// spectrum's noise floor. The check is deliberately not max-peak based:
+	// under collisions a stronger concurrent transmission legitimately owns
+	// the global maximum. Default 12 (≈10.8 dB).
+	VerifyPeakFactor float64
+	// MaxCFOBins bounds the absolute carrier-frequency-offset hypothesis in
+	// LoRa bins during synchronisation; hypotheses beyond it are interferer
+	// tones, not our packet. Default 24 (≈23 kHz at SF8/250 kHz).
+	MaxCFOBins float64
+	// MaxPackets bounds the number of detections per scan (0 = unlimited).
+	MaxPackets int
+}
+
+func (o *DetectorOptions) setDefaults() {
+	if o.DownchirpThreshold == 0 {
+		o.DownchirpThreshold = 40
+	}
+	if o.UpchirpThreshold == 0 {
+		o.UpchirpThreshold = 8
+	}
+	if o.UpchirpRun == 0 {
+		o.UpchirpRun = 6
+	}
+	if o.UpchirpTopK == 0 {
+		o.UpchirpTopK = 1
+	}
+	if o.VerifyMinScore == 0 {
+		o.VerifyMinScore = 8
+	}
+	if o.VerifyPeakFactor == 0 {
+		o.VerifyPeakFactor = 12
+	}
+	if o.MaxCFOBins == 0 {
+		o.MaxCFOBins = 24
+	}
+}
+
+// Detector finds LoRa preambles in a sample stream. It supports both the
+// conventional up-chirp search (8 consecutive C0 peaks — used by standard
+// LoRa, Choir and FTrack) and CIC's down-chirp search (§5.8), which stays
+// clean under collisions because concurrent data symbols do not correlate
+// against an up-chirp multiplier.
+type Detector struct {
+	cfg  frame.Config
+	opts DetectorOptions
+	d    *Demod
+}
+
+// NewDetector builds a Detector.
+func NewDetector(cfg frame.Config, opts DetectorOptions) (*Detector, error) {
+	opts.setDefaults()
+	d, err := NewDemod(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{cfg: cfg, opts: opts, d: d}, nil
+}
+
+// dcRegionOffset is the number of whole symbols between the packet start
+// and the start of the down-chirp region (8 preamble + 2 SYNC).
+const dcRegionOffset = frame.PreambleUpchirps + frame.SyncSymbols
+
+// ScanDownchirp searches the whole source with CIC's down-chirp method and
+// returns verified, deduplicated packets sorted by start.
+//
+// Each half-symbol-stepped window is multiplied by the up-chirp C0; a
+// window inside the preamble's 2.25 down-chirps collapses to a tone whose
+// M-grid bin encodes the window/down-chirp misalignment (bin = e/OSR + δ
+// for a down-chirp starting e samples after the window), while concurrent
+// data up-chirps spread across the band. Candidates are refined and
+// verified against the 8 up-chirps and SYNC word behind them.
+func (det *Detector) ScanDownchirp(src SampleSource) []*Packet {
+	start, end := src.Span()
+	return det.ScanDownchirpRange(src, start, end)
+}
+
+// ScanDownchirpRange is ScanDownchirp restricted to scan-window positions
+// in [start, end) — the incremental entry point used by the streaming
+// gateway. Detected packets may begin before `start` (the preamble extends
+// ~12 symbols before the down-chirps the scan keys on).
+func (det *Detector) ScanDownchirpRange(src SampleSource, start, end int64) []*Packet {
+	m := det.cfg.Chirp.SamplesPerSymbol()
+	osr := det.cfg.Chirp.OSR
+	win := make([]complex128, m)
+	dd := make([]complex128, m)
+	mag := make(dsp.Spectrum, m)
+	fft := det.d.FFT()
+	gen := det.d.Generator()
+	var cands []int64
+	// Align scan positions to the global half-symbol grid so incremental
+	// range scans visit exactly the positions a whole-span scan would.
+	first := start - int64(m)
+	grid := int64(m / 2)
+	if r := first % grid; r != 0 {
+		first -= r
+	}
+	for p := first; p < end; p += grid {
+		src.Read(win, p)
+		gen.DechirpDown(dd, win)
+		fft.ForwardInto(dd, dd[:m])
+		meanPow := 0.0
+		for i, v := range dd {
+			mag[i] = real(v)*real(v) + imag(v)*imag(v)
+			meanPow += mag[i]
+		}
+		meanPow /= float64(m)
+		peak, bin := mag.Max()
+		if meanPow <= 0 || peak < det.opts.DownchirpThreshold*meanPow {
+			continue
+		}
+		// bin = (e/OSR + δ) mod M where e is the down-chirp start relative
+		// to the window. Interpret the circle as signed and neglect δ
+		// (≤ a few bins, removed during refinement).
+		e := bin * osr
+		if bin > m/2 {
+			e = (bin - m) * osr
+		}
+		cands = append(cands, p+int64(e))
+	}
+	return det.resolveCandidates(src, cands)
+}
+
+// upWindow is one symbol-length window's peak set in the up-chirp scan.
+type upWindow struct {
+	pos   int64
+	peaks []dsp.Peak
+}
+
+// ScanUpchirp searches with the conventional method: a run of consecutive
+// full-symbol windows whose de-chirped top peaks agree on one bin (the
+// repeated C0 preamble de-chirps to a constant bin when the window grid is
+// fixed). Under collisions, data symbols from concurrent packets clutter
+// the per-window peaks (Fig 19) — the failure mode Figs 32–35 measure.
+func (det *Detector) ScanUpchirp(src SampleSource) []*Packet {
+	start, end := src.Span()
+	return det.ScanUpchirpRange(src, start, end)
+}
+
+// ScanUpchirpRange is ScanUpchirp restricted to window positions in
+// [start, end).
+func (det *Detector) ScanUpchirpRange(src SampleSource, start, end int64) []*Packet {
+	m := det.cfg.Chirp.SamplesPerSymbol()
+	n := det.cfg.Chirp.ChipCount()
+	fft := det.d.FFT()
+	gen := det.d.Generator()
+	win := make([]complex128, m)
+	dd := make([]complex128, m)
+	spec := make(dsp.Spectrum, n)
+
+	var history []upWindow
+	var cands []int64
+	run := det.opts.UpchirpRun
+
+	for p := start - int64(m); p < end; p += int64(m) {
+		src.Read(win, p)
+		gen.Dechirp(dd, win)
+		fft.ForwardInto(dd, dd[:m])
+		dsp.FoldMagnitude(spec, dd, n, det.cfg.Chirp.OSR)
+		floor := dsp.NoiseFloor(spec)
+		peaks := dsp.TopPeaks(spec, 0.2, det.opts.UpchirpTopK)
+		// Keep only peaks meaningfully above the floor.
+		kept := peaks[:0]
+		for _, pk := range peaks {
+			if floor <= 0 || pk.Power >= det.opts.UpchirpThreshold*floor {
+				kept = append(kept, pk)
+			}
+		}
+		history = append(history, upWindow{pos: p, peaks: append([]dsp.Peak(nil), kept...)})
+		if len(history) < run {
+			continue
+		}
+		tail := history[len(history)-run:]
+		if _, ok := consistentBin(tail, n); ok {
+			// The run's final window sits inside the preamble; the
+			// down-chirp region follows within the next few symbols.
+			// Localise it with a bounded down-chirp search, as a real
+			// receiver uses the SFD for fine sync.
+			if anchor, ok := det.localDownchirp(src, p, 6); ok {
+				cands = append(cands, anchor)
+				history = history[:0] // avoid re-triggering on this run
+			}
+		}
+	}
+	return det.resolveCandidates(src, cands)
+}
+
+// consistentBin reports whether every window in the run shares a peak bin
+// within ±1 (circular) and returns that bin.
+func consistentBin(run []upWindow, n int) (int, bool) {
+	if len(run) == 0 || len(run[0].peaks) == 0 {
+		return 0, false
+	}
+	for _, cand := range run[0].peaks {
+		ok := true
+		for _, w := range run[1:] {
+			found := false
+			for _, pk := range w.peaks {
+				d := pk.Bin - cand.Bin
+				if d < 0 {
+					d = -d
+				}
+				if d <= 1 || d >= n-1 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return cand.Bin, true
+		}
+	}
+	return 0, false
+}
+
+// localDownchirp searches [from, from+symbols·M) in half-symbol steps for
+// the strongest down-chirp tone and returns its estimated chirp start.
+func (det *Detector) localDownchirp(src SampleSource, from int64, symbols int) (int64, bool) {
+	m := det.cfg.Chirp.SamplesPerSymbol()
+	osr := det.cfg.Chirp.OSR
+	win := make([]complex128, m)
+	dd := make([]complex128, m)
+	mag := make(dsp.Spectrum, m)
+	fft := det.d.FFT()
+	gen := det.d.Generator()
+	bestPower := 0.0
+	var bestAnchor int64
+	found := false
+	for p := from; p < from+int64(symbols*m); p += int64(m / 2) {
+		src.Read(win, p)
+		gen.DechirpDown(dd, win)
+		fft.ForwardInto(dd, dd[:m])
+		meanPow := 0.0
+		for i, v := range dd {
+			mag[i] = real(v)*real(v) + imag(v)*imag(v)
+			meanPow += mag[i]
+		}
+		meanPow /= float64(m)
+		peak, bin := mag.Max()
+		if meanPow <= 0 || peak < det.opts.DownchirpThreshold*meanPow {
+			continue
+		}
+		if peak > bestPower {
+			e := bin * osr
+			if bin > m/2 {
+				e = (bin - m) * osr
+			}
+			bestPower = peak
+			bestAnchor = p + int64(e)
+			found = true
+		}
+	}
+	return bestAnchor, found
+}
+
+// resolveCandidates refines, verifies and deduplicates raw candidate
+// down-chirp anchors, producing tracked packets sorted by start.
+func (det *Detector) resolveCandidates(src SampleSource, dcAnchors []int64) []*Packet {
+	m := int64(det.cfg.Chirp.SamplesPerSymbol())
+	var pkts []*Packet
+	sort.Slice(dcAnchors, func(i, j int) bool { return dcAnchors[i] < dcAnchors[j] })
+	for _, anchor := range dcAnchors {
+		// Skip anchors that obviously duplicate an accepted packet before
+		// paying for refinement.
+		dupEarly := false
+		for _, prev := range pkts {
+			dc := prev.Start + int64(dcRegionOffset)*m
+			if abs64(anchor-dc) < m/2 || abs64(anchor-dc-m) < m/2 {
+				dupEarly = true
+				break
+			}
+		}
+		if dupEarly {
+			continue
+		}
+		pkt, ok := det.Synchronize(src, anchor)
+		if !ok {
+			continue
+		}
+		dup := false
+		for i, prev := range pkts {
+			if abs64(pkt.Start-prev.Start) < m/2 {
+				dup = true
+				if pkt.Score > prev.Score {
+					pkts[i] = pkt
+				}
+				break
+			}
+		}
+		if !dup {
+			pkts = append(pkts, pkt)
+			if det.opts.MaxPackets > 0 && len(pkts) >= det.opts.MaxPackets {
+				break
+			}
+		}
+	}
+	sort.Slice(pkts, func(i, j int) bool { return pkts[i].Start < pkts[j].Start })
+	for i, p := range pkts {
+		p.ID = i
+	}
+	return pkts
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Synchronize refines a coarse down-chirp anchor into an exact packet start
+// and CFO estimate, then verifies the preamble. The returned Packet has
+// NSymbols unset (0).
+//
+// Estimation algebra, in LoRa-bin units (one bin = B/2^SF Hz; one chip =
+// OSR samples), with e = signal start − window start:
+//
+//	up-chirp window:   peak at  δ − e/OSR  (mod N)
+//	down-chirp window: peak at  δ + e/OSR  (mod M)
+//
+// so δ = (b_up + b_down)/2 and e = OSR·(b_down − b_up)/2. Because the
+// coarse anchor may lock onto the second down-chirp, the final verification
+// tries the ±1-symbol shifts and keeps the best-scoring alignment.
+func (det *Detector) Synchronize(src SampleSource, dcAnchor int64) (*Packet, bool) {
+	cfg := det.cfg
+	m := cfg.Chirp.SamplesPerSymbol()
+	n := cfg.Chirp.ChipCount()
+	gen := det.d.Generator()
+	fft := det.d.FFT()
+
+	win := make([]complex128, m)
+	dd := make([]complex128, m)
+
+	// Measure the down-chirp tone once at the anchor — concurrent data
+	// up-chirps spread under DechirpDown, so its global peak is ours.
+	src.Read(win, dcAnchor)
+	gen.DechirpDown(dd, win)
+	mag := mgridSpectrum(fft, dd, m)
+	_, at := mag.Max()
+	if at < 0 {
+		return nil, false
+	}
+
+	// Gather up-chirp peak hypotheses from mid-preamble windows. Under
+	// collisions the preamble windows contain tones from concurrent
+	// transmissions too, each appearing consistently; every recurring bin
+	// is a hypothesis, and the CFO budget plus preamble verification pick
+	// the right one.
+	preStart := dcAnchor - int64(dcRegionOffset*m)
+	counts := map[int]int{}
+	spec := make(dsp.Spectrum, n)
+	for _, sym := range []int{2, 3, 4, 5} {
+		src.Read(win, preStart+int64(sym*m))
+		gen.Dechirp(dd, win)
+		fft.ForwardInto(dd, dd[:m])
+		dsp.FoldMagnitude(spec, dd, n, det.cfg.Chirp.OSR)
+		// The folded spectrum combines each tone's OSR images into one bin,
+		// so a handful of strong interferers cannot crowd a weak packet's
+		// tone out of the peak list.
+		for _, pk := range dsp.TopPeaks(spec, 0.05, 6) {
+			// Collapse the OSR images onto the N circle and tolerate ±1 bin
+			// of drift between windows (fractional peaks near a bin edge
+			// flip sides from window to window).
+			b := pk.Bin % n
+			counts[(b-1+n)%n]++
+			counts[b]++
+			counts[(b+1)%n]++
+		}
+	}
+	var hypos []int
+	for bin, c := range counts {
+		if c < 3 {
+			continue
+		}
+		// Keep only local maxima of the count histogram so a single tone
+		// does not spawn three near-identical hypotheses.
+		if counts[(bin-1+n)%n] > c || counts[(bin+1)%n] > c {
+			continue
+		}
+		if counts[(bin+1)%n] == c && counts[(bin-1+n)%n] < c {
+			continue // the plateau's other end will represent this tone
+		}
+		hypos = append(hypos, bin)
+	}
+	sort.Slice(hypos, func(a, b int) bool {
+		if counts[hypos[a]] != counts[hypos[b]] {
+			return counts[hypos[a]] > counts[hypos[b]]
+		}
+		return hypos[a] < hypos[b]
+	})
+	if len(hypos) > 4 {
+		hypos = hypos[:4]
+	}
+
+	var best *Packet
+	for _, h := range hypos {
+		bUp0 := dsp.WrapToHalf(float64(h), float64(n)/2)
+		if pkt, ok := det.refineHypothesis(src, dcAnchor, bUp0); ok {
+			if best == nil || pkt.Score > best.Score {
+				best = pkt
+			}
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	return best, true
+}
+
+// refineHypothesis iterates the (δ, ε) solution for one up-chirp bin
+// hypothesis, then verifies the resulting alignment (including the ±1
+// symbol down-chirp ambiguity).
+func (det *Detector) refineHypothesis(src SampleSource, dcAnchor int64, bUpHypo float64) (*Packet, bool) {
+	cfg := det.cfg
+	m := cfg.Chirp.SamplesPerSymbol()
+	n := cfg.Chirp.ChipCount()
+	osr := cfg.Chirp.OSR
+	gen := det.d.Generator()
+	fft := det.d.FFT()
+	win := make([]complex128, m)
+	dd := make([]complex128, m)
+
+	dcStart := dcAnchor
+	var cfoBins float64
+	expectUp := bUpHypo
+	for iter := 0; iter < 3; iter++ {
+		src.Read(win, dcStart)
+		gen.DechirpDown(dd, win)
+		mag := mgridSpectrum(fft, dd, m)
+		var bDown float64
+		var pDown float64
+		if iter == 0 {
+			_, at := mag.Max()
+			off, h := dsp.QuadInterp(mag, at)
+			bDown, pDown = float64(at)+off, h
+		} else {
+			// After the previous shift ε ≈ 0, so the tone sits near δ.
+			bDown, pDown = nearestPeak(mag, cfoBins, 4)
+		}
+		if pDown <= 0 {
+			return nil, false
+		}
+		bDownW := dsp.WrapToHalf(bDown, float64(m)/2)
+
+		preStart := dcStart - int64(dcRegionOffset*m)
+		bUps := make([]float64, 0, 4)
+		for _, sym := range []int{2, 3, 4, 5} {
+			src.Read(win, preStart+int64(sym*m))
+			gen.Dechirp(dd, win)
+			umag := mgridSpectrum(fft, dd, m)
+			// Search near the expected bin on both OSR images.
+			b1, p1 := nearestPeak(umag, expectUp, 3)
+			b2, p2 := nearestPeak(umag, expectUp+float64((osr-1)*n), 3)
+			if p2 > p1 {
+				b1 = b2 - float64((osr-1)*n)
+			}
+			bUps = append(bUps, dsp.WrapToHalf(b1, float64(n)/2))
+		}
+		sort.Float64s(bUps)
+		bUp := 0.5 * (bUps[1] + bUps[2]) // median of 4
+		cfoBins = (bUp + bDownW) / 2
+		if math.Abs(cfoBins) > det.opts.MaxCFOBins {
+			return nil, false
+		}
+		epsChips := (bDownW - bUp) / 2
+		shift := int64(math.Round(epsChips * float64(osr)))
+		dcStart += shift
+		// After shifting, ε ≈ 0 and the up-chirp tone is expected at δ.
+		expectUp = dsp.WrapToHalf(cfoBins, float64(n)/2)
+		if shift == 0 && iter > 0 {
+			break
+		}
+	}
+
+	cfoHz := cfoBins * cfg.Chirp.BinWidth()
+	base := dcStart - int64(dcRegionOffset*m)
+
+	// Resolve the which-down-chirp ambiguity: try start shifts of 0, ±1
+	// symbol and keep the best verification score.
+	var best *Packet
+	for _, shift := range []int64{0, -int64(m), int64(m)} {
+		pkt := &Packet{Start: base + shift, CFOHz: cfoHz}
+		if det.verify(src, pkt) && (best == nil || pkt.Score > best.Score) {
+			best = pkt
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	det.refineEffectiveCFO(src, best)
+	return best, true
+}
+
+// refineEffectiveCFO measures the residual fractional peak offset over the
+// preamble up-chirps at the final alignment and folds it into the packet's
+// CFO estimate. Sub-sample timing error and CFO error are observationally
+// equivalent for symbol demodulation (both shift every window's tone by a
+// constant), so absorbing the residual here makes the packet's own data
+// peaks land within a small fraction of a bin — the margin the §5.7
+// fractional-CFO candidate filter depends on.
+func (det *Detector) refineEffectiveCFO(src SampleSource, pkt *Packet) {
+	cfg := det.cfg
+	m := cfg.Chirp.SamplesPerSymbol()
+	d := det.d
+	fracs := make([]float64, 0, frame.PreambleUpchirps)
+	for i := 0; i < frame.PreambleUpchirps; i++ {
+		d.LoadWindow(src, pkt.Start+int64(i*m), pkt.CFOHz)
+		mag := mgridSpectrum(d.FFT(), d.Dechirped(), m)
+		// The preamble tone (k=0) should sit at M-grid bin ~0; search ±2
+		// bins then zoom.
+		pos, pow := nearestPeak(mag, 0, 2)
+		if pow <= 0 {
+			continue
+		}
+		ipos := int(math.Round(pos))
+		zpos, _ := dsp.RefinePeak(d.Dechirped(), m, ipos, 16)
+		fracs = append(fracs, dsp.WrapToHalf(zpos, float64(m)/2))
+	}
+	if len(fracs) < 3 {
+		return
+	}
+	sort.Float64s(fracs)
+	med := fracs[len(fracs)/2]
+	if math.Abs(med) < 1.5 {
+		pkt.CFOHz += med * cfg.Chirp.BinWidth()
+	}
+}
+
+// mgridSpectrum FFTs the de-chirped window on the M grid and returns the
+// power spectrum (freshly allocated).
+func mgridSpectrum(fft *dsp.FFT, dd []complex128, m int) dsp.Spectrum {
+	tmp := make([]complex128, m)
+	fft.ForwardInto(tmp, dd)
+	mag := make(dsp.Spectrum, m)
+	for i, v := range tmp {
+		mag[i] = real(v)*real(v) + imag(v)*imag(v)
+	}
+	return mag
+}
+
+// nearestPeak finds the strongest bin within ±radius (circular) of the
+// expected fractional position and refines it, returning position and
+// power.
+func nearestPeak(mag dsp.Spectrum, expect float64, radius int) (float64, float64) {
+	m := len(mag)
+	center := int(math.Round(expect))
+	bestBin, bestPow := -1, 0.0
+	for d := -radius; d <= radius; d++ {
+		b := ((center+d)%m + m) % m
+		if mag[b] > bestPow {
+			bestPow, bestBin = mag[b], b
+		}
+	}
+	if bestBin < 0 {
+		return expect, 0
+	}
+	off, h := dsp.QuadInterp(mag, bestBin)
+	pos := float64(bestBin) + off
+	// Report the position on the same unwrapped sheet as the expectation.
+	if diff := pos - expect; diff > float64(m)/2 {
+		pos -= float64(m)
+	} else if diff < -float64(m)/2 {
+		pos += float64(m)
+	}
+	return pos, h
+}
+
+// verify demodulates the 8 preamble up-chirps and 2 SYNC symbols with the
+// packet's timing and CFO; it scores matches, estimates the reference peak
+// amplitude and SNR, and accepts when the score reaches VerifyMinScore.
+func (det *Detector) verify(src SampleSource, pkt *Packet) bool {
+	cfg := det.cfg
+	m := cfg.Chirp.SamplesPerSymbol()
+	n := cfg.Chirp.ChipCount()
+	d := det.d
+	x, y := cfg.SyncSymbolValues()
+	want := make([]int, 0, frame.PreambleUpchirps+frame.SyncSymbols)
+	for i := 0; i < frame.PreambleUpchirps; i++ {
+		want = append(want, 0)
+	}
+	want = append(want, x, y)
+
+	score := 0
+	var amps, snrs []float64
+	for i, w := range want {
+		d.LoadWindow(src, pkt.Start+int64(i*m), pkt.CFOHz)
+		spec := d.FoldedSpectrum()
+		// Check the expected bin (±1) against the noise floor instead of
+		// requiring the global maximum: under collisions a stronger
+		// concurrent transmission legitimately owns the global peak.
+		peak := spec[w]
+		for _, b := range []int{(w + 1) % n, (w - 1 + n) % n} {
+			if spec[b] > peak {
+				peak = spec[b]
+			}
+		}
+		nf := dsp.NoiseFloor(spec)
+		if nf > 0 && peak >= det.opts.VerifyPeakFactor*nf {
+			score++
+			amps = append(amps, math.Sqrt(peak))
+			snrs = append(snrs, dsp.DB(peak/nf))
+		}
+	}
+	pkt.Score = score
+	if score < det.opts.VerifyMinScore {
+		return false
+	}
+	// Mandatory down-chirp gate: up-chirp windows cannot distinguish the
+	// degenerate alias family (δ + k·binWidth, ε − k·OSR samples), which
+	// produces identical up-chirp peaks for any integer k. The down-chirp
+	// tone moves the *other* way (δ + ε/OSR), so a genuine, aligned packet
+	// must show it within ±2 bins of zero after CFO correction.
+	if !det.downchirpAligned(src, pkt) {
+		return false
+	}
+	pkt.PeakAmp = dsp.Mean(amps)
+	pkt.SNRdB = dsp.Mean(snrs)
+	return true
+}
+
+// downchirpAligned checks that BOTH whole down-chirps of the preamble
+// de-chirp (against C0, with CFO removed) to a strong tone at M-grid bin
+// 0±2. Checking both defeats aliases that place only one window over
+// genuinely down-chirping samples.
+func (det *Detector) downchirpAligned(src SampleSource, pkt *Packet) bool {
+	cfg := det.cfg
+	m := cfg.Chirp.SamplesPerSymbol()
+	gen := det.d.Generator()
+	fft := det.d.FFT()
+	win := make([]complex128, m)
+	dd := make([]complex128, m)
+	mag := make(dsp.Spectrum, m)
+	peaks := make([]float64, frame.DownchirpsWhole)
+	for dc := 0; dc < frame.DownchirpsWhole; dc++ {
+		src.Read(win, pkt.Start+int64((dcRegionOffset+dc)*m))
+		gen.DechirpDown(dd, win)
+		if pkt.CFOHz != 0 {
+			step := -2 * math.Pi * pkt.CFOHz / cfg.Chirp.SampleRate()
+			phase := 0.0
+			for i := range dd {
+				s, c := math.Sincos(phase)
+				dd[i] *= complex(c, s)
+				phase += step
+			}
+		}
+		fft.ForwardInto(dd, dd[:m])
+		meanPow := 0.0
+		for i, v := range dd {
+			mag[i] = real(v)*real(v) + imag(v)*imag(v)
+			meanPow += mag[i]
+		}
+		meanPow /= float64(m)
+		peak, at := mag.Max()
+		if meanPow > 0 && peak < 10*meanPow {
+			return false
+		}
+		if at > 2 && at < m-2 {
+			return false
+		}
+		peaks[dc] = peak
+	}
+	// Both down-chirps must carry comparable tone power: a ±1-symbol alias
+	// places one window over a full down-chirp but the other over only the
+	// 0.25 fraction (1/16 of the power).
+	if peaks[1] < peaks[0]/4 || peaks[0] < peaks[1]/4 {
+		return false
+	}
+	return true
+}

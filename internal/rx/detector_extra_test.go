@@ -1,0 +1,200 @@
+package rx
+
+import (
+	"math"
+	"testing"
+
+	"cic/internal/channel"
+	"cic/internal/frame"
+)
+
+// TestSynchronizeAccuracyGrid sweeps sample offsets × CFOs and requires
+// sample-exact timing (±2) and quarter-bin CFO accuracy everywhere.
+func TestSynchronizeAccuracyGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid sweep")
+	}
+	cfg := testCfg()
+	m := cfg.Chirp.SamplesPerSymbol()
+	det, err := NewDetector(cfg, DetectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := cfg.Chirp.BinWidth()
+	for _, startOff := range []int64{0, 1, 3, 513, 1021} {
+		for _, cfo := range []float64{0, 0.4 * bw, -2.7 * bw, 8 * bw, -12.3 * bw} {
+			start := int64(6000) + startOff
+			src, _ := buildAir(t, cfg, []byte("grid"), start, 25, cfo, true, start+int64(cfo))
+			pkt, ok := det.Synchronize(src, start+int64(10*m))
+			if !ok {
+				t.Errorf("off=%d cfo=%.0f: sync failed", startOff, cfo)
+				continue
+			}
+			if d := abs64(pkt.Start - start); d > 2 {
+				t.Errorf("off=%d cfo=%.0f: start error %d", startOff, cfo, d)
+			}
+			// The effective CFO may absorb up to one sample of timing
+			// (±binWidth/OSR); allow that plus a quarter bin.
+			tol := bw/float64(cfg.Chirp.OSR) + bw/4
+			if d := math.Abs(pkt.CFOHz - cfo); d > tol {
+				t.Errorf("off=%d cfo=%.0f: cfo error %.1f Hz (tol %.1f)", startOff, cfo, d, tol)
+			}
+		}
+	}
+}
+
+// TestSynchronizeRejectsExcessCFO: hypotheses beyond MaxCFOBins are
+// interferer tones and must not produce a packet.
+func TestSynchronizeRejectsExcessCFO(t *testing.T) {
+	cfg := testCfg()
+	m := cfg.Chirp.SamplesPerSymbol()
+	det, err := NewDetector(cfg, DetectorOptions{MaxCFOBins: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CFO of 8 bins exceeds the 4-bin budget.
+	start := int64(6000)
+	src, _ := buildAir(t, cfg, []byte("toofar"), start, 25, 8*cfg.Chirp.BinWidth(), false, 1)
+	if pkt, ok := det.Synchronize(src, start+int64(10*m)); ok {
+		t.Errorf("accepted packet with out-of-budget CFO: %v", pkt)
+	}
+}
+
+// TestDetectorOptionDefaults documents the default knob values.
+func TestDetectorOptionDefaults(t *testing.T) {
+	var o DetectorOptions
+	o.setDefaults()
+	if o.DownchirpThreshold != 40 || o.UpchirpThreshold != 8 ||
+		o.UpchirpRun != 6 || o.UpchirpTopK != 1 ||
+		o.VerifyMinScore != 8 || o.VerifyPeakFactor != 12 || o.MaxCFOBins != 24 {
+		t.Errorf("defaults changed: %+v", o)
+	}
+}
+
+// TestMaxPacketsBound: the scan stops tracking after MaxPackets.
+func TestMaxPacketsBound(t *testing.T) {
+	cfg := testCfg()
+	mod, err := frame.NewModulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ems []channel.Emission
+	gap := int64(cfg.PacketSampleCount(8) + 2*cfg.Chirp.SamplesPerSymbol())
+	for i := 0; i < 4; i++ {
+		wave, _, err := mod.Modulate([]byte("maxpkts"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ems = append(ems, channel.Emission{
+			Start: 4096 + int64(i)*gap,
+			Samples: channel.Apply(wave, channel.Impairments{
+				Amplitude: channel.AmplitudeForSNR(25), SampleRate: cfg.Chirp.SampleRate(),
+			}),
+		})
+	}
+	src := SourceFromRenderer(channel.NewRenderer(ems, cfg.Chirp.OSR, 4))
+	det, err := NewDetector(cfg, DetectorOptions{MaxPackets: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkts := det.ScanDownchirp(src); len(pkts) != 2 {
+		t.Errorf("MaxPackets=2 returned %d packets", len(pkts))
+	}
+}
+
+// TestScanRangeEquivalence: scanning the span in two halves finds the same
+// packets as one pass (the streaming gateway depends on this).
+func TestScanRangeEquivalence(t *testing.T) {
+	cfg := testCfg()
+	src, start := buildAir(t, cfg, []byte("range equivalence"), 30000, 25, -1900, true, 11)
+	det, err := NewDetector(cfg, DetectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := det.ScanDownchirp(src)
+	s, e := src.Span()
+	mid := (s + e) / 2
+	firstHalf := det.ScanDownchirpRange(src, s, mid)
+	secondHalf := det.ScanDownchirpRange(src, mid, e)
+	combined := append(firstHalf, secondHalf...)
+	if len(whole) != 1 {
+		t.Fatalf("whole scan found %d packets", len(whole))
+	}
+	found := false
+	for _, p := range combined {
+		if abs64(p.Start-start) <= 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("split scan missed the packet (found %d candidates)", len(combined))
+	}
+}
+
+// TestVerifyScoreReflectsQuality: a clean high-SNR packet scores the full
+// 10; degrading SNR may lower the score but never below the acceptance
+// threshold for a detectable packet.
+func TestVerifyScoreReflectsQuality(t *testing.T) {
+	cfg := testCfg()
+	m := cfg.Chirp.SamplesPerSymbol()
+	det, err := NewDetector(cfg, DetectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, start := buildAir(t, cfg, []byte("clean"), 9000, 30, 500, true, 12)
+	pkt, ok := det.Synchronize(src, start+int64(10*m))
+	if !ok || pkt.Score != 10 {
+		t.Errorf("clean packet score %d, want 10", pkt.Score)
+	}
+}
+
+// TestDownchirpBeatsUpchirpUnderCollision: with several overlapping
+// packets, the down-chirp scan must find at least as many as the
+// conventional (TopK=1) up-chirp scan — the paper's §5.8 claim behind
+// Figs 32–35.
+func TestDownchirpBeatsUpchirpUnderCollision(t *testing.T) {
+	cfg := testCfg()
+	mod, err := frame.NewModulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := int64(cfg.Chirp.SamplesPerSymbol())
+	var ems []channel.Emission
+	starts := []int64{4096, 4096 + 9*m + 301, 4096 + 19*m + 77, 4096 + 30*m + 512}
+	for i, start := range starts {
+		wave, _, err := mod.Modulate([]byte("collision detect test!"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ems = append(ems, channel.Emission{Start: start, Samples: channel.Apply(wave, channel.Impairments{
+			Amplitude:  channel.AmplitudeForSNR(20 + 4*float64(i)),
+			CFOHz:      float64(i*2000 - 3000),
+			SampleRate: cfg.Chirp.SampleRate(),
+		})})
+	}
+	src := SourceFromRenderer(channel.NewRenderer(ems, cfg.Chirp.OSR, 21))
+	det, err := NewDetector(cfg, DetectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	match := func(pkts []*Packet) int {
+		n := 0
+		for _, want := range starts {
+			for _, p := range pkts {
+				if abs64(p.Start-want) <= 2 {
+					n++
+					break
+				}
+			}
+		}
+		return n
+	}
+	down := match(det.ScanDownchirp(src))
+	up := match(det.ScanUpchirp(src))
+	if down < up {
+		t.Errorf("down-chirp found %d, up-chirp %d", down, up)
+	}
+	if down < 3 {
+		t.Errorf("down-chirp scan found only %d of 4 overlapping packets", down)
+	}
+}

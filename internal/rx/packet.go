@@ -1,0 +1,147 @@
+package rx
+
+import (
+	"fmt"
+	"math"
+
+	"cic/internal/chirp"
+	"cic/internal/dsp"
+	"cic/internal/frame"
+)
+
+// Packet is one tracked transmission: the receiver-side view of a detected
+// preamble with its estimated geometry and per-transmitter features.
+type Packet struct {
+	ID       int     // tracker-assigned identifier
+	Start    int64   // estimated first sample of the preamble
+	CFOHz    float64 // estimated carrier frequency offset
+	PeakAmp  float64 // reference de-chirped peak amplitude from the preamble
+	SNRdB    float64 // estimated SNR (peak vs spectrum noise floor)
+	Score    int     // preamble verification score (matched symbols)
+	NSymbols int     // data symbols to demodulate (set from header or max)
+}
+
+// DataStart returns the absolute sample index of the first data symbol for
+// the given config.
+func (p *Packet) DataStart(cfg frame.Config) int64 {
+	return p.Start + int64(cfg.PreambleSampleCount())
+}
+
+// SymbolStart returns the absolute sample index of data symbol i.
+func (p *Packet) SymbolStart(cfg frame.Config, i int) int64 {
+	return p.DataStart(cfg) + int64(i*cfg.Chirp.SamplesPerSymbol())
+}
+
+// End returns the absolute sample index just past the last data symbol.
+func (p *Packet) End(cfg frame.Config) int64 {
+	return p.SymbolStart(cfg, p.NSymbols)
+}
+
+// String implements fmt.Stringer.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt%d@%d cfo=%.0fHz snr=%.1fdB syms=%d", p.ID, p.Start, p.CFOHz, p.SNRdB, p.NSymbols)
+}
+
+// Demod bundles the scratch state for de-chirping windows of one stream
+// with per-packet CFO correction. It is not safe for concurrent use; create
+// one per goroutine (allocation-free per symbol thereafter).
+type Demod struct {
+	cfg  frame.Config
+	gen  *chirp.Generator
+	fft  *dsp.FFT
+	win  []complex128 // raw window samples
+	dech []complex128 // de-chirped, CFO-corrected window
+	tmp  []complex128 // FFT scratch
+	spec dsp.Spectrum // folded spectrum scratch
+}
+
+// NewDemod builds a Demod for the configuration.
+func NewDemod(cfg frame.Config) (*Demod, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	gen, err := chirp.NewGenerator(cfg.Chirp)
+	if err != nil {
+		return nil, err
+	}
+	m := cfg.Chirp.SamplesPerSymbol()
+	return &Demod{
+		cfg:  cfg,
+		gen:  gen,
+		fft:  dsp.PlanFor(m),
+		win:  make([]complex128, m),
+		dech: make([]complex128, m),
+		tmp:  make([]complex128, m),
+		spec: make(dsp.Spectrum, cfg.Chirp.ChipCount()),
+	}, nil
+}
+
+// Config returns the demod's configuration.
+func (d *Demod) Config() frame.Config { return d.cfg }
+
+// Generator returns the shared chirp generator.
+func (d *Demod) Generator() *chirp.Generator { return d.gen }
+
+// FFT returns the symbol-length FFT plan.
+func (d *Demod) FFT() *dsp.FFT { return d.fft }
+
+// LoadWindow reads one symbol-length window starting at the absolute index
+// and de-chirps it with CFO correction, leaving the result in Dechirped().
+func (d *Demod) LoadWindow(src SampleSource, start int64, cfoHz float64) {
+	src.Read(d.win, start)
+	d.DechirpCFO(d.dech, d.win, cfoHz)
+}
+
+// Window returns the raw samples loaded by LoadWindow (valid until the next
+// call).
+func (d *Demod) Window() []complex128 { return d.win }
+
+// Dechirped returns the de-chirped CFO-corrected window (valid until the
+// next LoadWindow).
+func (d *Demod) Dechirped() []complex128 { return d.dech }
+
+// DechirpCFO de-chirps r into dst while removing a carrier frequency
+// offset: dst[n] = r[n]·conj(C0[n])·exp(−2πi·cfo·n/fs).
+func (d *Demod) DechirpCFO(dst, r []complex128, cfoHz float64) {
+	d.gen.Dechirp(dst, r)
+	if cfoHz == 0 {
+		return
+	}
+	step := -2 * math.Pi * cfoHz / d.cfg.Chirp.SampleRate()
+	phase := 0.0
+	for i := range dst[:len(r)] {
+		s, c := math.Sincos(phase)
+		dst[i] *= complex(c, s)
+		phase += step
+	}
+}
+
+// FoldedSpectrum computes the folded power spectrum of the de-chirped
+// window (full symbol). The returned slice is scratch, valid until the next
+// call.
+func (d *Demod) FoldedSpectrum() dsp.Spectrum {
+	d.fft.ForwardInto(d.tmp, d.dech)
+	return dsp.FoldMagnitude(d.spec, d.tmp, d.cfg.Chirp.ChipCount(), d.cfg.Chirp.OSR)
+}
+
+// SubSymbolSpectrum computes the folded power spectrum of the de-chirped
+// sub-window [from, to) (sample offsets within the symbol), zero-padded to
+// the full FFT grid so bins align across sub-symbols, written into dst
+// (allocated if nil). This is the Φ(r_{i→j}) operation of the paper.
+func (d *Demod) SubSymbolSpectrum(dst dsp.Spectrum, from, to int) dsp.Spectrum {
+	m := d.fft.Size()
+	if from < 0 {
+		from = 0
+	}
+	if to > m {
+		to = m
+	}
+	for i := range d.tmp {
+		d.tmp[i] = 0
+	}
+	if to > from {
+		copy(d.tmp[from:to], d.dech[from:to])
+	}
+	d.fft.Forward(d.tmp)
+	return dsp.FoldMagnitude(dst, d.tmp, d.cfg.Chirp.ChipCount(), d.cfg.Chirp.OSR)
+}

@@ -1,0 +1,261 @@
+package rx
+
+import (
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+
+	"cic/internal/frame"
+	"cic/internal/phy"
+)
+
+// SymbolPicker chooses a symbol value for one window of one tracked packet.
+// Implementations embody a receiver's demodulation strategy: plain argmax
+// (standard LoRa), CFO matching (Choir), time-frequency tracks (FTrack) or
+// concurrent interference cancellation (CIC). A picker is used by a single
+// goroutine at a time.
+type SymbolPicker interface {
+	PickSymbol(src SampleSource, pkt *Packet, symIdx int, others []*Packet) uint16
+}
+
+// AlternatePicker is an optional extension of SymbolPicker: it returns the
+// plausible symbol values for a window ranked best-first. When a picker
+// implements it, the pipeline runs a CRC-driven chase pass — on a failed
+// payload CRC it retries the runner-up value on the marginal symbols, a
+// standard receiver trick that converts packets with one or two borderline
+// symbols from losses into successes.
+type AlternatePicker interface {
+	SymbolPicker
+	PickSymbolAlternates(src SampleSource, pkt *Packet, symIdx int, others []*Packet) []uint16
+}
+
+// PickerFactory creates one SymbolPicker per pipeline worker.
+type PickerFactory func() (SymbolPicker, error)
+
+// Decoded is one packet's end-to-end decode outcome.
+type Decoded struct {
+	Packet       *Packet
+	Header       phy.Header
+	HeaderOK     bool
+	Payload      []byte
+	CRCOK        bool
+	FECCorrected int
+	Symbols      []uint16 // raw demodulated symbol values
+}
+
+// OK reports whether the packet decoded fully (header and payload CRC).
+func (d Decoded) OK() bool { return d.HeaderOK && d.CRCOK }
+
+// Pipeline turns tracked packets into decoded payloads: it first decodes
+// every packet's header block (fixing the packet lengths the boundary
+// bookkeeping depends on), then decodes payloads, fanning packets out over
+// a worker pool with one SymbolPicker per worker.
+type Pipeline struct {
+	cfg     frame.Config
+	factory PickerFactory
+	workers int
+}
+
+// NewPipeline builds a Pipeline. workers <= 0 selects GOMAXPROCS.
+func NewPipeline(cfg frame.Config, factory PickerFactory, workers int) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pipeline{cfg: cfg, factory: factory, workers: workers}, nil
+}
+
+// DecodeAll decodes every tracked packet, sorted by start time.
+func (pl *Pipeline) DecodeAll(src SampleSource, pkts []*Packet) ([]Decoded, error) {
+	maxSyms := phy.MaxSymbolCount(pl.cfg.PHY)
+	for _, p := range pkts {
+		if p.NSymbols == 0 {
+			p.NSymbols = maxSyms
+		}
+	}
+
+	// Phase 1 — headers.
+	type headerOut struct {
+		syms []uint16
+		hdr  phy.Header
+		ok   bool
+	}
+	headers := make([]headerOut, len(pkts))
+	err := pl.parallel(len(pkts), func(picker SymbolPicker, i int) {
+		pkt := pkts[i]
+		syms := make([]uint16, phy.HeaderSymbolCount)
+		for s := range syms {
+			syms[s] = picker.PickSymbol(src, pkt, s, othersOf(pkts, i))
+		}
+		hdr, ok := HeaderFromSymbols(syms, pl.cfg.PHY)
+		headers[i] = headerOut{syms: syms, hdr: hdr, ok: ok}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, h := range headers {
+		if h.ok {
+			pcfg := pl.cfg.PHY
+			pcfg.CR = h.hdr.CR
+			pcfg.HasCRC = h.hdr.HasCRC
+			pkts[i].NSymbols = phy.SymbolCount(pcfg, int(h.hdr.Length))
+		}
+	}
+
+	// Phase 2 — payloads (with a CRC-driven chase pass when the picker
+	// offers ranked alternates).
+	results := make([]Decoded, len(pkts))
+	err = pl.parallel(len(pkts), func(picker SymbolPicker, i int) {
+		pkt := pkts[i]
+		res := Decoded{Packet: pkt, Header: headers[i].hdr, HeaderOK: headers[i].ok}
+		syms := headers[i].syms
+		if res.HeaderOK {
+			alt, hasAlt := picker.(AlternatePicker)
+			others := othersOf(pkts, i)
+			var alternates [][]uint16
+			for s := phy.HeaderSymbolCount; s < pkt.NSymbols; s++ {
+				if hasAlt {
+					ranked := alt.PickSymbolAlternates(src, pkt, s, others)
+					syms = append(syms, ranked[0])
+					alternates = append(alternates, ranked)
+				} else {
+					syms = append(syms, picker.PickSymbol(src, pkt, s, others))
+				}
+			}
+			dec, derr := phy.Decode(syms, pl.cfg.PHY)
+			if derr == nil && !dec.CRCOK && hasAlt {
+				if fixed, ok := ChaseDecode(syms, alternates, pl.cfg.PHY); ok {
+					dec, derr = fixed, nil
+				}
+			}
+			if derr == nil {
+				res.Payload = dec.Payload
+				res.CRCOK = dec.CRCOK
+				res.FECCorrected = dec.FECCorrected
+			} else {
+				res.HeaderOK = false
+			}
+		}
+		res.Symbols = syms
+		results[i] = res
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(results, func(a, b int) bool { return results[a].Packet.Start < results[b].Packet.Start })
+	return results, nil
+}
+
+// parallel runs fn(picker, i) for i in [0, n) over the worker pool.
+func (pl *Pipeline) parallel(n int, fn func(SymbolPicker, int)) error {
+	if n == 0 {
+		return nil
+	}
+	workers := pl.workers
+	if workers > n {
+		workers = n
+	}
+	pickers := make([]SymbolPicker, workers)
+	for w := range pickers {
+		p, err := pl.factory()
+		if err != nil {
+			return err
+		}
+		pickers[w] = p
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(p SymbolPicker) {
+			defer wg.Done()
+			for i := range jobs {
+				fn(p, i)
+			}
+		}(pickers[w])
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return nil
+}
+
+// othersOf returns all packets except index i.
+func othersOf(pkts []*Packet, i int) []*Packet {
+	out := make([]*Packet, 0, len(pkts)-1)
+	for j, p := range pkts {
+		if j != i {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ChaseDecode retries a failed payload CRC by substituting runner-up
+// candidates on the ambiguous symbols: first every single substitution,
+// then pairs over the first few ambiguous symbols. Symbol index s in
+// alternates corresponds to syms[HeaderSymbolCount+s]. It returns the
+// first substitution whose payload CRC verifies.
+func ChaseDecode(syms []uint16, alternates [][]uint16, cfg phy.Config) (*phy.DecodeResult, bool) {
+	var ambiguous []int // payload-symbol indices with a second candidate
+	for s, ranked := range alternates {
+		if len(ranked) > 1 {
+			ambiguous = append(ambiguous, s)
+		}
+	}
+	const maxSingles = 24
+	if len(ambiguous) > maxSingles {
+		ambiguous = ambiguous[:maxSingles]
+	}
+	try := func(trial []uint16) (*phy.DecodeResult, bool) {
+		dec, err := phy.Decode(trial, cfg)
+		if err == nil && dec.CRCOK {
+			return dec, true
+		}
+		return nil, false
+	}
+	trial := make([]uint16, len(syms))
+	// Single substitutions.
+	for _, s := range ambiguous {
+		copy(trial, syms)
+		trial[phy.HeaderSymbolCount+s] = alternates[s][1]
+		if dec, ok := try(trial); ok {
+			return dec, true
+		}
+	}
+	// Pair substitutions over the first few ambiguous symbols.
+	const maxPairBase = 10
+	limit := len(ambiguous)
+	if limit > maxPairBase {
+		limit = maxPairBase
+	}
+	for a := 0; a < limit; a++ {
+		for b := a + 1; b < limit; b++ {
+			copy(trial, syms)
+			trial[phy.HeaderSymbolCount+ambiguous[a]] = alternates[ambiguous[a]][1]
+			trial[phy.HeaderSymbolCount+ambiguous[b]] = alternates[ambiguous[b]][1]
+			if dec, ok := try(trial); ok {
+				return dec, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// HeaderFromSymbols decodes the explicit header from the first block of
+// symbols; ok is false when the header checksum fails.
+func HeaderFromSymbols(syms []uint16, cfg phy.Config) (phy.Header, bool) {
+	res, err := phy.Decode(syms, cfg)
+	if err != nil && !errors.Is(err, phy.ErrTooFewSymbols) {
+		return phy.Header{}, false
+	}
+	if res == nil {
+		return phy.Header{}, false
+	}
+	return res.Header, true
+}

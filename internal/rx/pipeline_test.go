@@ -1,0 +1,234 @@
+package rx
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+
+	"cic/internal/chirp"
+	"cic/internal/frame"
+	"cic/internal/phy"
+)
+
+// oraclePicker returns pre-arranged symbols regardless of the samples — it
+// exercises the pipeline plumbing in isolation from DSP.
+type oraclePicker struct {
+	syms  map[int][]uint16 // packet ID -> symbol stream
+	calls *int64
+}
+
+func (o oraclePicker) PickSymbol(_ SampleSource, pkt *Packet, symIdx int, _ []*Packet) uint16 {
+	atomic.AddInt64(o.calls, 1)
+	s := o.syms[pkt.ID]
+	if symIdx < len(s) {
+		return s[symIdx]
+	}
+	return 0
+}
+
+func pipelineCfg() frame.Config {
+	return frame.Config{
+		Chirp:    chirp.Params{SF: 8, Bandwidth: 250e3, OSR: 2},
+		PHY:      phy.Config{SF: 8, CR: phy.CR45, HasCRC: true},
+		SyncWord: 0x34,
+	}
+}
+
+func TestPipelineDecodesViaPicker(t *testing.T) {
+	cfg := pipelineCfg()
+	payloadA := []byte("pipeline packet A")
+	payloadB := []byte("pipeline packet B, longer")
+	symsA, err := phy.Encode(payloadA, cfg.PHY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	symsB, err := phy.Encode(payloadB, cfg.PHY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int64
+	picker := oraclePicker{syms: map[int][]uint16{1: symsA, 2: symsB}, calls: &calls}
+	pl, err := NewPipeline(cfg, func() (SymbolPicker, error) { return picker, nil }, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := []*Packet{
+		{ID: 1, Start: 0},
+		{ID: 2, Start: 100000},
+	}
+	src := &MemorySource{Samples: make([]complex128, 1)}
+	results, err := pl.DecodeAll(src, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	if !results[0].OK() || !bytes.Equal(results[0].Payload, payloadA) {
+		t.Errorf("packet A: %+v", results[0])
+	}
+	if !results[1].OK() || !bytes.Equal(results[1].Payload, payloadB) {
+		t.Errorf("packet B: %+v", results[1])
+	}
+	// NSymbols must have been tightened from the header.
+	if pkts[0].NSymbols != len(symsA) || pkts[1].NSymbols != len(symsB) {
+		t.Errorf("NSymbols not set from header: %d, %d", pkts[0].NSymbols, pkts[1].NSymbols)
+	}
+	// The pipeline must not demodulate beyond the header-declared length.
+	want := int64(len(symsA) + len(symsB))
+	if calls != want {
+		t.Errorf("picker called %d times, want %d", calls, want)
+	}
+}
+
+func TestPipelineHeaderFailure(t *testing.T) {
+	cfg := pipelineCfg()
+	var calls int64
+	// Garbage symbols: header checksum fails.
+	garbage := make([]uint16, phy.MaxSymbolCount(cfg.PHY))
+	for i := range garbage {
+		garbage[i] = uint16(i*37+11) % 256
+	}
+	picker := oraclePicker{syms: map[int][]uint16{7: garbage}, calls: &calls}
+	pl, _ := NewPipeline(cfg, func() (SymbolPicker, error) { return picker, nil }, 1)
+	src := &MemorySource{Samples: make([]complex128, 1)}
+	results, err := pl.DecodeAll(src, []*Packet{{ID: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].OK() {
+		t.Fatalf("garbage decoded: %+v", results)
+	}
+	// Only the header block may have been demodulated.
+	if calls != int64(phy.HeaderSymbolCount) {
+		t.Errorf("picker called %d times after header failure, want %d", calls, phy.HeaderSymbolCount)
+	}
+}
+
+func TestPipelineEmptyInput(t *testing.T) {
+	cfg := pipelineCfg()
+	pl, _ := NewPipeline(cfg, func() (SymbolPicker, error) {
+		return oraclePicker{syms: nil, calls: new(int64)}, nil
+	}, 4)
+	src := &MemorySource{}
+	results, err := pl.DecodeAll(src, nil)
+	if err != nil || len(results) != 0 {
+		t.Errorf("empty input: %v, %d results", err, len(results))
+	}
+}
+
+func TestPipelineSortsByStart(t *testing.T) {
+	cfg := pipelineCfg()
+	payload := []byte("x")
+	syms, _ := phy.Encode(payload, cfg.PHY)
+	var calls int64
+	picker := oraclePicker{syms: map[int][]uint16{1: syms, 2: syms, 3: syms}, calls: &calls}
+	pl, _ := NewPipeline(cfg, func() (SymbolPicker, error) { return picker, nil }, 3)
+	pkts := []*Packet{
+		{ID: 1, Start: 50000},
+		{ID: 2, Start: 10},
+		{ID: 3, Start: 999999},
+	}
+	src := &MemorySource{}
+	results, err := pl.DecodeAll(src, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Packet.Start < results[i-1].Packet.Start {
+			t.Fatal("results not sorted by start")
+		}
+	}
+}
+
+func TestHeaderFromSymbols(t *testing.T) {
+	cfg := pipelineCfg()
+	payload := []byte("header probe payload")
+	syms, _ := phy.Encode(payload, cfg.PHY)
+	hdr, ok := HeaderFromSymbols(syms[:phy.HeaderSymbolCount], cfg.PHY)
+	if !ok {
+		t.Fatal("header not recovered")
+	}
+	if int(hdr.Length) != len(payload) || !hdr.HasCRC {
+		t.Errorf("header: %+v", hdr)
+	}
+	if _, ok := HeaderFromSymbols(make([]uint16, phy.HeaderSymbolCount), cfg.PHY); ok {
+		t.Error("all-zero block produced a valid header")
+	}
+}
+
+// alternatesOracle wraps oraclePicker with ranked alternates: the first
+// choice is corrupted for chosen symbols, with the truth as runner-up.
+type alternatesOracle struct {
+	oraclePicker
+	corrupt map[int]bool // payload-symbol indices to corrupt
+}
+
+func (o alternatesOracle) PickSymbolAlternates(src SampleSource, pkt *Packet, symIdx int, others []*Packet) []uint16 {
+	truth := o.oraclePicker.PickSymbol(src, pkt, symIdx, others)
+	if symIdx >= phy.HeaderSymbolCount && o.corrupt[symIdx-phy.HeaderSymbolCount] {
+		return []uint16{(truth + 7) % 256, truth}
+	}
+	return []uint16{truth}
+}
+
+// TestChaseDecodeRecoversMarginalSymbols: one and two corrupted-first-choice
+// symbols are repaired by the CRC-driven chase pass; three are not (the
+// pair search only covers two substitutions).
+func TestChaseDecodeRecoversMarginalSymbols(t *testing.T) {
+	cfg := pipelineCfg()
+	payload := []byte("chase decoding target")
+	syms, err := phy.Encode(payload, cfg.PHY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nCorrupt := range []int{1, 2, 3} {
+		corrupt := map[int]bool{}
+		for i := 0; i < nCorrupt; i++ {
+			corrupt[3+2*i] = true
+		}
+		var calls int64
+		picker := alternatesOracle{
+			oraclePicker: oraclePicker{syms: map[int][]uint16{1: syms}, calls: &calls},
+			corrupt:      corrupt,
+		}
+		pl, err := NewPipeline(cfg, func() (SymbolPicker, error) { return picker, nil }, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := &MemorySource{Samples: make([]complex128, 1)}
+		results, err := pl.DecodeAll(src, []*Packet{{ID: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := results[0].OK() && bytes.Equal(results[0].Payload, payload)
+		want := nCorrupt <= 2
+		if got != want {
+			t.Errorf("nCorrupt=%d: recovered=%v, want %v", nCorrupt, got, want)
+		}
+	}
+}
+
+func TestChaseDecodeDirect(t *testing.T) {
+	cfg := pipelineCfg()
+	payload := []byte("direct chase")
+	syms, _ := phy.Encode(payload, cfg.PHY)
+	bad := append([]uint16(nil), syms...)
+	victim := phy.HeaderSymbolCount + 2
+	truth := bad[victim]
+	bad[victim] = (truth + 9) % 256
+	alternates := make([][]uint16, len(syms)-phy.HeaderSymbolCount)
+	for i := range alternates {
+		alternates[i] = []uint16{bad[phy.HeaderSymbolCount+i]}
+	}
+	// Without the truth in the alternates: unrecoverable.
+	if _, ok := ChaseDecode(bad, alternates, cfg.PHY); ok {
+		t.Error("chase succeeded without the true candidate")
+	}
+	// With it: recovered.
+	alternates[2] = []uint16{bad[victim], truth}
+	dec, ok := ChaseDecode(bad, alternates, cfg.PHY)
+	if !ok || !dec.CRCOK || !bytes.Equal(dec.Payload, payload) {
+		t.Error("chase failed to repair a single marginal symbol")
+	}
+}

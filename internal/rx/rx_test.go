@@ -1,0 +1,291 @@
+package rx
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cic/internal/channel"
+	"cic/internal/chirp"
+	"cic/internal/dsp"
+	"cic/internal/frame"
+	"cic/internal/phy"
+)
+
+func testCfg() frame.Config {
+	return frame.Config{
+		Chirp:    chirp.Params{SF: 8, Bandwidth: 250e3, OSR: 4},
+		PHY:      phy.Config{SF: 8, CR: phy.CR45, HasCRC: true},
+		SyncWord: 0x34,
+	}
+}
+
+// buildAir modulates one packet with the given impairments and returns a
+// SampleSource plus the packet's true start.
+func buildAir(t *testing.T, cfg frame.Config, payload []byte, startSample int64, snrDB, cfoHz float64, noisy bool, seed int64) (SampleSource, int64) {
+	t.Helper()
+	mod, err := frame.NewModulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave, _, err := mod.Modulate(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := channel.Impairments{
+		Amplitude:    channel.AmplitudeForSNR(snrDB),
+		CFOHz:        cfoHz,
+		SampleRate:   cfg.Chirp.SampleRate(),
+		InitialPhase: 1.234,
+	}
+	em := channel.Emission{Start: startSample, Samples: channel.Apply(wave, imp)}
+	osr := 0
+	if noisy {
+		osr = cfg.Chirp.OSR
+	}
+	r := channel.NewRenderer([]channel.Emission{em}, osr, seed)
+	return SourceFromRenderer(r), startSample
+}
+
+func TestMemorySourceZeroFill(t *testing.T) {
+	src := &MemorySource{Base: 10, Samples: []complex128{1, 2, 3}}
+	buf := make([]complex128, 6)
+	src.Read(buf, 8)
+	want := []complex128{0, 0, 1, 2, 3, 0}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Errorf("sample %d = %v want %v", i, buf[i], want[i])
+		}
+	}
+	s, e := src.Span()
+	if s != 10 || e != 13 {
+		t.Errorf("span [%d,%d)", s, e)
+	}
+}
+
+func TestSynchronizeRecoversTimingAndCFO(t *testing.T) {
+	cfg := testCfg()
+	m := cfg.Chirp.SamplesPerSymbol()
+	for _, tc := range []struct {
+		name   string
+		start  int64
+		cfoHz  float64
+		anchor int64 // offset of the coarse anchor from the true dc start
+	}{
+		{"aligned", 5000, 0, 0},
+		{"late anchor", 5000, 0, 300},
+		{"early anchor", 5000, 0, -300},
+		{"positive CFO", 7777, 2500, 150},
+		{"negative CFO", 7777, -2500, -150},
+		{"second downchirp anchor", 5000, 1000, int64(m)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			src, start := buildAir(t, cfg, []byte("sync test"), tc.start, 30, tc.cfoHz, false, 1)
+			det, err := NewDetector(cfg, DetectorOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			trueDC := start + int64(dcRegionOffset*m)
+			pkt, ok := det.Synchronize(src, trueDC+tc.anchor)
+			if !ok {
+				t.Fatal("synchronize failed")
+			}
+			if d := abs64(pkt.Start - start); d > 2 {
+				t.Errorf("start %d, want %d (err %d samples)", pkt.Start, start, d)
+			}
+			if d := math.Abs(pkt.CFOHz - tc.cfoHz); d > cfg.Chirp.BinWidth()/4 {
+				t.Errorf("CFO %g, want %g", pkt.CFOHz, tc.cfoHz)
+			}
+		})
+	}
+}
+
+func TestScanDownchirpFindsPacket(t *testing.T) {
+	cfg := testCfg()
+	for _, snr := range []float64{30, 10, 0} {
+		src, start := buildAir(t, cfg, []byte("detect me"), 12345, snr, 1800, true, 2)
+		det, _ := NewDetector(cfg, DetectorOptions{})
+		pkts := det.ScanDownchirp(src)
+		if len(pkts) != 1 {
+			t.Fatalf("SNR %g: %d detections, want 1", snr, len(pkts))
+		}
+		if d := abs64(pkts[0].Start - start); d > 2 {
+			t.Errorf("SNR %g: start error %d samples", snr, d)
+		}
+		if pkts[0].SNRdB < 5 {
+			t.Errorf("SNR %g: estimated SNR %g suspiciously low", snr, pkts[0].SNRdB)
+		}
+	}
+}
+
+func TestScanUpchirpFindsPacket(t *testing.T) {
+	cfg := testCfg()
+	src, start := buildAir(t, cfg, []byte("detect me too"), 23456, 25, -1500, true, 3)
+	det, _ := NewDetector(cfg, DetectorOptions{})
+	pkts := det.ScanUpchirp(src)
+	if len(pkts) != 1 {
+		t.Fatalf("%d detections, want 1", len(pkts))
+	}
+	if d := abs64(pkts[0].Start - start); d > 2 {
+		t.Errorf("start error %d samples", d)
+	}
+}
+
+func TestScanNoFalsePositivesOnNoise(t *testing.T) {
+	cfg := testCfg()
+	r := channel.NewRenderer(nil, cfg.Chirp.OSR, 99)
+	src := &boundedSource{rendererSource{r}, 0, 400 * int64(cfg.Chirp.SamplesPerSymbol())}
+	det, _ := NewDetector(cfg, DetectorOptions{})
+	if pkts := det.ScanDownchirp(src); len(pkts) != 0 {
+		t.Errorf("down-chirp scan found %d packets in pure noise", len(pkts))
+	}
+	if pkts := det.ScanUpchirp(src); len(pkts) != 0 {
+		t.Errorf("up-chirp scan found %d packets in pure noise", len(pkts))
+	}
+}
+
+// boundedSource gives a noise-only renderer a finite span.
+type boundedSource struct {
+	rendererSource
+	start, end int64
+}
+
+func (b *boundedSource) Span() (int64, int64) { return b.start, b.end }
+
+func TestScanMultiplePackets(t *testing.T) {
+	cfg := testCfg()
+	mod, _ := frame.NewModulator(cfg)
+	rng := rand.New(rand.NewSource(4))
+	var ems []channel.Emission
+	var starts []int64
+	gap := int64(cfg.PacketSampleCount(12) + 3*cfg.Chirp.SamplesPerSymbol())
+	for i := 0; i < 3; i++ {
+		payload := make([]byte, 12)
+		rng.Read(payload)
+		wave, _, err := mod.Modulate(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := int64(5000) + int64(i)*gap
+		starts = append(starts, start)
+		ems = append(ems, channel.Emission{Start: start, Samples: channel.Apply(wave, channel.Impairments{
+			Amplitude:  channel.AmplitudeForSNR(20),
+			CFOHz:      channel.RandomCFO(rng, 10, 915e6),
+			SampleRate: cfg.Chirp.SampleRate(),
+		})})
+	}
+	src := SourceFromRenderer(channel.NewRenderer(ems, cfg.Chirp.OSR, 5))
+	det, _ := NewDetector(cfg, DetectorOptions{})
+	pkts := det.ScanDownchirp(src)
+	if len(pkts) != 3 {
+		t.Fatalf("%d detections, want 3", len(pkts))
+	}
+	for i, p := range pkts {
+		if abs64(p.Start-starts[i]) > 2 {
+			t.Errorf("packet %d start %d, want %d", i, p.Start, starts[i])
+		}
+	}
+}
+
+// TestEndToEndSinglePacketDecode: detect, then demodulate every data symbol
+// by plain argmax and run the PHY decode — the whole receive chain on a
+// clean channel.
+func TestEndToEndSinglePacketDecode(t *testing.T) {
+	cfg := testCfg()
+	payload := []byte("the full pipeline works")
+	src, _ := buildAir(t, cfg, payload, 9999, 25, 2100, true, 6)
+	det, _ := NewDetector(cfg, DetectorOptions{})
+	pkts := det.ScanDownchirp(src)
+	if len(pkts) != 1 {
+		t.Fatalf("%d detections", len(pkts))
+	}
+	pkt := pkts[0]
+	pkt.NSymbols = phy.MaxSymbolCount(cfg.PHY)
+
+	d, _ := NewDemod(cfg)
+	var syms []uint16
+	for i := 0; i < pkt.NSymbols; i++ {
+		d.LoadWindow(src, pkt.SymbolStart(cfg, i), pkt.CFOHz)
+		_, at := d.FoldedSpectrum().Max()
+		syms = append(syms, uint16(at))
+	}
+	res, err := phy.Decode(syms, cfg.PHY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Payload, payload) || !res.CRCOK {
+		t.Errorf("payload mismatch: %q crc=%v", res.Payload, res.CRCOK)
+	}
+}
+
+func TestDemodSubSymbolSpectrum(t *testing.T) {
+	cfg := testCfg()
+	m := cfg.Chirp.SamplesPerSymbol()
+	gen, _ := chirp.NewGenerator(cfg.Chirp)
+	sym := make([]complex128, m)
+	gen.Symbol(sym, 42)
+	src := &MemorySource{Base: 0, Samples: sym}
+	d, _ := NewDemod(cfg)
+	d.LoadWindow(src, 0, 0)
+	full := append(dsp.Spectrum(nil), d.FoldedSpectrum()...)
+	_, atFull := full.Max()
+	if atFull != 42 {
+		t.Fatalf("full-symbol peak at %d", atFull)
+	}
+	// A half-symbol window still peaks at 42, with a wider lobe.
+	half := d.SubSymbolSpectrum(nil, 0, m/2)
+	_, atHalf := half.Max()
+	if d := (atHalf - 42 + 256) % 256; d > 1 && d < 255 {
+		t.Errorf("half-symbol peak at %d", atHalf)
+	}
+	// Out-of-range windows clamp; an empty window gives a zero spectrum.
+	zero := d.SubSymbolSpectrum(nil, m, 2*m)
+	if e := zero.Energy(); e != 0 {
+		t.Errorf("empty window spectrum energy %g", e)
+	}
+}
+
+func TestPacketGeometry(t *testing.T) {
+	cfg := testCfg()
+	p := &Packet{Start: 1000, NSymbols: 5}
+	m := int64(cfg.Chirp.SamplesPerSymbol())
+	pre := int64(cfg.PreambleSampleCount())
+	if p.DataStart(cfg) != 1000+pre {
+		t.Error("DataStart")
+	}
+	if p.SymbolStart(cfg, 2) != 1000+pre+2*m {
+		t.Error("SymbolStart")
+	}
+	if p.End(cfg) != 1000+pre+5*m {
+		t.Error("End")
+	}
+	if p.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestDechirpCFORemovesOffset(t *testing.T) {
+	cfg := testCfg()
+	gen, _ := chirp.NewGenerator(cfg.Chirp)
+	m := cfg.Chirp.SamplesPerSymbol()
+	sym := make([]complex128, m)
+	gen.Symbol(sym, 10)
+	cfo := 3 * cfg.Chirp.BinWidth() // 3 bins of CFO
+	shifted := channel.Apply(sym, channel.Impairments{Amplitude: 1, CFOHz: cfo, SampleRate: cfg.Chirp.SampleRate()})
+
+	d, _ := NewDemod(cfg)
+	src := &MemorySource{Samples: shifted}
+	// Without correction the peak lands 3 bins high.
+	d.LoadWindow(src, 0, 0)
+	_, atRaw := d.FoldedSpectrum().Max()
+	if atRaw != 13 {
+		t.Errorf("uncorrected peak at %d, want 13", atRaw)
+	}
+	// With correction it returns to 10.
+	d.LoadWindow(src, 0, cfo)
+	_, atFix := d.FoldedSpectrum().Max()
+	if atFix != 10 {
+		t.Errorf("corrected peak at %d, want 10", atFix)
+	}
+}

@@ -1,0 +1,63 @@
+// Package rx provides the gateway-side receiver substrate shared by every
+// decoder in this repository: random-access sample sources, preamble
+// detection by the conventional up-chirp method and by CIC's down-chirp
+// method (paper §5.8), fine time/CFO synchronisation, per-packet tracking,
+// and the common demodulation harness that turns tracked packets into PHY
+// symbol streams via a pluggable symbol picker.
+package rx
+
+// SampleSource exposes random access to a window of complex baseband
+// samples. Implementations must tolerate windows that extend beyond the
+// available span by zero-filling, and must be safe for concurrent readers.
+type SampleSource interface {
+	// Read fills dst with samples for the absolute window
+	// [start, start+len(dst)).
+	Read(dst []complex128, start int64)
+	// Span returns the half-open range of sample indices that carry signal.
+	Span() (start, end int64)
+}
+
+// MemorySource serves samples from an in-memory buffer whose first element
+// sits at absolute index Base.
+type MemorySource struct {
+	Base    int64
+	Samples []complex128
+}
+
+// Read implements SampleSource, zero-filling outside the buffer.
+func (m *MemorySource) Read(dst []complex128, start int64) {
+	for i := range dst {
+		idx := start + int64(i) - m.Base
+		if idx >= 0 && idx < int64(len(m.Samples)) {
+			dst[i] = m.Samples[idx]
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// Span implements SampleSource.
+func (m *MemorySource) Span() (int64, int64) {
+	return m.Base, m.Base + int64(len(m.Samples))
+}
+
+// rendererSource adapts anything with Render+TotalSpan (channel.Renderer)
+// to SampleSource.
+type rendererSource struct {
+	r interface {
+		Render(dst []complex128, start int64)
+		TotalSpan() (int64, int64)
+	}
+}
+
+// SourceFromRenderer wraps a channel.Renderer-style object as a
+// SampleSource.
+func SourceFromRenderer(r interface {
+	Render(dst []complex128, start int64)
+	TotalSpan() (int64, int64)
+}) SampleSource {
+	return rendererSource{r: r}
+}
+
+func (s rendererSource) Read(dst []complex128, start int64) { s.r.Render(dst, start) }
+func (s rendererSource) Span() (int64, int64)               { return s.r.TotalSpan() }

@@ -1,0 +1,179 @@
+// Package sim reproduces the paper's deployment campaign in simulation:
+// the four test deployments D1–D4 (§7.1, Figs 22–27), Poisson traffic
+// generation across 20 nodes, rendering of the superposed air, and scoring
+// of receiver output against ground truth.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cic/internal/channel"
+	"cic/internal/frame"
+	"cic/internal/rx"
+	"cic/internal/traffic"
+)
+
+// Deployment captures the SNR regime and propagation character of one of
+// the paper's four test deployments. SNR ranges follow Fig 27.
+type Deployment struct {
+	Name       string
+	Label      string
+	Nodes      int
+	SNRMinDB   float64
+	SNRMaxDB   float64
+	FadeDepth  float64 // in-packet amplitude fluctuation (D4: pedestrians/traffic)
+	AreaMeters float64 // deployment extent, for the Fig 22–26 maps
+	LoS        bool
+}
+
+// The four deployments of §7.1.
+var (
+	D1 = Deployment{
+		Name: "D1", Label: "Small Indoor Space — High SNR, LoS",
+		Nodes: 20, SNRMinDB: 30, SNRMaxDB: 40, AreaMeters: 30, LoS: true,
+	}
+	D2 = Deployment{
+		Name: "D2", Label: "Small Floor Space — High SNR, NLoS",
+		Nodes: 20, SNRMinDB: 28, SNRMaxDB: 40, FadeDepth: 0.1, AreaMeters: 60,
+	}
+	D3 = Deployment{
+		Name: "D3", Label: "Large Floor Space — Low SNR, NLoS",
+		Nodes: 20, SNRMinDB: 5, SNRMaxDB: 30, FadeDepth: 0.15, AreaMeters: 150,
+	}
+	D4 = Deployment{
+		Name: "D4", Label: "Outdoor Wide Area — Sub-Noise SNR, NLoS",
+		Nodes: 20, SNRMinDB: -5, SNRMaxDB: 10, FadeDepth: 0.3, AreaMeters: 1500,
+	}
+)
+
+// Deployments returns D1..D4 in order.
+func Deployments() []Deployment { return []Deployment{D1, D2, D3, D4} }
+
+// DeploymentByName looks a deployment up by its short name ("D1".."D4").
+func DeploymentByName(name string) (Deployment, error) {
+	for _, d := range Deployments() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Deployment{}, fmt.Errorf("sim: unknown deployment %q", name)
+}
+
+// Node is one sensor device's receive-side character at the gateway.
+type Node struct {
+	ID    int
+	SNRdB float64
+	CFOHz float64
+	X, Y  float64 // position in meters (gateway at origin), for the maps
+}
+
+// Network instantiates a deployment: fixed per-node SNRs (path loss does
+// not change between packets) and per-device CFOs.
+type Network struct {
+	Cfg   frame.Config
+	Dep   Deployment
+	Nodes []Node
+}
+
+// CrystalPPM is the crystal tolerance used to draw device CFOs (±ppm at
+// the 915 MHz US ISM carrier), matching hobbyist-grade LoRa modules.
+const CrystalPPM = 10
+
+// CarrierHz is the assumed RF carrier for CFO generation.
+const CarrierHz = 915e6
+
+// NewNetwork draws the per-node parameters for a deployment.
+func NewNetwork(cfg frame.Config, dep Deployment, seed int64) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if dep.Nodes < 1 {
+		return nil, fmt.Errorf("sim: deployment %q has no nodes", dep.Name)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nw := &Network{Cfg: cfg, Dep: dep}
+	for i := 0; i < dep.Nodes; i++ {
+		ang := rng.Float64() * 2 * math.Pi
+		// Area-uniform radius so the Fig 22–26 maps look plausible.
+		rad := dep.AreaMeters / 2 * math.Sqrt(rng.Float64())
+		nw.Nodes = append(nw.Nodes, Node{
+			ID:    i,
+			SNRdB: dep.SNRMinDB + rng.Float64()*(dep.SNRMaxDB-dep.SNRMinDB),
+			CFOHz: channel.RandomCFO(rng, CrystalPPM, CarrierHz),
+			X:     rad * math.Cos(ang),
+			Y:     rad * math.Sin(ang),
+		})
+	}
+	return nw, nil
+}
+
+// Run is one rendered experiment: a sample source plus ground truth.
+type Run struct {
+	Cfg    frame.Config
+	Source rx.SampleSource
+	Truth  []traffic.Transmission
+}
+
+// BuildRun generates Poisson traffic at the aggregate rate (packets/second
+// network-wide) for the duration, modulates every packet with its node's
+// impairments, and renders the air with unit-in-band-power AWGN.
+func (nw *Network) BuildRun(aggregateRate, duration float64, payloadLen int, seed int64) (*Run, error) {
+	mod, err := frame.NewModulator(nw.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	airtime := float64(nw.Cfg.PacketSampleCount(payloadLen)) / nw.Cfg.Chirp.SampleRate()
+	tcfg := traffic.Config{
+		Nodes:         nw.Dep.Nodes,
+		PerNodeRate:   aggregateRate / float64(nw.Dep.Nodes),
+		Duration:      duration,
+		SampleRate:    nw.Cfg.Chirp.SampleRate(),
+		PayloadLen:    payloadLen,
+		PacketAirtime: airtime,
+	}
+	rng := rand.New(rand.NewSource(seed))
+	txs, err := traffic.Generate(tcfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	ems := make([]channel.Emission, 0, len(txs))
+	for _, tx := range txs {
+		wave, _, err := mod.Modulate(tx.Payload)
+		if err != nil {
+			return nil, err
+		}
+		node := nw.Nodes[tx.Node]
+		imp := channel.Impairments{
+			Amplitude:    channel.AmplitudeForSNR(node.SNRdB),
+			CFOHz:        node.CFOHz,
+			InitialPhase: rng.Float64() * 2 * math.Pi,
+			SampleRate:   nw.Cfg.Chirp.SampleRate(),
+		}
+		if nw.Dep.FadeDepth > 0 {
+			imp.FadeDepth = nw.Dep.FadeDepth
+			imp.FadePeriod = 0.05 + rng.Float64()*0.2
+			imp.FadePhase = rng.Float64() * 2 * math.Pi
+		}
+		ems = append(ems, channel.Emission{
+			Start:   tx.StartSample,
+			Samples: channel.Apply(wave, imp),
+		})
+	}
+	renderer := channel.NewRenderer(ems, nw.Cfg.Chirp.OSR, seed^0x5EED)
+	return &Run{
+		Cfg:    nw.Cfg,
+		Source: runSource{rx.SourceFromRenderer(renderer), 0, int64(duration*nw.Cfg.Chirp.SampleRate()) + int64(nw.Cfg.PacketSampleCount(payloadLen))},
+		Truth:  txs,
+	}, nil
+}
+
+// runSource pins the span to the experiment duration (plus one packet of
+// tail) even when the emission list is sparse or empty.
+type runSource struct {
+	rx.SampleSource
+	start, end int64
+}
+
+func (s runSource) Span() (int64, int64) { return s.start, s.end }

@@ -1,0 +1,143 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func baseConfig() Config {
+	return Config{
+		Nodes:         20,
+		PerNodeRate:   1.0,
+		Duration:      10,
+		SampleRate:    1e6,
+		PayloadLen:    28,
+		PacketAirtime: 0.045,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := baseConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.PerNodeRate = -1 },
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.SampleRate = 0 },
+		func(c *Config) { c.PayloadLen = 256 },
+	} {
+		c := baseConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v accepted", c)
+		}
+	}
+}
+
+func TestGeneratePoissonCount(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Duration = 50
+	rng := rand.New(rand.NewSource(1))
+	txs, err := Generate(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected ≈ nodes·rate·duration = 1000; allow ±15%.
+	want := cfg.AggregateRate() * cfg.Duration
+	if f := float64(len(txs)); f < want*0.85 || f > want*1.15 {
+		t.Errorf("generated %d packets, want ≈%.0f", len(txs), want)
+	}
+}
+
+func TestGenerateSortedAndInRange(t *testing.T) {
+	cfg := baseConfig()
+	rng := rand.New(rand.NewSource(2))
+	txs, _ := Generate(cfg, rng)
+	maxStart := int64(cfg.Duration * cfg.SampleRate)
+	for i, tx := range txs {
+		if i > 0 && tx.StartSample < txs[i-1].StartSample {
+			t.Fatal("schedule not sorted")
+		}
+		if tx.StartSample < 0 || tx.StartSample >= maxStart {
+			t.Fatalf("start %d out of range", tx.StartSample)
+		}
+		if len(tx.Payload) != cfg.PayloadLen {
+			t.Fatal("payload length wrong")
+		}
+		if tx.Node < 0 || tx.Node >= cfg.Nodes {
+			t.Fatal("node index out of range")
+		}
+	}
+}
+
+func TestGenerateHalfDuplexSpacing(t *testing.T) {
+	cfg := baseConfig()
+	cfg.PerNodeRate = 50 // heavy per-node load forces queueing
+	cfg.Duration = 2
+	rng := rand.New(rand.NewSource(3))
+	txs, _ := Generate(cfg, rng)
+	airSamples := int64(cfg.PacketAirtime * cfg.SampleRate)
+	last := map[int]int64{}
+	for _, tx := range txs {
+		if prev, ok := last[tx.Node]; ok {
+			if tx.StartSample-prev < airSamples {
+				t.Fatalf("node %d packets %d apart, airtime %d", tx.Node, tx.StartSample-prev, airSamples)
+			}
+		}
+		last[tx.Node] = tx.StartSample
+	}
+}
+
+func TestGenerateZeroRate(t *testing.T) {
+	cfg := baseConfig()
+	cfg.PerNodeRate = 0
+	txs, err := Generate(cfg, rand.New(rand.NewSource(4)))
+	if err != nil || len(txs) != 0 {
+		t.Errorf("zero rate produced %d packets, err %v", len(txs), err)
+	}
+}
+
+func TestGenerateExponentialGaps(t *testing.T) {
+	// Single node, measure the inter-arrival distribution's mean and CV.
+	cfg := baseConfig()
+	cfg.Nodes = 1
+	cfg.PerNodeRate = 20
+	cfg.Duration = 200
+	cfg.PacketAirtime = 0 // pure Poisson, no queueing distortion
+	txs, _ := Generate(cfg, rand.New(rand.NewSource(5)))
+	if len(txs) < 1000 {
+		t.Fatalf("too few packets: %d", len(txs))
+	}
+	var gaps []float64
+	for i := 1; i < len(txs); i++ {
+		gaps = append(gaps, float64(txs[i].StartSample-txs[i-1].StartSample)/cfg.SampleRate)
+	}
+	var mean float64
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	var variance float64
+	for _, g := range gaps {
+		variance += (g - mean) * (g - mean)
+	}
+	variance /= float64(len(gaps))
+	cv := math.Sqrt(variance) / mean
+	if math.Abs(mean-1.0/cfg.PerNodeRate) > 0.005 {
+		t.Errorf("mean gap %g, want %g", mean, 1.0/cfg.PerNodeRate)
+	}
+	// Exponential distribution has CV = 1.
+	if cv < 0.9 || cv > 1.1 {
+		t.Errorf("coefficient of variation %g, want ≈1 (exponential)", cv)
+	}
+}
+
+func TestAggregateRate(t *testing.T) {
+	cfg := baseConfig()
+	if cfg.AggregateRate() != 20 {
+		t.Errorf("aggregate rate %g", cfg.AggregateRate())
+	}
+}

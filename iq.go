@@ -1,0 +1,91 @@
+package cic
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"cic/internal/dsp"
+)
+
+// newDecimator adapts the internal FIR decimator.
+func newDecimator(factor int) (*dsp.Decimator, error) {
+	return dsp.NewDecimator(factor, 0)
+}
+
+// IQ file handling in the .cf32 format used by GNU Radio and most SDR
+// tooling: interleaved little-endian float32 pairs (I, Q).
+
+// WriteCF32 writes IQ samples in cf32 format.
+func WriteCF32(w io.Writer, iq []complex128) error {
+	bw := bufio.NewWriter(w)
+	var scratch [8]byte
+	for _, v := range iq {
+		binary.LittleEndian.PutUint32(scratch[0:4], math.Float32bits(float32(real(v))))
+		binary.LittleEndian.PutUint32(scratch[4:8], math.Float32bits(float32(imag(v))))
+		if _, err := bw.Write(scratch[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCF32 reads all IQ samples from a cf32 stream.
+func ReadCF32(r io.Reader) ([]complex128, error) {
+	br := bufio.NewReader(r)
+	var out []complex128
+	var scratch [8]byte
+	for {
+		_, err := io.ReadFull(br, scratch[:])
+		if err == io.EOF {
+			return out, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("cic: cf32 stream truncated mid-sample")
+		}
+		if err != nil {
+			return nil, err
+		}
+		i := math.Float32frombits(binary.LittleEndian.Uint32(scratch[0:4]))
+		q := math.Float32frombits(binary.LittleEndian.Uint32(scratch[4:8]))
+		out = append(out, complex(float64(i), float64(q)))
+	}
+}
+
+// WriteCF32File writes IQ samples to a cf32 file.
+func WriteCF32File(path string, iq []complex128) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCF32(f, iq); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCF32File reads a cf32 file.
+func ReadCF32File(path string) ([]complex128, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCF32(f)
+}
+
+// Decimate low-pass filters and downsamples an IQ capture by an integer
+// factor — the bridge between a wideband SDR recording and the decoder's
+// working rate. For example, a 2 MHz USRP capture of 250 kHz LoRa
+// (8× oversampled) decimated by 2 decodes with Oversampling: 4.
+func Decimate(iq []complex128, factor int) ([]complex128, error) {
+	d, err := newDecimator(factor)
+	if err != nil {
+		return nil, err
+	}
+	return d.Process(iq), nil
+}

@@ -1,0 +1,29 @@
+package cic_test
+
+import (
+	"bytes"
+	"testing"
+
+	"cic"
+)
+
+// FuzzReadCF32: arbitrary byte streams must either parse into ⌊n/8⌋
+// samples or return an error — never panic.
+func FuzzReadCF32(f *testing.F) {
+	var buf bytes.Buffer
+	_ = cic.WriteCF32(&buf, []complex128{1, 2i, -3})
+	f.Add(buf.Bytes())
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		iq, err := cic.ReadCF32(bytes.NewReader(raw))
+		if err != nil {
+			if len(raw)%8 == 0 {
+				t.Fatalf("aligned stream rejected: %v", err)
+			}
+			return
+		}
+		if len(iq) != len(raw)/8 {
+			t.Fatalf("parsed %d samples from %d bytes", len(iq), len(raw))
+		}
+	})
+}

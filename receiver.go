@@ -1,0 +1,173 @@
+package cic
+
+import (
+	"fmt"
+
+	"cic/internal/baseline/choir"
+	"cic/internal/baseline/ftrack"
+	"cic/internal/baseline/stdlora"
+	"cic/internal/core"
+	"cic/internal/rx"
+)
+
+// Algorithm selects the collision-decoding strategy of a Receiver.
+type Algorithm string
+
+// The available receiver algorithms.
+const (
+	// AlgorithmCIC is the paper's contribution: concurrent interference
+	// cancellation with down-chirp detection, spectral intersection, SED
+	// and the CFO/power candidate filters.
+	AlgorithmCIC Algorithm = "cic"
+	// AlgorithmStrawman is CIC restricted to the two-sub-symbol strawman
+	// ICSS (paper §5, Figs 9/13) — for ablation.
+	AlgorithmStrawman Algorithm = "strawman"
+	// AlgorithmLoRa is the standard single-packet gateway with capture.
+	AlgorithmLoRa Algorithm = "lora"
+	// AlgorithmChoir matches peaks to transmitters by fractional CFO
+	// (Eletreby et al., SIGCOMM 2017).
+	AlgorithmChoir Algorithm = "choir"
+	// AlgorithmFTrack matches time–frequency tracks to transmitters
+	// (Xia et al., SenSys 2019).
+	AlgorithmFTrack Algorithm = "ftrack"
+)
+
+// Algorithms lists every supported algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgorithmCIC, AlgorithmStrawman, AlgorithmLoRa, AlgorithmChoir, AlgorithmFTrack}
+}
+
+// Option customises a Receiver.
+type Option func(*receiverOptions)
+
+type receiverOptions struct {
+	algo    Algorithm
+	workers int
+
+	disableSED         bool
+	disableCFOFilter   bool
+	disablePowerFilter bool
+}
+
+// WithAlgorithm selects the decoding algorithm (default AlgorithmCIC).
+func WithAlgorithm(a Algorithm) Option {
+	return func(o *receiverOptions) { o.algo = a }
+}
+
+// WithWorkers sets the decoder worker-pool size (default GOMAXPROCS).
+// Packets decode independently, so throughput scales with workers.
+func WithWorkers(n int) Option {
+	return func(o *receiverOptions) { o.workers = n }
+}
+
+// WithoutSED disables Spectral Edge Difference candidate selection
+// (ablation of paper §5.6).
+func WithoutSED() Option {
+	return func(o *receiverOptions) { o.disableSED = true }
+}
+
+// WithoutCFOFilter disables the fractional-CFO candidate filter (ablation
+// of paper §5.7, Figs 36–37).
+func WithoutCFOFilter() Option {
+	return func(o *receiverOptions) { o.disableCFOFilter = true }
+}
+
+// WithoutPowerFilter disables the received-power candidate filter
+// (ablation of paper §5.7, Figs 36–37).
+func WithoutPowerFilter() Option {
+	return func(o *receiverOptions) { o.disablePowerFilter = true }
+}
+
+// Receiver decodes LoRa packets — including collided ones — from raw
+// complex-baseband samples. Receivers are safe for sequential reuse across
+// many buffers; a single Decode call fans work out over the worker pool.
+type Receiver struct {
+	cfg  Config
+	opts receiverOptions
+	impl interface {
+		Receive(src rx.SampleSource) ([]rx.Decoded, error)
+	}
+}
+
+// NewReceiver builds a Receiver for the configuration.
+func NewReceiver(cfg Config, options ...Option) (*Receiver, error) {
+	fc, err := cfg.frameConfig()
+	if err != nil {
+		return nil, err
+	}
+	o := receiverOptions{algo: AlgorithmCIC}
+	for _, opt := range options {
+		opt(&o)
+	}
+	r := &Receiver{cfg: cfg, opts: o}
+	coreOpts := core.Options{
+		DisableSED:         o.disableSED,
+		DisableCFOFilter:   o.disableCFOFilter,
+		DisablePowerFilter: o.disablePowerFilter,
+	}
+	switch o.algo {
+	case AlgorithmCIC, "":
+		r.impl, err = core.NewReceiver(fc, coreOpts, rx.DetectorOptions{}, o.workers)
+	case AlgorithmStrawman:
+		coreOpts.Strawman = true
+		r.impl, err = core.NewReceiver(fc, coreOpts, rx.DetectorOptions{}, o.workers)
+	case AlgorithmLoRa:
+		r.impl, err = stdlora.New(fc, rx.DetectorOptions{}, o.workers)
+	case AlgorithmChoir:
+		r.impl, err = choir.New(fc, choir.Options{}, rx.DetectorOptions{}, o.workers)
+	case AlgorithmFTrack:
+		r.impl, err = ftrack.New(fc, ftrack.Options{}, rx.DetectorOptions{}, o.workers)
+	default:
+		return nil, fmt.Errorf("cic: unknown algorithm %q", o.algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Algorithm returns the receiver's decoding algorithm.
+func (r *Receiver) Algorithm() Algorithm {
+	if r.opts.algo == "" {
+		return AlgorithmCIC
+	}
+	return r.opts.algo
+}
+
+// DecodeBuffer decodes every packet found in an IQ buffer whose first
+// sample has absolute index 0.
+func (r *Receiver) DecodeBuffer(iq []complex128) ([]Packet, error) {
+	return r.DecodeSource(MemorySamples(iq))
+}
+
+// DecodeSource decodes every packet found in a SampleSource.
+func (r *Receiver) DecodeSource(src SampleSource) ([]Packet, error) {
+	results, err := r.impl.Receive(sourceAdapter{src})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Packet, 0, len(results))
+	for _, res := range results {
+		out = append(out, Packet{
+			Start:        res.Packet.Start,
+			Payload:      res.Payload,
+			OK:           res.OK(),
+			SNR:          res.Packet.SNRdB,
+			CFO:          res.Packet.CFOHz,
+			FECCorrected: res.FECCorrected,
+		})
+	}
+	return out, nil
+}
+
+// MemorySamples wraps an IQ buffer (first sample at absolute index 0) as a
+// SampleSource.
+func MemorySamples(iq []complex128) SampleSource {
+	return &rx.MemorySource{Samples: iq}
+}
+
+// sourceAdapter bridges the public SampleSource to the internal interface.
+type sourceAdapter struct{ s SampleSource }
+
+func (a sourceAdapter) Read(dst []complex128, start int64) { a.s.Read(dst, start) }
+func (a sourceAdapter) Span() (int64, int64)               { return a.s.Span() }

@@ -1,0 +1,96 @@
+package cic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cic/internal/channel"
+	"cic/internal/frame"
+	"cic/internal/rx"
+)
+
+// Transmitter synthesises LoRa packet waveforms at complex baseband.
+type Transmitter struct {
+	cfg Config
+	mod *frame.Modulator
+}
+
+// NewTransmitter builds a Transmitter for the configuration.
+func NewTransmitter(cfg Config) (*Transmitter, error) {
+	fc, err := cfg.frameConfig()
+	if err != nil {
+		return nil, err
+	}
+	mod, err := frame.NewModulator(fc)
+	if err != nil {
+		return nil, err
+	}
+	return &Transmitter{cfg: cfg, mod: mod}, nil
+}
+
+// Modulate encodes payload (up to 255 bytes) into a unit-amplitude packet
+// waveform: preamble, SYNC word, down-chirps and PHY-encoded data symbols.
+func (t *Transmitter) Modulate(payload []byte) ([]complex128, error) {
+	wave, _, err := t.mod.Modulate(payload)
+	return wave, err
+}
+
+// Emission places one transmission on a simulated air.
+type Emission struct {
+	// Payload to transmit.
+	Payload []byte
+	// StartSample is the absolute sample index of the packet start.
+	StartSample int64
+	// SNR is the received signal-to-noise ratio in dB (in-band; the
+	// simulated air uses unit in-band noise power).
+	SNR float64
+	// CFO is the transmitter's carrier frequency offset in Hz.
+	CFO float64
+}
+
+// SimulateCollision renders a set of (possibly overlapping) transmissions
+// plus AWGN into a SampleSource, exactly as a gateway's radio front end
+// would capture them. The seed makes the noise reproducible.
+func SimulateCollision(cfg Config, emissions []Emission, seed int64) (SampleSource, error) {
+	tx, err := NewTransmitter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ems := make([]channel.Emission, 0, len(emissions))
+	for i, e := range emissions {
+		wave, err := tx.Modulate(e.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("cic: emission %d: %w", i, err)
+		}
+		ems = append(ems, channel.Emission{
+			Start: e.StartSample,
+			Samples: channel.Apply(wave, channel.Impairments{
+				Amplitude:    channel.AmplitudeForSNR(e.SNR),
+				CFOHz:        e.CFO,
+				InitialPhase: rng.Float64() * 6.283185307179586,
+				SampleRate:   cfg.SampleRate(),
+			}),
+		})
+	}
+	r := channel.NewRenderer(ems, cfg.Oversampling, seed)
+	return publicSource{rx.SourceFromRenderer(r)}, nil
+}
+
+// publicSource re-exports an internal source under the public interface.
+type publicSource struct{ s rx.SampleSource }
+
+func (p publicSource) Read(dst []complex128, start int64) { p.s.Read(dst, start) }
+func (p publicSource) Span() (int64, int64)               { return p.s.Span() }
+
+// Samples materialises a SampleSource's full span into one buffer (useful
+// before WriteCF32; beware memory for long captures).
+func Samples(src SampleSource) []complex128 {
+	start, end := src.Span()
+	if end <= start {
+		return nil
+	}
+	buf := make([]complex128, end-start)
+	src.Read(buf, start)
+	return buf
+}

@@ -1,0 +1,33 @@
+# Developer / CI entry points. `make ci` is the gate: vet + build + the
+# full test suite under the race detector + the short benchmark sweep.
+
+GO ?= go
+
+.PHONY: all vet build test race bench bench-gateway ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short benchmark sweep: the streaming gateway pipeline plus the kernel
+# micro-benchmarks. One iteration each — a smoke test that the benches
+# run, not a measurement (use bench-gateway for numbers).
+bench:
+	$(GO) test -run '^$$' -bench 'GatewayStream|FFT1024|DechirpAndFold|PlanForParallel|CICSymbol' -benchtime=1x ./ ./internal/dsp/
+
+# Measured gateway streaming throughput at 1/4/GOMAXPROCS workers;
+# baselines recorded in BENCH_gateway.json.
+bench-gateway:
+	$(GO) test -run '^$$' -bench 'GatewayStream' -benchtime=5x ./
+
+ci: vet build race bench

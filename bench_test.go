@@ -6,7 +6,9 @@
 package cic_test
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"cic"
@@ -160,6 +162,78 @@ func BenchmarkFullReceive3Packets(b *testing.B) {
 		if _, err := recv.Receive(src); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkGatewayStream measures streaming ingest throughput (samples/sec)
+// through the Gateway's pipelined decode path on a 3-packet-collision trace
+// at 1, 4 and GOMAXPROCS payload workers.
+func BenchmarkGatewayStream(b *testing.B) {
+	cfg := cic.DefaultConfig()
+	cfg.CodingRate = 3
+	sym := int64(cfg.SamplesPerSymbol())
+	rng := rand.New(rand.NewSource(53))
+	var ems []cic.Emission
+	for i := 0; i < 3; i++ {
+		payload := make([]byte, 20)
+		rng.Read(payload)
+		ems = append(ems, cic.Emission{
+			Payload:     payload,
+			StartSample: 4096 + int64(i)*11*sym + int64(rng.Intn(int(sym))),
+			SNR:         23 + 4*rng.Float64(),
+			CFO:         (2*rng.Float64() - 1) * 8000,
+		})
+	}
+	src, err := cic.SimulateCollision(cfg, ems, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iq := cic.Samples(src)
+	iq = append(iq, make([]complex128, 8*cfg.SamplesPerSymbol())...)
+
+	counts := []int{1, 4}
+	if gmp := runtime.GOMAXPROCS(0); gmp != 1 && gmp != 4 {
+		counts = append(counts, gmp)
+	}
+	const chunk = 8192
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(iq) * 16))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gw, err := cic.NewGateway(cfg, cic.WithWorkers(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				drained := make(chan int, 1)
+				go func() {
+					n := 0
+					for p := range gw.Packets() {
+						if p.OK {
+							n++
+						}
+					}
+					drained <- n
+				}()
+				for off := 0; off < len(iq); off += chunk {
+					end := off + chunk
+					if end > len(iq) {
+						end = len(iq)
+					}
+					if _, err := gw.Write(iq[off:end]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := gw.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if n := <-drained; n == 0 {
+					b.Fatal("gateway decoded nothing")
+				}
+			}
+			b.ReportMetric(float64(len(iq))*float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+		})
 	}
 }
 

@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
 
 	"cic"
 )
@@ -30,7 +31,10 @@ func main() {
 	}
 	iq := cic.Samples(air)
 
-	gw, err := cic.NewGateway(cfg)
+	// Payload demodulation fans out over a worker pool (one core per
+	// worker is the useful maximum); packets still arrive on Packets()
+	// in air-time order.
+	gw, err := cic.NewGateway(cfg, cic.WithWorkers(runtime.GOMAXPROCS(0)))
 	if err != nil {
 		log.Fatal(err)
 	}

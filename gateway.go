@@ -3,7 +3,9 @@ package cic
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"cic/internal/core"
 	"cic/internal/frame"
@@ -18,7 +20,7 @@ import (
 // as a virtual gateway in the cloud — in contrast to the batch
 // Receiver.DecodeBuffer API.
 //
-//	gw, _ := cic.NewGateway(cfg)
+//	gw, _ := cic.NewGateway(cfg, cic.WithWorkers(4))
 //	go func() {
 //	    for pkt := range gw.Packets() {
 //	        handle(pkt)
@@ -33,29 +35,72 @@ import (
 // newly arrived region for preambles incrementally, and decodes a packet
 // once the air has moved past its end (by which time every transmission
 // that could interfere with it has itself been detected, so the CIC
-// boundary bookkeeping is complete). Write and Close are not safe for
-// concurrent use with each other; the Packets channel may be consumed from
-// any goroutine.
+// boundary bookkeeping is complete).
+//
+// Decoding is pipelined: the ingest goroutine detects preambles, decodes
+// each completed packet's header (cheap, and order-sensitive — header
+// decode fixes the packet length that later packets' boundary bookkeeping
+// depends on), snapshots the packet's samples out of the ring with a
+// two-segment bulk copy, and hands the expensive payload demodulation to a
+// pool of workers, each owning a private core.Demodulator. A reorder
+// buffer delivers results on Packets() in dispatch (air-time) order, so
+// the output sequence is identical to a single-worker gateway.
+// Backpressure is bounded by the pool depth: when every worker is busy and
+// the job queue is full, Write blocks.
+//
+// Write, Close, Packets and BufferedSamples are all safe for concurrent
+// use (Write and Close serialise on an internal mutex).
 type Gateway struct {
 	cfg     Config
 	fcfg    frame.Config
 	det     *rx.Detector
-	dm      *core.Demodulator
+	hdrDM   *core.Demodulator // header demodulation on the ingest goroutine
 	out     chan Packet
-	closed  bool
 	maxPkt  int64 // samples in a max-length packet
 	scanLag int64 // how far detection trails the newest sample
+	workers int
 
-	mu       sync.Mutex
-	buf      []complex128 // ring storage
-	base     int64        // absolute index of buf[head]
-	head     int          // ring offset of absolute index `base`
-	count    int64        // valid samples in the ring
-	written  int64        // absolute index one past the newest sample
+	// Ingest state, guarded by wmu (Write, Close and the flush path
+	// serialise on it; ring samples are only touched while holding it).
+	wmu      sync.Mutex
+	closed   bool
+	buf      []complex128 // ring storage: sample a lives at buf[a%len(buf)]
+	base     atomic.Int64 // absolute index of the oldest retained sample
+	written  atomic.Int64 // absolute index one past the newest sample
 	scanned  int64        // scan frontier (exclusive)
-	pending  []*rx.Packet // detected, not yet decoded
+	pending  []*rx.Packet // detected, not yet dispatched
 	active   []*rx.Packet // all tracked packets still relevant as interferers
 	maxIDSeq int
+	seq      int64 // dispatch sequence number (reorder key)
+
+	jobs        chan decodeJob
+	results     chan seqPacket
+	workerWG    sync.WaitGroup
+	reorderDone chan struct{}
+	snapPool    sync.Pool
+}
+
+// decodeJob carries one dispatched packet to the worker pool. The ingest
+// goroutine has already decoded the header; the worker demodulates the
+// payload against a private snapshot of the ring, so it never contends
+// with ingest for sample access.
+type decodeJob struct {
+	seq    int64
+	ready  bool   // result is final (header failed): just forward it
+	result Packet // prefilled Start/SNR/CFO; final when ready
+
+	pkt       *rx.Packet   // private clone, NSymbols refined from the header
+	others    []*rx.Packet // private clones of the interferer geometry
+	syms      []uint16     // header symbols (cap covers the payload)
+	snap      []complex128 // samples [snapStart, snapStart+len(snap))
+	snapStart int64
+	snapBuf   *[]complex128 // pool token for snap
+}
+
+// seqPacket is a decoded packet tagged with its dispatch sequence number.
+type seqPacket struct {
+	seq int64
+	pkt Packet
 }
 
 // ErrGatewayClosed is returned by Write after Close.
@@ -63,7 +108,9 @@ var ErrGatewayClosed = errors.New("cic: gateway closed")
 
 // NewGateway builds a streaming gateway. Options are as for NewReceiver;
 // only the CIC and strawman algorithms support streaming (the baselines
-// exist for offline comparison).
+// exist for offline comparison), and any option with no streaming effect
+// is rejected rather than silently ignored. WithWorkers sets the payload
+// decode pool size (default GOMAXPROCS).
 func NewGateway(cfg Config, options ...Option) (*Gateway, error) {
 	fc, err := cfg.frameConfig()
 	if err != nil {
@@ -76,6 +123,13 @@ func NewGateway(cfg Config, options ...Option) (*Gateway, error) {
 	if o.algo != AlgorithmCIC && o.algo != AlgorithmStrawman && o.algo != "" {
 		return nil, fmt.Errorf("cic: gateway streaming supports cic/strawman, not %q", o.algo)
 	}
+	if len(o.batchOnly) > 0 {
+		return nil, fmt.Errorf("cic: option %s has no effect on a streaming gateway", o.batchOnly[0])
+	}
+	workers := o.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	det, err := rx.NewDetector(fc, rx.DetectorOptions{})
 	if err != nil {
 		return nil, err
@@ -86,7 +140,7 @@ func NewGateway(cfg Config, options ...Option) (*Gateway, error) {
 		DisableCFOFilter:   o.disableCFOFilter,
 		DisablePowerFilter: o.disablePowerFilter,
 	}
-	dm, err := core.NewDemodulator(fc, coreOpts)
+	hdrDM, err := core.NewDemodulator(fc, coreOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -96,14 +150,36 @@ func NewGateway(cfg Config, options ...Option) (*Gateway, error) {
 		cfg:     cfg,
 		fcfg:    fc,
 		det:     det,
-		dm:      dm,
+		hdrDM:   hdrDM,
 		out:     make(chan Packet, 64),
 		maxPkt:  maxPkt,
 		scanLag: 2 * m,
+		workers: workers,
 		// Ring must hold the longest packet plus detection lag plus a full
 		// scan region; triple the packet length is comfortably enough.
-		buf: make([]complex128, 3*maxPkt),
+		buf:         make([]complex128, 3*maxPkt),
+		jobs:        make(chan decodeJob, workers),
+		results:     make(chan seqPacket, workers),
+		reorderDone: make(chan struct{}),
 	}
+	g.snapPool.New = func() any {
+		s := make([]complex128, maxPkt)
+		return &s
+	}
+	dms := make([]*core.Demodulator, workers)
+	for w := range dms {
+		if dms[w], err = core.NewDemodulator(fc, coreOpts); err != nil {
+			return nil, err
+		}
+	}
+	for _, dm := range dms {
+		g.workerWG.Add(1)
+		go g.worker(dm)
+	}
+	go func() {
+		g.reorder()
+		close(g.reorderDone)
+	}()
 	return g, nil
 }
 
@@ -113,85 +189,114 @@ func (g *Gateway) Packets() <-chan Packet { return g.out }
 
 // BufferedSamples reports how many samples the gateway currently retains.
 func (g *Gateway) BufferedSamples() int64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.count
+	return g.written.Load() - g.base.Load()
 }
 
+// Workers reports the payload decode pool size.
+func (g *Gateway) Workers() int { return g.workers }
+
 // Write appends IQ samples to the stream and processes whatever became
-// decodable. It may block when the Packets channel is full (backpressure).
+// decodable. It may block when every decode worker is busy and the job
+// queue is full, or when the Packets channel is full (backpressure).
 func (g *Gateway) Write(iq []complex128) (int, error) {
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
 	if g.closed {
 		return 0, ErrGatewayClosed
 	}
-	g.mu.Lock()
-	for _, v := range iq {
-		g.push(v)
-	}
-	g.mu.Unlock()
+	g.writeBulk(iq)
 	g.process(false)
 	return len(iq), nil
 }
 
 // Close flushes the stream (decoding every packet whose samples are fully
-// buffered, even if the air has not moved past its end) and closes the
-// Packets channel.
+// buffered, even if the air has not moved past its end), drains the worker
+// pool and closes the Packets channel. Close is idempotent and safe to
+// call concurrently with Write.
 func (g *Gateway) Close() error {
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
 	if g.closed {
 		return nil
 	}
 	g.process(true)
 	g.closed = true
-	close(g.out)
+	close(g.jobs)
+	g.workerWG.Wait()
+	close(g.results)
+	<-g.reorderDone
 	return nil
 }
 
-// push appends one sample to the ring, evicting the oldest when full.
-func (g *Gateway) push(v complex128) {
+// writeBulk appends samples to the ring with at most two copy calls,
+// evicting the oldest samples when full. Caller holds wmu.
+func (g *Gateway) writeBulk(iq []complex128) {
 	n := int64(len(g.buf))
-	if g.count == n {
-		// Evict the oldest sample.
-		g.head = (g.head + 1) % len(g.buf)
-		g.base++
-		g.count--
+	written := g.written.Load()
+	if int64(len(iq)) > n {
+		// Samples that would be evicted before they could ever be read:
+		// account for them without copying.
+		skip := int64(len(iq)) - n
+		written += skip
+		iq = iq[skip:]
 	}
-	g.buf[(g.head+int(g.count))%len(g.buf)] = v
-	g.count++
-	g.written++
+	newWritten := written + int64(len(iq))
+	if base := g.base.Load(); newWritten-base > n {
+		g.base.Store(newWritten - n)
+	}
+	pos := written % n
+	c := copy(g.buf[pos:], iq)
+	copy(g.buf, iq[c:])
+	g.written.Store(newWritten)
 }
 
-// ringSource adapts the ring buffer as an rx.SampleSource (zero outside).
+// readRing fills dst with samples for the absolute window
+// [start, start+len(dst)), zero-filling outside the retained span, using
+// at most two copy calls. Caller holds wmu (the ring is only mutated and
+// read on the ingest path; decode workers read private snapshots).
+func (g *Gateway) readRing(dst []complex128, start int64) {
+	n := int64(len(g.buf))
+	base, written := g.base.Load(), g.written.Load()
+	lo, hi := start, start+int64(len(dst))
+	from, to := lo, hi
+	if from < base {
+		from = base
+	}
+	if to > written {
+		to = written
+	}
+	if to <= from {
+		clear(dst)
+		return
+	}
+	clear(dst[:from-lo])
+	clear(dst[to-lo:])
+	span := to - from
+	pos := from % n
+	first := n - pos
+	if first > span {
+		first = span
+	}
+	copy(dst[from-lo:], g.buf[pos:pos+first])
+	copy(dst[from-lo+first:to-lo], g.buf[:span-first])
+}
+
+// ringSource adapts the ring buffer as an rx.SampleSource for the ingest
+// goroutine (detection and header demodulation).
 type ringSource struct{ g *Gateway }
 
-func (r ringSource) Read(dst []complex128, start int64) {
-	g := r.g
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	for i := range dst {
-		idx := start + int64(i) - g.base
-		if idx >= 0 && idx < g.count {
-			dst[i] = g.buf[(g.head+int(idx))%len(g.buf)]
-		} else {
-			dst[i] = 0
-		}
-	}
-}
+func (r ringSource) Read(dst []complex128, start int64) { r.g.readRing(dst, start) }
 
 func (r ringSource) Span() (int64, int64) {
-	g := r.g
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.base, g.base + g.count
+	return r.g.base.Load(), r.g.written.Load()
 }
 
-// process advances detection and decodes completed packets. flush forces
-// decoding of everything currently buffered.
+// process advances detection and dispatches completed packets to the
+// worker pool. flush forces dispatch of everything currently buffered.
+// Caller holds wmu.
 func (g *Gateway) process(flush bool) {
 	src := ringSource{g}
-	g.mu.Lock()
-	written := g.written
-	scanFrom := g.scanned
-	g.mu.Unlock()
+	written := g.written.Load()
 
 	// Detection trails the newest sample by scanLag so every scan window is
 	// fully buffered.
@@ -199,9 +304,8 @@ func (g *Gateway) process(flush bool) {
 	if flush {
 		scanTo = written
 	}
-	if scanTo > scanFrom {
-		found := g.det.ScanDownchirpRange(src, scanFrom, scanTo)
-		g.mu.Lock()
+	if scanTo > g.scanned {
+		found := g.det.ScanDownchirpRange(src, g.scanned, scanTo)
 		for _, p := range found {
 			if g.known(p) {
 				continue
@@ -213,13 +317,12 @@ func (g *Gateway) process(flush bool) {
 			g.active = append(g.active, p)
 		}
 		g.scanned = scanTo
-		g.mu.Unlock()
 	}
 
-	// Decode pending packets whose span is complete (or everything on
-	// flush), oldest first.
+	// Dispatch pending packets whose span is complete (or everything on
+	// flush), oldest first — the sequence number assigned at dispatch keys
+	// the reorder buffer, so delivery order matches this selection order.
 	for {
-		g.mu.Lock()
 		var next *rx.Packet
 		idx := -1
 		for i, p := range g.pending {
@@ -230,7 +333,6 @@ func (g *Gateway) process(flush bool) {
 			}
 		}
 		if next == nil {
-			g.mu.Unlock()
 			return
 		}
 		g.pending = append(g.pending[:idx], g.pending[idx+1:]...)
@@ -240,51 +342,98 @@ func (g *Gateway) process(flush bool) {
 				others = append(others, q)
 			}
 		}
-		g.mu.Unlock()
-
-		pkt := g.decodeOne(src, next, others)
-		g.out <- pkt // may block: backpressure
+		g.dispatch(src, next, others)
 
 		// Retire tracked packets whose samples have left the ring: they can
 		// no longer interfere with anything still decodable.
-		g.mu.Lock()
+		base := g.base.Load()
 		keep := g.active[:0]
 		for _, q := range g.active {
-			if q.End(g.fcfg) > g.base {
+			if q.End(g.fcfg) > base {
 				keep = append(keep, q)
 			}
 		}
 		g.active = keep
-		g.mu.Unlock()
 	}
 }
 
-// decodeOne runs header-then-payload CIC demodulation for one packet,
-// including the pipeline's CRC-driven chase pass over ranked alternates.
-func (g *Gateway) decodeOne(src rx.SampleSource, p *rx.Packet, others []*rx.Packet) Packet {
+// dispatch decodes one packet's header on the ingest goroutine (fixing its
+// length, which later packets' boundary bookkeeping reads), snapshots its
+// samples out of the ring, and queues the payload for a pool worker. The
+// send blocks when the pool is saturated (bounded backpressure).
+func (g *Gateway) dispatch(src rx.SampleSource, p *rx.Packet, others []*rx.Packet) {
 	fc := g.fcfg
+	job := decodeJob{seq: g.seq, result: Packet{Start: p.Start, SNR: p.SNRdB, CFO: p.CFOHz}}
+	g.seq++
 	syms := make([]uint16, 0, p.NSymbols)
 	for s := 0; s < phy.HeaderSymbolCount; s++ {
-		syms = append(syms, g.dm.DemodulateSymbol(src, p, s, others))
+		syms = append(syms, g.hdrDM.DemodulateSymbol(src, p, s, others))
 	}
-	out := Packet{Start: p.Start, SNR: p.SNRdB, CFO: p.CFOHz}
 	hdr, ok := rx.HeaderFromSymbols(syms, fc.PHY)
 	if !ok {
-		return out
+		job.ready = true
+		g.jobs <- job
+		return
 	}
 	pcfg := fc.PHY
 	pcfg.CR = hdr.CR
 	pcfg.HasCRC = hdr.HasCRC
 	p.NSymbols = phy.SymbolCount(pcfg, int(hdr.Length))
+
+	// Snapshot: a private clone of the packet and interferer geometry plus
+	// a bulk copy of the packet's samples, so the worker reads without
+	// touching the ring or the ingest lock.
+	pc := *p
+	job.pkt = &pc
+	job.others = make([]*rx.Packet, len(others))
+	for i, q := range others {
+		qc := *q
+		job.others[i] = &qc
+	}
+	job.syms = syms
+	need := p.End(fc) - p.Start
+	bufp := g.snapPool.Get().(*[]complex128)
+	if int64(cap(*bufp)) < need {
+		s := make([]complex128, need)
+		bufp = &s
+	}
+	snap := (*bufp)[:need]
+	g.readRing(snap, p.Start)
+	job.snap = snap
+	job.snapBuf = bufp
+	job.snapStart = p.Start
+	g.jobs <- job
+}
+
+// worker demodulates payloads from the job queue with a private
+// demodulator and forwards results to the reorder stage.
+func (g *Gateway) worker(dm *core.Demodulator) {
+	defer g.workerWG.Done()
+	for job := range g.jobs {
+		pkt := job.result
+		if !job.ready {
+			pkt = g.decodePayload(dm, job)
+			g.snapPool.Put(job.snapBuf)
+		}
+		g.results <- seqPacket{seq: job.seq, pkt: pkt}
+	}
+}
+
+// decodePayload runs CIC payload demodulation for one dispatched packet,
+// including the pipeline's CRC-driven chase pass over ranked alternates.
+func (g *Gateway) decodePayload(dm *core.Demodulator, job decodeJob) Packet {
+	out := job.result
+	src := &rx.MemorySource{Base: job.snapStart, Samples: job.snap}
+	syms := job.syms
 	var alternates [][]uint16
-	for s := phy.HeaderSymbolCount; s < p.NSymbols; s++ {
-		ranked := g.dm.PickSymbolAlternates(src, p, s, others)
+	for s := phy.HeaderSymbolCount; s < job.pkt.NSymbols; s++ {
+		ranked := dm.PickSymbolAlternates(src, job.pkt, s, job.others)
 		syms = append(syms, ranked[0])
 		alternates = append(alternates, ranked)
 	}
-	dec, err := phy.Decode(syms, fc.PHY)
+	dec, err := phy.Decode(syms, g.fcfg.PHY)
 	if err == nil && !dec.CRCOK {
-		if fixed, ok := rx.ChaseDecode(syms, alternates, fc.PHY); ok {
+		if fixed, ok := rx.ChaseDecode(syms, alternates, g.fcfg.PHY); ok {
 			dec = fixed
 		}
 	}
@@ -295,6 +444,32 @@ func (g *Gateway) decodeOne(src rx.SampleSource, p *rx.Packet, others []*rx.Pack
 	out.OK = dec.CRCOK
 	out.FECCorrected = dec.FECCorrected
 	return out
+}
+
+// reorder delivers worker results on the Packets channel in dispatch
+// order. The held map is bounded by the number of jobs in flight, which
+// the pool depth bounds in turn.
+func (g *Gateway) reorder() {
+	defer close(g.out)
+	next := int64(0)
+	held := make(map[int64]Packet)
+	for r := range g.results {
+		if r.seq != next {
+			held[r.seq] = r.pkt
+			continue
+		}
+		g.out <- r.pkt
+		next++
+		for {
+			p, ok := held[next]
+			if !ok {
+				break
+			}
+			delete(held, next)
+			g.out <- p
+			next++
+		}
+	}
 }
 
 // known reports whether a detection duplicates a tracked packet.

@@ -1,0 +1,26 @@
+package cic
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGatewayRejectsBatchOnlyOptions: NewGateway must return a clear error
+// for an option with no streaming effect instead of silently ignoring it.
+// No shipped option is currently batch-only, so this exercises the
+// mechanism directly with a synthetic option.
+func TestGatewayRejectsBatchOnlyOptions(t *testing.T) {
+	batchOnly := Option(func(o *receiverOptions) { o.markBatchOnly("WithBatchThing") })
+	_, err := NewGateway(DefaultConfig(), batchOnly)
+	if err == nil {
+		t.Fatal("NewGateway accepted a batch-only option")
+	}
+	if !strings.Contains(err.Error(), "WithBatchThing") {
+		t.Errorf("error %q does not name the offending option", err)
+	}
+
+	// A batch Receiver must still accept the same option.
+	if _, err := NewReceiver(DefaultConfig(), batchOnly); err != nil {
+		t.Errorf("NewReceiver rejected a batch-only option: %v", err)
+	}
+}

@@ -25,7 +25,7 @@ type FFT struct {
 }
 
 var (
-	planMu    sync.Mutex
+	planMu    sync.RWMutex
 	planCache = map[int]*FFT{}
 )
 
@@ -50,8 +50,15 @@ func NewFFT(n int) (*FFT, error) {
 
 // PlanFor returns a cached FFT plan for size n, creating it on first use.
 // It panics if n is not a positive power of two; use NewFFT to handle the
-// error explicitly.
+// error explicitly. Cache hits take only a read lock, so concurrent decode
+// workers do not serialise on the lookup.
 func PlanFor(n int) *FFT {
+	planMu.RLock()
+	p, ok := planCache[n]
+	planMu.RUnlock()
+	if ok {
+		return p
+	}
 	planMu.Lock()
 	defer planMu.Unlock()
 	if p, ok := planCache[n]; ok {

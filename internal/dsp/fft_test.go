@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -212,4 +213,44 @@ func TestRefinePeakFindsFractionalTone(t *testing.T) {
 	if math.Abs(pos-trueBin) > 1.0/32 {
 		t.Errorf("RefinePeak = %g, want %g", pos, trueBin)
 	}
+}
+
+// TestPlanForConcurrent exercises the double-checked plan-cache lookup
+// under -race: many goroutines resolving a mix of new and cached sizes
+// must all receive the same plan per size.
+func TestPlanForConcurrent(t *testing.T) {
+	sizes := []int{64, 128, 256, 512, 1024}
+	var wg sync.WaitGroup
+	plans := make([][]*FFT, 8)
+	for g := range plans {
+		plans[g] = make([]*FFT, len(sizes))
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, n := range sizes {
+				plans[g][i] = PlanFor(n)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < len(plans); g++ {
+		for i := range sizes {
+			if plans[g][i] != plans[0][i] {
+				t.Errorf("goroutine %d got a different plan for size %d", g, sizes[i])
+			}
+		}
+	}
+}
+
+// BenchmarkPlanForParallel measures plan-cache hit cost under concurrent
+// decode workers: with the read-write lock, hits must not serialise.
+func BenchmarkPlanForParallel(b *testing.B) {
+	PlanFor(1024) // warm the cache
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if PlanFor(1024) == nil {
+				b.Fatal("nil plan")
+			}
+		}
+	})
 }

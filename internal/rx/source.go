@@ -24,16 +24,27 @@ type MemorySource struct {
 	Samples []complex128
 }
 
-// Read implements SampleSource, zero-filling outside the buffer.
+// Read implements SampleSource, zero-filling outside the buffer. The
+// in-range portion is a single bulk copy — this is the decode hot path
+// (every demodulated window passes through here).
 func (m *MemorySource) Read(dst []complex128, start int64) {
-	for i := range dst {
-		idx := start + int64(i) - m.Base
-		if idx >= 0 && idx < int64(len(m.Samples)) {
-			dst[i] = m.Samples[idx]
-		} else {
-			dst[i] = 0
-		}
+	n := int64(len(m.Samples))
+	lo := start - m.Base
+	hi := lo + int64(len(dst))
+	from, to := lo, hi
+	if from < 0 {
+		from = 0
 	}
+	if to > n {
+		to = n
+	}
+	if to <= from {
+		clear(dst)
+		return
+	}
+	clear(dst[:from-lo])
+	clear(dst[to-lo:])
+	copy(dst[from-lo:to-lo], m.Samples[from:to])
 }
 
 // Span implements SampleSource.

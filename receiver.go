@@ -47,6 +47,19 @@ type receiverOptions struct {
 	disableSED         bool
 	disableCFOFilter   bool
 	disablePowerFilter bool
+
+	// batchOnly collects the names of applied options that only affect the
+	// batch Receiver. NewReceiver ignores it; NewGateway rejects any option
+	// recorded here rather than silently ignoring it, so a streaming caller
+	// can't believe a knob is in effect when it isn't. Every current option
+	// has a streaming effect; an Option that does not must call
+	// markBatchOnly.
+	batchOnly []string
+}
+
+// markBatchOnly records that the named option has no streaming effect.
+func (o *receiverOptions) markBatchOnly(name string) {
+	o.batchOnly = append(o.batchOnly, name)
 }
 
 // WithAlgorithm selects the decoding algorithm (default AlgorithmCIC).
@@ -54,8 +67,9 @@ func WithAlgorithm(a Algorithm) Option {
 	return func(o *receiverOptions) { o.algo = a }
 }
 
-// WithWorkers sets the decoder worker-pool size (default GOMAXPROCS).
-// Packets decode independently, so throughput scales with workers.
+// WithWorkers sets the decoder worker-pool size (default GOMAXPROCS) for
+// both the batch Receiver and the streaming Gateway. Packets decode
+// independently, so throughput scales with workers.
 func WithWorkers(n int) Option {
 	return func(o *receiverOptions) { o.workers = n }
 }

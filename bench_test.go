@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"runtime"
 	"testing"
+	"time"
 
 	"cic"
 	"cic/internal/chirp"
@@ -165,10 +166,10 @@ func BenchmarkFullReceive3Packets(b *testing.B) {
 	}
 }
 
-// BenchmarkGatewayStream measures streaming ingest throughput (samples/sec)
-// through the Gateway's pipelined decode path on a 3-packet-collision trace
-// at 1, 4 and GOMAXPROCS payload workers.
-func BenchmarkGatewayStream(b *testing.B) {
+// benchStreamTrace builds the 3-packet-collision IQ trace BenchmarkGatewayStream
+// feeds through the gateway.
+func benchStreamTrace(b testing.TB) (cic.Config, []complex128) {
+	b.Helper()
 	cfg := cic.DefaultConfig()
 	cfg.CodingRate = 3
 	sym := int64(cfg.SamplesPerSymbol())
@@ -190,51 +191,90 @@ func BenchmarkGatewayStream(b *testing.B) {
 	}
 	iq := cic.Samples(src)
 	iq = append(iq, make([]complex128, 8*cfg.SamplesPerSymbol())...)
+	return cfg, iq
+}
+
+// benchStreamOnce pushes the trace through one freshly built gateway and
+// returns the number of CRC-clean packets.
+func benchStreamOnce(b testing.TB, cfg cic.Config, iq []complex128, options ...cic.Option) int {
+	const chunk = 8192
+	gw, err := cic.NewGateway(cfg, options...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	drained := make(chan int, 1)
+	go func() {
+		n := 0
+		for p := range gw.Packets() {
+			if p.OK {
+				n++
+			}
+		}
+		drained <- n
+	}()
+	for off := 0; off < len(iq); off += chunk {
+		end := off + chunk
+		if end > len(iq) {
+			end = len(iq)
+		}
+		if _, err := gw.Write(iq[off:end]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := gw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	n := <-drained
+	if n == 0 {
+		b.Fatal("gateway decoded nothing")
+	}
+	return n
+}
+
+// BenchmarkGatewayStream measures streaming ingest throughput (samples/sec)
+// through the Gateway's pipelined decode path on a 3-packet-collision trace
+// at 1, 4 and GOMAXPROCS payload workers. The "overhead" sub-benchmark
+// interleaves uninstrumented and WithMetrics runs and reports the
+// instrumentation cost as overhead_%; at >=10 iterations it asserts the
+// instrumented path stays within 2% of the nil-registry path (below that,
+// run-to-run noise dwarfs the per-packet atomics, so smoke runs such as
+// `make ci`'s -benchtime=1x only report the metric).
+func BenchmarkGatewayStream(b *testing.B) {
+	cfg, iq := benchStreamTrace(b)
 
 	counts := []int{1, 4}
 	if gmp := runtime.GOMAXPROCS(0); gmp != 1 && gmp != 4 {
 		counts = append(counts, gmp)
 	}
-	const chunk = 8192
 	for _, workers := range counts {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			b.SetBytes(int64(len(iq) * 16))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				gw, err := cic.NewGateway(cfg, cic.WithWorkers(workers))
-				if err != nil {
-					b.Fatal(err)
-				}
-				drained := make(chan int, 1)
-				go func() {
-					n := 0
-					for p := range gw.Packets() {
-						if p.OK {
-							n++
-						}
-					}
-					drained <- n
-				}()
-				for off := 0; off < len(iq); off += chunk {
-					end := off + chunk
-					if end > len(iq) {
-						end = len(iq)
-					}
-					if _, err := gw.Write(iq[off:end]); err != nil {
-						b.Fatal(err)
-					}
-				}
-				if err := gw.Close(); err != nil {
-					b.Fatal(err)
-				}
-				if n := <-drained; n == 0 {
-					b.Fatal("gateway decoded nothing")
-				}
+				benchStreamOnce(b, cfg, iq, cic.WithWorkers(workers))
 			}
 			b.ReportMetric(float64(len(iq))*float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
 		})
 	}
+	b.Run("overhead", func(b *testing.B) {
+		reg := cic.NewMetrics()
+		var plain, instrumented time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			benchStreamOnce(b, cfg, iq, cic.WithWorkers(1))
+			plain += time.Since(t0)
+			t0 = time.Now()
+			benchStreamOnce(b, cfg, iq, cic.WithWorkers(1), cic.WithMetrics(reg))
+			instrumented += time.Since(t0)
+		}
+		pct := 100 * (instrumented - plain).Seconds() / plain.Seconds()
+		b.ReportMetric(pct, "overhead_%")
+		if b.N >= 10 && pct > 2.0 {
+			b.Fatalf("instrumented gateway %.2f%% slower than nil-registry path (budget 2%%)", pct)
+		}
+	})
 }
 
 // --- Figure benchmarks -----------------------------------------------------

@@ -1,0 +1,159 @@
+// Command cic-bench converts `go test -bench` output on stdin into the
+// JSON shape used by the repository's BENCH_*.json records (see
+// BENCH_gateway.json). It parses the standard benchmark result lines plus
+// any custom metrics reported via b.ReportMetric (samples/sec,
+// overhead_%, decoded/op, ...), and stamps the host environment.
+//
+// Usage:
+//
+//	go test -run '^$' -bench GatewayStream -benchtime=5x ./ | cic-bench -out BENCH_gateway.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+
+	// Optional metrics, present when the benchmark reports them.
+	SamplesPerSec float64 `json:"samples_per_sec,omitempty"`
+	MBPerSec      float64 `json:"mb_per_sec,omitempty"`
+	AllocsPerOp   int64   `json:"allocs_per_op,omitempty"`
+	BytesPerOp    int64   `json:"bytes_per_op,omitempty"`
+	OverheadPct   float64 `json:"overhead_pct,omitempty"`
+	DecodedPerOp  float64 `json:"decoded_per_op,omitempty"`
+}
+
+type record struct {
+	Benchmark   string         `json:"benchmark"`
+	Description string         `json:"description"`
+	Recorded    string         `json:"recorded"`
+	Environment map[string]any `json:"environment"`
+	Results     []result       `json:"results"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cic-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		benchmark = flag.String("benchmark", "BenchmarkGatewayStream", "benchmark family name for the record header")
+		desc      = flag.String("description", "Streaming ingest throughput through the Gateway's pipelined decode path on a 3-packet-collision trace (make bench-json).", "record description")
+		note      = flag.String("note", "", "free-form environment note")
+		out       = flag.String("out", "", "output path (default stdout)")
+	)
+	flag.Parse()
+
+	rec := record{
+		Benchmark:   *benchmark,
+		Description: *desc,
+		Recorded:    time.Now().Format("2006-01-02"),
+		Environment: map[string]any{
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"go":         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		},
+	}
+	if *note != "" {
+		rec.Environment["note"] = *note
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// Echo the raw output so the tool can sit at the end of a pipe
+		// without hiding failures.
+		fmt.Fprintln(os.Stderr, line)
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			rec.Environment["cpu"] = strings.TrimSpace(cpu)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok := parseBenchLine(line)
+		if ok {
+			rec.Results = append(rec.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(rec.Results) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin")
+	}
+
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+	return nil
+}
+
+// parseBenchLine parses one `BenchmarkName-N  iters  v unit  v unit ...`
+// result line.
+func parseBenchLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return result{}, false
+	}
+	name := fields[0]
+	// Strip the trailing -GOMAXPROCS suffix Go appends to benchmark names.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	res := result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+		case "MB/s":
+			res.MBPerSec = v
+		case "samples/sec":
+			res.SamplesPerSec = v
+		case "B/op":
+			res.BytesPerOp = int64(v)
+		case "allocs/op":
+			res.AllocsPerOp = int64(v)
+		case "overhead_%":
+			res.OverheadPct = v
+		case "decoded/op":
+			res.DecodedPerOp = v
+		}
+	}
+	return res, res.NsPerOp != 0
+}

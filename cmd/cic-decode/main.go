@@ -11,8 +11,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"cic"
@@ -27,13 +29,15 @@ func main() {
 
 func run() error {
 	var (
-		in      = flag.String("in", "", "input .cf32 path (required)")
-		algo    = flag.String("algo", "cic", "decoder: cic, strawman, lora, choir, ftrack")
-		sf      = flag.Int("sf", 8, "spreading factor")
-		bw      = flag.Float64("bw", 250e3, "bandwidth Hz")
-		osr     = flag.Int("osr", 4, "oversampling ratio of the capture")
-		cr      = flag.Int("cr", 1, "coding rate 1..4 (4/5..4/8)")
-		workers = flag.Int("workers", 0, "decode workers (0 = GOMAXPROCS)")
+		in        = flag.String("in", "", "input .cf32 path (required)")
+		algo      = flag.String("algo", "cic", "decoder: cic, strawman, lora, choir, ftrack")
+		sf        = flag.Int("sf", 8, "spreading factor")
+		bw        = flag.Float64("bw", 250e3, "bandwidth Hz")
+		osr       = flag.Int("osr", 4, "oversampling ratio of the capture")
+		cr        = flag.Int("cr", 1, "coding rate 1..4 (4/5..4/8)")
+		workers   = flag.Int("workers", 0, "decode workers (0 = GOMAXPROCS)")
+		stats     = flag.Bool("stats", false, "print the decode-pipeline metrics snapshot as JSON on stderr")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while decoding")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -54,9 +58,26 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	recv, err := cic.NewReceiver(cfg,
+	options := []cic.Option{
 		cic.WithAlgorithm(cic.Algorithm(*algo)),
-		cic.WithWorkers(*workers))
+		cic.WithWorkers(*workers),
+	}
+	// Instrumentation is opt-in: with neither -stats nor -debug-addr the
+	// decode path runs with metrics disabled (the nil-registry fast path).
+	var reg *cic.Metrics
+	if *stats || *debugAddr != "" {
+		reg = cic.NewMetrics()
+		options = append(options, cic.WithMetrics(reg))
+	}
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, cic.DebugHandler(reg)); err != nil {
+				fmt.Fprintln(os.Stderr, "cic-decode: debug server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/metrics\n", *debugAddr)
+	}
+	recv, err := cic.NewReceiver(cfg, options...)
 	if err != nil {
 		return err
 	}
@@ -72,6 +93,13 @@ func run() error {
 		}
 		fmt.Printf("#%d start=%d snr=%.1fdB cfo=%+.0fHz %s payload=%x\n",
 			i, p.Start, p.SNR, p.CFO, status, p.Payload)
+	}
+	if *stats {
+		enc := json.NewEncoder(os.Stderr)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(recv.Stats()); err != nil {
+			return err
+		}
 	}
 	return nil
 }

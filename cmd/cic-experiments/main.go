@@ -28,12 +28,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 
 	"cic/internal/eval"
+	"cic/internal/obs"
 	"cic/internal/sim"
 )
 
@@ -58,6 +60,7 @@ func run() error {
 		outdir     = flag.String("outdir", "", "write figures as CSV files into this directory")
 		svg        = flag.Bool("svg", false, "with -outdir: also write an .svg chart per figure")
 		format     = flag.String("format", "table", "stdout format: table or csv")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -89,11 +92,45 @@ func run() error {
 		return err
 	}
 
+	// Experiments always run instrumented: the CIC receiver feeds a metrics
+	// registry whose decode-latency histogram is summarised after the run,
+	// and -debug-addr exposes it live (plus expvar and pprof) while long
+	// experiments execute.
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, obs.DebugMux(reg)); err != nil {
+				fmt.Fprintln(os.Stderr, "cic-experiments: debug server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/metrics\n", *debugAddr)
+	}
+
 	figs, err := runExperiment(exp, cfg, deps)
 	if err != nil {
 		return err
 	}
-	return emit(figs, *outdir, *format, *svg)
+	if err := emit(figs, *outdir, *format, *svg); err != nil {
+		return err
+	}
+	printDecodeStats(reg.Snapshot())
+	return nil
+}
+
+// printDecodeStats summarises the CIC receiver's decode metrics for the
+// run — most importantly the per-packet decode-latency histogram (in batch
+// mode: the payload-demodulation span per packet).
+func printDecodeStats(s obs.Snapshot) {
+	h, ok := s.Histograms[obs.MetricDecodeLatency]
+	if !ok || h.Count == 0 {
+		return
+	}
+	fmt.Printf("\nCIC decode stats: %d packets emitted, %d preambles detected, CRC %d pass / %d fail\n",
+		s.Counters[obs.MetricPacketsEmitted], s.Counters[obs.MetricPreamblesDetected],
+		s.Counters[obs.MetricCRCPass], s.Counters[obs.MetricCRCFail])
+	fmt.Printf("decode_latency_seconds: n=%d mean=%.6f p50=%.6f p90=%.6f p99=%.6f\n",
+		h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99))
 }
 
 func selectDeployments(name string) ([]sim.Deployment, error) {

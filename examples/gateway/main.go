@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cic/internal/eval"
+	"cic/internal/obs"
 	"cic/internal/sim"
 )
 
@@ -30,7 +31,10 @@ func main() {
 	fmt.Printf("deployment %s: %d nodes, %d packets offered over %.0fs (%.0f pkts/s)\n",
 		sim.D1.Name, len(nw.Nodes), len(run.Truth), cfg.Duration, rate)
 
-	receivers, err := eval.DefaultReceivers(cfg.Frame, 0)
+	// The CIC receiver runs instrumented so the decode-stage totals can be
+	// reported after the comparison.
+	reg := obs.NewRegistry()
+	receivers, err := eval.DefaultReceiversObserved(cfg.Frame, 0, obs.NewDecodeMetrics(reg))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,4 +48,13 @@ func main() {
 		fmt.Printf("%-8s decoded %3d/%3d packets (%5.1f pkts/s) in %v\n",
 			recv.Name(), score.Decoded, score.Offered, score.Throughput(), time.Since(t0).Round(time.Millisecond))
 	}
+
+	stats := reg.Snapshot()
+	fmt.Printf("CIC stats: %d preambles, %d headers, %d symbols, gates sed=%d/%d cfo=%d/%d pow=%d/%d, CRC %d/%d\n",
+		stats.Counters[obs.MetricPreamblesDetected], stats.Counters[obs.MetricHeadersDecoded],
+		stats.Counters[obs.MetricSymbolsDemodulated],
+		stats.Counters[obs.MetricSEDAccept], stats.Counters[obs.MetricSEDReject],
+		stats.Counters[obs.MetricCFOAccept], stats.Counters[obs.MetricCFOReject],
+		stats.Counters[obs.MetricPowerAccept], stats.Counters[obs.MetricPowerReject],
+		stats.Counters[obs.MetricCRCPass], stats.Counters[obs.MetricCRCPass]+stats.Counters[obs.MetricCRCFail])
 }

@@ -33,8 +33,12 @@ func main() {
 
 	// Payload demodulation fans out over a worker pool (one core per
 	// worker is the useful maximum); packets still arrive on Packets()
-	// in air-time order.
-	gw, err := cic.NewGateway(cfg, cic.WithWorkers(runtime.GOMAXPROCS(0)))
+	// in air-time order. The metrics registry collects per-stage counters
+	// and latency histograms as the stream flows.
+	metrics := cic.NewMetrics()
+	gw, err := cic.NewGateway(cfg,
+		cic.WithWorkers(runtime.GOMAXPROCS(0)),
+		cic.WithMetrics(metrics))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,5 +69,11 @@ func main() {
 		log.Fatal(err)
 	}
 	<-done
-	fmt.Println("stream closed")
+
+	stats := gw.Stats()
+	lat := stats.Histograms["decode_latency_seconds"]
+	fmt.Printf("stream closed: %d samples in, %d preambles, %d headers, CRC %d/%d, mean latency %.3fms\n",
+		stats.Counters["samples_ingested"], stats.Counters["preambles_detected"],
+		stats.Counters["headers_decoded"], stats.Counters["crc_pass"],
+		stats.Counters["crc_pass"]+stats.Counters["crc_fail"], lat.Mean()*1e3)
 }

@@ -6,9 +6,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cic/internal/core"
 	"cic/internal/frame"
+	"cic/internal/obs"
 	"cic/internal/phy"
 	"cic/internal/rx"
 )
@@ -78,6 +80,18 @@ type Gateway struct {
 	workerWG    sync.WaitGroup
 	reorderDone chan struct{}
 	snapPool    sync.Pool
+
+	// Observability. reg is the WithMetrics registry (nil when detached);
+	// m is the pre-resolved handle set (the shared no-op set when reg is
+	// nil, so every stage updates fields unconditionally without branching
+	// on enablement). detectedAt stamps each tracked packet's wall-clock
+	// detection instant for the decode-latency histogram and emit events;
+	// it is only allocated when metrics or tracing are on, so the disabled
+	// path never reads the clock. Guarded by wmu (ingest path only).
+	reg        *Metrics
+	m          *obs.DecodeMetrics
+	tracer     obs.Tracer
+	detectedAt map[int]time.Time
 }
 
 // decodeJob carries one dispatched packet to the worker pool. The ingest
@@ -95,12 +109,26 @@ type decodeJob struct {
 	snap      []complex128 // samples [snapStart, snapStart+len(snap))
 	snapStart int64
 	snapBuf   *[]complex128 // pool token for snap
+
+	// Trace context (zero-valued when metrics and tracing are off).
+	id         int            // packet ID assigned at detection
+	detectedAt time.Time      // wall-clock detection instant
+	gates      obs.GateCounts // header-phase gate verdicts
 }
 
-// seqPacket is a decoded packet tagged with its dispatch sequence number.
+// seqPacket is a decoded packet tagged with its dispatch sequence number
+// plus the trace context the reorder stage needs for latency accounting
+// and emit events.
 type seqPacket struct {
 	seq int64
 	pkt Packet
+
+	id         int
+	headerOK   bool
+	nsyms      int
+	gates      obs.GateCounts
+	detectedAt time.Time // detection instant (zero when tracing is off)
+	doneAt     time.Time // worker completion instant (zero when metrics off)
 }
 
 // ErrGatewayClosed is returned by Write after Close.
@@ -130,7 +158,8 @@ func NewGateway(cfg Config, options ...Option) (*Gateway, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	det, err := rx.NewDetector(fc, rx.DetectorOptions{})
+	dmx := obs.NewDecodeMetrics(o.metrics)
+	det, err := rx.NewDetector(fc, rx.DetectorOptions{Metrics: dmx})
 	if err != nil {
 		return nil, err
 	}
@@ -139,6 +168,7 @@ func NewGateway(cfg Config, options ...Option) (*Gateway, error) {
 		DisableSED:         o.disableSED,
 		DisableCFOFilter:   o.disableCFOFilter,
 		DisablePowerFilter: o.disablePowerFilter,
+		Metrics:            dmx,
 	}
 	hdrDM, err := core.NewDemodulator(fc, coreOpts)
 	if err != nil {
@@ -161,6 +191,12 @@ func NewGateway(cfg Config, options ...Option) (*Gateway, error) {
 		jobs:        make(chan decodeJob, workers),
 		results:     make(chan seqPacket, workers),
 		reorderDone: make(chan struct{}),
+		reg:         o.metrics,
+		m:           dmx,
+		tracer:      obs.Tracer(o.tracer),
+	}
+	if o.metrics != nil || o.tracer != nil {
+		g.detectedAt = make(map[int]time.Time)
 	}
 	g.snapPool.New = func() any {
 		s := make([]complex128, maxPkt)
@@ -204,6 +240,7 @@ func (g *Gateway) Write(iq []complex128) (int, error) {
 	if g.closed {
 		return 0, ErrGatewayClosed
 	}
+	g.m.SamplesIngested.Add(int64(len(iq)))
 	g.writeBulk(iq)
 	g.process(false)
 	return len(iq), nil
@@ -237,6 +274,7 @@ func (g *Gateway) writeBulk(iq []complex128) {
 		// Samples that would be evicted before they could ever be read:
 		// account for them without copying.
 		skip := int64(len(iq)) - n
+		g.m.SamplesDropped.Add(skip)
 		written += skip
 		iq = iq[skip:]
 	}
@@ -305,7 +343,9 @@ func (g *Gateway) process(flush bool) {
 		scanTo = written
 	}
 	if scanTo > g.scanned {
+		t0 := g.m.DetectTime.Start()
 		found := g.det.ScanDownchirpRange(src, g.scanned, scanTo)
+		g.m.DetectTime.Since(t0)
 		for _, p := range found {
 			if g.known(p) {
 				continue
@@ -315,6 +355,22 @@ func (g *Gateway) process(flush bool) {
 			p.NSymbols = phy.MaxSymbolCount(g.fcfg.PHY)
 			g.pending = append(g.pending, p)
 			g.active = append(g.active, p)
+			// Count preambles only after the known() dedup: incremental
+			// scans re-find tracked packets, and those are not detections.
+			g.m.PreamblesDetected.Inc()
+			if g.detectedAt != nil {
+				g.detectedAt[p.ID] = time.Now()
+			}
+			if g.tracer != nil {
+				g.tracer(obs.Event{
+					Kind:     obs.EventDetect,
+					PacketID: p.ID,
+					Start:    p.Start,
+					SNRdB:    p.SNRdB,
+					CFOHz:    p.CFOHz,
+					Score:    p.Score,
+				})
+			}
 		}
 		g.scanned = scanTo
 	}
@@ -363,22 +419,35 @@ func (g *Gateway) process(flush bool) {
 // send blocks when the pool is saturated (bounded backpressure).
 func (g *Gateway) dispatch(src rx.SampleSource, p *rx.Packet, others []*rx.Packet) {
 	fc := g.fcfg
-	job := decodeJob{seq: g.seq, result: Packet{Start: p.Start, SNR: p.SNRdB, CFO: p.CFOHz}}
+	t0 := g.m.DispatchTime.Start()
+	g.m.CollisionSize.Observe(float64(len(others)))
+	job := decodeJob{seq: g.seq, id: p.ID, result: Packet{Start: p.Start, SNR: p.SNRdB, CFO: p.CFOHz}}
 	g.seq++
+	if g.detectedAt != nil {
+		job.detectedAt = g.detectedAt[p.ID]
+		delete(g.detectedAt, p.ID)
+	}
 	syms := make([]uint16, 0, p.NSymbols)
 	for s := 0; s < phy.HeaderSymbolCount; s++ {
 		syms = append(syms, g.hdrDM.DemodulateSymbol(src, p, s, others))
 	}
+	job.gates = g.hdrDM.TakeGateTally()
 	hdr, ok := rx.HeaderFromSymbols(syms, fc.PHY)
 	if !ok {
+		g.m.HeaderFailures.Inc()
+		g.traceHeader(p, job.seq, false)
 		job.ready = true
+		g.m.DispatchTime.Since(t0)
 		g.jobs <- job
+		g.m.QueueDepth.Set(int64(len(g.jobs)))
 		return
 	}
 	pcfg := fc.PHY
 	pcfg.CR = hdr.CR
 	pcfg.HasCRC = hdr.HasCRC
 	p.NSymbols = phy.SymbolCount(pcfg, int(hdr.Length))
+	g.m.HeadersDecoded.Inc()
+	g.traceHeader(p, job.seq, true)
 
 	// Snapshot: a private clone of the packet and interferer geometry plus
 	// a bulk copy of the packet's samples, so the worker reads without
@@ -402,7 +471,26 @@ func (g *Gateway) dispatch(src rx.SampleSource, p *rx.Packet, others []*rx.Packe
 	job.snap = snap
 	job.snapBuf = bufp
 	job.snapStart = p.Start
+	g.m.DispatchTime.Since(t0)
 	g.jobs <- job
+	g.m.QueueDepth.Set(int64(len(g.jobs)))
+}
+
+// traceHeader emits a header-stage trace event (no-op without a tracer).
+func (g *Gateway) traceHeader(p *rx.Packet, seq int64, ok bool) {
+	if g.tracer == nil {
+		return
+	}
+	g.tracer(obs.Event{
+		Kind:     obs.EventHeader,
+		PacketID: p.ID,
+		Seq:      seq,
+		Start:    p.Start,
+		SNRdB:    p.SNRdB,
+		CFOHz:    p.CFOHz,
+		HeaderOK: ok,
+		NSymbols: p.NSymbols,
+	})
 }
 
 // worker demodulates payloads from the job queue with a private
@@ -410,12 +498,29 @@ func (g *Gateway) dispatch(src rx.SampleSource, p *rx.Packet, others []*rx.Packe
 func (g *Gateway) worker(dm *core.Demodulator) {
 	defer g.workerWG.Done()
 	for job := range g.jobs {
+		g.m.WorkersBusy.Add(1)
 		pkt := job.result
+		gates := job.gates // header-phase verdicts tallied at dispatch
+		nsyms := 0
 		if !job.ready {
+			t0 := g.m.DemodTime.Start()
 			pkt = g.decodePayload(dm, job)
+			g.m.DemodTime.Since(t0)
+			gates.Add(dm.TakeGateTally())
+			nsyms = job.pkt.NSymbols
 			g.snapPool.Put(job.snapBuf)
 		}
-		g.results <- seqPacket{seq: job.seq, pkt: pkt}
+		g.m.WorkersBusy.Add(-1)
+		g.results <- seqPacket{
+			seq:        job.seq,
+			pkt:        pkt,
+			id:         job.id,
+			headerOK:   !job.ready,
+			nsyms:      nsyms,
+			gates:      gates,
+			detectedAt: job.detectedAt,
+			doneAt:     g.m.ReorderWait.Start(),
+		}
 	}
 }
 
@@ -435,10 +540,17 @@ func (g *Gateway) decodePayload(dm *core.Demodulator, job decodeJob) Packet {
 	if err == nil && !dec.CRCOK {
 		if fixed, ok := rx.ChaseDecode(syms, alternates, g.fcfg.PHY); ok {
 			dec = fixed
+			g.m.ChaseRecovered.Inc()
 		}
 	}
 	if err != nil {
+		g.m.CRCFail.Inc()
 		return out
+	}
+	if dec.CRCOK {
+		g.m.CRCPass.Inc()
+	} else {
+		g.m.CRCFail.Inc()
 	}
 	out.Payload = dec.Payload
 	out.OK = dec.CRCOK
@@ -452,13 +564,14 @@ func (g *Gateway) decodePayload(dm *core.Demodulator, job decodeJob) Packet {
 func (g *Gateway) reorder() {
 	defer close(g.out)
 	next := int64(0)
-	held := make(map[int64]Packet)
+	held := make(map[int64]seqPacket)
 	for r := range g.results {
 		if r.seq != next {
-			held[r.seq] = r.pkt
+			held[r.seq] = r
+			g.m.ReorderHeld.Set(int64(len(held)))
 			continue
 		}
-		g.out <- r.pkt
+		g.emit(r)
 		next++
 		for {
 			p, ok := held[next]
@@ -466,9 +579,40 @@ func (g *Gateway) reorder() {
 				break
 			}
 			delete(held, next)
-			g.out <- p
+			g.m.ReorderHeld.Set(int64(len(held)))
+			g.emit(p)
 			next++
 		}
+	}
+}
+
+// emit delivers one packet in dispatch order and settles its latency
+// accounting: time held in the reorder buffer, preamble-detect to emit
+// latency, and the emit trace event.
+func (g *Gateway) emit(r seqPacket) {
+	g.m.ReorderWait.Since(r.doneAt)
+	g.out <- r.pkt
+	g.m.PacketsEmitted.Inc()
+	g.m.DecodeLatency.Since(r.detectedAt)
+	if g.tracer != nil {
+		ev := obs.Event{
+			Kind:         obs.EventEmit,
+			PacketID:     r.id,
+			Seq:          r.seq,
+			Start:        r.pkt.Start,
+			SNRdB:        r.pkt.SNR,
+			CFOHz:        r.pkt.CFO,
+			HeaderOK:     r.headerOK,
+			NSymbols:     r.nsyms,
+			CRCOK:        r.pkt.OK,
+			PayloadLen:   len(r.pkt.Payload),
+			FECCorrected: r.pkt.FECCorrected,
+			Gates:        r.gates,
+		}
+		if !r.detectedAt.IsZero() {
+			ev.Latency = time.Since(r.detectedAt)
+		}
+		g.tracer(ev)
 	}
 }
 
@@ -489,6 +633,10 @@ func (g *Gateway) known(p *rx.Packet) bool {
 
 // Config returns the gateway's configuration.
 func (g *Gateway) Config() Config { return g.cfg }
+
+// Stats returns a snapshot of the registry attached with WithMetrics; the
+// zero Stats when none is attached. Safe to call concurrently with Write.
+func (g *Gateway) Stats() Stats { return g.reg.Snapshot() }
 
 // MaxPacketSamples reports the airtime budget (in samples) the gateway
 // assumes for an undecoded packet — the ring holds three times this.

@@ -1,0 +1,247 @@
+package cic_test
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"cic"
+)
+
+// twoPacketTrace builds a 2-packet collision (the second preamble lands
+// inside the first packet's payload) for the stats acceptance test.
+func twoPacketTrace(t testing.TB, cfg cic.Config) []complex128 {
+	t.Helper()
+	sym := int64(cfg.SamplesPerSymbol())
+	src, err := cic.SimulateCollision(cfg, []cic.Emission{
+		{Payload: []byte("collision member A"), StartSample: 4096, SNR: 27, CFO: 1500},
+		{Payload: []byte("collision member B"), StartSample: 4096 + 13*sym + 211, SNR: 24, CFO: -2400},
+	}, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iq := cic.Samples(src)
+	return append(iq, make([]complex128, 8*cfg.SamplesPerSymbol())...)
+}
+
+// TestGatewayStatsCollision: a streaming decode of a 2-packet collision
+// with a registry attached must light up every decode stage — detection,
+// demodulation, the §5.6–5.7 candidate gates, CRC — and the stage totals
+// must be mutually consistent.
+func TestGatewayStatsCollision(t *testing.T) {
+	cfg := cic.DefaultConfig()
+	cfg.CodingRate = 3
+	iq := twoPacketTrace(t, cfg)
+
+	reg := cic.NewMetrics()
+	pkts := streamThrough(t, cfg, iq, rand.New(rand.NewSource(7)), cic.WithMetrics(reg))
+	if len(pkts) != 2 {
+		t.Fatalf("expected 2 packets from the collision, got %d", len(pkts))
+	}
+	s := reg.Snapshot()
+
+	mustPositive := func(name string) {
+		t.Helper()
+		if s.Counters[name] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", name, s.Counters[name])
+		}
+	}
+	mustPositive("samples_ingested")
+	mustPositive("detect_windows")
+	mustPositive("preambles_detected")
+	mustPositive("headers_decoded")
+	mustPositive("symbols_demodulated")
+	mustPositive("icss_subsymbols")
+	mustPositive("crc_pass")
+	for _, gate := range []string{"sed", "cfo", "power"} {
+		if s.Counters[gate+"_accept"]+s.Counters[gate+"_reject"] <= 0 {
+			t.Errorf("gate %s saw no candidates (accept=%d reject=%d)",
+				gate, s.Counters[gate+"_accept"], s.Counters[gate+"_reject"])
+		}
+	}
+
+	// Totals: every delivered packet was counted, every counted packet
+	// either decoded a header or failed it, and every decoded header went
+	// through exactly one CRC verdict.
+	if got, want := s.Counters["packets_emitted"], int64(len(pkts)); got != want {
+		t.Errorf("packets_emitted = %d, want %d (packets delivered)", got, want)
+	}
+	if s.Counters["headers_decoded"]+s.Counters["header_failures"] != s.Counters["packets_emitted"] {
+		t.Errorf("headers_decoded(%d) + header_failures(%d) != packets_emitted(%d)",
+			s.Counters["headers_decoded"], s.Counters["header_failures"], s.Counters["packets_emitted"])
+	}
+	if s.Counters["crc_pass"]+s.Counters["crc_fail"] != s.Counters["headers_decoded"] {
+		t.Errorf("crc_pass(%d) + crc_fail(%d) != headers_decoded(%d)",
+			s.Counters["crc_pass"], s.Counters["crc_fail"], s.Counters["headers_decoded"])
+	}
+	if s.Counters["preambles_detected"] != s.Counters["packets_emitted"] {
+		t.Errorf("preambles_detected(%d) != packets_emitted(%d): every tracked packet must be dispatched",
+			s.Counters["preambles_detected"], s.Counters["packets_emitted"])
+	}
+
+	// Stage histograms observed once per packet (demod, latency) and the
+	// collision-size histogram saw the 1-interferer overlap.
+	for _, h := range []string{"stage_demod_seconds", "decode_latency_seconds", "stage_reorder_seconds"} {
+		if s.Histograms[h].Count != int64(len(pkts)) {
+			t.Errorf("histogram %s count = %d, want %d", h, s.Histograms[h].Count, len(pkts))
+		}
+	}
+	if s.Histograms["collision_set_size"].Count != int64(len(pkts)) {
+		t.Errorf("collision_set_size count = %d, want %d", s.Histograms["collision_set_size"].Count, len(pkts))
+	}
+	if s.Histograms["decode_latency_seconds"].Sum <= 0 {
+		t.Error("decode_latency_seconds recorded no elapsed time")
+	}
+
+	// Gauges must have settled: no queued jobs, nothing held for reorder.
+	if s.Gauges["workers_busy"] != 0 {
+		t.Errorf("workers_busy = %d after Close", s.Gauges["workers_busy"])
+	}
+	if s.Gauges["reorder_held"] != 0 {
+		t.Errorf("reorder_held = %d after Close", s.Gauges["reorder_held"])
+	}
+}
+
+// TestGatewayStatsDetached: without WithMetrics, Stats() is the zero
+// snapshot (and safe to call).
+func TestGatewayStatsDetached(t *testing.T) {
+	cfg := cic.DefaultConfig()
+	cfg.CodingRate = 3
+	iq := twoPacketTrace(t, cfg)
+	gw, err := cic.NewGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := collectPackets(gw)
+	if _, err := gw.Write(iq); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	s := gw.Stats()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Errorf("detached Stats() not empty: %+v", s)
+	}
+}
+
+// TestGatewayTracerOrdering: on a 3-packet collision every packet produces
+// detect → header → emit in that order, and emit events arrive in air-time
+// (delivery) order.
+func TestGatewayTracerOrdering(t *testing.T) {
+	cfg := cic.DefaultConfig()
+	cfg.CodingRate = 3
+	iq, payloads := streamTrace(t, cfg)
+
+	var mu sync.Mutex
+	var events []cic.Event
+	tracer := func(ev cic.Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}
+	pkts := streamThrough(t, cfg, iq, rand.New(rand.NewSource(3)),
+		cic.WithMetrics(cic.NewMetrics()), cic.WithTracer(tracer))
+	if len(pkts) != len(payloads) {
+		t.Fatalf("decoded %d packets, want %d", len(pkts), len(payloads))
+	}
+
+	// Per-packet lifecycle order.
+	stageIdx := map[cic.EventKind]int{cic.EventDetect: 0, cic.EventHeader: 1, cic.EventEmit: 2}
+	lastStage := map[int]int{}
+	byKind := map[cic.EventKind]int{}
+	for _, ev := range events {
+		byKind[ev.Kind]++
+		idx, ok := stageIdx[ev.Kind]
+		if !ok {
+			t.Fatalf("unknown event kind %q", ev.Kind)
+		}
+		if prev, seen := lastStage[ev.PacketID]; seen && idx <= prev {
+			t.Errorf("packet %d: stage %q out of order", ev.PacketID, ev.Kind)
+		}
+		lastStage[ev.PacketID] = idx
+	}
+	if byKind[cic.EventDetect] != 3 || byKind[cic.EventHeader] != 3 || byKind[cic.EventEmit] != 3 {
+		t.Fatalf("event counts detect/header/emit = %d/%d/%d, want 3/3/3",
+			byKind[cic.EventDetect], byKind[cic.EventHeader], byKind[cic.EventEmit])
+	}
+
+	// Emit events must be in delivery order, which for the gateway is
+	// air-time order of the packet starts.
+	var emits []cic.Event
+	for _, ev := range events {
+		if ev.Kind == cic.EventEmit {
+			emits = append(emits, ev)
+		}
+	}
+	if !sort.SliceIsSorted(emits, func(a, b int) bool { return emits[a].Start < emits[b].Start }) {
+		t.Errorf("emit events not in air-time order: %+v", emits)
+	}
+	for _, ev := range emits {
+		if !ev.HeaderOK || !ev.CRCOK {
+			t.Errorf("emit for packet %d not clean: header=%v crc=%v", ev.PacketID, ev.HeaderOK, ev.CRCOK)
+		}
+		if ev.Latency <= 0 {
+			t.Errorf("emit for packet %d has no detect→emit latency", ev.PacketID)
+		}
+		if ev.PayloadLen == 0 {
+			t.Errorf("emit for packet %d has empty payload", ev.PacketID)
+		}
+	}
+	// The middle packet overlaps both neighbours, so at least one packet's
+	// demodulation must have exercised the candidate gates.
+	gatesTotal := int64(0)
+	for _, ev := range emits {
+		g := ev.Gates
+		gatesTotal += g.SEDAccept + g.SEDReject + g.CFOAccept + g.CFOReject + g.PowerAccept + g.PowerReject
+	}
+	if gatesTotal == 0 {
+		t.Error("no per-packet gate verdicts attributed to emit events")
+	}
+}
+
+// TestReceiverStats: the batch Receiver exposes the same registry surface
+// through WithMetrics/Stats.
+func TestReceiverStats(t *testing.T) {
+	cfg := cic.DefaultConfig()
+	cfg.CodingRate = 3
+	iq := twoPacketTrace(t, cfg)
+
+	reg := cic.NewMetrics()
+	var mu sync.Mutex
+	kinds := map[cic.EventKind]int{}
+	recv, err := cic.NewReceiver(cfg, cic.WithMetrics(reg), cic.WithTracer(func(ev cic.Event) {
+		mu.Lock()
+		kinds[ev.Kind]++
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := recv.DecodeBuffer(iq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 2 {
+		t.Fatalf("expected 2 packets, got %d", len(pkts))
+	}
+	s := recv.Stats()
+	if s.Counters["preambles_detected"] != 2 {
+		t.Errorf("preambles_detected = %d, want 2", s.Counters["preambles_detected"])
+	}
+	if s.Counters["packets_emitted"] != 2 {
+		t.Errorf("packets_emitted = %d, want 2", s.Counters["packets_emitted"])
+	}
+	if s.Counters["crc_pass"]+s.Counters["crc_fail"] != s.Counters["headers_decoded"] {
+		t.Errorf("crc totals inconsistent: %v", s.Counters)
+	}
+	if s.Counters["symbols_demodulated"] <= 0 || s.Counters["detect_windows"] <= 0 {
+		t.Errorf("stage counters silent: %v", s.Counters)
+	}
+	if kinds[cic.EventDetect] != 2 || kinds[cic.EventHeader] != 2 || kinds[cic.EventEmit] != 2 {
+		t.Errorf("batch tracer events detect/header/emit = %d/%d/%d, want 2/2/2",
+			kinds[cic.EventDetect], kinds[cic.EventHeader], kinds[cic.EventEmit])
+	}
+}

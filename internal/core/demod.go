@@ -6,6 +6,7 @@ import (
 
 	"cic/internal/dsp"
 	"cic/internal/frame"
+	"cic/internal/obs"
 	"cic/internal/rx"
 )
 
@@ -25,6 +26,11 @@ type Demodulator struct {
 	sedTmp  dsp.Spectrum
 	boundsB []int
 	refAmp  float64 // current packet's preamble amplitude (set per symbol)
+
+	// tally accumulates the gate verdicts since the last TakeGateTally —
+	// plain (non-atomic) fields, private to this demodulator's goroutine;
+	// the global atomic counters live in opts.Metrics.
+	tally obs.GateCounts
 }
 
 // NewDemodulator builds a CIC demodulator.
@@ -50,6 +56,16 @@ func NewDemodulator(cfg frame.Config, opts Options) (*Demodulator, error) {
 
 // Options returns the demodulator's options.
 func (dm *Demodulator) Options() Options { return dm.opts }
+
+// TakeGateTally returns the gate verdicts accumulated since the previous
+// call and resets the tally. Callers decoding one packet per demodulator
+// pass (the gateway workers, the batch pipeline) use it to attribute gate
+// activity to individual packets.
+func (dm *Demodulator) TakeGateTally() obs.GateCounts {
+	t := dm.tally
+	dm.tally = obs.GateCounts{}
+	return t
+}
 
 // BoundariesIn returns the sample offsets (strictly inside (0, M)) at which
 // interferer q has a symbol boundary within the window [winStart,
@@ -158,6 +174,7 @@ func (dm *Demodulator) PickSymbol(src rx.SampleSource, pkt *rx.Packet, symIdx in
 // surviving candidates' symbol values best-first, so the pipeline's
 // CRC-driven chase pass can retry the runner-up on marginal symbols.
 func (dm *Demodulator) PickSymbolAlternates(src rx.SampleSource, pkt *rx.Packet, symIdx int, others []*rx.Packet) []uint16 {
+	dm.opts.Metrics.SymbolsDemodulated.Inc()
 	winStart := pkt.SymbolStart(dm.cfg, symIdx)
 	dm.refAmp = pkt.PeakAmp
 	dm.d.LoadWindow(src, winStart, pkt.CFOHz)
@@ -191,6 +208,7 @@ func (dm *Demodulator) PickSymbolAlternates(src rx.SampleSource, pkt *rx.Packet,
 // DemodulateSymbol decodes data symbol symIdx of pkt, cancelling the
 // interferers listed in others. It returns the chosen bin value.
 func (dm *Demodulator) DemodulateSymbol(src rx.SampleSource, pkt *rx.Packet, symIdx int, others []*rx.Packet) uint16 {
+	dm.opts.Metrics.SymbolsDemodulated.Inc()
 	winStart := pkt.SymbolStart(dm.cfg, symIdx)
 	dm.refAmp = pkt.PeakAmp
 	dm.d.LoadWindow(src, winStart, pkt.CFOHz)
@@ -437,17 +455,21 @@ func (dm *Demodulator) intersectICSS(bounds []int) dsp.Spectrum {
 	dm.acc.Normalize()
 
 	minSpan := int(dm.opts.MinSubSymbolFrac * float64(m))
+	nSub := int64(0)
 	if dm.opts.Strawman {
 		// Strawman ICSS: {r_{1→2}, r_{N→N+1}} only.
 		if len(bounds) > 0 {
 			first, last := bounds[0], bounds[len(bounds)-1]
 			if first >= minSpan {
 				dsp.IntersectInto(dm.acc, dm.d.SubSymbolSpectrum(dm.sub, 0, first).Normalize())
+				nSub++
 			}
 			if m-last >= minSpan {
 				dsp.IntersectInto(dm.acc, dm.d.SubSymbolSpectrum(dm.sub, last, m).Normalize())
+				nSub++
 			}
 		}
+		dm.opts.Metrics.ICSSSubSymbols.Add(nSub)
 		return dm.acc
 	}
 	for _, b := range bounds {
@@ -458,11 +480,14 @@ func (dm *Demodulator) intersectICSS(bounds []int) dsp.Spectrum {
 		// noise-dominated spectra degrade the intersection.
 		if b >= minSpan {
 			dsp.IntersectInto(dm.acc, dm.d.SubSymbolSpectrum(dm.sub, 0, b).Normalize())
+			nSub++
 		}
 		if m-b >= minSpan {
 			dsp.IntersectInto(dm.acc, dm.d.SubSymbolSpectrum(dm.sub, b, m).Normalize())
+			nSub++
 		}
 	}
+	dm.opts.Metrics.ICSSSubSymbols.Add(nSub)
 	return dm.acc
 }
 
@@ -542,10 +567,16 @@ func (dm *Demodulator) selectCandidate(cands []Candidate, pkt *rx.Packet) Candid
 	cfoSet := cands
 	if !dm.opts.DisableCFOFilter {
 		cfoSet = dm.filterCFO(cands)
+		dm.countGate(&dm.tally.CFOAccept, &dm.tally.CFOReject,
+			dm.opts.Metrics.CFOAccept, dm.opts.Metrics.CFOReject,
+			len(cfoSet), len(cands))
 	}
 	powSet := cands
 	if !dm.opts.DisablePowerFilter {
 		powSet = dm.filterPower(cands, pkt)
+		dm.countGate(&dm.tally.PowerAccept, &dm.tally.PowerReject,
+			dm.opts.Metrics.PowerAccept, dm.opts.Metrics.PowerReject,
+			len(powSet), len(cands))
 	}
 	switch {
 	case len(intersectCands(cfoSet, powSet)) > 0:
@@ -559,7 +590,11 @@ func (dm *Demodulator) selectCandidate(cands []Candidate, pkt *rx.Packet) Candid
 		return filtered[0]
 	}
 	if !dm.opts.DisableSED {
-		return dm.selectBySED(filtered)
+		best := dm.selectBySED(filtered)
+		dm.countGate(&dm.tally.SEDAccept, &dm.tally.SEDReject,
+			dm.opts.Metrics.SEDAccept, dm.opts.Metrics.SEDReject,
+			1, len(filtered))
+		return best
 	}
 	// No SED: strongest surviving intersected peak.
 	best := filtered[0]
@@ -569,6 +604,16 @@ func (dm *Demodulator) selectCandidate(cands []Candidate, pkt *rx.Packet) Candid
 		}
 	}
 	return best
+}
+
+// countGate records one gate's verdict over a candidate set: accepted of
+// total examined pass, the rest are rejects. It feeds both the private
+// per-packet tally and the shared atomic counters.
+func (dm *Demodulator) countGate(tallyAcc, tallyRej *int64, acc, rej *obs.Counter, accepted, total int) {
+	*tallyAcc += int64(accepted)
+	*tallyRej += int64(total - accepted)
+	acc.Add(int64(accepted))
+	rej.Add(int64(total - accepted))
 }
 
 // rankCandidates returns the gate-surviving candidates ordered by the same

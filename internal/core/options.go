@@ -14,6 +14,8 @@
 // per-transmitter CFO and received-power filters (§5.7).
 package core
 
+import "cic/internal/obs"
+
 // Options tunes the CIC demodulator; the zero value enables the full
 // paper configuration (SED + CFO filter + power filter, optimal ICSS).
 type Options struct {
@@ -62,6 +64,15 @@ type Options struct {
 	// lobes at SF8) while their noise-dominated spectra poison the
 	// min-intersection, especially at low SNR. Default 1/32.
 	MinSubSymbolFrac float64
+
+	// Metrics receives the demodulation-stage counters (symbols, ICSS
+	// sub-symbol counts, SED/CFO/power gate verdicts). Nil disables them;
+	// setDefaults substitutes the shared no-op set so the hot path is a
+	// single nil-field test per operation.
+	Metrics *obs.DecodeMetrics
+	// Tracer receives structured per-packet decode events from the
+	// pipeline driving this demodulator. Nil disables tracing.
+	Tracer obs.Tracer
 }
 
 func (o *Options) setDefaults() {
@@ -88,5 +99,8 @@ func (o *Options) setDefaults() {
 	}
 	if o.MinSubSymbolFrac == 0 {
 		o.MinSubSymbolFrac = 1.0 / 32
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.Nop()
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"cic/internal/frame"
+	"cic/internal/obs"
 	"cic/internal/rx"
 )
 
@@ -18,6 +19,8 @@ type Receiver struct {
 	cfg     frame.Config
 	detOpts rx.DetectorOptions
 	pl      *rx.Pipeline
+	m       *obs.DecodeMetrics
+	tracer  obs.Tracer
 }
 
 // NewReceiver builds a Receiver. workers <= 0 selects GOMAXPROCS.
@@ -29,7 +32,12 @@ func NewReceiver(cfg frame.Config, opts Options, detOpts rx.DetectorOptions, wor
 	if err != nil {
 		return nil, err
 	}
-	return &Receiver{cfg: cfg, detOpts: detOpts, pl: pl}, nil
+	pl.Metrics = opts.Metrics
+	pl.Tracer = opts.Tracer
+	if detOpts.Metrics == nil {
+		detOpts.Metrics = opts.Metrics
+	}
+	return &Receiver{cfg: cfg, detOpts: detOpts, pl: pl, m: opts.Metrics, tracer: opts.Tracer}, nil
 }
 
 // Config returns the receiver's frame configuration.
@@ -44,7 +52,22 @@ func (r *Receiver) Receive(src rx.SampleSource) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	t0 := r.m.DetectTime.Start()
 	pkts := det.ScanDownchirp(src)
+	r.m.DetectTime.Since(t0)
+	r.m.PreamblesDetected.Add(int64(len(pkts)))
+	if r.tracer != nil {
+		for _, p := range pkts {
+			r.tracer(obs.Event{
+				Kind:     obs.EventDetect,
+				PacketID: p.ID,
+				Start:    p.Start,
+				SNRdB:    p.SNRdB,
+				CFOHz:    p.CFOHz,
+				Score:    p.Score,
+			})
+		}
+	}
 	return r.DecodeAll(src, pkts)
 }
 

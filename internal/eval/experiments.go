@@ -10,6 +10,7 @@ import (
 	"cic/internal/core"
 	"cic/internal/dsp"
 	"cic/internal/frame"
+	"cic/internal/obs"
 	"cic/internal/phy"
 	"cic/internal/rx"
 	"cic/internal/sim"
@@ -27,6 +28,12 @@ type Config struct {
 	PayloadLen int
 	Seed       int64
 	Workers    int
+
+	// Metrics, when non-nil, collects decode-pipeline metrics from the CIC
+	// receiver across every experiment run (the baselines are not
+	// instrumented). cmd/cic-experiments serves it behind -debug-addr and
+	// prints the decode-latency summary from it.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the paper-matching configuration.
@@ -52,7 +59,7 @@ var detectionFig = map[string]string{"D1": "fig32", "D2": "fig33", "D3": "fig34"
 // Throughput regenerates Figs 28–31: decoded packets/second vs offered
 // load for CIC, FTrack, Choir and standard LoRa in one deployment.
 func Throughput(cfg Config, dep sim.Deployment) (Figure, error) {
-	receivers, err := DefaultReceivers(cfg.Frame, cfg.Workers)
+	receivers, err := DefaultReceiversObserved(cfg.Frame, cfg.Workers, obs.NewDecodeMetrics(cfg.Metrics))
 	if err != nil {
 		return Figure{}, err
 	}
@@ -94,7 +101,7 @@ func Throughput(cfg Config, dep sim.Deployment) (Figure, error) {
 // conventional up-chirp scan (FTrack) and the locked single receiver
 // (standard LoRa).
 func Detection(cfg Config, dep sim.Deployment) (Figure, error) {
-	det, err := rx.NewDetector(cfg.Frame, rx.DetectorOptions{})
+	det, err := rx.NewDetector(cfg.Frame, rx.DetectorOptions{Metrics: obs.NewDecodeMetrics(cfg.Metrics)})
 	if err != nil {
 		return Figure{}, err
 	}

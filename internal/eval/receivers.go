@@ -8,6 +8,7 @@ import (
 	"cic/internal/baseline/stdlora"
 	"cic/internal/core"
 	"cic/internal/frame"
+	"cic/internal/obs"
 	"cic/internal/rx"
 )
 
@@ -20,7 +21,15 @@ type Receiver interface {
 // DefaultReceivers builds the four receivers the paper compares:
 // CIC, FTrack, Choir, and standard LoRa.
 func DefaultReceivers(cfg frame.Config, workers int) ([]Receiver, error) {
-	cic, err := core.NewReceiver(cfg, core.Options{}, rx.DetectorOptions{}, workers)
+	return DefaultReceiversObserved(cfg, workers, nil)
+}
+
+// DefaultReceiversObserved is DefaultReceivers with the CIC receiver's
+// decode stages instrumented on m (nil m disables instrumentation). Only
+// the CIC receiver is instrumented — it is the receiver under study; the
+// baselines exist for comparison curves.
+func DefaultReceiversObserved(cfg frame.Config, workers int, m *obs.DecodeMetrics) ([]Receiver, error) {
+	cic, err := core.NewReceiver(cfg, core.Options{Metrics: m}, rx.DetectorOptions{Metrics: m}, workers)
 	if err != nil {
 		return nil, fmt.Errorf("eval: CIC receiver: %w", err)
 	}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// ServeHTTP serves the registry's JSON snapshot, making *Registry an
+// http.Handler (mounted at /metrics by DebugMux).
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(r.Snapshot())
+}
+
+// expvarOnce guards the process-wide expvar publication: expvar.Publish
+// panics on duplicate names, so only the first registry mounted by
+// DebugMux is exported under "cic" (one registry per process is the
+// expected deployment shape).
+var expvarOnce sync.Once
+
+// DebugMux returns the ops endpoint for an instrumented process:
+//
+//	/metrics          JSON snapshot of the registry
+//	/debug/vars       expvar (includes the registry under "cic", plus
+//	                  memstats and cmdline)
+//	/debug/pprof/...  net/http/pprof profiles
+//
+// Mount it on a private port (the cmd tools' -debug-addr flag).
+func DebugMux(r *Registry) *http.ServeMux {
+	expvarOnce.Do(func() {
+		expvar.Publish("cic", expvar.Func(func() any { return r.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,316 @@
+// Package obs provides the decode pipeline's observability primitives:
+// lock-free counters, gauges and fixed-bucket histograms behind a Registry
+// with a deterministic JSON Snapshot, a structured decode-event tracer, and
+// an HTTP debug surface (/metrics, /debug/vars, /debug/pprof).
+//
+// Every metric operation is nil-safe: a *Counter, *Gauge or *Histogram
+// obtained from a nil *Registry is nil, and operations on it are no-ops
+// that never touch the clock or allocate. Instrumented hot paths therefore
+// resolve their metric handles once at construction and pay only a
+// pointer-nil test per operation when observability is disabled.
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
+
+// Counter is a monotonically increasing lock-free counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a lock-free instantaneous value (queue depth, buffer occupancy).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value. No-op on a nil receiver.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by delta. No-op on a nil receiver.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket lock-free histogram. Bucket i counts
+// observations v <= bounds[i] (and above all prior bounds); one overflow
+// bucket counts observations above the last bound. Durations are observed
+// in seconds.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	n      atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		next := floatBits(bitsFloat(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Start returns the current time for a later Since call, or the zero time
+// on a nil receiver — so a disabled histogram never reads the clock.
+func (h *Histogram) Start() time.Time {
+	if h == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Since observes the elapsed seconds from t. No-op on a nil receiver or a
+// zero t (the Start of a nil histogram).
+func (h *Histogram) Since(t time.Time) {
+	if h == nil || t.IsZero() {
+		return
+	}
+	h.Observe(time.Since(t).Seconds())
+}
+
+// ObserveDuration records d in seconds. No-op on a nil receiver.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// DurationBuckets are the default histogram bounds for stage wall times, in
+// seconds: 1 µs to 10 s by decades, with a half-decade point per decade.
+var DurationBuckets = []float64{
+	1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1, 5, 10,
+}
+
+// SizeBuckets are the default histogram bounds for small cardinalities
+// (collision-set sizes, queue depths).
+var SizeBuckets = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+
+// Registry is a named collection of metrics. The zero Registry is not
+// usable; create one with NewRegistry. All methods are safe for concurrent
+// use, and every method on a nil *Registry is a no-op returning nil/zero
+// values, which is the disabled fast path.
+type Registry struct {
+	start time.Time
+
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		start:      time.Now(),
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, registering it on first use. Returns
+// nil (the no-op counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, registering it with the given
+// bucket bounds on first use (bounds must be sorted ascending; later calls
+// reuse the registered buckets). Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every registered metric. Maps
+// marshal with sorted keys, so the JSON encoding of equal snapshots is
+// byte-identical.
+type Snapshot struct {
+	UptimeSeconds float64                      `json:"uptime_seconds"`
+	Counters      map[string]int64             `json:"counters"`
+	Gauges        map[string]int64             `json:"gauges"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// HistogramSnapshot is one histogram's state: per-bucket (non-cumulative)
+// counts aligned with the bucket upper bounds, plus totals.
+type HistogramSnapshot struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`  // bucket upper bounds, ascending
+	Buckets []int64   `json:"buckets"` // len(Bounds)+1; last is overflow
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (0..1) from the bucket counts, via
+// linear interpolation inside the owning bucket. Observations above the
+// last bound report the last bound.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := int64(0)
+	for i, c := range h.Buckets {
+		cum += c
+		if float64(cum) >= rank && c > 0 {
+			if i >= len(h.Bounds) {
+				return h.Bounds[len(h.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			hi := h.Bounds[i]
+			frac := 1 - (float64(cum)-rank)/float64(c)
+			return lo + frac*(hi-lo)
+		}
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Snapshot captures every registered metric. On a nil registry it returns
+// a zero Snapshot with non-nil empty maps (so callers can range/marshal it
+// without nil checks).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	s.UptimeSeconds = time.Since(r.start).Seconds()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{
+			Count:   h.n.Load(),
+			Sum:     bitsFloat(h.sum.Load()),
+			Bounds:  append([]float64(nil), h.bounds...),
+			Buckets: make([]int64, len(h.counts)),
+		}
+		for i := range h.counts {
+			hs.Buckets[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}

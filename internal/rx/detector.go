@@ -6,6 +6,7 @@ import (
 
 	"cic/internal/dsp"
 	"cic/internal/frame"
+	"cic/internal/obs"
 )
 
 // DetectorOptions tunes preamble detection.
@@ -47,6 +48,9 @@ type DetectorOptions struct {
 	MaxCFOBins float64
 	// MaxPackets bounds the number of detections per scan (0 = unlimited).
 	MaxPackets int
+	// Metrics receives the detector's stage counters (scan windows,
+	// candidate anchors, verification rejects). Nil disables them.
+	Metrics *obs.DecodeMetrics
 }
 
 func (o *DetectorOptions) setDefaults() {
@@ -70,6 +74,9 @@ func (o *DetectorOptions) setDefaults() {
 	}
 	if o.MaxCFOBins == 0 {
 		o.MaxCFOBins = 24
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.Nop()
 	}
 }
 
@@ -133,6 +140,7 @@ func (det *Detector) ScanDownchirpRange(src SampleSource, start, end int64) []*P
 		first -= r
 	}
 	for p := first; p < end; p += grid {
+		det.opts.Metrics.DetectWindows.Inc()
 		src.Read(win, p)
 		gen.DechirpDown(dd, win)
 		fft.ForwardInto(dd, dd[:m])
@@ -190,6 +198,7 @@ func (det *Detector) ScanUpchirpRange(src SampleSource, start, end int64) []*Pac
 	run := det.opts.UpchirpRun
 
 	for p := start - int64(m); p < end; p += int64(m) {
+		det.opts.Metrics.DetectWindows.Inc()
 		src.Read(win, p)
 		gen.Dechirp(dd, win)
 		fft.ForwardInto(dd, dd[:m])
@@ -299,6 +308,7 @@ func (det *Detector) localDownchirp(src SampleSource, from int64, symbols int) (
 func (det *Detector) resolveCandidates(src SampleSource, dcAnchors []int64) []*Packet {
 	m := int64(det.cfg.Chirp.SamplesPerSymbol())
 	var pkts []*Packet
+	det.opts.Metrics.DetectCandidates.Add(int64(len(dcAnchors)))
 	sort.Slice(dcAnchors, func(i, j int) bool { return dcAnchors[i] < dcAnchors[j] })
 	for _, anchor := range dcAnchors {
 		// Skip anchors that obviously duplicate an accepted packet before
@@ -316,6 +326,7 @@ func (det *Detector) resolveCandidates(src SampleSource, dcAnchors []int64) []*P
 		}
 		pkt, ok := det.Synchronize(src, anchor)
 		if !ok {
+			det.opts.Metrics.DetectRejects.Inc()
 			continue
 		}
 		dup := false

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"cic/internal/frame"
+	"cic/internal/obs"
 	"cic/internal/phy"
 )
 
@@ -55,6 +56,20 @@ type Pipeline struct {
 	cfg     frame.Config
 	factory PickerFactory
 	workers int
+
+	// Metrics receives the pipeline's stage counters and per-packet
+	// decode-latency histogram; Tracer receives structured per-packet
+	// events. Both may be set between NewPipeline and the first DecodeAll;
+	// nil disables them.
+	Metrics *obs.DecodeMetrics
+	Tracer  obs.Tracer
+}
+
+// GateTallier is implemented by pickers (the CIC demodulator) that
+// accumulate per-packet gate verdicts; the pipeline drains the tally after
+// each packet to attribute gate activity in trace events.
+type GateTallier interface {
+	TakeGateTally() obs.GateCounts
 }
 
 // NewPipeline builds a Pipeline. workers <= 0 selects GOMAXPROCS.
@@ -70,6 +85,10 @@ func NewPipeline(cfg frame.Config, factory PickerFactory, workers int) (*Pipelin
 
 // DecodeAll decodes every tracked packet, sorted by start time.
 func (pl *Pipeline) DecodeAll(src SampleSource, pkts []*Packet) ([]Decoded, error) {
+	m := pl.Metrics
+	if m == nil {
+		m = obs.Nop()
+	}
 	maxSyms := phy.MaxSymbolCount(pl.cfg.PHY)
 	for _, p := range pkts {
 		if p.NSymbols == 0 {
@@ -92,6 +111,11 @@ func (pl *Pipeline) DecodeAll(src SampleSource, pkts []*Packet) ([]Decoded, erro
 		}
 		hdr, ok := HeaderFromSymbols(syms, pl.cfg.PHY)
 		headers[i] = headerOut{syms: syms, hdr: hdr, ok: ok}
+		if ok {
+			m.HeadersDecoded.Inc()
+		} else {
+			m.HeaderFailures.Inc()
+		}
 	})
 	if err != nil {
 		return nil, err
@@ -103,6 +127,17 @@ func (pl *Pipeline) DecodeAll(src SampleSource, pkts []*Packet) ([]Decoded, erro
 			pcfg.HasCRC = h.hdr.HasCRC
 			pkts[i].NSymbols = phy.SymbolCount(pcfg, int(h.hdr.Length))
 		}
+		if pl.Tracer != nil {
+			pl.Tracer(obs.Event{
+				Kind:     obs.EventHeader,
+				PacketID: pkts[i].ID,
+				Start:    pkts[i].Start,
+				SNRdB:    pkts[i].SNRdB,
+				CFOHz:    pkts[i].CFOHz,
+				HeaderOK: h.ok,
+				NSymbols: pkts[i].NSymbols,
+			})
+		}
 	}
 
 	// Phase 2 — payloads (with a CRC-driven chase pass when the picker
@@ -112,6 +147,10 @@ func (pl *Pipeline) DecodeAll(src SampleSource, pkts []*Packet) ([]Decoded, erro
 		pkt := pkts[i]
 		res := Decoded{Packet: pkt, Header: headers[i].hdr, HeaderOK: headers[i].ok}
 		syms := headers[i].syms
+		if gt, ok := picker.(GateTallier); ok {
+			gt.TakeGateTally() // drop gate verdicts left over from the header phase
+		}
+		t0 := m.DemodTime.Start()
 		if res.HeaderOK {
 			alt, hasAlt := picker.(AlternatePicker)
 			others := othersOf(pkts, i)
@@ -129,6 +168,7 @@ func (pl *Pipeline) DecodeAll(src SampleSource, pkts []*Packet) ([]Decoded, erro
 			if derr == nil && !dec.CRCOK && hasAlt {
 				if fixed, ok := ChaseDecode(syms, alternates, pl.cfg.PHY); ok {
 					dec, derr = fixed, nil
+					m.ChaseRecovered.Inc()
 				}
 			}
 			if derr == nil {
@@ -138,9 +178,37 @@ func (pl *Pipeline) DecodeAll(src SampleSource, pkts []*Packet) ([]Decoded, erro
 			} else {
 				res.HeaderOK = false
 			}
+			if res.CRCOK {
+				m.CRCPass.Inc()
+			} else {
+				m.CRCFail.Inc()
+			}
 		}
 		res.Symbols = syms
 		results[i] = res
+		m.DemodTime.Since(t0)
+		// Batch mode has no wall-clock detection instant, so the
+		// per-packet decode latency is the demodulation span itself.
+		m.DecodeLatency.Since(t0)
+		m.PacketsEmitted.Inc()
+		if pl.Tracer != nil {
+			ev := obs.Event{
+				Kind:         obs.EventEmit,
+				PacketID:     pkt.ID,
+				Start:        pkt.Start,
+				SNRdB:        pkt.SNRdB,
+				CFOHz:        pkt.CFOHz,
+				HeaderOK:     res.HeaderOK,
+				NSymbols:     pkt.NSymbols,
+				CRCOK:        res.CRCOK,
+				PayloadLen:   len(res.Payload),
+				FECCorrected: res.FECCorrected,
+			}
+			if gt, ok := picker.(GateTallier); ok {
+				ev.Gates = gt.TakeGateTally()
+			}
+			pl.Tracer(ev)
+		}
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,63 @@
+package cic
+
+import (
+	"net/http"
+
+	"cic/internal/obs"
+)
+
+// Metrics is a decode-pipeline metrics registry: lock-free counters,
+// gauges and duration histograms updated by an instrumented Receiver or
+// Gateway. Attach one with WithMetrics and read it with Stats() or serve
+// it over HTTP with DebugHandler. See docs/OBSERVABILITY.md for the
+// catalogue of metrics and their paper-section meaning.
+type Metrics = obs.Registry
+
+// Stats is a point-in-time snapshot of every metric in a registry. It
+// marshals to deterministic JSON.
+type Stats = obs.Snapshot
+
+// Event is one structured decode-trace record delivered to a WithTracer
+// callback: preamble detections, header decodes and packet emissions, with
+// per-packet gate verdicts and timings.
+type Event = obs.Event
+
+// GateCounts tallies per-packet SED/CFO/power gate verdicts inside an
+// Event.
+type GateCounts = obs.GateCounts
+
+// EventKind labels a decode-trace Event (EventDetect, EventHeader,
+// EventEmit).
+type EventKind = obs.EventKind
+
+// Decode-trace event kinds.
+const (
+	EventDetect = obs.EventDetect
+	EventHeader = obs.EventHeader
+	EventEmit   = obs.EventEmit
+)
+
+// NewMetrics creates an empty metrics registry to attach via WithMetrics.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// DebugHandler returns the ops endpoint for an instrumented process:
+// /metrics (JSON snapshot), /debug/vars (expvar) and /debug/pprof. Mount
+// it on a private listener (the cmd tools expose it behind -debug-addr).
+func DebugHandler(m *Metrics) http.Handler { return obs.DebugMux(m) }
+
+// WithMetrics attaches a metrics registry to a Receiver or Gateway. Every
+// decode stage updates the registry with lock-free atomics; without this
+// option the instrumentation is disabled and the hot path stays
+// allocation- and clock-free.
+func WithMetrics(m *Metrics) Option {
+	return func(o *receiverOptions) { o.metrics = m }
+}
+
+// WithTracer attaches a decode-event tracer: fn receives one structured
+// Event per packet lifecycle stage (detect, header, emit). fn may be
+// invoked from multiple goroutines concurrently and must be safe for
+// concurrent use; a streaming Gateway issues emit events in delivery
+// (air-time) order.
+func WithTracer(fn func(Event)) Option {
+	return func(o *receiverOptions) { o.tracer = fn }
+}

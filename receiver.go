@@ -7,6 +7,7 @@ import (
 	"cic/internal/baseline/ftrack"
 	"cic/internal/baseline/stdlora"
 	"cic/internal/core"
+	"cic/internal/obs"
 	"cic/internal/rx"
 )
 
@@ -47,6 +48,9 @@ type receiverOptions struct {
 	disableSED         bool
 	disableCFOFilter   bool
 	disablePowerFilter bool
+
+	metrics *Metrics
+	tracer  func(Event)
 
 	// batchOnly collects the names of applied options that only affect the
 	// batch Receiver. NewReceiver ignores it; NewGateway rejects any option
@@ -103,6 +107,10 @@ type Receiver struct {
 	}
 }
 
+// Stats returns a snapshot of the registry attached with WithMetrics; the
+// zero Stats when none is attached.
+func (r *Receiver) Stats() Stats { return r.opts.metrics.Snapshot() }
+
 // NewReceiver builds a Receiver for the configuration.
 func NewReceiver(cfg Config, options ...Option) (*Receiver, error) {
 	fc, err := cfg.frameConfig()
@@ -114,23 +122,30 @@ func NewReceiver(cfg Config, options ...Option) (*Receiver, error) {
 		opt(&o)
 	}
 	r := &Receiver{cfg: cfg, opts: o}
+	// One DecodeMetrics handle set serves the detector and every
+	// demodulator; with no WithMetrics registry it is the shared no-op set,
+	// keeping the hot path free of clock reads and allocations.
+	m := obs.NewDecodeMetrics(o.metrics)
+	detOpts := rx.DetectorOptions{Metrics: m}
 	coreOpts := core.Options{
 		DisableSED:         o.disableSED,
 		DisableCFOFilter:   o.disableCFOFilter,
 		DisablePowerFilter: o.disablePowerFilter,
+		Metrics:            m,
+		Tracer:             obs.Tracer(o.tracer),
 	}
 	switch o.algo {
 	case AlgorithmCIC, "":
-		r.impl, err = core.NewReceiver(fc, coreOpts, rx.DetectorOptions{}, o.workers)
+		r.impl, err = core.NewReceiver(fc, coreOpts, detOpts, o.workers)
 	case AlgorithmStrawman:
 		coreOpts.Strawman = true
-		r.impl, err = core.NewReceiver(fc, coreOpts, rx.DetectorOptions{}, o.workers)
+		r.impl, err = core.NewReceiver(fc, coreOpts, detOpts, o.workers)
 	case AlgorithmLoRa:
-		r.impl, err = stdlora.New(fc, rx.DetectorOptions{}, o.workers)
+		r.impl, err = stdlora.New(fc, detOpts, o.workers)
 	case AlgorithmChoir:
-		r.impl, err = choir.New(fc, choir.Options{}, rx.DetectorOptions{}, o.workers)
+		r.impl, err = choir.New(fc, choir.Options{}, detOpts, o.workers)
 	case AlgorithmFTrack:
-		r.impl, err = ftrack.New(fc, ftrack.Options{}, rx.DetectorOptions{}, o.workers)
+		r.impl, err = ftrack.New(fc, ftrack.Options{}, detOpts, o.workers)
 	default:
 		return nil, fmt.Errorf("cic: unknown algorithm %q", o.algo)
 	}

@@ -1,9 +1,12 @@
 # Developer / CI entry points. `make ci` is the gate: vet + build + the
-# full test suite under the race detector + the short benchmark sweep.
+# full test suite under the race detector + the short benchmark sweep +
+# short fuzz passes over the byte-level parsers + the network-pipeline
+# smoke test.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all vet build test race bench bench-gateway bench-json ci
+.PHONY: all vet build test race bench bench-gateway bench-json fuzz smoke ci
 
 all: ci
 
@@ -37,4 +40,18 @@ bench-gateway:
 bench-json:
 	$(GO) test -run '^$$' -bench 'GatewayStream' -benchtime=10x ./ | $(GO) run ./cmd/cic-bench -out BENCH_gateway.json
 
-ci: vet build race bench
+# Short fuzz passes over every byte-level parser that faces untrusted
+# input: the cf32 reader and the cic-gatewayd frame/handshake parsers.
+# Go allows one -fuzz target per invocation, hence one run per target.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadCF32$$' -fuzztime $(FUZZTIME) ./
+	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseHello$$' -fuzztime $(FUZZTIME) ./internal/server/
+
+# Loopback end-to-end smoke of the ingestion pipeline:
+# cic-gen capture → cic-feed → cic-gatewayd → NDJSON assert (plus a
+# cic-decode -stream cross-check). See scripts/smoke.sh.
+smoke:
+	./scripts/smoke.sh
+
+ci: vet build race bench fuzz smoke

@@ -5,15 +5,20 @@
 // Usage:
 //
 //	cic-decode -in capture.cf32 [-algo cic|strawman|lora|choir|ftrack] [flags]
+//	cic-decode -in - -stream            # constant-memory decode from stdin
 //
 // Decoded packets are printed one per line: start sample, SNR, CFO, CRC
-// status and payload hex.
+// status and payload hex. With -stream the capture is decoded through the
+// streaming cic.Gateway in fixed-size chunks, so memory stays constant no
+// matter how long the capture is (and -in - accepts a pipe); without it
+// the whole file is loaded and decoded by the batch Receiver.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 
@@ -29,8 +34,10 @@ func main() {
 
 func run() error {
 	var (
-		in        = flag.String("in", "", "input .cf32 path (required)")
+		in        = flag.String("in", "", `input .cf32 path, or "-" for stdin (required)`)
 		algo      = flag.String("algo", "cic", "decoder: cic, strawman, lora, choir, ftrack")
+		stream    = flag.Bool("stream", false, "decode via the streaming Gateway in fixed-size chunks (constant memory; cic/strawman only)")
+		chunk     = flag.Int("chunk", 65536, "samples per read in -stream mode")
 		sf        = flag.Int("sf", 8, "spreading factor")
 		bw        = flag.Float64("bw", 250e3, "bandwidth Hz")
 		osr       = flag.Int("osr", 4, "oversampling ratio of the capture")
@@ -54,10 +61,6 @@ func run() error {
 		return err
 	}
 
-	iq, err := cic.ReadCF32File(*in)
-	if err != nil {
-		return err
-	}
 	options := []cic.Option{
 		cic.WithAlgorithm(cic.Algorithm(*algo)),
 		cic.WithWorkers(*workers),
@@ -77,6 +80,31 @@ func run() error {
 		}()
 		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/metrics\n", *debugAddr)
 	}
+
+	var src io.Reader
+	if *in == "-" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+
+	if *stream {
+		err := streamDecode(cfg, src, *algo, *chunk, options)
+		if err == nil && *stats {
+			err = dumpStats(reg.Snapshot())
+		}
+		return err
+	}
+
+	iq, err := cic.ReadCF32(src)
+	if err != nil {
+		return err
+	}
 	recv, err := cic.NewReceiver(cfg, options...)
 	if err != nil {
 		return err
@@ -87,19 +115,71 @@ func run() error {
 	}
 	fmt.Printf("%d packet(s) found by %s in %d samples\n", len(pkts), *algo, len(iq))
 	for i, p := range pkts {
-		status := "CRC OK "
-		if !p.OK {
-			status = "CRC BAD"
-		}
-		fmt.Printf("#%d start=%d snr=%.1fdB cfo=%+.0fHz %s payload=%x\n",
-			i, p.Start, p.SNR, p.CFO, status, p.Payload)
+		printPacket(i, p)
 	}
 	if *stats {
-		enc := json.NewEncoder(os.Stderr)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(recv.Stats()); err != nil {
-			return err
-		}
+		return dumpStats(recv.Stats())
 	}
 	return nil
+}
+
+// streamDecode pushes the capture through a cic.Gateway in fixed-size
+// chunks, printing packets as they are delivered. Memory stays constant
+// regardless of capture length: one chunk buffer plus the gateway's
+// bounded ring.
+func streamDecode(cfg cic.Config, src io.Reader, algo string, chunk int, options []cic.Option) error {
+	if chunk <= 0 {
+		return fmt.Errorf("-chunk must be positive")
+	}
+	gw, err := cic.NewGateway(cfg, options...)
+	if err != nil {
+		return err
+	}
+	done := make(chan int)
+	go func() {
+		n := 0
+		for p := range gw.Packets() {
+			printPacket(n, p)
+			n++
+		}
+		done <- n
+	}()
+	cr := cic.NewCF32Reader(src)
+	buf := make([]complex128, chunk)
+	var total int64
+	for {
+		n, rerr := cr.Read(buf)
+		if n > 0 {
+			if _, werr := gw.Write(buf[:n]); werr != nil {
+				return werr
+			}
+			total += int64(n)
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
+	if err := gw.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("%d packet(s) found by %s in %d streamed samples\n", <-done, algo, total)
+	return nil
+}
+
+func printPacket(i int, p cic.Packet) {
+	status := "CRC OK "
+	if !p.OK {
+		status = "CRC BAD"
+	}
+	fmt.Printf("#%d start=%d snr=%.1fdB cfo=%+.0fHz %s payload=%x\n",
+		i, p.Start, p.SNR, p.CFO, status, p.Payload)
+}
+
+func dumpStats(s cic.Stats) error {
+	enc := json.NewEncoder(os.Stderr)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
 }

@@ -1,0 +1,144 @@
+// Command cic-gatewayd is the CIC network ingestion daemon: it serves
+// many concurrent IQ streams over TCP, runs one streaming cic.Gateway
+// per connection, and publishes every decoded packet as NDJSON — to
+// stdout, to a file, and to TCP subscribers. docs/SERVER.md documents
+// the wire protocol and a full walkthrough.
+//
+// Usage:
+//
+//	cic-gatewayd -listen 127.0.0.1:7733 [-pub addr] [-out path|-]
+//	             [-max-sessions N] [-mem-budget bytes] [-idle-timeout d]
+//	             [-workers N] [-debug-addr addr] [-addr-file path]
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting,
+// flushes every session's Gateway so no fully-buffered packet is lost,
+// publishes the results, and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cic"
+	"cic/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cic-gatewayd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:7733", "ingestion listen address")
+		pub         = flag.String("pub", "", "NDJSON subscriber listen address (disabled when empty)")
+		out         = flag.String("out", "-", `NDJSON output: "-" for stdout, a file path, or "" for none`)
+		maxSessions = flag.Int("max-sessions", server.DefaultMaxSessions, "max concurrent ingestion sessions (-1 = unlimited)")
+		memBudget   = flag.Int64("mem-budget", server.DefaultMemoryBudget, "session memory budget in bytes (-1 = unlimited)")
+		idleTimeout = flag.Duration("idle-timeout", server.DefaultIdleTimeout, "close sessions idle for this long (-1s = never)")
+		workers     = flag.Int("workers", server.DefaultWorkers(), "decode workers per session")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		addrFile    = flag.String("addr-file", "", "write the bound ingestion and pub addresses (one per line) to this file once listening")
+		quiet       = flag.Bool("quiet", false, "suppress per-connection logging")
+	)
+	flag.Parse()
+
+	reg := cic.NewMetrics()
+	var writers []io.Writer
+	switch *out {
+	case "":
+	case "-":
+		writers = append(writers, os.Stdout)
+	default:
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		writers = append(writers, f)
+	}
+	sink := server.NewFanout(writers...)
+
+	logf := log.New(os.Stderr, "cic-gatewayd: ", log.LstdFlags).Printf
+	if *quiet {
+		logf = nil
+	}
+	srv := server.New(server.Config{
+		MaxSessions:  *maxSessions,
+		MemoryBudget: *memBudget,
+		IdleTimeout:  *idleTimeout,
+		Workers:      *workers,
+		Metrics:      reg,
+		Sink:         sink,
+		Logf:         logf,
+	})
+
+	dataLn, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	var pubLn net.Listener
+	pubAddr := ""
+	if *pub != "" {
+		if pubLn, err = net.Listen("tcp", *pub); err != nil {
+			return err
+		}
+		pubAddr = pubLn.Addr().String()
+	}
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, cic.DebugHandler(reg)); err != nil {
+				fmt.Fprintln(os.Stderr, "cic-gatewayd: debug server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "cic-gatewayd: debug endpoint on http://%s/metrics\n", *debugAddr)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(dataLn.Addr().String()+"\n"+pubAddr+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "cic-gatewayd: ingesting on %s", dataLn.Addr())
+	if pubAddr != "" {
+		fmt.Fprintf(os.Stderr, ", publishing on %s", pubAddr)
+	}
+	fmt.Fprintln(os.Stderr)
+
+	errc := make(chan error, 2)
+	go func() { errc <- srv.Serve(dataLn) }()
+	if pubLn != nil {
+		go func() { errc <- srv.ServePub(pubLn) }()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "cic-gatewayd: %v — draining\n", sig)
+	case err := <-errc:
+		if err != nil {
+			return err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := sink.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "cic-gatewayd: drained")
+	return nil
+}

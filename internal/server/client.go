@@ -1,0 +1,146 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"cic"
+)
+
+// Client is the sending side of the ingestion protocol: an SDR front
+// end (or cmd/cic-feed) dials the daemon, sends one HELLO, streams IQ
+// frames, and Closes — which waits for the server's drain
+// acknowledgement, so a returned nil means every fully-buffered packet
+// of the session has been published.
+type Client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+	buf  []byte // reusable IQ frame body
+}
+
+// Dial connects to a cic-gatewayd ingestion address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (useful for tests and
+// custom transports).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+		br:   bufio.NewReaderSize(conn, 4<<10),
+	}
+}
+
+// Hello performs the handshake and waits for the server's verdict. On
+// an ERROR reply the returned error carries the server's reason.
+func (c *Client) Hello(station string, cfg cic.Config) error {
+	body, err := EncodeHello(HelloFor(station, cfg))
+	if err != nil {
+		return err
+	}
+	if err := WriteFrame(c.bw, FrameHello, body); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	return c.awaitOK("hello")
+}
+
+// awaitOK reads one server reply frame, mapping ERROR to an error.
+func (c *Client) awaitOK(stage string) error {
+	typ, body, err := ReadFrame(c.br)
+	if err != nil {
+		return fmt.Errorf("server: %s: reading reply: %w", stage, err)
+	}
+	switch typ {
+	case FrameOK:
+		return nil
+	case FrameError:
+		return fmt.Errorf("server: %s rejected: %s", stage, body)
+	default:
+		return fmt.Errorf("server: %s: unexpected reply frame 0x%02x", stage, typ)
+	}
+}
+
+// WriteIQ streams samples to the session, splitting into IQ frames of
+// at most MaxIQSamples.
+func (c *Client) WriteIQ(iq []complex128) error {
+	for len(iq) > 0 {
+		n := len(iq)
+		if n > MaxIQSamples {
+			n = MaxIQSamples
+		}
+		c.buf = AppendIQBody(c.buf[:0], iq[:n])
+		if err := WriteFrame(c.bw, FrameIQ, c.buf); err != nil {
+			return err
+		}
+		iq = iq[n:]
+	}
+	return c.bw.Flush()
+}
+
+// StreamCF32 reads a cf32 stream (a file, cic-gen output, stdin) and
+// feeds it to the session in chunks of chunkSamples (default
+// MaxIQSamples/4 when ≤ 0), with constant memory. Returns the sample
+// count sent.
+func (c *Client) StreamCF32(r io.Reader, chunkSamples int) (int64, error) {
+	if chunkSamples <= 0 {
+		chunkSamples = MaxIQSamples / 4
+	}
+	cr := cic.NewCF32Reader(r)
+	buf := make([]complex128, chunkSamples)
+	var total int64
+	for {
+		n, err := cr.Read(buf)
+		if n > 0 {
+			if werr := c.WriteIQ(buf[:n]); werr != nil {
+				return total, werr
+			}
+			total += int64(n)
+		}
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// SetDeadline bounds subsequent reads and writes (e.g. around Close's
+// drain wait).
+func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
+
+// Close ends the stream: it sends CLOSE, waits for the server's drain
+// acknowledgement (every fully-buffered packet published), and closes
+// the connection. A nil error therefore means the session flushed
+// cleanly.
+func (c *Client) Close() error {
+	err := WriteFrame(c.bw, FrameClose, nil)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	if err == nil {
+		err = c.awaitOK("close")
+	}
+	if cerr := c.conn.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Abort closes the connection without the CLOSE handshake — an abrupt
+// disconnect, as when a front end loses power. The server still flushes
+// whatever the session had buffered.
+func (c *Client) Abort() error { return c.conn.Close() }

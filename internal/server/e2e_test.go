@@ -1,0 +1,192 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cic"
+	"cic/internal/obs"
+	"cic/internal/server"
+)
+
+// TestServerLoopbackE2E is the acceptance loopback: 8 concurrent
+// clients each feed a synthetic 3-packet collision capture into the
+// daemon; a TCP subscriber must receive every ground-truth payload as
+// NDJSON, in air-time order within each session, and after a graceful
+// drain the metrics registry must agree with what the subscriber saw.
+func TestServerLoopbackE2E(t *testing.T) {
+	cfg := testConfig()
+	reg := cic.NewMetrics()
+	sink := server.NewFanout()
+	srv := server.New(server.Config{
+		Workers: 1, // eight sessions run concurrently; keep each pool small
+		Metrics: reg,
+		Sink:    sink,
+	})
+
+	dataLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(dataLn)
+	go srv.ServePub(pubLn)
+
+	// Attach the subscriber before any session starts so it sees every
+	// record; reading runs concurrently so TCP buffers never stall the
+	// publishers.
+	sub, err := net.Dial("tcp", pubLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	waitFor(t, "subscriber attach", func() bool { return sink.Subscribers() == 1 })
+	type subResult struct {
+		records []server.Record
+		err     error
+	}
+	subDone := make(chan subResult, 1)
+	go func() {
+		var res subResult
+		sc := bufio.NewScanner(sub)
+		sc.Buffer(make([]byte, 64<<10), 64<<10)
+		for sc.Scan() {
+			var r server.Record
+			if res.err = json.Unmarshal(sc.Bytes(), &r); res.err != nil {
+				break
+			}
+			res.records = append(res.records, r)
+		}
+		subDone <- res
+	}()
+
+	// Eight concurrent sessions, each a distinct 3-packet collision.
+	const sessions = 8
+	truth := make(map[string][][]byte, sessions)
+	var truthMu sync.Mutex
+	var wg sync.WaitGroup
+	errc := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			station := fmt.Sprintf("station-%d", i)
+			iq, payloads := collisionTrace(t, cfg, int64(100+i), station)
+			truthMu.Lock()
+			truth[station] = payloads
+			truthMu.Unlock()
+
+			c, err := server.Dial(dataLn.Addr().String())
+			if err != nil {
+				errc <- fmt.Errorf("%s dial: %w", station, err)
+				return
+			}
+			if err := c.Hello(station, cfg); err != nil {
+				errc <- fmt.Errorf("%s hello: %w", station, err)
+				return
+			}
+			for off := 0; off < len(iq); off += 16384 {
+				end := off + 16384
+				if end > len(iq) {
+					end = len(iq)
+				}
+				if err := c.WriteIQ(iq[off:end]); err != nil {
+					errc <- fmt.Errorf("%s write: %w", station, err)
+					return
+				}
+			}
+			// Close waits for the server's drain acknowledgement: when it
+			// returns, every packet of this session has been published.
+			if err := c.Close(); err != nil {
+				errc <- fmt.Errorf("%s close: %w", station, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Graceful drain, then close the sink: the subscriber connection ends,
+	// so its reader returns the complete record set.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("sink close: %v", err)
+	}
+	sub.SetReadDeadline(time.Now().Add(30 * time.Second))
+	res := <-subDone
+	if res.err != nil {
+		t.Fatalf("subscriber: %v", res.err)
+	}
+
+	// Every ground-truth payload arrives OK, in air-time order per session.
+	perStation := map[string][]server.Record{}
+	for _, r := range res.records {
+		perStation[r.Station] = append(perStation[r.Station], r)
+	}
+	if len(perStation) != sessions {
+		t.Fatalf("records from %d stations, want %d", len(perStation), sessions)
+	}
+	for station, payloads := range truth {
+		recs := perStation[station]
+		prevStart := int64(-1)
+		prevSeq := -1
+		var okPayloads []string
+		for _, r := range recs {
+			if r.Start < prevStart {
+				t.Errorf("%s: record starts out of air-time order: %d after %d", station, r.Start, prevStart)
+			}
+			if r.Seq != prevSeq+1 {
+				t.Errorf("%s: sequence gap: %d after %d", station, r.Seq, prevSeq)
+			}
+			prevStart, prevSeq = r.Start, r.Seq
+			if r.OK {
+				okPayloads = append(okPayloads, r.Payload)
+			}
+		}
+		if len(okPayloads) != len(payloads) {
+			t.Fatalf("%s: %d verified decodes, want %d (records %+v)", station, len(okPayloads), len(payloads), recs)
+		}
+		for j, want := range payloads {
+			if okPayloads[j] != hex.EncodeToString(want) {
+				t.Errorf("%s: packet %d payload %s, want %x", station, j, okPayloads[j], want)
+			}
+		}
+	}
+
+	// The registry must agree with the subscriber's view.
+	snap := reg.Snapshot()
+	if got := snap.Counters[server.MetricSessionsTotal]; got != sessions {
+		t.Errorf("%s = %d, want %d", server.MetricSessionsTotal, got, sessions)
+	}
+	if got := snap.Gauges[server.MetricSessionsActive]; got != 0 {
+		t.Errorf("%s = %d after drain, want 0", server.MetricSessionsActive, got)
+	}
+	if got := snap.Counters[server.MetricPacketsPublished]; got != int64(len(res.records)) {
+		t.Errorf("%s = %d, subscriber saw %d", server.MetricPacketsPublished, got, len(res.records))
+	}
+	if got := snap.Counters[obs.MetricPacketsEmitted]; got != int64(len(res.records)) {
+		t.Errorf("%s = %d, subscriber saw %d", obs.MetricPacketsEmitted, got, len(res.records))
+	}
+	if got := snap.Counters[server.MetricFramesIngested]; got == 0 {
+		t.Error("no IQ frames counted")
+	}
+	if got := snap.Counters[server.MetricBytesIngested]; got == 0 {
+		t.Error("no IQ bytes counted")
+	}
+}

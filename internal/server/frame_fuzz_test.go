@@ -1,0 +1,89 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"cic"
+)
+
+// FuzzReadFrame: arbitrary byte streams must parse into a valid frame,
+// return an error, or hit a clean io.EOF — never panic, and never cause
+// an allocation beyond the per-type body cap (malformed length fields
+// are rejected from the header alone).
+func FuzzReadFrame(f *testing.F) {
+	hello, _ := EncodeHello(HelloFor("fuzz", cic.DefaultConfig()))
+	var seed bytes.Buffer
+	_ = WriteFrame(&seed, FrameHello, hello)
+	_ = WriteFrame(&seed, FrameIQ, AppendIQBody(nil, []complex128{1, 2i, -3}))
+	_ = WriteFrame(&seed, FrameClose, nil)
+	f.Add(seed.Bytes())
+	f.Add([]byte{FrameIQ, 0xff, 0xff, 0xff, 0xff}) // 4 GiB length claim
+	f.Add([]byte{FrameHello, 0, 0, 0, 3, 'a'})     // truncated body
+	f.Add([]byte{0x99, 0, 0, 0, 0})                // unknown type
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r := bytes.NewReader(raw)
+		for {
+			typ, body, err := ReadFrame(r)
+			if err != nil {
+				if err == io.EOF && r.Len() != 0 {
+					t.Fatalf("io.EOF with %d bytes unread", r.Len())
+				}
+				return
+			}
+			max := MaxBody(typ)
+			if max < 0 {
+				t.Fatalf("ReadFrame returned unknown type 0x%02x without error", typ)
+			}
+			if len(body) > max {
+				t.Fatalf("frame type 0x%02x body %d bytes exceeds cap %d", typ, len(body), max)
+			}
+			if typ == FrameIQ {
+				if _, err := DecodeIQBody(nil, body); err != nil && len(body)%8 == 0 {
+					t.Fatalf("aligned IQ body rejected: %v", err)
+				}
+			}
+			// A parsed frame must re-encode to a stream ReadFrame accepts.
+			var rt bytes.Buffer
+			if err := WriteFrame(&rt, typ, body); err != nil {
+				t.Fatalf("re-encode of accepted frame failed: %v", err)
+			}
+			typ2, body2, err := ReadFrame(&rt)
+			if err != nil || typ2 != typ || !bytes.Equal(body2, body) {
+				t.Fatalf("round trip mismatch: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzParseHello: arbitrary HELLO bodies must parse or error, never
+// panic, and a parsed Hello must re-encode byte-identically.
+func FuzzParseHello(f *testing.F) {
+	ok, _ := EncodeHello(HelloFor("station-a", cic.DefaultConfig()))
+	f.Add(ok)
+	f.Add(ok[:len(ok)-1])
+	f.Add(bytes.Repeat([]byte{0xff}, helloFixedSize))
+	long := append([]byte{}, ok...)
+	binary.BigEndian.PutUint16(long[19:21], 60000)
+	f.Add(long)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		h, err := ParseHello(raw)
+		if err != nil {
+			return
+		}
+		if len(h.Station) > MaxStationLen {
+			t.Fatalf("parsed station %d bytes exceeds cap", len(h.Station))
+		}
+		re, err := EncodeHello(h)
+		if err != nil {
+			t.Fatalf("re-encode of parsed hello failed: %v", err)
+		}
+		if !bytes.Equal(re, raw) {
+			t.Fatalf("hello round trip mismatch:\n got %x\nwant %x", re, raw)
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package server
+
+import "cic/internal/obs"
+
+// Canonical metric names for the ingestion daemon, registered on the same
+// registry as the decode-pipeline metrics so one cic.DebugHandler serves
+// both. docs/OBSERVABILITY.md documents each.
+const (
+	MetricSessionsActive    = "server_sessions_active"
+	MetricSessionsTotal     = "server_sessions_total"
+	MetricSessionsRejected  = "server_sessions_rejected"
+	MetricHelloErrors       = "server_hello_errors"
+	MetricIdleTimeouts      = "server_idle_timeouts"
+	MetricFramesIngested    = "server_frames_ingested"
+	MetricBytesIngested     = "server_bytes_ingested"
+	MetricPacketsPublished  = "server_packets_published"
+	MetricSubscribers       = "server_subscribers"
+	MetricSubscriberDropped = "server_subscriber_dropped"
+	MetricMemoryInUse       = "server_memory_bytes"
+)
+
+// serverMetrics is the pre-resolved handle set for the daemon, mirroring
+// obs.DecodeMetrics: built from a nil registry every handle is nil and
+// every operation a no-op, so the disabled path costs one nil test.
+type serverMetrics struct {
+	SessionsActive    *obs.Gauge
+	SessionsTotal     *obs.Counter
+	SessionsRejected  *obs.Counter
+	HelloErrors       *obs.Counter
+	IdleTimeouts      *obs.Counter
+	FramesIngested    *obs.Counter
+	BytesIngested     *obs.Counter
+	PacketsPublished  *obs.Counter
+	Subscribers       *obs.Gauge
+	SubscriberDropped *obs.Counter
+	MemoryInUse       *obs.Gauge
+}
+
+// newServerMetrics registers the daemon's metrics on r (nil-safe).
+func newServerMetrics(r *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		SessionsActive:    r.Gauge(MetricSessionsActive),
+		SessionsTotal:     r.Counter(MetricSessionsTotal),
+		SessionsRejected:  r.Counter(MetricSessionsRejected),
+		HelloErrors:       r.Counter(MetricHelloErrors),
+		IdleTimeouts:      r.Counter(MetricIdleTimeouts),
+		FramesIngested:    r.Counter(MetricFramesIngested),
+		BytesIngested:     r.Counter(MetricBytesIngested),
+		PacketsPublished:  r.Counter(MetricPacketsPublished),
+		Subscribers:       r.Gauge(MetricSubscribers),
+		SubscriberDropped: r.Counter(MetricSubscriberDropped),
+		MemoryInUse:       r.Gauge(MetricMemoryInUse),
+	}
+}

@@ -1,0 +1,259 @@
+// Package server is the cic network ingestion subsystem: a TCP daemon
+// (cmd/cic-gatewayd) that runs one streaming cic.Gateway per connection,
+// fed IQ over a small length-prefixed framing protocol, plus the matching
+// client side (Dial/Client, used by cmd/cic-feed). Decoded packets are
+// published as NDJSON through a fan-out sink; docs/SERVER.md is the wire
+// spec and operational walkthrough.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"cic"
+)
+
+// Frame types. A frame is a 5-byte header — one type byte followed by a
+// big-endian uint32 body length — then the body. The length counts body
+// bytes only and is capped per type (see MaxBody); a reader must reject
+// an oversized length before allocating anything.
+const (
+	// FrameHello opens a session (client→server): station id plus the
+	// PHY parameters the per-connection Gateway is built from.
+	FrameHello byte = 0x01
+	// FrameIQ carries a chunk of cf32 samples — interleaved little-endian
+	// float32 (I, Q) pairs, the GNU Radio convention (client→server).
+	FrameIQ byte = 0x02
+	// FrameClose ends the stream (client→server): the server flushes the
+	// session's Gateway, publishes every remaining packet, then answers
+	// with FrameOK so the client knows the drain completed.
+	FrameClose byte = 0x03
+	// FrameOK acknowledges a HELLO (session admitted) or a CLOSE (session
+	// drained); its body is empty (server→client).
+	FrameOK byte = 0x04
+	// FrameError rejects the session; the body is a UTF-8 reason and the
+	// server closes the connection after sending it (server→client).
+	FrameError byte = 0x05
+)
+
+// Frame size limits, enforced by both ReadFrame and WriteFrame.
+const (
+	// MaxHelloBody bounds the HELLO body.
+	MaxHelloBody = 1 << 10
+	// MaxIQBody bounds one IQ frame: 1 MiB = 128 Ki samples.
+	MaxIQBody = 1 << 20
+	// MaxIQSamples is the sample capacity of one IQ frame.
+	MaxIQSamples = MaxIQBody / 8
+	// MaxErrorBody bounds the ERROR reason.
+	MaxErrorBody = 1 << 10
+
+	frameHeaderSize = 5
+)
+
+// MaxBody returns the body-size cap for a frame type, or -1 for an
+// unknown type.
+func MaxBody(typ byte) int {
+	switch typ {
+	case FrameHello:
+		return MaxHelloBody
+	case FrameIQ:
+		return MaxIQBody
+	case FrameClose, FrameOK:
+		return 0
+	case FrameError:
+		return MaxErrorBody
+	}
+	return -1
+}
+
+// ReadFrame reads one frame. It validates the type and the per-type body
+// cap before allocating, so a malicious length field can never cause an
+// oversized allocation. io.EOF is returned only on a clean boundary
+// (no header bytes at all); a partial header or body is
+// io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (typ byte, body []byte, err error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, io.ErrUnexpectedEOF
+		}
+		// io.EOF (clean boundary) and transport errors (e.g. a read
+		// deadline) pass through unwrapped.
+		return 0, nil, err
+	}
+	typ = hdr[0]
+	n := binary.BigEndian.Uint32(hdr[1:5])
+	max := MaxBody(typ)
+	if max < 0 {
+		return 0, nil, fmt.Errorf("server: unknown frame type 0x%02x", typ)
+	}
+	if n > uint32(max) {
+		return 0, nil, fmt.Errorf("server: frame type 0x%02x body %d bytes exceeds limit %d", typ, n, max)
+	}
+	if n == 0 {
+		return typ, nil, nil
+	}
+	body = make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return typ, body, nil
+}
+
+// WriteFrame writes one frame, enforcing the same per-type body cap as
+// ReadFrame.
+func WriteFrame(w io.Writer, typ byte, body []byte) error {
+	max := MaxBody(typ)
+	if max < 0 {
+		return fmt.Errorf("server: unknown frame type 0x%02x", typ)
+	}
+	if len(body) > max {
+		return fmt.Errorf("server: frame type 0x%02x body %d bytes exceeds limit %d", typ, len(body), max)
+	}
+	var hdr [frameHeaderSize]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(body) == 0 {
+		return nil
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// helloMagic identifies a cic-gatewayd HELLO body; helloVersion is the
+// protocol revision.
+var helloMagic = [4]byte{'C', 'I', 'C', 'g'}
+
+const helloVersion = 1
+
+// helloFixedSize is the byte length of the fixed part of a HELLO body:
+// magic(4) version(1) SF(1) CR(1) OSR(4) BW(8) stationLen(2).
+const helloFixedSize = 4 + 1 + 1 + 1 + 4 + 8 + 2
+
+// MaxStationLen bounds the station identifier.
+const MaxStationLen = 255
+
+// Hello is the session-opening handshake: a station identifier plus the
+// cic.Config fields the per-session Gateway is built from. Everything
+// not carried here keeps cic.DefaultConfig's value.
+type Hello struct {
+	// Station is a free-form front-end identifier, echoed into every
+	// published Record (≤ MaxStationLen bytes).
+	Station string
+	// SF is the LoRa spreading factor.
+	SF int
+	// CR is the coding rate index 1..4 (4/5..4/8).
+	CR int
+	// OSR is the oversampling ratio of the IQ stream.
+	OSR int
+	// Bandwidth is the LoRa bandwidth in Hz.
+	Bandwidth float64
+}
+
+// HelloFor captures the wire-carried fields of a cic.Config.
+func HelloFor(station string, cfg cic.Config) Hello {
+	return Hello{
+		Station:   station,
+		SF:        cfg.SpreadingFactor,
+		CR:        cfg.CodingRate,
+		OSR:       cfg.Oversampling,
+		Bandwidth: cfg.Bandwidth,
+	}
+}
+
+// Config expands the handshake into a full cic.Config (defaults for
+// everything the wire does not carry).
+func (h Hello) Config() cic.Config {
+	cfg := cic.DefaultConfig()
+	cfg.SpreadingFactor = h.SF
+	cfg.CodingRate = h.CR
+	cfg.Oversampling = h.OSR
+	cfg.Bandwidth = h.Bandwidth
+	return cfg
+}
+
+// EncodeHello serialises a HELLO body. Layout (big-endian):
+//
+//	magic "CICg" | version u8 | SF u8 | CR u8 | OSR u32 | BW f64 bits |
+//	stationLen u16 | station bytes
+func EncodeHello(h Hello) ([]byte, error) {
+	if len(h.Station) > MaxStationLen {
+		return nil, fmt.Errorf("server: station id %d bytes exceeds %d", len(h.Station), MaxStationLen)
+	}
+	if h.SF < 0 || h.SF > 255 || h.CR < 0 || h.CR > 255 || h.OSR < 0 {
+		return nil, fmt.Errorf("server: hello fields out of wire range (sf=%d cr=%d osr=%d)", h.SF, h.CR, h.OSR)
+	}
+	body := make([]byte, 0, helloFixedSize+len(h.Station))
+	body = append(body, helloMagic[:]...)
+	body = append(body, helloVersion, byte(h.SF), byte(h.CR))
+	body = binary.BigEndian.AppendUint32(body, uint32(h.OSR))
+	body = binary.BigEndian.AppendUint64(body, math.Float64bits(h.Bandwidth))
+	body = binary.BigEndian.AppendUint16(body, uint16(len(h.Station)))
+	body = append(body, h.Station...)
+	return body, nil
+}
+
+// ParseHello decodes a HELLO body. It performs structural validation
+// only (magic, version, exact length); PHY-parameter validation happens
+// when the session's cic.Config is validated.
+func ParseHello(body []byte) (Hello, error) {
+	if len(body) < helloFixedSize {
+		return Hello{}, fmt.Errorf("server: hello body %d bytes, need at least %d", len(body), helloFixedSize)
+	}
+	if [4]byte(body[:4]) != helloMagic {
+		return Hello{}, fmt.Errorf("server: bad hello magic %q", body[:4])
+	}
+	if v := body[4]; v != helloVersion {
+		return Hello{}, fmt.Errorf("server: unsupported protocol version %d (want %d)", v, helloVersion)
+	}
+	h := Hello{
+		SF:        int(body[5]),
+		CR:        int(body[6]),
+		OSR:       int(binary.BigEndian.Uint32(body[7:11])),
+		Bandwidth: math.Float64frombits(binary.BigEndian.Uint64(body[11:19])),
+	}
+	stationLen := int(binary.BigEndian.Uint16(body[19:21]))
+	if stationLen > MaxStationLen {
+		return Hello{}, fmt.Errorf("server: station id %d bytes exceeds %d", stationLen, MaxStationLen)
+	}
+	if len(body) != helloFixedSize+stationLen {
+		return Hello{}, fmt.Errorf("server: hello body %d bytes, station length says %d", len(body), helloFixedSize+stationLen)
+	}
+	h.Station = string(body[helloFixedSize:])
+	if f := h.Bandwidth; math.IsNaN(f) || math.IsInf(f, 0) {
+		return Hello{}, fmt.Errorf("server: non-finite bandwidth")
+	}
+	return h, nil
+}
+
+// AppendIQBody appends iq to buf in the IQ-frame encoding (cf32:
+// interleaved little-endian float32 I, Q).
+func AppendIQBody(buf []byte, iq []complex128) []byte {
+	for _, v := range iq {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(float32(real(v))))
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(float32(imag(v))))
+	}
+	return buf
+}
+
+// DecodeIQBody appends the samples encoded in an IQ frame body to dst.
+// The body must be a whole number of 8-byte sample records.
+func DecodeIQBody(dst []complex128, body []byte) ([]complex128, error) {
+	if len(body)%8 != 0 {
+		return dst, fmt.Errorf("server: IQ body %d bytes is not a whole number of cf32 samples", len(body))
+	}
+	for off := 0; off < len(body); off += 8 {
+		i := math.Float32frombits(binary.LittleEndian.Uint32(body[off : off+4]))
+		q := math.Float32frombits(binary.LittleEndian.Uint32(body[off+4 : off+8]))
+		dst = append(dst, complex(float64(i), float64(q)))
+	}
+	return dst, nil
+}

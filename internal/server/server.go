@@ -1,0 +1,412 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"cic"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxSessions  = 64
+	DefaultMemoryBudget = int64(1) << 30 // 1 GiB of session footprint
+	DefaultIdleTimeout  = 60 * time.Second
+)
+
+// DefaultWorkers is the per-session decode pool default: sessions run
+// concurrently, so each gets a small pool rather than GOMAXPROCS.
+func DefaultWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n < 2 {
+		return n
+	}
+	return 2
+}
+
+// Config parameterises a Server. The zero value is usable: every field
+// falls back to the package defaults and the sink defaults to a fanout
+// with no outputs (TCP subscribers can still attach).
+type Config struct {
+	// MaxSessions caps concurrent ingestion sessions (DefaultMaxSessions
+	// when 0; negative means unlimited).
+	MaxSessions int
+	// MemoryBudget caps the summed EstimateMemoryBytes of admitted
+	// sessions (DefaultMemoryBudget when 0; negative means unlimited).
+	MemoryBudget int64
+	// IdleTimeout closes a session that sends no frame for this long
+	// (DefaultIdleTimeout when 0; negative disables the timeout).
+	IdleTimeout time.Duration
+	// Workers is the per-session decode pool size (DefaultWorkers when
+	// 0).
+	Workers int
+	// Metrics receives both the daemon's server_* metrics and every
+	// session gateway's decode metrics; mount it on cic.DebugHandler.
+	// Nil disables instrumentation.
+	Metrics *cic.Metrics
+	// Sink receives decoded-packet records (a silent fanout when nil).
+	Sink *Fanout
+	// Logf logs connection-level events (silent when nil).
+	Logf func(format string, args ...any)
+}
+
+// Server accepts ingestion connections, runs one Session per connection
+// with admission control (session count + memory budget), and publishes
+// decoded packets through the sink. Create with New, feed it listeners
+// via Serve/ServePub, stop it with Shutdown.
+type Server struct {
+	cfg  Config
+	m    *serverMetrics
+	sink *Fanout
+
+	mu        sync.Mutex
+	closed    bool
+	nextID    uint64
+	memInUse  int64
+	sessions  map[uint64]*activeSession
+	listeners map[net.Listener]struct{}
+	connWG    sync.WaitGroup
+}
+
+// activeSession pairs a session with its connection so Shutdown can
+// flush the gateway and then unblock the connection's reader.
+type activeSession struct {
+	sess *Session
+	conn net.Conn
+}
+
+// New builds a Server from cfg (see Config for zero-value defaults).
+func New(cfg Config) *Server {
+	if cfg.MaxSessions == 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.MemoryBudget == 0 {
+		cfg.MemoryBudget = DefaultMemoryBudget
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = DefaultWorkers()
+	}
+	if cfg.Sink == nil {
+		cfg.Sink = NewFanout()
+	}
+	s := &Server{
+		cfg:       cfg,
+		m:         newServerMetrics(cfg.Metrics),
+		sink:      cfg.Sink,
+		sessions:  map[uint64]*activeSession{},
+		listeners: map[net.Listener]struct{}{},
+	}
+	s.sink.setMetrics(s.m)
+	return s
+}
+
+// logf logs through Config.Logf when set.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Sink returns the server's fanout (for attaching subscribers directly).
+func (s *Server) Sink() *Fanout { return s.sink }
+
+// register adds a listener unless the server is shut down.
+func (s *Server) register(ln net.Listener) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.listeners[ln] = struct{}{}
+	return true
+}
+
+// Serve accepts ingestion connections on ln until Shutdown closes it
+// (which makes Serve return nil) or Accept fails.
+func (s *Server) Serve(ln net.Listener) error {
+	if !s.register(ln) {
+		ln.Close()
+		return fmt.Errorf("server: already shut down")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return err
+		}
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// ServePub accepts subscriber connections on ln and attaches each to
+// the sink; every record published after attachment is streamed to the
+// subscriber as NDJSON. Returns nil once Shutdown closes ln.
+func (s *Server) ServePub(ln net.Listener) error {
+	if !s.register(ln) {
+		ln.Close()
+		return fmt.Errorf("server: already shut down")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return err
+		}
+		s.sink.AddSubscriber(conn)
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// admit applies the session-count and memory-budget limits, reserving
+// the estimate on success. Callers release via release().
+func (s *Server) admit(est int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("server draining")
+	}
+	if s.cfg.MaxSessions > 0 && len(s.sessions) >= s.cfg.MaxSessions {
+		return fmt.Errorf("session limit reached (%d active)", len(s.sessions))
+	}
+	if s.cfg.MemoryBudget > 0 && s.memInUse+est > s.cfg.MemoryBudget {
+		return fmt.Errorf("memory budget exceeded (%d in use + %d requested > %d)",
+			s.memInUse, est, s.cfg.MemoryBudget)
+	}
+	s.memInUse += est
+	s.m.MemoryInUse.Set(s.memInUse)
+	return nil
+}
+
+func (s *Server) release(est int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.memInUse -= est
+	s.m.MemoryInUse.Set(s.memInUse)
+}
+
+// reject answers a handshake with an ERROR frame and closes the
+// connection.
+func (s *Server) reject(conn net.Conn, reason string) {
+	s.m.SessionsRejected.Inc()
+	if len(reason) > MaxErrorBody {
+		reason = reason[:MaxErrorBody]
+	}
+	_ = WriteFrame(conn, FrameError, []byte(reason))
+	conn.Close()
+}
+
+// handleConn runs one ingestion connection end to end: handshake,
+// admission, the frame loop, and teardown (always draining the session
+// so buffered packets are published even on abrupt disconnect).
+func (s *Server) handleConn(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	idle := s.cfg.IdleTimeout
+
+	// Handshake. The HELLO must arrive within the idle timeout.
+	if idle > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(idle))
+	}
+	typ, body, err := ReadFrame(br)
+	if err != nil || typ != FrameHello {
+		s.m.HelloErrors.Inc()
+		if err == nil {
+			err = fmt.Errorf("first frame type 0x%02x, want HELLO", typ)
+		}
+		s.reject(conn, fmt.Sprintf("bad handshake: %v", err))
+		return
+	}
+	h, err := ParseHello(body)
+	if err != nil {
+		s.m.HelloErrors.Inc()
+		s.reject(conn, err.Error())
+		return
+	}
+	cfg := h.Config()
+	if err := cfg.Validate(); err != nil {
+		s.m.HelloErrors.Inc()
+		s.reject(conn, err.Error())
+		return
+	}
+	est, err := EstimateMemoryBytes(cfg, s.cfg.Workers)
+	if err != nil {
+		s.m.HelloErrors.Inc()
+		s.reject(conn, err.Error())
+		return
+	}
+	if err := s.admit(est); err != nil {
+		s.logf("reject %s from %s: %v", h.Station, conn.RemoteAddr(), err)
+		s.reject(conn, err.Error())
+		return
+	}
+	sess, err := s.newAdmittedSession(h, est, conn)
+	if err != nil {
+		s.release(est)
+		s.reject(conn, err.Error())
+		return
+	}
+	if err := WriteFrame(conn, FrameOK, nil); err != nil {
+		s.finishSession(sess, est, conn)
+		return
+	}
+	s.logf("%s connected from %s (≈%d MiB reserved)", sess, conn.RemoteAddr(), est>>20)
+
+	// Frame loop.
+	var iqBuf []complex128
+	for {
+		if idle > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(idle))
+		}
+		typ, body, err := ReadFrame(br)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				s.m.IdleTimeouts.Inc()
+				s.logf("%s idle timeout", sess)
+			} else {
+				s.logf("%s disconnected: %v", sess, err)
+			}
+			break
+		}
+		switch typ {
+		case FrameIQ:
+			iqBuf, err = DecodeIQBody(iqBuf[:0], body)
+			if err != nil {
+				s.logf("%s: %v", sess, err)
+			} else {
+				err = sess.Write(iqBuf)
+			}
+			if err != nil {
+				// ErrGatewayClosed means Shutdown drained us mid-stream;
+				// either way the session is over.
+				_ = WriteFrame(conn, FrameError, []byte(err.Error()))
+				goto done
+			}
+			s.m.FramesIngested.Inc()
+			s.m.BytesIngested.Add(int64(len(body)))
+		case FrameClose:
+			// Flush, publish everything, then acknowledge so the client
+			// knows its packets are out.
+			_ = conn.SetReadDeadline(time.Time{})
+			if err := sess.Drain(); err != nil {
+				s.logf("%s drain: %v", sess, err)
+			}
+			_ = WriteFrame(conn, FrameOK, nil)
+			s.logf("%s closed cleanly", sess)
+			goto done
+		default:
+			s.logf("%s sent unexpected frame type 0x%02x", sess, typ)
+			_ = WriteFrame(conn, FrameError, []byte(fmt.Sprintf("unexpected frame type 0x%02x", typ)))
+			goto done
+		}
+	}
+done:
+	s.finishSession(sess, est, conn)
+}
+
+// newAdmittedSession builds the session and tracks it.
+func (s *Server) newAdmittedSession(h Hello, est int64, conn net.Conn) (*Session, error) {
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.mu.Unlock()
+	sess, err := NewSession(id, h, s.cfg.Workers, s.cfg.Metrics, s.sink)
+	if err != nil {
+		return nil, err
+	}
+	sess.setMetrics(s.m)
+	s.mu.Lock()
+	s.sessions[id] = &activeSession{sess: sess, conn: conn}
+	active := len(s.sessions)
+	s.mu.Unlock()
+	s.m.SessionsTotal.Inc()
+	s.m.SessionsActive.Set(int64(active))
+	return sess, nil
+}
+
+// finishSession drains (idempotent — publishes any still-buffered
+// packets), untracks and closes one session.
+func (s *Server) finishSession(sess *Session, est int64, conn net.Conn) {
+	_ = sess.Drain()
+	conn.Close()
+	s.mu.Lock()
+	delete(s.sessions, sess.ID)
+	active := len(s.sessions)
+	s.mu.Unlock()
+	s.m.SessionsActive.Set(int64(active))
+	s.release(est)
+}
+
+// Shutdown drains the daemon gracefully: stop accepting, flush every
+// session's Gateway (publishing all fully-buffered packets), close the
+// connections, and wait for the handlers — bounded by ctx. The sink is
+// left open; close it after Shutdown so late records are not lost.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	active := make([]*activeSession, 0, len(s.sessions))
+	for _, a := range s.sessions {
+		active = append(active, a)
+	}
+	s.mu.Unlock()
+
+	// Flush sessions concurrently; closing each connection afterwards
+	// unblocks its reader so the handler can finish.
+	var wg sync.WaitGroup
+	for _, a := range active {
+		wg.Add(1)
+		go func(a *activeSession) {
+			defer wg.Done()
+			if err := a.sess.Drain(); err != nil {
+				s.logf("%s shutdown drain: %v", a.sess, err)
+			}
+			a.conn.Close()
+		}(a)
+	}
+	flushed := make(chan struct{})
+	go func() {
+		wg.Wait()
+		s.connWG.Wait()
+		close(flushed)
+	}()
+	select {
+	case <-flushed:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// SessionCount reports the number of live ingestion sessions.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}

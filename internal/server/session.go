@@ -1,0 +1,130 @@
+package server
+
+import (
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"cic"
+)
+
+// Session is one ingestion stream: a dedicated cic.Gateway plus the
+// publisher goroutine that forwards its decoded packets to the sink as
+// Records. The daemon runs one per connection; tests construct them
+// directly.
+type Session struct {
+	// ID is the server-assigned session number (unique per Server).
+	ID uint64
+	// Station is the HELLO station identifier.
+	Station string
+
+	gw   *cic.Gateway
+	sink *Fanout
+	m    *serverMetrics
+
+	// MemoryBytes is the session's accounted footprint: the gateway ring
+	// (3× the max packet) plus up to 2×workers in-flight sample
+	// snapshots, at 16 bytes per complex128.
+	MemoryBytes int64
+
+	drainOnce sync.Once
+	pubDone   chan struct{}
+}
+
+// EstimateMemoryBytes predicts a session's accounted footprint for
+// admission control without building the Gateway: the ring holds 3× the
+// maximum packet and the dispatch path keeps up to 2×workers snapshots
+// in flight, 16 bytes per sample.
+func EstimateMemoryBytes(cfg cic.Config, workers int) (int64, error) {
+	maxPkt, err := cfg.PacketSamples(255)
+	if err != nil {
+		return 0, err
+	}
+	return int64(maxPkt) * 16 * int64(3+2*workers), nil
+}
+
+// NewSession validates the handshake's configuration, builds its
+// Gateway (decode metrics land on reg when non-nil, aggregating across
+// sessions) and starts the publisher. workers ≤ 0 selects the gateway
+// default (GOMAXPROCS).
+func NewSession(id uint64, h Hello, workers int, reg *cic.Metrics, sink *Fanout) (*Session, error) {
+	cfg := h.Config()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	opts := []cic.Option{cic.WithWorkers(workers)}
+	if reg != nil {
+		opts = append(opts, cic.WithMetrics(reg))
+	}
+	gw, err := cic.NewGateway(cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = gw.Workers()
+	}
+	s := &Session{
+		ID:          id,
+		Station:     h.Station,
+		gw:          gw,
+		sink:        sink,
+		m:           newServerMetrics(nil),
+		MemoryBytes: gw.MaxPacketSamples() * 16 * int64(3+2*workers),
+		pubDone:     make(chan struct{}),
+	}
+	go s.publish()
+	return s, nil
+}
+
+// setMetrics attaches the daemon metric handles (Server wires this
+// before the first Write; tests may leave the no-op set).
+func (s *Session) setMetrics(m *serverMetrics) { s.m = m }
+
+// publish forwards every decoded packet to the sink in the Gateway's
+// delivery (air-time) order.
+func (s *Session) publish() {
+	defer close(s.pubDone)
+	seq := 0
+	for pkt := range s.gw.Packets() {
+		s.sink.Publish(Record{
+			Station:      s.Station,
+			Session:      s.ID,
+			Seq:          seq,
+			Start:        pkt.Start,
+			OK:           pkt.OK,
+			SNRdB:        pkt.SNR,
+			CFOHz:        pkt.CFO,
+			FECCorrected: pkt.FECCorrected,
+			Payload:      hex.EncodeToString(pkt.Payload),
+		})
+		s.m.PacketsPublished.Inc()
+		seq++
+	}
+}
+
+// Write pushes IQ samples into the session's Gateway. After Drain it
+// returns cic.ErrGatewayClosed. It may block under decode backpressure —
+// that is the mechanism that propagates flow control to the TCP stream.
+func (s *Session) Write(iq []complex128) error {
+	_, err := s.gw.Write(iq)
+	return err
+}
+
+// Drain flushes the Gateway — decoding every packet whose samples are
+// fully buffered — and blocks until the publisher has delivered the
+// resulting records to the sink. Idempotent and safe to call
+// concurrently with Write.
+func (s *Session) Drain() error {
+	var err error
+	s.drainOnce.Do(func() { err = s.gw.Close() })
+	<-s.pubDone
+	return err
+}
+
+// Stats exposes the shared registry snapshot (zero when detached).
+func (s *Session) Stats() cic.Stats { return s.gw.Stats() }
+
+// String identifies the session in logs.
+func (s *Session) String() string {
+	return fmt.Sprintf("session %d (station %q)", s.ID, s.Station)
+}

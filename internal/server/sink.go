@@ -1,0 +1,177 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"sync"
+)
+
+// Record is one decoded packet as published on the NDJSON sink: the
+// session identity plus the cic.Packet fields, payload hex-encoded.
+// Records of one session appear in air-time order (the Gateway's
+// delivery order); records of different sessions interleave arbitrarily.
+type Record struct {
+	// Station is the HELLO station id of the originating session.
+	Station string `json:"station"`
+	// Session is the server-assigned session number.
+	Session uint64 `json:"session"`
+	// Seq is the record's position within its session, from 0.
+	Seq int `json:"seq"`
+	// Start is the packet's first preamble sample (session-stream index).
+	Start int64 `json:"start"`
+	// OK reports header checksum + payload CRC both verified.
+	OK bool `json:"ok"`
+	// SNRdB and CFOHz are the receiver's channel estimates.
+	SNRdB float64 `json:"snr_db"`
+	CFOHz float64 `json:"cfo_hz"`
+	// FECCorrected counts Hamming-repaired bits.
+	FECCorrected int `json:"fec_corrected"`
+	// Payload is the decoded payload, hex-encoded ("" when the decode
+	// failed).
+	Payload string `json:"payload"`
+}
+
+// subscriberBuffer is the per-TCP-subscriber queue depth. A subscriber
+// that falls further behind than this is dropped (slow-consumer
+// eviction) rather than allowed to stall the decode pipeline.
+const subscriberBuffer = 1024
+
+// Fanout publishes NDJSON records to a set of io.Writers (stdout, files)
+// and to dynamically attached TCP subscribers. Writer output is
+// serialised under a mutex; each subscriber has its own bounded queue
+// and writer goroutine, so one slow subscriber never blocks Publish.
+type Fanout struct {
+	m *serverMetrics
+
+	mu      sync.Mutex
+	writers []io.Writer
+	dead    []bool // writers[i] disabled after its first write error
+	subs    map[*subscriber]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type subscriber struct {
+	conn net.Conn
+	ch   chan []byte
+}
+
+// NewFanout builds a sink publishing to the given writers (nil writers
+// are skipped).
+func NewFanout(writers ...io.Writer) *Fanout {
+	f := &Fanout{subs: map[*subscriber]struct{}{}, m: newServerMetrics(nil)}
+	for _, w := range writers {
+		if w != nil {
+			f.writers = append(f.writers, w)
+		}
+	}
+	f.dead = make([]bool, len(f.writers))
+	return f
+}
+
+// setMetrics attaches the daemon metric handles (Server wires this).
+func (f *Fanout) setMetrics(m *serverMetrics) { f.m = m }
+
+// Publish encodes rec as one NDJSON line and delivers it to every
+// writer and subscriber. Safe for concurrent use.
+func (f *Fanout) Publish(rec Record) {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return // Record contains no unmarshalable types; defensive only.
+	}
+	line = append(line, '\n')
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	for i, w := range f.writers {
+		if f.dead[i] {
+			continue
+		}
+		if _, err := w.Write(line); err != nil {
+			f.dead[i] = true
+		}
+	}
+	for s := range f.subs {
+		select {
+		case s.ch <- line:
+		default:
+			// Queue full: evict rather than stall the pipeline.
+			f.dropLocked(s)
+			f.m.SubscriberDropped.Inc()
+		}
+	}
+}
+
+// AddSubscriber attaches a TCP subscriber: every subsequent record is
+// streamed to conn as NDJSON until the connection errors, falls too far
+// behind, or the sink closes.
+func (f *Fanout) AddSubscriber(conn net.Conn) {
+	s := &subscriber{conn: conn, ch: make(chan []byte, subscriberBuffer)}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		conn.Close()
+		return
+	}
+	f.subs[s] = struct{}{}
+	f.m.Subscribers.Set(int64(len(f.subs)))
+	f.wg.Add(1)
+	f.mu.Unlock()
+
+	go func() {
+		defer f.wg.Done()
+		for line := range s.ch {
+			if _, err := s.conn.Write(line); err != nil {
+				f.mu.Lock()
+				f.dropLocked(s)
+				f.mu.Unlock()
+				// Drain the closed channel's remaining lines.
+				for range s.ch {
+				}
+				return
+			}
+		}
+		s.conn.Close()
+	}()
+}
+
+// dropLocked detaches a subscriber (caller holds mu). Closing the
+// channel ends the writer goroutine, which closes the connection.
+func (f *Fanout) dropLocked(s *subscriber) {
+	if _, ok := f.subs[s]; !ok {
+		return
+	}
+	delete(f.subs, s)
+	close(s.ch)
+	s.conn.Close()
+	f.m.Subscribers.Set(int64(len(f.subs)))
+}
+
+// Subscribers reports the attached TCP subscriber count.
+func (f *Fanout) Subscribers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs)
+}
+
+// Close detaches every subscriber (closing their connections once their
+// queues drain) and stops accepting records. Writers are not closed;
+// they belong to the caller.
+func (f *Fanout) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	for s := range f.subs {
+		f.dropLocked(s)
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+	return nil
+}

@@ -33,26 +33,59 @@ func WriteCF32(w io.Writer, iq []complex128) error {
 	return bw.Flush()
 }
 
-// ReadCF32 reads all IQ samples from a cf32 stream.
+// ReadCF32 reads all IQ samples from a cf32 stream. For long captures
+// prefer CF32Reader, which decodes in caller-sized chunks with constant
+// memory (the cic-decode -stream and cic-feed path).
 func ReadCF32(r io.Reader) ([]complex128, error) {
-	br := bufio.NewReader(r)
+	cr := NewCF32Reader(r)
 	var out []complex128
-	var scratch [8]byte
+	buf := make([]complex128, 4096)
 	for {
-		_, err := io.ReadFull(br, scratch[:])
+		n, err := cr.Read(buf)
+		out = append(out, buf[:n]...)
 		if err == io.EOF {
 			return out, nil
-		}
-		if err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("cic: cf32 stream truncated mid-sample")
 		}
 		if err != nil {
 			return nil, err
 		}
-		i := math.Float32frombits(binary.LittleEndian.Uint32(scratch[0:4]))
-		q := math.Float32frombits(binary.LittleEndian.Uint32(scratch[4:8]))
-		out = append(out, complex(float64(i), float64(q)))
 	}
+}
+
+// CF32Reader incrementally decodes a cf32 stream (interleaved
+// little-endian float32 I, Q) into caller-provided chunks, so an
+// arbitrarily long capture streams through fixed memory.
+type CF32Reader struct {
+	br *bufio.Reader
+}
+
+// NewCF32Reader wraps r (a file, pipe, network stream, or stdin).
+func NewCF32Reader(r io.Reader) *CF32Reader {
+	return &CF32Reader{br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Read fills dst with up to len(dst) samples and reports how many were
+// decoded. At a clean end of stream it returns io.EOF (possibly
+// alongside n > 0 decoded samples); a stream ending mid-sample is an
+// error.
+func (r *CF32Reader) Read(dst []complex128) (int, error) {
+	var scratch [8]byte
+	for i := range dst {
+		_, err := io.ReadFull(r.br, scratch[:])
+		if err == io.EOF {
+			return i, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return i, fmt.Errorf("cic: cf32 stream truncated mid-sample")
+		}
+		if err != nil {
+			return i, err
+		}
+		re := math.Float32frombits(binary.LittleEndian.Uint32(scratch[0:4]))
+		im := math.Float32frombits(binary.LittleEndian.Uint32(scratch[4:8]))
+		dst[i] = complex(float64(re), float64(im))
+	}
+	return len(dst), nil
 }
 
 // WriteCF32File writes IQ samples to a cf32 file.

@@ -1,0 +1,71 @@
+package cic_test
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cic"
+)
+
+// TestCF32ReaderChunkedParity: reading a stream through CF32Reader in
+// awkward chunk sizes must reproduce ReadCF32 exactly.
+func TestCF32ReaderChunkedParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	iq := make([]complex128, 10_000)
+	for i := range iq {
+		iq[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	var buf bytes.Buffer
+	if err := cic.WriteCF32(&buf, iq); err != nil {
+		t.Fatal(err)
+	}
+	want, err := cic.ReadCF32(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, chunk := range []int{1, 7, 4096, 100_000} {
+		r := cic.NewCF32Reader(bytes.NewReader(buf.Bytes()))
+		dst := make([]complex128, chunk)
+		var got []complex128
+		for {
+			n, err := r.Read(dst)
+			got = append(got, dst[:n]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("chunk %d: %v", chunk, err)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("chunk %d: %d samples, want %d", chunk, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("chunk %d: sample %d differs", chunk, i)
+			}
+		}
+	}
+}
+
+// TestCF32ReaderTruncated: a stream ending mid-sample is an error, not
+// a silent short read.
+func TestCF32ReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := cic.WriteCF32(&buf, []complex128{1, 2i, 3}); err != nil {
+		t.Fatal(err)
+	}
+	r := cic.NewCF32Reader(bytes.NewReader(buf.Bytes()[:buf.Len()-5]))
+	dst := make([]complex128, 16)
+	n, err := r.Read(dst)
+	if n != 2 {
+		t.Fatalf("decoded %d whole samples before the tear, want 2", n)
+	}
+	if err == nil || err == io.EOF || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("got %v, want truncation error", err)
+	}
+}

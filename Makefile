@@ -1,17 +1,22 @@
-# Developer / CI entry points. `make ci` is the gate: vet + build + the
-# full test suite under the race detector + the short benchmark sweep +
-# short fuzz passes over the byte-level parsers + the network-pipeline
-# smoke test.
+# Developer / CI entry points. `make ci` is the gate: vet + the project
+# invariant linter + build + the full test suite under the race detector
+# + the short benchmark sweep + short fuzz passes over the byte-level
+# parsers + the network-pipeline smoke test.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all vet build test race bench bench-gateway bench-json fuzz smoke ci
+.PHONY: all vet lint build test race bench bench-gateway bench-json fuzz smoke ci
 
 all: ci
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific safety invariants (nopanic, boundedalloc, errwrap,
+# clockinject, nilsafeobs, atomicalign). See docs/LINTING.md.
+lint:
+	$(GO) run ./cmd/cic-lint ./...
 
 build:
 	$(GO) build ./...
@@ -26,7 +31,7 @@ race:
 # micro-benchmarks. One iteration each — a smoke test that the benches
 # run, not a measurement (use bench-gateway for numbers).
 bench:
-	$(GO) test -run '^$$' -bench 'GatewayStream|FFT1024|DechirpAndFold|PlanForParallel|CICSymbol' -benchtime=1x ./ ./internal/dsp/
+	$(GO) test -run '^$$' -bench 'GatewayStream|FFT1024|DechirpAndFold|MustPlanParallel|CICSymbol' -benchtime=1x ./ ./internal/dsp/
 
 # Measured gateway streaming throughput at 1/4/GOMAXPROCS workers;
 # baselines recorded in BENCH_gateway.json.
@@ -47,6 +52,8 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadCF32$$' -fuzztime $(FUZZTIME) ./
 	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run '^$$' -fuzz '^FuzzParseHello$$' -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run '^$$' -fuzz '^FuzzPublishLineFraming$$' -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseBenchLine$$' -fuzztime $(FUZZTIME) ./cmd/cic-bench/
 
 # Loopback end-to-end smoke of the ingestion pipeline:
 # cic-gen capture → cic-feed → cic-gatewayd → NDJSON assert (plus a
@@ -54,4 +61,4 @@ fuzz:
 smoke:
 	./scripts/smoke.sh
 
-ci: vet build race bench fuzz smoke
+ci: vet lint build race bench fuzz smoke

@@ -36,7 +36,7 @@ func benchEvalConfig() eval.Config {
 // --- Kernel micro-benchmarks ---------------------------------------------
 
 func BenchmarkFFT1024(b *testing.B) {
-	fft := dsp.PlanFor(1024)
+	fft := dsp.MustPlan(1024)
 	buf := make([]complex128, 1024)
 	for i := range buf {
 		buf[i] = complex(float64(i%7), float64(i%3))
@@ -59,7 +59,7 @@ func BenchmarkDechirpAndFold(b *testing.B) {
 	gen.Symbol(sym, 99)
 	buf := make([]complex128, m)
 	spec := make(dsp.Spectrum, p.ChipCount())
-	fft := dsp.PlanFor(m)
+	fft := dsp.MustPlan(m)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

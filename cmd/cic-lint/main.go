@@ -1,0 +1,66 @@
+// cic-lint is the project's multichecker: it runs every analyzer in
+// internal/lint over the given package patterns (default ./...) and
+// prints one line per finding, exiting non-zero when any invariant is
+// violated. `make lint` runs it as part of the ci gate; docs/LINTING.md
+// catalogues the analyzers and the invariants they enforce.
+//
+// Usage:
+//
+//	cic-lint [-list] [packages]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cic/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and their invariants, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cic-lint [-list] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs cic's invariant analyzers over the given package patterns\n")
+		fmt.Fprintf(os.Stderr, "(default ./...). Exits 1 when any diagnostic is reported.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cic-lint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cic-lint: %v\n", err)
+		os.Exit(2)
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := d.Pos
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !filepath.IsAbs(rel) {
+				pos.Filename = rel
+			}
+		}
+		fmt.Printf("%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "cic-lint: %d invariant violation(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

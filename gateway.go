@@ -359,7 +359,7 @@ func (g *Gateway) process(flush bool) {
 			// scans re-find tracked packets, and those are not detections.
 			g.m.PreamblesDetected.Inc()
 			if g.detectedAt != nil {
-				g.detectedAt[p.ID] = time.Now()
+				g.detectedAt[p.ID] = obs.Now()
 			}
 			if g.tracer != nil {
 				g.tracer(obs.Event{
@@ -610,7 +610,7 @@ func (g *Gateway) emit(r seqPacket) {
 			Gates:        r.gates,
 		}
 		if !r.detectedAt.IsZero() {
-			ev.Latency = time.Since(r.detectedAt)
+			ev.Latency = obs.Since(r.detectedAt)
 		}
 		g.tracer(ev)
 	}

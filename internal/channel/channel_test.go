@@ -46,7 +46,7 @@ func TestApplyCFORotatesTone(t *testing.T) {
 		wave[i] = 1
 	}
 	out := Apply(wave, Impairments{Amplitude: 1, CFOHz: cfo, SampleRate: fs})
-	fft := dsp.PlanFor(n)
+	fft := dsp.MustPlan(n)
 	fft.Forward(out)
 	mag := make(dsp.Spectrum, n)
 	for i, v := range out {

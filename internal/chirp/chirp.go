@@ -69,27 +69,36 @@ func (g *Generator) Downchirp() []complex128 { return g.down }
 // dst, which must have SamplesPerSymbol length. The symbol is the
 // fundamental chirp cyclically advanced by k chips — equivalent to the
 // frequency-shift-with-wrap definition in Eqn 1 up to a constant phase.
-func (g *Generator) Symbol(dst []complex128, k int) {
+// Malformed arguments (a symbol value outside the chip range, a dst of
+// the wrong length) are reported as an error with dst untouched: symbol
+// values reach this layer from user-supplied payloads, so they must not
+// be able to panic the modulator.
+func (g *Generator) Symbol(dst []complex128, k int) error {
 	m := g.p.SamplesPerSymbol()
 	if len(dst) != m {
-		panic(fmt.Sprintf("chirp: Symbol dst length %d != %d", len(dst), m))
+		return fmt.Errorf("chirp: Symbol dst length %d != %d", len(dst), m)
 	}
 	n := g.p.ChipCount()
 	if k < 0 || k >= n {
-		panic(fmt.Sprintf("chirp: symbol value %d out of range [0,%d)", k, n))
+		return fmt.Errorf("chirp: symbol value %d out of range [0,%d)", k, n)
 	}
 	shift := k * g.p.OSR
 	c := copy(dst, g.up[shift:])
 	copy(dst[c:], g.up[:shift])
+	return nil
 }
 
-// AppendSymbol appends symbol value k to buf and returns the extended slice.
-func (g *Generator) AppendSymbol(buf []complex128, k int) []complex128 {
+// AppendSymbol appends symbol value k to buf and returns the extended
+// slice. An out-of-range k is an error, with buf returned unmodified
+// (the appended region is rolled back).
+func (g *Generator) AppendSymbol(buf []complex128, k int) ([]complex128, error) {
 	m := g.p.SamplesPerSymbol()
 	start := len(buf)
 	buf = append(buf, make([]complex128, m)...)
-	g.Symbol(buf[start:], k)
-	return buf
+	if err := g.Symbol(buf[start:], k); err != nil {
+		return buf[:start], err
+	}
+	return buf, nil
 }
 
 // AppendDownchirps appends count whole down-chirps plus a fraction frac
@@ -108,11 +117,12 @@ func (g *Generator) AppendDownchirps(buf []complex128, count int, frac float64) 
 
 // Dechirp multiplies the received window by C0* into dst:
 // dst[n] = r[n]·conj(C0[n]). A time-aligned symbol k becomes a pure tone on
-// folded bin k. len(r) may be at most one symbol; dst must match len(r).
+// folded bin k. The operation is total: it processes the common prefix
+// min(len(dst), len(r), one symbol), so a partial window at the end of a
+// capture de-chirps its available samples and a hostile window length can
+// never crash a decode worker (the nopanic invariant).
 func (g *Generator) Dechirp(dst, r []complex128) {
-	if len(dst) < len(r) || len(r) > len(g.down) {
-		panic(fmt.Sprintf("chirp: Dechirp window %d vs dst %d vs symbol %d", len(r), len(dst), len(g.down)))
-	}
+	r = clampWindow(dst, r, g.down)
 	for i, v := range r {
 		dst[i] = v * g.down[i]
 	}
@@ -122,12 +132,24 @@ func (g *Generator) Dechirp(dst, r []complex128) {
 // A received *down-chirp* delayed by d samples becomes a pure tone at
 // normalised frequency d/(M·OSR) — the basis of CIC's down-chirp preamble
 // detection (§5.8): data up-chirps do not concentrate under this operation,
-// so ongoing transmissions do not clutter the detector.
+// so ongoing transmissions do not clutter the detector. Like Dechirp it is
+// total, processing min(len(dst), len(r), one symbol) samples.
 func (g *Generator) DechirpDown(dst, r []complex128) {
-	if len(dst) < len(r) || len(r) > len(g.up) {
-		panic(fmt.Sprintf("chirp: DechirpDown window %d vs dst %d vs symbol %d", len(r), len(dst), len(g.up)))
-	}
+	r = clampWindow(dst, r, g.up)
 	for i, v := range r {
 		dst[i] = v * g.up[i]
 	}
+}
+
+// clampWindow truncates r to what one de-chirp step can process: the
+// shorter of dst, r, and the reference chirp.
+func clampWindow(dst, r, chirp []complex128) []complex128 {
+	n := len(r)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	if len(chirp) < n {
+		n = len(chirp)
+	}
+	return r[:n]
 }

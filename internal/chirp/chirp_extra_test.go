@@ -84,7 +84,7 @@ func TestDechirpOrthogonality(t *testing.T) {
 	g.Symbol(sym, 100)
 	buf := make([]complex128, m)
 	g.Dechirp(buf, sym)
-	dsp.PlanFor(m).Forward(buf)
+	dsp.MustPlan(m).Forward(buf)
 	spec := dsp.FoldMagnitude(nil, buf, p.ChipCount(), p.OSR)
 	peak := spec[100]
 	for _, wrong := range []int{99, 101, 0, 200} {
@@ -94,15 +94,37 @@ func TestDechirpOrthogonality(t *testing.T) {
 	}
 }
 
-func TestDechirpPanicsOnOversizeWindow(t *testing.T) {
+// TestDechirpClampsOversizeWindow: a window longer than one symbol must not
+// panic — the de-chirp processes one symbol's worth of samples and leaves
+// the rest of dst untouched (the total-operation contract).
+func TestDechirpClampsOversizeWindow(t *testing.T) {
 	p := Params{SF: 7, Bandwidth: 125e3, OSR: 1}
 	g := mustGen(t, p)
-	defer func() {
-		if recover() == nil {
-			t.Error("no panic for oversize window")
+	m := p.SamplesPerSymbol()
+	r := make([]complex128, 2*m)
+	for i := range r {
+		r[i] = complex(1, 0)
+	}
+	dst := make([]complex128, 2*m)
+	g.Dechirp(dst, r)
+	for i := 0; i < m; i++ {
+		if dst[i] != g.Downchirp()[i] {
+			t.Fatalf("sample %d not de-chirped", i)
 		}
-	}()
-	g.Dechirp(make([]complex128, 2*p.SamplesPerSymbol()), make([]complex128, 2*p.SamplesPerSymbol()))
+	}
+	for i := m; i < 2*m; i++ {
+		if dst[i] != 0 {
+			t.Fatalf("sample %d beyond one symbol written", i)
+		}
+	}
+	// Short windows de-chirp only their available samples.
+	short := make([]complex128, m)
+	g.Dechirp(short, r[:m/2])
+	for i := m / 2; i < m; i++ {
+		if short[i] != 0 {
+			t.Fatalf("short window wrote past its length at %d", i)
+		}
+	}
 }
 
 func TestGeneratorAccessors(t *testing.T) {
@@ -131,7 +153,7 @@ func TestPartialDownchirpTone(t *testing.T) {
 	copy(win[d:], g.Downchirp()[:m-d])
 	buf := make([]complex128, m)
 	g.DechirpDown(buf, win)
-	dsp.PlanFor(m).Forward(buf)
+	dsp.MustPlan(m).Forward(buf)
 	mag := make(dsp.Spectrum, m)
 	for i, v := range buf {
 		mag[i] = real(v)*real(v) + imag(v)*imag(v)

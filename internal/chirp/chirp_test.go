@@ -84,7 +84,7 @@ func demodAligned(g *Generator, sym []complex128) int {
 	m := p.SamplesPerSymbol()
 	buf := make([]complex128, m)
 	g.Dechirp(buf, sym)
-	dsp.PlanFor(m).Forward(buf)
+	dsp.MustPlan(m).Forward(buf)
 	spec := dsp.FoldMagnitude(nil, buf, p.ChipCount(), p.OSR)
 	_, at := spec.Max()
 	return at
@@ -138,7 +138,7 @@ func TestDechirpPeakSharpness(t *testing.T) {
 	g.Symbol(sym, 100)
 	buf := make([]complex128, m)
 	g.Dechirp(buf, sym)
-	dsp.PlanFor(m).Forward(buf)
+	dsp.MustPlan(m).Forward(buf)
 	spec := dsp.FoldMagnitude(nil, buf, p.ChipCount(), p.OSR)
 	peak, at := spec.Max()
 	if at != 100 {
@@ -183,7 +183,7 @@ func TestDelayedUpchirpToneOffset(t *testing.T) {
 	copy(win[d:], s1[:m-d])
 	buf := make([]complex128, m)
 	g.Dechirp(buf, win)
-	dsp.PlanFor(m).Forward(buf)
+	dsp.MustPlan(m).Forward(buf)
 	spec := dsp.FoldMagnitude(nil, buf, n, p.OSR)
 	peaks := dsp.TopPeaks(spec, 0.2, 4)
 	if len(peaks) < 2 {
@@ -217,7 +217,7 @@ func TestDownchirpDetectionTone(t *testing.T) {
 	p := Params{SF: 8, Bandwidth: 250e3, OSR: 4}
 	g := mustGen(t, p)
 	m := p.SamplesPerSymbol()
-	fft := dsp.PlanFor(m)
+	fft := dsp.MustPlan(m)
 
 	for _, dChips := range []int{0, 1, 33, 100} {
 		d := dChips * p.OSR
@@ -265,7 +265,10 @@ func TestAppendHelpers(t *testing.T) {
 	p := Params{SF: 7, Bandwidth: 125e3, OSR: 1}
 	g := mustGen(t, p)
 	m := p.SamplesPerSymbol()
-	buf := g.AppendSymbol(nil, 5)
+	buf, err := g.AppendSymbol(nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	buf = g.AppendDownchirps(buf, 2, 0.25)
 	want := m + 2*m + m/4
 	if len(buf) != want {
@@ -276,13 +279,47 @@ func TestAppendHelpers(t *testing.T) {
 	}
 }
 
-func TestSymbolPanicsOutOfRange(t *testing.T) {
+// TestSymbolRejectsMalformedInput: symbol values and buffer lengths come
+// from user payloads, so malformed inputs must surface as errors (never
+// panics) and must leave the destination untouched.
+func TestSymbolRejectsMalformedInput(t *testing.T) {
 	p := Params{SF: 7, Bandwidth: 125e3, OSR: 1}
 	g := mustGen(t, p)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for out-of-range symbol")
+	m := p.SamplesPerSymbol()
+
+	dst := make([]complex128, m)
+	for _, k := range []int{-1, p.ChipCount(), p.ChipCount() + 500} {
+		if err := g.Symbol(dst, k); err == nil {
+			t.Errorf("symbol value %d accepted, want error", k)
 		}
-	}()
-	g.Symbol(make([]complex128, p.SamplesPerSymbol()), p.ChipCount())
+	}
+	for _, v := range dst {
+		if v != 0 {
+			t.Fatal("failed Symbol call wrote into dst")
+		}
+	}
+	if err := g.Symbol(make([]complex128, m-1), 0); err == nil {
+		t.Error("short dst accepted, want error")
+	}
+	if err := g.Symbol(dst, 0); err != nil {
+		t.Errorf("valid call failed: %v", err)
+	}
+}
+
+// TestAppendSymbolRollsBackOnError: a rejected symbol value must return the
+// buffer at its original length so partially built frames stay consistent.
+func TestAppendSymbolRollsBackOnError(t *testing.T) {
+	p := Params{SF: 7, Bandwidth: 125e3, OSR: 1}
+	g := mustGen(t, p)
+	buf, err := g.AppendSymbol(nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.AppendSymbol(buf, p.ChipCount())
+	if err == nil {
+		t.Fatal("out-of-range AppendSymbol succeeded")
+	}
+	if len(got) != len(buf) {
+		t.Errorf("buffer length %d after failed append, want %d", len(got), len(buf))
+	}
 }

@@ -34,7 +34,10 @@ func TestKnownPreambleTonePrediction(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		wave := mod.ModulateSymbols(nil) // preamble only
+		wave, err := mod.ModulateSymbols(nil) // preamble only
+		if err != nil {
+			t.Fatal(err)
+		}
 		em := channel.Emission{Start: tc.qStart, Samples: channel.Apply(wave, channel.Impairments{
 			Amplitude: 1, CFOHz: tc.qCFO, SampleRate: cfg.Chirp.SampleRate(),
 		})}

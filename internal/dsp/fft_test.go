@@ -62,7 +62,7 @@ func TestFFTMatchesNaiveDFT(t *testing.T) {
 		want := naiveDFT(x)
 		got := make([]complex128, n)
 		copy(got, x)
-		PlanFor(n).Forward(got)
+		MustPlan(n).Forward(got)
 		if e := maxErr(got, want); e > 1e-9*float64(n) {
 			t.Errorf("n=%d: max error %g vs naive DFT", n, e)
 		}
@@ -72,7 +72,7 @@ func TestFFTMatchesNaiveDFT(t *testing.T) {
 func TestFFTInverseRoundTrip(t *testing.T) {
 	r := rand.New(rand.NewSource(2))
 	for _, n := range []int{2, 16, 128, 2048} {
-		f := PlanFor(n)
+		f := MustPlan(n)
 		x := randSignal(r, n)
 		y := make([]complex128, n)
 		copy(y, x)
@@ -86,7 +86,7 @@ func TestFFTInverseRoundTrip(t *testing.T) {
 
 func TestFFTPureToneLandsOnBin(t *testing.T) {
 	n := 256
-	f := PlanFor(n)
+	f := MustPlan(n)
 	for _, bin := range []int{0, 1, 17, n / 2, n - 1} {
 		x := make([]complex128, n)
 		for t2 := range x {
@@ -110,7 +110,7 @@ func magSq(x []complex128) []float64 {
 }
 
 func TestFFTLinearityProperty(t *testing.T) {
-	f := PlanFor(64)
+	f := MustPlan(64)
 	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(3))}
 	prop := func(seed int64, ar, ai, br, bi float64) bool {
 		r := rand.New(rand.NewSource(seed))
@@ -148,7 +148,7 @@ func clampF(x float64) float64 {
 }
 
 func TestFFTParsevalProperty(t *testing.T) {
-	f := PlanFor(128)
+	f := MustPlan(128)
 	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(4))}
 	prop := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
@@ -165,7 +165,7 @@ func TestFFTParsevalProperty(t *testing.T) {
 }
 
 func TestForwardIntoZeroPads(t *testing.T) {
-	f := PlanFor(16)
+	f := MustPlan(16)
 	src := []complex128{1, 2, 3}
 	dst := make([]complex128, 16)
 	for i := range dst {
@@ -192,7 +192,7 @@ func TestDFTBinMatchesFFT(t *testing.T) {
 	n := 64
 	x := randSignal(r, n)
 	y := append([]complex128(nil), x...)
-	PlanFor(n).Forward(y)
+	MustPlan(n).Forward(y)
 	for _, bin := range []int{0, 1, 31, 63} {
 		got := DFTBin(x, n, float64(bin))
 		if d := cmplx.Abs(got - y[bin]); d > 1e-9 {
@@ -215,10 +215,10 @@ func TestRefinePeakFindsFractionalTone(t *testing.T) {
 	}
 }
 
-// TestPlanForConcurrent exercises the double-checked plan-cache lookup
+// TestMustPlanConcurrent exercises the double-checked plan-cache lookup
 // under -race: many goroutines resolving a mix of new and cached sizes
 // must all receive the same plan per size.
-func TestPlanForConcurrent(t *testing.T) {
+func TestMustPlanConcurrent(t *testing.T) {
 	sizes := []int{64, 128, 256, 512, 1024}
 	var wg sync.WaitGroup
 	plans := make([][]*FFT, 8)
@@ -228,7 +228,7 @@ func TestPlanForConcurrent(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i, n := range sizes {
-				plans[g][i] = PlanFor(n)
+				plans[g][i] = MustPlan(n)
 			}
 		}(g)
 	}
@@ -242,13 +242,13 @@ func TestPlanForConcurrent(t *testing.T) {
 	}
 }
 
-// BenchmarkPlanForParallel measures plan-cache hit cost under concurrent
+// BenchmarkMustPlanParallel measures plan-cache hit cost under concurrent
 // decode workers: with the read-write lock, hits must not serialise.
-func BenchmarkPlanForParallel(b *testing.B) {
-	PlanFor(1024) // warm the cache
+func BenchmarkMustPlanParallel(b *testing.B) {
+	MustPlan(1024) // warm the cache
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if PlanFor(1024) == nil {
+			if MustPlan(1024) == nil {
 				b.Fatal("nil plan")
 			}
 		}

@@ -118,7 +118,7 @@ func TestDecimatorTonePreservation(t *testing.T) {
 	fn := NextPow2(len(out))
 	buf := make([]complex128, fn)
 	copy(buf, out)
-	PlanFor(fn).Forward(buf)
+	MustPlan(fn).Forward(buf)
 	mag := make(Spectrum, fn)
 	for i, v := range buf {
 		mag[i] = real(v)*real(v) + imag(v)*imag(v)

@@ -1,7 +1,6 @@
 package dsp
 
 import (
-	"fmt"
 	"math"
 	"math/cmplx"
 )
@@ -23,28 +22,36 @@ type Spectrum []float64
 // up to 3 dB, which skews both spectral intersection and the spectral edge
 // difference.) With osr == 1 both segments alias onto one bin coherently
 // and the fold is the plain magnitude-squared spectrum.
+//
+// The fold is total (the nopanic invariant: FFT output lengths can derive
+// from wire-supplied windows): a dst of the wrong length is reallocated, and
+// an x shorter than bins*osr is treated as zero-extended — missing FFT bins
+// contribute no power.
 func FoldMagnitude(dst Spectrum, x []complex128, bins, osr int) Spectrum {
-	if len(x) != bins*osr {
-		panic(fmt.Sprintf("dsp: fold input length %d != bins*osr = %d", len(x), bins*osr))
-	}
-	if dst == nil {
+	if len(dst) != bins {
 		dst = make(Spectrum, bins)
 	}
-	if len(dst) != bins {
-		panic(fmt.Sprintf("dsp: fold dst length %d != bins %d", len(dst), bins))
-	}
 	if osr == 1 {
-		for k := 0; k < bins; k++ {
+		for k := 0; k < bins && k < len(x); k++ {
 			re, im := real(x[k]), imag(x[k])
 			dst[k] = re*re + im*im
+		}
+		for k := len(x); k < bins; k++ {
+			dst[k] = 0
 		}
 		return dst
 	}
 	hi := (osr - 1) * bins
 	for k := 0; k < bins; k++ {
-		re0, im0 := real(x[k]), imag(x[k])
-		re1, im1 := real(x[hi+k]), imag(x[hi+k])
-		a := math.Sqrt(re0*re0+im0*im0) + math.Sqrt(re1*re1+im1*im1)
+		var a float64
+		if k < len(x) {
+			re0, im0 := real(x[k]), imag(x[k])
+			a = math.Sqrt(re0*re0 + im0*im0)
+		}
+		if hi+k < len(x) {
+			re1, im1 := real(x[hi+k]), imag(x[hi+k])
+			a += math.Sqrt(re1*re1 + im1*im1)
+		}
 		dst[k] = a * a
 	}
 	return dst
@@ -98,32 +105,45 @@ func (s Spectrum) Max() (float64, int) {
 // The operation is commutative and associative (property P1) and preserves
 // the better frequency resolution available for each constituent frequency
 // (property P2). Inputs are normally unit-energy normalised first.
+// Mismatched lengths intersect over the common prefix (a missing bin is
+// treated as zero power, and min(x, 0) = 0 for non-negative spectra), so the
+// operation is total and cannot crash a decode worker.
 func Intersect(dst, a, b Spectrum) Spectrum {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("dsp: intersect length mismatch %d != %d", len(a), len(b)))
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
 	}
 	if dst == nil {
-		dst = make(Spectrum, len(a))
+		dst = make(Spectrum, n)
 	}
-	for i := range a {
+	for i := 0; i < n && i < len(dst); i++ {
 		if a[i] <= b[i] {
 			dst[i] = a[i]
 		} else {
 			dst[i] = b[i]
 		}
 	}
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
 	return dst
 }
 
 // IntersectInto folds b into acc with the element-wise minimum (acc ∩= b).
+// Like Intersect it is total: bins beyond the common prefix are zeroed in
+// acc, matching min against a missing (zero-power) bin.
 func IntersectInto(acc, b Spectrum) {
-	if len(acc) != len(b) {
-		panic(fmt.Sprintf("dsp: intersect length mismatch %d != %d", len(acc), len(b)))
+	n := len(acc)
+	if len(b) < n {
+		n = len(b)
 	}
-	for i, v := range b {
-		if v < acc[i] {
-			acc[i] = v
+	for i := 0; i < n; i++ {
+		if b[i] < acc[i] {
+			acc[i] = b[i]
 		}
+	}
+	for i := n; i < len(acc); i++ {
+		acc[i] = 0
 	}
 }
 

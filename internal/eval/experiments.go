@@ -534,7 +534,7 @@ func PreambleClutter(cfg Config) (Figure, error) {
 	if err != nil {
 		return Figure{}, err
 	}
-	fft := dsp.PlanFor(m)
+	fft := dsp.MustPlan(m)
 	win := make([]complex128, m)
 	dd := make([]complex128, m)
 	mag := make(dsp.Spectrum, m)

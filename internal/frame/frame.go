@@ -109,7 +109,10 @@ func (m *Modulator) Modulate(payload []byte) ([]complex128, Info, error) {
 	if err != nil {
 		return nil, Info{}, err
 	}
-	wave := m.ModulateSymbols(symbols)
+	wave, err := m.ModulateSymbols(symbols)
+	if err != nil {
+		return nil, Info{}, err
+	}
 	info := Info{
 		DataSymbols:     len(symbols),
 		PreambleSamples: m.cfg.PreambleSampleCount(),
@@ -119,18 +122,28 @@ func (m *Modulator) Modulate(payload []byte) ([]complex128, Info, error) {
 }
 
 // ModulateSymbols synthesises preamble plus the given raw data symbols.
-func (m *Modulator) ModulateSymbols(symbols []uint16) []complex128 {
+// A symbol value outside the chip range [0, 2^SF) is an error: raw
+// symbols arrive here from arbitrary user input, so they must not be
+// able to panic the modulator.
+func (m *Modulator) ModulateSymbols(symbols []uint16) ([]complex128, error) {
 	sps := m.cfg.Chirp.SamplesPerSymbol()
 	buf := make([]complex128, 0, m.cfg.PreambleSampleCount()+len(symbols)*sps)
 	for i := 0; i < PreambleUpchirps; i++ {
 		buf = append(buf, m.gen.Upchirp()...)
 	}
 	x, y := m.cfg.SyncSymbolValues()
-	buf = m.gen.AppendSymbol(buf, x)
-	buf = m.gen.AppendSymbol(buf, y)
+	var err error
+	if buf, err = m.gen.AppendSymbol(buf, x); err != nil {
+		return nil, err
+	}
+	if buf, err = m.gen.AppendSymbol(buf, y); err != nil {
+		return nil, err
+	}
 	buf = m.gen.AppendDownchirps(buf, DownchirpsWhole, DownchirpFraction)
 	for _, s := range symbols {
-		buf = m.gen.AppendSymbol(buf, int(s))
+		if buf, err = m.gen.AppendSymbol(buf, int(s)); err != nil {
+			return nil, err
+		}
 	}
-	return buf
+	return buf, nil
 }

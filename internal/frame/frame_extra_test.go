@@ -39,11 +39,32 @@ func TestModulateSymbolsLengths(t *testing.T) {
 	m := c.Chirp.SamplesPerSymbol()
 	for _, nsym := range []int{0, 1, 5} {
 		syms := make([]uint16, nsym)
-		wave := mod.ModulateSymbols(syms)
+		wave, err := mod.ModulateSymbols(syms)
+		if err != nil {
+			t.Fatal(err)
+		}
 		want := c.PreambleSampleCount() + nsym*m
 		if len(wave) != want {
 			t.Errorf("%d symbols: %d samples, want %d", nsym, len(wave), want)
 		}
+	}
+}
+
+// TestModulateSymbolsRejectsOutOfRange: raw symbol values come from
+// arbitrary user input, so a value outside [0, 2^SF) must surface as an
+// error rather than a panic.
+func TestModulateSymbolsRejectsOutOfRange(t *testing.T) {
+	c := testConfig()
+	mod, err := NewModulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := uint16(c.Chirp.ChipCount())
+	if _, err := mod.ModulateSymbols([]uint16{0, bad}); err == nil {
+		t.Error("out-of-range symbol accepted")
+	}
+	if _, err := mod.ModulateSymbols([]uint16{0, bad - 1}); err != nil {
+		t.Errorf("in-range symbols rejected: %v", err)
 	}
 }
 

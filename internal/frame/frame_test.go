@@ -90,12 +90,15 @@ func TestModulatedPacketDecodesSymbolBySymbol(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wave := mod.ModulateSymbols(syms)
+	wave, err := mod.ModulateSymbols(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	g := mod.Generator()
 	sps := c.Chirp.SamplesPerSymbol()
 	n := c.Chirp.ChipCount()
-	fft := dsp.PlanFor(sps)
+	fft := dsp.MustPlan(sps)
 	buf := make([]complex128, sps)
 	start := c.PreambleSampleCount()
 	got := make([]uint16, len(syms))
@@ -127,11 +130,14 @@ func TestModulatedPacketDecodesSymbolBySymbol(t *testing.T) {
 func TestPreambleStructure(t *testing.T) {
 	c := testConfig()
 	mod, _ := NewModulator(c)
-	wave := mod.ModulateSymbols(nil)
+	wave, err := mod.ModulateSymbols(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	g := mod.Generator()
 	sps := c.Chirp.SamplesPerSymbol()
 	n := c.Chirp.ChipCount()
-	fft := dsp.PlanFor(sps)
+	fft := dsp.MustPlan(sps)
 	buf := make([]complex128, sps)
 	demod := func(off int) int {
 		g.Dechirp(buf, wave[off:off+sps])

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// raw64AtomicFuncs are the sync/atomic package-level functions that
+// operate on raw 64-bit integers. On 32-bit platforms these require the
+// caller to guarantee 8-byte alignment of the addressed word manually —
+// a silent struct-layout landmine. The typed atomic.Int64/atomic.Uint64
+// wrappers carry the alignment guarantee in the type system.
+var raw64AtomicFuncs = map[string]bool{
+	"AddInt64":             true,
+	"AddUint64":            true,
+	"LoadInt64":            true,
+	"LoadUint64":           true,
+	"StoreInt64":           true,
+	"StoreUint64":          true,
+	"SwapInt64":            true,
+	"SwapUint64":           true,
+	"CompareAndSwapInt64":  true,
+	"CompareAndSwapUint64": true,
+}
+
+// AtomicAlign forbids the raw 64-bit sync/atomic functions everywhere
+// in the module in favour of the Go 1.19 typed atomics that
+// internal/obs (and the gateway's shared counters) standardised on.
+var AtomicAlign = &Analyzer{
+	Name: "atomicalign",
+	Doc: "forbid raw 64-bit sync/atomic functions; use atomic.Int64/atomic.Uint64, " +
+		"whose alignment is guaranteed by the type system on 32-bit platforms",
+	Run: runAtomicAlign,
+}
+
+func runAtomicAlign(pass *Pass) error {
+	for id, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			continue
+		}
+		if raw64AtomicFuncs[fn.Name()] {
+			pass.Reportf(id.Pos(), "atomic.%s on a raw integer: use the typed atomic.Int64/atomic.Uint64, which are alignment-safe on 32-bit platforms", fn.Name())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// wireFacingPkgs names the packages (by package name, so testdata
+// fixtures participate) that parse length fields out of untrusted
+// bytes: the cic-gatewayd framing layer and the root package's
+// cf32/frame readers.
+var wireFacingPkgs = map[string]bool{
+	"server": true,
+	"cic":    true,
+}
+
+// BoundedAlloc enforces cap-before-allocate on wire-derived sizes: any
+// make() whose size or capacity argument is (transitively) computed
+// from a binary.{Big,Little}Endian.UintN read must appear after a
+// relational bound check on that value. Without the check, a hostile
+// 4-byte length field turns into a multi-gigabyte allocation — the
+// classic length-prefix DoS. docs/SERVER.md declares the per-frame-type
+// caps; ReadFrame's reject-then-allocate shape is the compliant form.
+//
+// The analysis is per-function and flow-insensitive beyond source
+// order: a bound check dominates an allocation if it appears earlier in
+// the function body, which matches the early-return parser style used
+// throughout this module. Values laundered through function parameters
+// or struct fields are out of scope.
+var BoundedAlloc = &Analyzer{
+	Name: "boundedalloc",
+	Doc: "make() sized from wire-read integers must be preceded by a relational " +
+		"bound check on that value (cap-before-allocate, per docs/SERVER.md)",
+	Run: runBoundedAlloc,
+}
+
+func runBoundedAlloc(pass *Pass) error {
+	if !wireFacingPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkBoundedAllocs(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+func checkBoundedAllocs(pass *Pass, body *ast.BlockStmt) {
+	tainted := taintedWireValues(pass, body)
+	if len(tainted) == 0 {
+		return
+	}
+
+	// Earliest relational comparison mentioning each tainted value.
+	checked := map[types.Object]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch bin.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{bin.X, bin.Y} {
+			ast.Inspect(side, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil && tainted[obj] {
+						if prev, ok := checked[obj]; !ok || bin.Pos() < prev {
+							checked[obj] = bin.Pos()
+						}
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+			return true
+		}
+		for _, sizeArg := range call.Args[1:] {
+			ast.Inspect(sizeArg, func(m ast.Node) bool {
+				sid, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.Info.Uses[sid]
+				if obj == nil || !tainted[obj] {
+					return true
+				}
+				if pos, ok := checked[obj]; !ok || pos > call.Pos() {
+					pass.Reportf(call.Pos(), "make() sized from wire-read value %s without a preceding bound check: cap the length before allocating", sid.Name)
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// taintedWireValues computes (to a fixpoint) the local variables whose
+// value derives from a binary.{Big,Little}Endian.UintN decode inside
+// this function body.
+func taintedWireValues(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	exprTainted := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass.Info, x); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "encoding/binary" && strings.HasPrefix(fn.Name(), "Uint") {
+					found = true
+				}
+			case *ast.Ident:
+				if obj := pass.Info.Uses[x]; obj != nil && tainted[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	lhsObj := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := pass.Info.Defs[id]; obj != nil {
+			return obj
+		}
+		return pass.Info.Uses[id]
+	}
+	for changed := true; changed; {
+		changed = false
+		mark := func(obj types.Object) {
+			if obj != nil && !tainted[obj] {
+				tainted[obj] = true
+				changed = true
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Rhs) == 1 && len(x.Lhs) > 1 {
+					if exprTainted(x.Rhs[0]) {
+						for _, lh := range x.Lhs {
+							mark(lhsObj(lh))
+						}
+					}
+					return true
+				}
+				for i, lh := range x.Lhs {
+					if i < len(x.Rhs) && exprTainted(x.Rhs[i]) {
+						mark(lhsObj(lh))
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range x.Names {
+					if i < len(x.Values) && exprTainted(x.Values[i]) {
+						mark(pass.Info.Defs[name])
+					}
+				}
+			case *ast.RangeStmt:
+				if exprTainted(x.X) {
+					if x.Key != nil {
+						mark(lhsObj(x.Key))
+					}
+					if x.Value != nil {
+						mark(lhsObj(x.Value))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}

@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// ClockInject forbids direct wall-clock reads (time.Now, time.Since) in
+// decode-stage packages. Stage code that timestamps events must go
+// through the internal/obs helpers (obs.Now, obs.Since,
+// Histogram.Start/Since), which are nil-safe, centralise every clock
+// read behind the observability layer, and keep the disabled-metrics
+// path clock-free — so decode output remains a deterministic function
+// of the input samples.
+var ClockInject = &Analyzer{
+	Name: "clockinject",
+	Doc: "forbid time.Now/time.Since in decode-stage code; route clock reads through " +
+		"the internal/obs instrumentation helpers so stages stay deterministic and testable",
+	Run: runClockInject,
+}
+
+func runClockInject(pass *Pass) error {
+	if !decodePathPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	for id, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			continue
+		}
+		if name := fn.Name(); name == "Now" || name == "Since" {
+			pass.Reportf(id.Pos(), "time.%s in decode-stage code: inject the clock through internal/obs (obs.Now/obs.Since or Histogram.Start/Since)", name)
+		}
+	}
+	return nil
+}

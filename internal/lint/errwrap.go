@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap enforces the module's error-chain discipline in every
+// package: an error formatted into another error must be wrapped with
+// %w (so callers can reach sentinels like phy.ErrHeader or io.EOF
+// through the chain with errors.Is/errors.As), and sentinel errors must
+// be matched with errors.Is rather than ==, which breaks as soon as any
+// layer wraps.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: "require %w for error operands of fmt.Errorf and errors.Is for sentinel " +
+		"comparisons, so error chains survive wrapping at every layer",
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, x)
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error operand
+// with %v or %s instead of %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs, ok := formatVerbs(format)
+	if !ok {
+		return
+	}
+	for i, verb := range verbs {
+		if verb != 'v' && verb != 's' {
+			continue
+		}
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			break
+		}
+		arg := call.Args[argIdx]
+		if isErrorType(pass.Info.Types[arg].Type) {
+			pass.Reportf(arg.Pos(), "error operand formatted with %%%c: use %%w so callers can errors.Is/errors.As through the wrap", verb)
+		}
+	}
+}
+
+// formatVerbs returns the operand-consuming verb letters of a format
+// string in argument order. It reports ok=false for formats it cannot
+// map positionally (explicit argument indexes, * widths).
+func formatVerbs(format string) (verbs []byte, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		for i < len(format) && strings.IndexByte("+-# 0", format[i]) >= 0 {
+			i++
+		}
+		if i < len(format) && (format[i] == '[' || format[i] == '*') {
+			return nil, false
+		}
+		for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+			i++
+		}
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				return nil, false
+			}
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		if i >= len(format) {
+			return nil, false
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs, true
+}
+
+// checkSentinelCompare flags ==/!= between error values when either
+// side is a package-level sentinel variable (io.EOF, phy.ErrHeader, …).
+func checkSentinelCompare(pass *Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.EQL && bin.Op != token.NEQ {
+		return
+	}
+	ltv, rtv := pass.Info.Types[bin.X], pass.Info.Types[bin.Y]
+	if ltv.IsNil() || rtv.IsNil() {
+		return // err == nil is the idiomatic presence check
+	}
+	if !isErrorType(ltv.Type) || !isErrorType(rtv.Type) {
+		return
+	}
+	if !isSentinelRef(pass.Info, bin.X) && !isSentinelRef(pass.Info, bin.Y) {
+		return
+	}
+	pass.Reportf(bin.Pos(), "sentinel error compared with %s: use errors.Is, which matches through wrapped chains", bin.Op)
+}
+
+// isSentinelRef reports whether e references a package-level variable —
+// the sentinel-error pattern.
+func isSentinelRef(info *types.Info, e ast.Expr) bool {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	return ok && !v.IsField() && v.Parent() != nil && v.Parent().Parent() == types.Universe
+}

@@ -1,0 +1,153 @@
+// Package lint is cic's project-specific static-analysis suite: a small
+// go/analysis-style framework (stdlib only — the module has no external
+// dependencies, so golang.org/x/tools is deliberately not used) plus the
+// analyzers that mechanically enforce the decode pipeline's safety
+// invariants:
+//
+//   - nilsafeobs:   exported methods on internal/obs handle types are
+//     nil-receiver safe, keeping the disabled-metrics path free.
+//   - boundedalloc: allocations sized from wire-read integers are
+//     dominated by a bound check (cap-before-allocate).
+//   - nopanic:      no panic call in decode-path packages outside
+//     init and must* constructors.
+//   - errwrap:      fmt.Errorf wraps error operands with %w, and
+//     sentinel errors are matched with errors.Is, not ==.
+//   - clockinject:  decode-stage code never reads the wall clock
+//     directly; it goes through the internal/obs helpers.
+//   - atomicalign:  64-bit sync/atomic calls on raw integers are
+//     replaced by atomic.Int64/atomic.Uint64 typed atomics.
+//
+// The shapes of Analyzer, Pass and Diagnostic mirror
+// golang.org/x/tools/go/analysis, so an analyzer written here ports to
+// the upstream driver by changing imports. cmd/cic-lint is the
+// multichecker; docs/LINTING.md catalogues the invariants.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and documentation.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run inspects one type-checked package and reports findings
+	// through the Pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AtomicAlign,
+		BoundedAlloc,
+		ClockInject,
+		ErrWrap,
+		NilSafeObs,
+		NoPanic,
+	}
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by position (then by analyzer name, for determinism when two
+// analyzers fire on the same token).
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: running %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// calleeFunc resolves the function or method a call statically invokes,
+// or nil for builtins, conversions, and dynamic calls through function
+// values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t (a static expression type) satisfies the
+// error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsUntyped != 0 {
+		return false
+	}
+	return types.Implements(t, errorIface)
+}

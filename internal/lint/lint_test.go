@@ -1,0 +1,47 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cic/internal/lint"
+	"cic/internal/lint/linttest"
+)
+
+// Each analyzer is exercised against a self-contained fixture package
+// under testdata/ whose `// want` comments pin down both the violating
+// and the compliant forms of the invariant.
+
+func TestNoPanicFixture(t *testing.T) {
+	linttest.RunFixture(t, lint.NoPanic, "testdata/nopanic")
+}
+
+func TestClockInjectFixture(t *testing.T) {
+	linttest.RunFixture(t, lint.ClockInject, "testdata/clockinject")
+}
+
+func TestErrWrapFixture(t *testing.T) {
+	linttest.RunFixture(t, lint.ErrWrap, "testdata/errwrap")
+}
+
+func TestAtomicAlignFixture(t *testing.T) {
+	linttest.RunFixture(t, lint.AtomicAlign, "testdata/atomicalign")
+}
+
+func TestNilSafeObsFixture(t *testing.T) {
+	linttest.RunFixture(t, lint.NilSafeObs, "testdata/nilsafeobs")
+}
+
+func TestBoundedAllocFixture(t *testing.T) {
+	linttest.RunFixture(t, lint.BoundedAlloc, "testdata/boundedalloc")
+}
+
+// TestScopedAnalyzersSkipForeignPackages pins the package-name scoping:
+// the decode-path and obs analyzers must stay silent on packages
+// outside their scope even when those packages contain what would
+// otherwise be violations.
+func TestScopedAnalyzersSkipForeignPackages(t *testing.T) {
+	linttest.RunFixture(t, lint.NoPanic, "testdata/outofscope")
+	linttest.RunFixture(t, lint.ClockInject, "testdata/outofscope")
+	linttest.RunFixture(t, lint.BoundedAlloc, "testdata/outofscope")
+	linttest.RunFixture(t, lint.NilSafeObs, "testdata/outofscope")
+}

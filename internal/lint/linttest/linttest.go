@@ -1,0 +1,124 @@
+// Package linttest is the analysistest-style harness for cic's lint
+// suite: it runs one analyzer over a testdata fixture package and
+// diffs the diagnostics against `// want "regexp"` comments.
+package linttest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cic/internal/lint"
+)
+
+// RunFixture loads the single package rooted at dir (a testdata
+// directory holding a self-contained fixture package) and checks the
+// analyzer's diagnostics against `// want "regexp"` comments, the
+// analysistest convention: each want comment names, on its own line,
+// one expected diagnostic whose message the quoted regexp must match.
+// Multiple quoted regexps on one comment expect multiple diagnostics on
+// that line. Unmatched diagnostics and unmet expectations both fail t.
+func RunFixture(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := lint.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s loaded %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, dir, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[key][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				res, perr := parseWantComment(c.Text)
+				if perr != nil {
+					pos := pkg.Fset.Position(c.Pos())
+					t.Fatalf("%s:%d: %v", filepath.Base(pos.Filename), pos.Line, perr)
+				}
+				if len(res) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{filepath.Base(pos.Filename), pos.Line}
+				for _, re := range res {
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", k.file, k.line, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+// parseWantComment extracts the quoted regexps of a `// want "..."`
+// comment (nil if the comment is not a want comment).
+func parseWantComment(text string) ([]*regexp.Regexp, error) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return nil, nil // /* */ comments are not want carriers
+	}
+	body, ok = strings.CutPrefix(strings.TrimLeft(body, " \t"), "want ")
+	if !ok {
+		return nil, nil
+	}
+	var res []*regexp.Regexp
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want comment %q: %w", text, err)
+		}
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want comment %q: %w", text, err)
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, fmt.Errorf("want comment regexp %q: %w", pat, err)
+		}
+		res = append(res, re)
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("want comment %q has no quoted regexp", text)
+	}
+	return res, nil
+}

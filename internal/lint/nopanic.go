@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// decodePathPkgs names the packages (by package name, so fixture
+// packages under testdata participate by declaring the same name) that
+// form the library decode path: everything a Gateway or Receiver
+// executes between raw IQ in and decoded packets out. A panic anywhere
+// in here can be triggered by hostile radio traffic or a malformed
+// network frame and would take down a whole cic-gatewayd process, so
+// these packages must report malformed input as errors (or degrade to a
+// documented total behaviour), never by panicking.
+var decodePathPkgs = map[string]bool{
+	"cic":   true,
+	"dsp":   true,
+	"phy":   true,
+	"chirp": true,
+	"frame": true,
+	"rx":    true,
+	"core":  true,
+}
+
+// NoPanic forbids panic calls in decode-path packages outside init
+// functions and must*-named constructors (whose contract is to panic on
+// misconfiguration at startup, e.g. dsp.MustPlan).
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc: "forbid panic in decode-path packages: hostile IQ or wire input must surface " +
+		"as returned errors, never crash the process; only init and must* constructors may panic",
+	Run: runNoPanic,
+}
+
+func runNoPanic(pass *Pass) error {
+	if !decodePathPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || noPanicExempt(fn.Name.Name) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					pass.Reportf(call.Pos(), "panic in decode-path function %s: return an error instead (only init and must* constructors may panic)", fn.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func noPanicExempt(name string) bool {
+	return name == "init" || strings.HasPrefix(strings.ToLower(name), "must")
+}

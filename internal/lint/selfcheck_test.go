@@ -1,0 +1,30 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cic/internal/lint"
+)
+
+// TestModuleIsLintClean runs the full multichecker suite over the real
+// module — the same analysis `make lint` (cmd/cic-lint ./...) performs —
+// and asserts zero diagnostics. Reintroducing a panic on the decode
+// path, an unguarded obs method, an unbounded wire allocation, a ==
+// sentinel comparison, a raw 64-bit atomic, or a direct clock read in
+// stage code therefore fails `go test ./...`, not just `make lint`.
+func TestModuleIsLintClean(t *testing.T) {
+	pkgs, err := lint.Load(".", "cic/...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the cic/... pattern should cover the whole module", len(pkgs))
+	}
+	diags, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

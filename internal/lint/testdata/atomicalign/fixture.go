@@ -1,0 +1,39 @@
+// Fixture for the atomicalign analyzer, which is unscoped: raw 64-bit
+// sync/atomic calls are forbidden module-wide in favour of the typed
+// atomics, whose 8-byte alignment the type system guarantees.
+package stats
+
+import "sync/atomic"
+
+// rawCounters places a bare int64 behind package-level atomics: on
+// 32-bit platforms its alignment is the caller's problem.
+type rawCounters struct{ n int64 }
+
+func (c *rawCounters) inc() {
+	atomic.AddInt64(&c.n, 1) // want `atomic\.AddInt64 on a raw integer`
+}
+
+func (c *rawCounters) get() int64 {
+	return atomic.LoadInt64(&c.n) // want `atomic\.LoadInt64 on a raw integer`
+}
+
+func (c *rawCounters) reset(v uint64) {
+	var u uint64
+	atomic.StoreUint64(&u, v) // want `atomic\.StoreUint64 on a raw integer`
+	_ = u
+}
+
+// typedCounters is the compliant form.
+type typedCounters struct{ n atomic.Int64 }
+
+func (c *typedCounters) inc()       { c.n.Add(1) }
+func (c *typedCounters) get() int64 { return c.n.Load() }
+
+// bump32: 32-bit raw atomics carry no alignment hazard; not flagged.
+func bump32(p *int32) { atomic.AddInt32(p, 1) }
+
+var (
+	_ = (*rawCounters)(nil)
+	_ = (*typedCounters)(nil)
+	_ = bump32
+)

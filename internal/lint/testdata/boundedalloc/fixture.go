@@ -1,0 +1,67 @@
+// Fixture for the boundedalloc analyzer: package name "server" places
+// it in the wire-facing scope.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+const maxBody = 1 << 20
+
+// readBad allocates straight from a wire-read length — the classic
+// length-prefix DoS.
+func readBad(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	body := make([]byte, n) // want `make\(\) sized from wire-read value n`
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// readGood rejects oversized lengths before allocating — the compliant
+// ReadFrame shape.
+func readGood(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxBody {
+		return nil, fmt.Errorf("server: body %d bytes exceeds limit %d", n, maxBody)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// readDerivedBad shows taint flowing through arithmetic and
+// conversions into the allocation site.
+func readDerivedBad(r io.Reader) ([]complex128, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	count := int(binary.BigEndian.Uint16(hdr[:])) * 2
+	out := make([]complex128, count) // want `make\(\) sized from wire-read value count`
+	return out, nil
+}
+
+// readFixed: allocations with constant sizes are never flagged.
+func readFixed(r io.Reader) ([]byte, error) {
+	buf := make([]byte, 64)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+var _, _, _, _ = readBad, readGood, readDerivedBad, readFixed

@@ -1,0 +1,32 @@
+// Fixture for the clockinject analyzer: package name "rx" places it in
+// the decode-stage scope.
+package rx
+
+import "time"
+
+// clock grabs time.Now as a value — still a direct clock dependency.
+var clock = time.Now // want `time\.Now in decode-stage code`
+
+// stamp reads the wall clock inline — the violation.
+func stamp() time.Time {
+	return time.Now() // want `time\.Now in decode-stage code`
+}
+
+// age measures elapsed time directly — also a violation.
+func age(t time.Time) time.Duration {
+	return time.Since(t) // want `time\.Since in decode-stage code`
+}
+
+// window does time arithmetic without reading the clock: compliant.
+func window(t time.Time, d time.Duration) time.Time {
+	return t.Add(d)
+}
+
+// stampInjected is the compliant form: the clock is a parameter, so
+// tests (and the obs layer) control it.
+func stampInjected(now func() time.Time) time.Time {
+	return now()
+}
+
+var _, _, _, _ = clock, stamp, age, window
+var _ = stampInjected

@@ -1,0 +1,55 @@
+// Fixture for the errwrap analyzer, which is unscoped: any package
+// must wrap error operands with %w and match sentinels via errors.Is.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var errClosed = errors.New("client: closed")
+
+// wrapV formats an error with %v: the wrap is lost.
+func wrapV(err error) error {
+	return fmt.Errorf("read failed: %v", err) // want `error operand formatted with %v`
+}
+
+// wrapS is the same violation through %s.
+func wrapS(err error) error {
+	return fmt.Errorf("read failed: %s", err) // want `error operand formatted with %s`
+}
+
+// wrapW is the compliant form.
+func wrapW(err error) error {
+	return fmt.Errorf("read failed: %w", err)
+}
+
+// wrapMixed: non-error operands may use any verb; the error gets %w.
+func wrapMixed(n int, err error) error {
+	return fmt.Errorf("read %d bytes: %w", n, err)
+}
+
+// compareEq matches a sentinel with ==: breaks once any layer wraps.
+func compareEq(err error) bool {
+	return err == io.EOF // want `sentinel error compared with ==`
+}
+
+// compareNeq is the != spelling of the same bug.
+func compareNeq(err error) bool {
+	return err != errClosed // want `sentinel error compared with !=`
+}
+
+// compareIs is the compliant form.
+func compareIs(err error) bool {
+	return errors.Is(err, io.EOF)
+}
+
+// nilCheck: presence tests against nil are idiomatic and exempt.
+func nilCheck(err error) bool {
+	return err == nil
+}
+
+var _, _, _, _ = wrapV, wrapS, wrapW, wrapMixed
+var _, _, _ = compareEq, compareNeq, compareIs
+var _ = nilCheck

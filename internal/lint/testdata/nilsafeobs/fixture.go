@@ -1,0 +1,73 @@
+// Fixture for the nilsafeobs analyzer: package name "obs" plus the
+// handle type names place these methods under the nil-safety contract.
+package obs
+
+import "sync/atomic"
+
+// Counter mirrors the real obs handle shape.
+type Counter struct{ v atomic.Int64 }
+
+// Add is the compliant form: guard before touching receiver state.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc delegates to a guarded method: allowed without its own guard.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Bad touches receiver state with no guard — the violation.
+func (c *Counter) Bad(n int64) {
+	c.v.Add(n) // want `uses the receiver before a nil guard`
+}
+
+// Gauge mirrors the real obs handle shape.
+type Gauge struct{ v atomic.Int64 }
+
+// Set guards through an or-chain: still a guard.
+func (g *Gauge) Set(n int64) {
+	if g == nil || n < 0 {
+		return
+	}
+	g.v.Store(n)
+}
+
+// LateGuard reads receiver state before its guard — the violation.
+func (g *Gauge) LateGuard() int64 {
+	v := g.v.Load() // want `uses the receiver before a nil guard`
+	if g == nil {
+		return 0
+	}
+	return v
+}
+
+// Histogram mirrors the real obs handle shape.
+type Histogram struct{ n atomic.Int64 }
+
+// Count is compliant.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// raw is unexported: internal call sites guard explicitly, so the
+// exported-contract analyzer leaves it alone.
+func (h *Histogram) raw() int64 { return h.n.Load() }
+
+// Registry mirrors the real obs registry.
+type Registry struct{ counters map[string]*Counter }
+
+// Counter may set up receiver-free state before the guard.
+func (r *Registry) Counter(name string) *Counter {
+	var fallback *Counter
+	if r == nil {
+		return fallback
+	}
+	return r.counters[name]
+}
+
+var _ = (*Histogram).raw

@@ -1,0 +1,61 @@
+// Fixture for the nopanic analyzer: package name "core" places it in
+// the decode-path scope.
+package core
+
+import "errors"
+
+var errBad = errors.New("core: bad symbol")
+
+// decodeSymbol panics on malformed input — the violation.
+func decodeSymbol(k int) (int, error) {
+	if k < 0 {
+		panic("negative symbol") // want `panic in decode-path function decodeSymbol`
+	}
+	return k, nil
+}
+
+// decodeChecked is the compliant form: malformed input is an error.
+func decodeChecked(k int) (int, error) {
+	if k < 0 {
+		return 0, errBad
+	}
+	return k, nil
+}
+
+// mustSize is a must* constructor: panicking on misconfiguration at
+// startup is its documented contract.
+func mustSize(n int) int {
+	if n <= 0 {
+		panic("core: size must be positive")
+	}
+	return n
+}
+
+// MustBuild is the exported must* form, equally exempt.
+func MustBuild(n int) int {
+	return mustSize(n)
+}
+
+func init() {
+	if false {
+		panic("core: impossible init state")
+	}
+}
+
+// decodeAll shows that closures inside decode functions are still
+// decode-path code.
+func decodeAll(ks []int) error {
+	check := func(k int) {
+		if k < 0 {
+			panic("nested") // want `panic in decode-path function decodeAll`
+		}
+	}
+	for _, k := range ks {
+		check(k)
+	}
+	return nil
+}
+
+var _ = decodeSymbol
+var _ = decodeChecked
+var _ = decodeAll

@@ -1,0 +1,36 @@
+// Package helper sits outside every scoped analyzer's package set: the
+// would-be violations below must NOT be reported by nopanic,
+// clockinject, boundedalloc, or nilsafeobs. (No want comments: the
+// harness asserts zero diagnostics.)
+package helper
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// Counter shares a handle type name, but this is not the obs package.
+type Counter struct{ n int64 }
+
+// Add has no nil guard: fine outside internal/obs.
+func (c *Counter) Add(v int64) { c.n += v }
+
+// boom panics: fine outside the decode path.
+func boom(k int) int {
+	if k < 0 {
+		panic("helper: out-of-scope panic")
+	}
+	return k
+}
+
+// stamp reads the clock: fine outside decode-stage packages.
+func stamp() time.Time { return time.Now() }
+
+// alloc sizes an allocation from wire bytes: fine outside the
+// wire-facing packages.
+func alloc(b []byte) []byte {
+	n := binary.BigEndian.Uint32(b)
+	return make([]byte, n)
+}
+
+var _, _, _ = boom, stamp, alloc

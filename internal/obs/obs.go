@@ -20,6 +20,21 @@ import (
 func floatBits(f float64) uint64 { return math.Float64bits(f) }
 func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
 
+// Now returns the current wall-clock time. It is the sanctioned clock
+// access point for decode-stage code: the clockinject analyzer forbids
+// direct time.Now there, so timing flows through this package, where it
+// can be correlated with the metrics it feeds.
+func Now() time.Time { return time.Now() }
+
+// Since returns the elapsed time from t, or 0 for a zero t (the Start of
+// a disabled histogram), mirroring the package's nil-safe conventions.
+func Since(t time.Time) time.Duration {
+	if t.IsZero() {
+		return 0
+	}
+	return time.Since(t)
+}
+
 // Counter is a monotonically increasing lock-free counter.
 type Counter struct{ v atomic.Int64 }
 

@@ -157,7 +157,11 @@ func Encode(payload []byte, cfg Config) ([]uint16, error) {
 				nib = nibs[pos]
 				pos++
 			}
-			cws[r] = HammingEncode(nib, cr)
+			cw, err := HammingEncode(nib, cr)
+			if err != nil {
+				return nil, err
+			}
+			cws[r] = cw
 		}
 		interleaved, err := Interleave(cws, cr, rows)
 		if err != nil {
@@ -189,7 +193,7 @@ func Decode(symbols []uint16, cfg Config) (*DecodeResult, error) {
 
 	nibs, err := decodeBlock(symbols[:HeaderSymbolCount], cfg, 0, res)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrHeader, err)
+		return nil, fmt.Errorf("%w: %w", ErrHeader, err)
 	}
 	var hdr Header
 	if cfg.ImplicitHeader {
@@ -197,7 +201,7 @@ func Decode(symbols []uint16, cfg Config) (*DecodeResult, error) {
 	} else {
 		hdr, err = DecodeHeader(nibs)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrHeader, err)
+			return nil, fmt.Errorf("%w: %w", ErrHeader, err)
 		}
 	}
 	res.Header = hdr

@@ -51,8 +51,10 @@ func hammingParities(nib byte) (p0, p1, p2, pAll byte) {
 }
 
 // HammingEncode encodes a data nibble (low 4 bits of nib) into a
-// (4+CR)-bit codeword.
-func HammingEncode(nib byte, cr CodingRate) uint16 {
+// (4+CR)-bit codeword. An out-of-range coding rate is reported as an
+// error (coding rates reach this layer from user configuration and the
+// wire handshake, so it must not be able to crash a decode worker).
+func HammingEncode(nib byte, cr CodingRate) (uint16, error) {
 	nib &= 0x0F
 	p0, p1, p2, pAll := hammingParities(nib)
 	cw := uint16(nib)
@@ -67,16 +69,18 @@ func HammingEncode(nib byte, cr CodingRate) uint16 {
 		p3 := pAll ^ p0 ^ p1 ^ p2 // overall parity of the 7-bit codeword
 		cw |= uint16(p0)<<4 | uint16(p1)<<5 | uint16(p2)<<6 | uint16(p3)<<7
 	default:
-		panic(fmt.Sprintf("phy: invalid coding rate %d", cr))
+		return 0, cr.Validate()
 	}
-	return cw
+	return cw, nil
 }
 
 // HammingDecode decodes a (4+CR)-bit codeword. It returns the data nibble,
 // whether a single-bit error was corrected, and whether the codeword is
 // valid. CR 4/7 and 4/8 correct single-bit errors; CR 4/5 and 4/6 only
 // detect errors (ok=false on parity failure). CR 4/8 additionally detects
-// (without mis-correcting) double-bit errors.
+// (without mis-correcting) double-bit errors. An out-of-range coding rate
+// decodes nothing: every codeword is reported invalid, matching how the
+// payload pipeline treats undecodable blocks.
 func HammingDecode(cw uint16, cr CodingRate) (nib byte, corrected, ok bool) {
 	nib = byte(cw & 0x0F)
 	switch cr {
@@ -111,7 +115,7 @@ func HammingDecode(cw uint16, cr CodingRate) (nib byte, corrected, ok bool) {
 		}
 		return n, true, true
 	default:
-		panic(fmt.Sprintf("phy: invalid coding rate %d", cr))
+		return 0, false, false
 	}
 }
 

@@ -73,7 +73,10 @@ func TestCodingRateBasics(t *testing.T) {
 func TestHammingRoundTripCleanAllRates(t *testing.T) {
 	for cr := CR45; cr <= CR48; cr++ {
 		for nib := byte(0); nib < 16; nib++ {
-			cw := HammingEncode(nib, cr)
+			cw, err := HammingEncode(nib, cr)
+			if err != nil {
+				t.Fatalf("CR %v nibble %x: %v", cr, nib, err)
+			}
 			got, corrected, ok := HammingDecode(cw, cr)
 			if got != nib || corrected || !ok {
 				t.Errorf("CR %v nibble %x: got %x corrected=%v ok=%v", cr, nib, got, corrected, ok)
@@ -86,7 +89,10 @@ func TestHamming74CorrectsEverySingleBitError(t *testing.T) {
 	for _, cr := range []CodingRate{CR47, CR48} {
 		bits := cr.CodewordBits()
 		for nib := byte(0); nib < 16; nib++ {
-			cw := HammingEncode(nib, cr)
+			cw, err := HammingEncode(nib, cr)
+			if err != nil {
+				t.Fatalf("CR %v nibble %x: %v", cr, nib, err)
+			}
 			for b := 0; b < bits; b++ {
 				bad := cw ^ 1<<b
 				got, _, ok := HammingDecode(bad, cr)
@@ -100,7 +106,10 @@ func TestHamming74CorrectsEverySingleBitError(t *testing.T) {
 
 func TestHamming84DetectsDoubleErrors(t *testing.T) {
 	for nib := byte(0); nib < 16; nib++ {
-		cw := HammingEncode(nib, CR48)
+		cw, err := HammingEncode(nib, CR48)
+		if err != nil {
+			t.Fatalf("nibble %x: %v", nib, err)
+		}
 		for b1 := 0; b1 < 8; b1++ {
 			for b2 := b1 + 1; b2 < 8; b2++ {
 				bad := cw ^ 1<<b1 ^ 1<<b2
@@ -117,7 +126,10 @@ func TestParityRatesDetectSingleErrors(t *testing.T) {
 	for _, cr := range []CodingRate{CR45, CR46} {
 		bits := cr.CodewordBits()
 		for nib := byte(0); nib < 16; nib++ {
-			cw := HammingEncode(nib, cr)
+			cw, err := HammingEncode(nib, cr)
+			if err != nil {
+				t.Fatalf("CR %v nibble %x: %v", cr, nib, err)
+			}
 			for b := 0; b < bits; b++ {
 				if cr == CR46 && b >= 4 {
 					// Parity-bit flips at CR46 flip exactly one received
@@ -553,5 +565,20 @@ func TestDecodeIgnoresTrailingSymbols(t *testing.T) {
 	res, err := Decode(extended, cfg)
 	if err != nil || !res.CRCOK || !bytes.Equal(res.Payload, p) {
 		t.Errorf("trailing symbols broke the decode: %v", err)
+	}
+}
+
+// TestHammingRejectsInvalidCodingRate pins the malformed-input paths:
+// an out-of-range coding rate is an encode error and decodes every
+// codeword as invalid — never a panic (the nopanic invariant).
+func TestHammingRejectsInvalidCodingRate(t *testing.T) {
+	for _, cr := range []CodingRate{0, -1, 5, 99} {
+		if _, err := HammingEncode(0xA, cr); err == nil {
+			t.Errorf("HammingEncode(0xA, %d): want error, got nil", cr)
+		}
+		nib, corrected, ok := HammingDecode(0x5A, cr)
+		if nib != 0 || corrected || ok {
+			t.Errorf("HammingDecode(0x5A, %d) = (%x, %v, %v), want (0, false, false)", cr, nib, corrected, ok)
+		}
 	}
 }

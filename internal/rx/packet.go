@@ -68,7 +68,7 @@ func NewDemod(cfg frame.Config) (*Demod, error) {
 	return &Demod{
 		cfg:  cfg,
 		gen:  gen,
-		fft:  dsp.PlanFor(m),
+		fft:  dsp.MustPlan(m),
 		win:  make([]complex128, m),
 		dech: make([]complex128, m),
 		tmp:  make([]complex128, m),

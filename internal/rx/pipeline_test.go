@@ -14,11 +14,11 @@ import (
 // exercises the pipeline plumbing in isolation from DSP.
 type oraclePicker struct {
 	syms  map[int][]uint16 // packet ID -> symbol stream
-	calls *int64
+	calls *atomic.Int64
 }
 
 func (o oraclePicker) PickSymbol(_ SampleSource, pkt *Packet, symIdx int, _ []*Packet) uint16 {
-	atomic.AddInt64(o.calls, 1)
+	o.calls.Add(1)
 	s := o.syms[pkt.ID]
 	if symIdx < len(s) {
 		return s[symIdx]
@@ -46,7 +46,7 @@ func TestPipelineDecodesViaPicker(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var calls int64
+	var calls atomic.Int64
 	picker := oraclePicker{syms: map[int][]uint16{1: symsA, 2: symsB}, calls: &calls}
 	pl, err := NewPipeline(cfg, func() (SymbolPicker, error) { return picker, nil }, 2)
 	if err != nil {
@@ -76,14 +76,14 @@ func TestPipelineDecodesViaPicker(t *testing.T) {
 	}
 	// The pipeline must not demodulate beyond the header-declared length.
 	want := int64(len(symsA) + len(symsB))
-	if calls != want {
-		t.Errorf("picker called %d times, want %d", calls, want)
+	if calls.Load() != want {
+		t.Errorf("picker called %d times, want %d", calls.Load(), want)
 	}
 }
 
 func TestPipelineHeaderFailure(t *testing.T) {
 	cfg := pipelineCfg()
-	var calls int64
+	var calls atomic.Int64
 	// Garbage symbols: header checksum fails.
 	garbage := make([]uint16, phy.MaxSymbolCount(cfg.PHY))
 	for i := range garbage {
@@ -100,15 +100,15 @@ func TestPipelineHeaderFailure(t *testing.T) {
 		t.Fatalf("garbage decoded: %+v", results)
 	}
 	// Only the header block may have been demodulated.
-	if calls != int64(phy.HeaderSymbolCount) {
-		t.Errorf("picker called %d times after header failure, want %d", calls, phy.HeaderSymbolCount)
+	if calls.Load() != int64(phy.HeaderSymbolCount) {
+		t.Errorf("picker called %d times after header failure, want %d", calls.Load(), phy.HeaderSymbolCount)
 	}
 }
 
 func TestPipelineEmptyInput(t *testing.T) {
 	cfg := pipelineCfg()
 	pl, _ := NewPipeline(cfg, func() (SymbolPicker, error) {
-		return oraclePicker{syms: nil, calls: new(int64)}, nil
+		return oraclePicker{syms: nil, calls: new(atomic.Int64)}, nil
 	}, 4)
 	src := &MemorySource{}
 	results, err := pl.DecodeAll(src, nil)
@@ -121,7 +121,7 @@ func TestPipelineSortsByStart(t *testing.T) {
 	cfg := pipelineCfg()
 	payload := []byte("x")
 	syms, _ := phy.Encode(payload, cfg.PHY)
-	var calls int64
+	var calls atomic.Int64
 	picker := oraclePicker{syms: map[int][]uint16{1: syms, 2: syms, 3: syms}, calls: &calls}
 	pl, _ := NewPipeline(cfg, func() (SymbolPicker, error) { return picker, nil }, 3)
 	pkts := []*Packet{
@@ -187,7 +187,7 @@ func TestChaseDecodeRecoversMarginalSymbols(t *testing.T) {
 		for i := 0; i < nCorrupt; i++ {
 			corrupt[3+2*i] = true
 		}
-		var calls int64
+		var calls atomic.Int64
 		picker := alternatesOracle{
 			oraclePicker: oraclePicker{syms: map[int][]uint16{1: syms}, calls: &calls},
 			corrupt:      corrupt,

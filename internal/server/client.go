@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -109,7 +110,7 @@ func (c *Client) StreamCF32(r io.Reader, chunkSamples int) (int64, error) {
 			}
 			total += int64(n)
 		}
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return total, nil
 		}
 		if err != nil {

@@ -8,6 +8,7 @@ package server
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -76,7 +77,7 @@ func MaxBody(typ byte) int {
 func ReadFrame(r io.Reader) (typ byte, body []byte, err error) {
 	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.ErrUnexpectedEOF {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
 			return 0, nil, io.ErrUnexpectedEOF
 		}
 		// io.EOF (clean boundary) and transport errors (e.g. a read
@@ -97,7 +98,7 @@ func ReadFrame(r io.Reader) (typ byte, body []byte, err error) {
 	}
 	body = make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 			return 0, nil, io.ErrUnexpectedEOF
 		}
 		return 0, nil, err

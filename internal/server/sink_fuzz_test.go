@@ -1,0 +1,71 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzPublishLineFraming hardens the NDJSON sink's framing invariant:
+// whatever bytes end up in a Record (station ids arrive from the wire,
+// payload hex comes from decoded packets), Publish must emit exactly one
+// line — a single trailing newline, none embedded — and the line must
+// unmarshal back to the same record. Consumers split the subscriber
+// stream on '\n', so an embedded newline would silently corrupt every
+// downstream parser.
+func FuzzPublishLineFraming(f *testing.F) {
+	f.Add("station-1", uint64(1), int64(0), "deadbeef", 2.5, -120.0)
+	f.Add("st\nation", uint64(0), int64(-5), "", 0.0, 0.0)
+	f.Add("", uint64(1<<63), int64(1<<40), "00ff", -3.25, 4.75e3)
+	f.Add("utf8 é世", uint64(7), int64(9), "zz not hex", 1.0, 2.0)
+	f.Fuzz(func(t *testing.T, station string, session uint64, start int64, payload string, snr, cfo float64) {
+		rec := Record{
+			Station: station,
+			Session: session,
+			Seq:     3,
+			Start:   start,
+			OK:      start%2 == 0,
+			SNRdB:   snr,
+			CFOHz:   cfo,
+			Payload: payload,
+		}
+		var buf bytes.Buffer
+		fan := NewFanout(&buf)
+		fan.Publish(rec)
+		if err := fan.Close(); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.Bytes()
+		if len(out) == 0 {
+			// NaN SNR/CFO cannot marshal; Publish drops the record whole
+			// rather than emitting a broken line. No partial output allowed.
+			if _, err := json.Marshal(rec); err == nil {
+				t.Fatal("record dropped despite being marshalable")
+			}
+			return
+		}
+		if out[len(out)-1] != '\n' {
+			t.Fatalf("output not newline-terminated: %q", out)
+		}
+		if bytes.IndexByte(out[:len(out)-1], '\n') != -1 {
+			t.Fatalf("embedded newline breaks NDJSON framing: %q", out)
+		}
+		var got Record
+		if err := json.Unmarshal(out[:len(out)-1], &got); err != nil {
+			t.Fatalf("published line does not unmarshal: %v (%q)", err, out)
+		}
+		// json.Marshal coerces invalid UTF-8 to U+FFFD, so string fields
+		// round-trip exactly only when valid; the numeric fields always must.
+		if utf8.ValidString(rec.Station) && utf8.ValidString(rec.Payload) {
+			if got != rec {
+				t.Fatalf("round trip mismatch: got %+v want %+v", got, rec)
+			}
+		} else {
+			got.Station, got.Payload = rec.Station, rec.Payload
+			if got != rec {
+				t.Fatalf("non-string fields mismatch: got %+v want %+v", got, rec)
+			}
+		}
+	})
+}

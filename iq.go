@@ -3,6 +3,7 @@ package cic
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -43,7 +44,7 @@ func ReadCF32(r io.Reader) ([]complex128, error) {
 	for {
 		n, err := cr.Read(buf)
 		out = append(out, buf[:n]...)
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return out, nil
 		}
 		if err != nil {
@@ -72,10 +73,10 @@ func (r *CF32Reader) Read(dst []complex128) (int, error) {
 	var scratch [8]byte
 	for i := range dst {
 		_, err := io.ReadFull(r.br, scratch[:])
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return i, io.EOF
 		}
-		if err == io.ErrUnexpectedEOF {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
 			return i, fmt.Errorf("cic: cf32 stream truncated mid-sample")
 		}
 		if err != nil {

@@ -28,6 +28,15 @@ echo "smoke: starting cic-gatewayd"
 daemon=$!
 for _ in $(seq 100); do
     [ -s "$tmp/addr" ] && break
+    if ! kill -0 "$daemon" 2>/dev/null; then
+        # Died before binding — most commonly the listen address is
+        # already in use. Surface its log immediately instead of
+        # spinning out the full wait.
+        daemon=
+        echo "smoke: FAIL — cic-gatewayd exited during startup (listen address in use?)"
+        cat "$tmp/daemon.log"
+        exit 1
+    fi
     sleep 0.1
 done
 [ -s "$tmp/addr" ] || { echo "smoke: daemon never bound"; cat "$tmp/daemon.log"; exit 1; }

@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all vet lint build test race bench bench-gateway bench-json fuzz smoke ci
+.PHONY: all vet lint build test race bench bench-gateway bench-json fuzz chaos smoke ci
 
 all: ci
 
@@ -53,7 +53,15 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run '^$$' -fuzz '^FuzzParseHello$$' -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run '^$$' -fuzz '^FuzzPublishLineFraming$$' -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run '^$$' -fuzz '^FuzzFaultConnFraming$$' -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run '^$$' -fuzz '^FuzzParseBenchLine$$' -fuzztime $(FUZZTIME) ./cmd/cic-bench/
+
+# Chaos end-to-end suite: concurrent sessions under seeded fault
+# schedules (forced disconnects, worker panics, process-restart resume)
+# must produce record-identical NDJSON vs a fault-free run. The seed
+# matrix is fixed inside the tests so runs are reproducible.
+chaos:
+	$(GO) test -race -run '^TestChaos' -count=1 ./internal/server/
 
 # Loopback end-to-end smoke of the ingestion pipeline:
 # cic-gen capture → cic-feed → cic-gatewayd → NDJSON assert (plus a
@@ -61,4 +69,4 @@ fuzz:
 smoke:
 	./scripts/smoke.sh
 
-ci: vet lint build race bench fuzz smoke
+ci: vet lint build race bench fuzz chaos smoke

@@ -3,6 +3,13 @@
 // exits only after the daemon acknowledges the session drain, so a zero
 // exit status means every fully-buffered packet was published.
 //
+// The session is resumable: cic-feed opens it with the RESUME
+// handshake, and on any connection loss it redials with exponential
+// backoff and replays only the samples the daemon has not yet
+// acknowledged — the published NDJSON stream has no gaps and no
+// duplicates. A restarted cic-feed resuming the same station within the
+// daemon's park window skips the already-ingested prefix of its input.
+//
 // Usage:
 //
 //	cic-feed -addr 127.0.0.1:7733 -in capture.cf32 [-station id] [flags]
@@ -10,8 +17,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -28,14 +37,18 @@ func main() {
 
 func run() error {
 	var (
-		addr    = flag.String("addr", "", "cic-gatewayd ingestion address (required)")
-		in      = flag.String("in", "", `input .cf32 path, or "-" for stdin (required)`)
-		station = flag.String("station", "cic-feed", "station identifier reported in published records")
-		sf      = flag.Int("sf", 8, "spreading factor")
-		bw      = flag.Float64("bw", 250e3, "bandwidth Hz")
-		osr     = flag.Int("osr", 4, "oversampling ratio of the capture")
-		cr      = flag.Int("cr", 1, "coding rate 1..4 (4/5..4/8)")
-		chunk   = flag.Int("chunk", 32768, "samples per IQ frame")
+		addr        = flag.String("addr", "", "cic-gatewayd ingestion address (required)")
+		in          = flag.String("in", "", `input .cf32 path, or "-" for stdin (required)`)
+		station     = flag.String("station", "cic-feed", "station identifier reported in published records")
+		sf          = flag.Int("sf", 8, "spreading factor")
+		bw          = flag.Float64("bw", 250e3, "bandwidth Hz")
+		osr         = flag.Int("osr", 4, "oversampling ratio of the capture")
+		cr          = flag.Int("cr", 1, "coding rate 1..4 (4/5..4/8)")
+		chunk       = flag.Int("chunk", 32768, "samples per IQ frame")
+		retries     = flag.Int("retries", server.DefaultMaxAttempts, "consecutive reconnect attempts before giving up (-1 = forever)")
+		dialTimeout = flag.Duration("dial-timeout", server.DefaultDialTimeout, "TCP connect timeout")
+		rate        = flag.Float64("rate", 0, "throttle to this many samples/sec (0 = as fast as possible)")
+		quiet       = flag.Bool("quiet", false, "suppress reconnect logging")
 	)
 	flag.Parse()
 	if *addr == "" || *in == "" {
@@ -52,7 +65,7 @@ func run() error {
 		return err
 	}
 
-	var src *os.File
+	var src io.Reader
 	if *in == "-" {
 		src = os.Stdin
 	} else {
@@ -64,25 +77,80 @@ func run() error {
 		src = f
 	}
 
-	c, err := server.Dial(*addr)
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "cic-feed: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	c := server.NewReconnectingClient(server.ReconnectOptions{
+		Station:     *station,
+		Config:      cfg,
+		Addr:        *addr,
+		DialTimeout: *dialTimeout,
+		MaxAttempts: *retries,
+		Logf:        logf,
+	})
+	off, err := c.Connect()
 	if err != nil {
 		return err
 	}
-	if err := c.Hello(*station, cfg); err != nil {
-		c.Abort()
-		return err
+	if off > 0 {
+		// The daemon already holds the first off samples of this station's
+		// stream (a previous cic-feed run within the park window); skip
+		// the corresponding cf32 prefix — 8 bytes per sample.
+		if _, err := io.CopyN(io.Discard, src, off*8); err != nil {
+			return fmt.Errorf("skipping %d already-ingested samples: %w", off, err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "cic-feed: resuming at sample offset %d\n", off)
+		}
 	}
+
 	t0 := time.Now()
-	n, err := c.StreamCF32(src, *chunk)
+	n, err := stream(c, src, *chunk, *rate)
 	if err != nil {
-		c.Abort()
 		return err
 	}
 	// Close waits for the daemon's drain acknowledgement.
 	if err := c.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "cic-feed: streamed %d samples (%.2fs of air at %.0f Hz) in %v, session drained\n",
-		n, float64(n)/cfg.SampleRate(), cfg.SampleRate(), time.Since(t0).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "cic-feed: streamed %d samples (%.2fs of air at %.0f Hz) in %v, session drained (%d reconnects)\n",
+		n, float64(n)/cfg.SampleRate(), cfg.SampleRate(), time.Since(t0).Round(time.Millisecond), c.Reconnects())
 	return nil
+}
+
+// stream feeds the cf32 source through the reconnecting client in
+// chunkSamples-sized IQ frames, optionally throttled to rate
+// samples/sec, returning the sample count sent.
+func stream(c *server.ReconnectingClient, src io.Reader, chunkSamples int, rate float64) (int64, error) {
+	if chunkSamples <= 0 {
+		chunkSamples = server.MaxIQSamples / 4
+	}
+	cr := cic.NewCF32Reader(src)
+	buf := make([]complex128, chunkSamples)
+	var total int64
+	start := time.Now()
+	for {
+		n, err := cr.Read(buf)
+		if n > 0 {
+			if werr := c.WriteIQ(buf[:n]); werr != nil {
+				return total, werr
+			}
+			total += int64(n)
+			if rate > 0 {
+				target := time.Duration(float64(total) / rate * float64(time.Second))
+				if d := target - time.Since(start); d > 0 {
+					time.Sleep(d)
+				}
+			}
+		}
+		if errors.Is(err, io.EOF) {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
 }

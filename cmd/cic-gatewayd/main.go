@@ -8,7 +8,13 @@
 //
 //	cic-gatewayd -listen 127.0.0.1:7733 [-pub addr] [-out path|-]
 //	             [-max-sessions N] [-mem-budget bytes] [-idle-timeout d]
-//	             [-workers N] [-debug-addr addr] [-addr-file path]
+//	             [-park-timeout d] [-decode-timeout d] [-workers N]
+//	             [-debug-addr addr] [-addr-file path] [-fault-spec spec]
+//
+// -fault-spec enables the development fault injector: every accepted
+// ingestion connection is wrapped with a deterministic, seeded fault
+// schedule (connection drops, stalls, byte corruption, partial writes
+// at exact byte offsets — see internal/fault). Never set in production.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting,
 // flushes every session's Gateway so no fully-buffered packet is lost,
@@ -25,10 +31,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"cic"
+	"cic/internal/fault"
 	"cic/internal/server"
 )
 
@@ -47,7 +55,10 @@ func run() error {
 		maxSessions = flag.Int("max-sessions", server.DefaultMaxSessions, "max concurrent ingestion sessions (-1 = unlimited)")
 		memBudget   = flag.Int64("mem-budget", server.DefaultMemoryBudget, "session memory budget in bytes (-1 = unlimited)")
 		idleTimeout = flag.Duration("idle-timeout", server.DefaultIdleTimeout, "close sessions idle for this long (-1s = never)")
+		parkTimeout = flag.Duration("park-timeout", server.DefaultParkTimeout, "resume window for disconnected resumable sessions (-1s = disable parking)")
+		decodeTO    = flag.Duration("decode-timeout", server.DefaultDecodeTimeout, "per-IQ-frame decode admission deadline (-1s = unbounded)")
 		workers     = flag.Int("workers", server.DefaultWorkers(), "decode workers per session")
+		faultSpec   = flag.String("fault-spec", "", "DEV ONLY: inject deterministic connection faults, e.g. \"seed=42;every=2;drop@65536;stall@4096r:50ms\"")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 		addrFile    = flag.String("addr-file", "", "write the bound ingestion and pub addresses (one per line) to this file once listening")
 		quiet       = flag.Bool("quiet", false, "suppress per-connection logging")
@@ -74,14 +85,34 @@ func run() error {
 	if *quiet {
 		logf = nil
 	}
+	var wrapConn func(net.Conn) net.Conn
+	if *faultSpec != "" {
+		spec, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			return fmt.Errorf("-fault-spec: %w", err)
+		}
+		faults := reg.Counter(server.MetricFaultsInjected)
+		var connIdx atomic.Int64
+		wrapConn = func(c net.Conn) net.Conn {
+			sched := spec.Schedule(int(connIdx.Add(1) - 1))
+			if len(sched.Read) == 0 && len(sched.Write) == 0 {
+				return c
+			}
+			return fault.WrapConn(c, sched, func(fault.Event) { faults.Inc() })
+		}
+		fmt.Fprintf(os.Stderr, "cic-gatewayd: FAULT INJECTION ACTIVE (%s) — dev use only\n", spec)
+	}
 	srv := server.New(server.Config{
-		MaxSessions:  *maxSessions,
-		MemoryBudget: *memBudget,
-		IdleTimeout:  *idleTimeout,
-		Workers:      *workers,
-		Metrics:      reg,
-		Sink:         sink,
-		Logf:         logf,
+		MaxSessions:   *maxSessions,
+		MemoryBudget:  *memBudget,
+		IdleTimeout:   *idleTimeout,
+		ParkTimeout:   *parkTimeout,
+		DecodeTimeout: *decodeTO,
+		Workers:       *workers,
+		Metrics:       reg,
+		Sink:          sink,
+		WrapConn:      wrapConn,
+		Logf:          logf,
 	})
 
 	dataLn, err := net.Listen("tcp", *listen)

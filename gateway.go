@@ -92,6 +92,12 @@ type Gateway struct {
 	m          *obs.DecodeMetrics
 	tracer     obs.Tracer
 	detectedAt map[int]time.Time
+
+	// Resilience hooks (WithDecodeInterceptor / WithPanicHook): the
+	// interceptor transforms each worker result before reorder; the
+	// panic hook observes recovered worker panics. Both nil by default.
+	intercept func(Packet) Packet
+	panicHook func(stage string, recovered any)
 }
 
 // decodeJob carries one dispatched packet to the worker pool. The ingest
@@ -194,6 +200,8 @@ func NewGateway(cfg Config, options ...Option) (*Gateway, error) {
 		reg:         o.metrics,
 		m:           dmx,
 		tracer:      obs.Tracer(o.tracer),
+		intercept:   o.intercept,
+		panicHook:   o.panicHook,
 	}
 	if o.metrics != nil || o.tracer != nil {
 		g.detectedAt = make(map[int]time.Time)
@@ -498,29 +506,65 @@ func (g *Gateway) traceHeader(p *rx.Packet, seq int64, ok bool) {
 func (g *Gateway) worker(dm *core.Demodulator) {
 	defer g.workerWG.Done()
 	for job := range g.jobs {
-		g.m.WorkersBusy.Add(1)
-		pkt := job.result
-		gates := job.gates // header-phase verdicts tallied at dispatch
-		nsyms := 0
-		if !job.ready {
-			t0 := g.m.DemodTime.Start()
-			pkt = g.decodePayload(dm, job)
-			g.m.DemodTime.Since(t0)
-			gates.Add(dm.TakeGateTally())
-			nsyms = job.pkt.NSymbols
-			g.snapPool.Put(job.snapBuf)
+		g.runJob(dm, job)
+	}
+}
+
+// runJob decodes one dispatched job and forwards the result. A panic
+// anywhere in the payload path (or in the interceptor) is contained to
+// this one packet: the job's prefilled result is forwarded undecoded so
+// the reorder sequence still advances, the worker_panics_recovered
+// counter ticks, and the panic hook (if any) observes the value — the
+// worker then keeps serving the queue. Without this, one hostile packet
+// would kill the process and with it every other session's gateway.
+func (g *Gateway) runJob(dm *core.Demodulator, job decodeJob) {
+	g.m.WorkersBusy.Add(1)
+	defer g.m.WorkersBusy.Add(-1)
+	done := false
+	defer func() {
+		if done {
+			return
 		}
-		g.m.WorkersBusy.Add(-1)
+		v := recover()
+		g.m.WorkerPanics.Inc()
+		if g.panicHook != nil {
+			g.panicHook("payload", v)
+		}
+		// The snapshot buffer is not repooled: the panic may have left it
+		// aliased, and losing one buffer per recovered panic is cheap.
 		g.results <- seqPacket{
 			seq:        job.seq,
-			pkt:        pkt,
+			pkt:        job.result,
 			id:         job.id,
-			headerOK:   !job.ready,
-			nsyms:      nsyms,
-			gates:      gates,
+			gates:      job.gates,
 			detectedAt: job.detectedAt,
 			doneAt:     g.m.ReorderWait.Start(),
 		}
+	}()
+	pkt := job.result
+	gates := job.gates // header-phase verdicts tallied at dispatch
+	nsyms := 0
+	if !job.ready {
+		t0 := g.m.DemodTime.Start()
+		pkt = g.decodePayload(dm, job)
+		g.m.DemodTime.Since(t0)
+		gates.Add(dm.TakeGateTally())
+		nsyms = job.pkt.NSymbols
+		g.snapPool.Put(job.snapBuf)
+	}
+	if g.intercept != nil {
+		pkt = g.intercept(pkt)
+	}
+	done = true
+	g.results <- seqPacket{
+		seq:        job.seq,
+		pkt:        pkt,
+		id:         job.id,
+		headerOK:   !job.ready,
+		nsyms:      nsyms,
+		gates:      gates,
+		detectedAt: job.detectedAt,
+		doneAt:     g.m.ReorderWait.Start(),
 	}
 }
 

@@ -1,0 +1,176 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Spec is a parsed -fault-spec: a per-connection fault plan generator.
+// The same spec with the same seed produces the same schedule for the
+// same connection index, so a faulted daemon run is reproducible.
+type Spec struct {
+	// Seed drives the offset jitter (0 = a fixed default seed).
+	Seed int64
+	// Every applies the schedule to every Nth wrapped connection,
+	// starting with the first (1 = all connections).
+	Every int
+	// Jitter perturbs every event offset by a deterministic amount in
+	// [0, Jitter] derived from (Seed, connection index).
+	Jitter int64
+	// Read and Write are the template event lists (offsets pre-jitter).
+	Read  []Event
+	Write []Event
+}
+
+// ParseSpec parses a fault-spec string: semicolon- or comma-separated
+// entries, each either a parameter or an event.
+//
+//	seed=42            jitter RNG seed
+//	every=3            fault every 3rd connection (default 1 = all)
+//	jitter=512         jitter event offsets by up to 512 bytes
+//	drop@4096          drop the connection at read-offset 4096
+//	drop@4096w         …at write-offset 4096
+//	stall@1024:50ms    sleep 50ms before read-offset 1024
+//	corrupt@2048:0x20  XOR the byte at read-offset 2048 with 0x20
+//	partial@100        split the read covering offset 100
+//
+// The direction suffix (r/w) defaults to r: on a server-side wrap the
+// read direction is the ingest stream, which is where faults matter.
+func ParseSpec(s string) (*Spec, error) {
+	spec := &Spec{Every: 1}
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ';' || r == ',' })
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("fault: empty spec")
+	}
+	for _, f := range fields {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if k, v, ok := strings.Cut(f, "="); ok && !strings.Contains(k, "@") {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: spec %q: %w", f, err)
+			}
+			switch k {
+			case "seed":
+				spec.Seed = n
+			case "every":
+				if n < 1 {
+					return nil, fmt.Errorf("fault: every=%d, want >= 1", n)
+				}
+				spec.Every = int(n)
+			case "jitter":
+				if n < 0 {
+					return nil, fmt.Errorf("fault: jitter=%d, want >= 0", n)
+				}
+				spec.Jitter = n
+			default:
+				return nil, fmt.Errorf("fault: unknown spec parameter %q", k)
+			}
+			continue
+		}
+		ev, write, err := parseEvent(f)
+		if err != nil {
+			return nil, err
+		}
+		if write {
+			spec.Write = append(spec.Write, ev)
+		} else {
+			spec.Read = append(spec.Read, ev)
+		}
+	}
+	return spec, nil
+}
+
+// parseEvent parses one `kind@offset[dir][:arg]` entry.
+func parseEvent(f string) (Event, bool, error) {
+	name, rest, ok := strings.Cut(f, "@")
+	if !ok {
+		return Event{}, false, fmt.Errorf("fault: spec entry %q: want kind@offset", f)
+	}
+	var ev Event
+	switch name {
+	case "drop":
+		ev.Kind = KindDrop
+	case "stall":
+		ev.Kind = KindStall
+	case "corrupt":
+		ev.Kind = KindCorrupt
+	case "partial":
+		ev.Kind = KindPartial
+	default:
+		return Event{}, false, fmt.Errorf("fault: unknown event kind %q", name)
+	}
+	offPart, arg, _ := strings.Cut(rest, ":")
+	write := false
+	if strings.HasSuffix(offPart, "w") {
+		write = true
+		offPart = strings.TrimSuffix(offPart, "w")
+	} else {
+		offPart = strings.TrimSuffix(offPart, "r")
+	}
+	off, err := strconv.ParseInt(offPart, 10, 64)
+	if err != nil || off < 0 {
+		return Event{}, false, fmt.Errorf("fault: bad offset in %q", f)
+	}
+	ev.Offset = off
+	switch ev.Kind {
+	case KindStall:
+		if arg == "" {
+			return Event{}, false, fmt.Errorf("fault: stall %q needs a duration (stall@OFF:50ms)", f)
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil || d < 0 {
+			return Event{}, false, fmt.Errorf("fault: bad stall duration in %q", f)
+		}
+		ev.Delay = d
+	case KindCorrupt:
+		if arg != "" {
+			m, err := strconv.ParseUint(strings.TrimPrefix(arg, "0x"), 16, 8)
+			if err != nil {
+				return Event{}, false, fmt.Errorf("fault: bad corrupt mask in %q", f)
+			}
+			ev.Mask = byte(m)
+		}
+	default:
+		if arg != "" {
+			return Event{}, false, fmt.Errorf("fault: %s takes no argument (%q)", name, f)
+		}
+	}
+	return ev, write, nil
+}
+
+// Schedule materialises the spec for the i-th wrapped connection
+// (0-based): nil events when the connection is skipped by Every,
+// otherwise the template with deterministically jittered offsets.
+func (sp *Spec) Schedule(i int) Schedule {
+	if sp == nil || i%sp.Every != 0 {
+		return Schedule{}
+	}
+	if sp.Jitter == 0 {
+		return Schedule{Read: sp.Read, Write: sp.Write}
+	}
+	rng := rand.New(rand.NewSource(sp.Seed*1e9 + int64(i)))
+	jitter := func(events []Event) []Event {
+		out := make([]Event, len(events))
+		for j, e := range events {
+			e.Offset += rng.Int63n(sp.Jitter + 1)
+			out[j] = e
+		}
+		return out
+	}
+	return Schedule{Read: jitter(sp.Read), Write: jitter(sp.Write)}
+}
+
+// String re-renders the spec parameters for logs.
+func (sp *Spec) String() string {
+	if sp == nil {
+		return "<none>"
+	}
+	return fmt.Sprintf("seed=%d every=%d jitter=%d read=%d write=%d events",
+		sp.Seed, sp.Every, sp.Jitter, len(sp.Read), len(sp.Write))
+}

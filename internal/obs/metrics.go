@@ -32,6 +32,7 @@ const (
 	MetricQueueDepth         = "queue_depth"
 	MetricReorderHeld        = "reorder_held"
 	MetricWorkersBusy        = "workers_busy"
+	MetricWorkerPanics       = "worker_panics_recovered"
 )
 
 // DecodeMetrics is the pre-resolved metric handle set for the decode
@@ -60,6 +61,7 @@ type DecodeMetrics struct {
 	CRCFail            *Counter
 	ChaseRecovered     *Counter
 	PacketsEmitted     *Counter
+	WorkerPanics       *Counter
 
 	CollisionSize *Histogram
 	DetectTime    *Histogram
@@ -107,6 +109,7 @@ func NewDecodeMetrics(r *Registry) *DecodeMetrics {
 		CRCFail:            r.Counter(MetricCRCFail),
 		ChaseRecovered:     r.Counter(MetricChaseRecovered),
 		PacketsEmitted:     r.Counter(MetricPacketsEmitted),
+		WorkerPanics:       r.Counter(MetricWorkerPanics),
 
 		CollisionSize: r.Histogram(MetricCollisionSize, SizeBuckets),
 		DetectTime:    r.Histogram(MetricStageDetect, DurationBuckets),

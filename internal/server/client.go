@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +11,10 @@ import (
 
 	"cic"
 )
+
+// DefaultDialTimeout bounds Dial's TCP connect: a daemon that is down
+// fails fast instead of hanging the front end on SYN retries.
+const DefaultDialTimeout = 10 * time.Second
 
 // Client is the sending side of the ingestion protocol: an SDR front
 // end (or cmd/cic-feed) dials the daemon, sends one HELLO, streams IQ
@@ -23,9 +28,29 @@ type Client struct {
 	buf  []byte // reusable IQ frame body
 }
 
-// Dial connects to a cic-gatewayd ingestion address.
+// Dial connects to a cic-gatewayd ingestion address, bounded by
+// DefaultDialTimeout.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, DefaultDialTimeout)
+}
+
+// DialTimeout is Dial with an explicit connect timeout (≤ 0 means no
+// bound).
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return DialContext(ctx, addr)
+}
+
+// DialContext is Dial bounded by ctx (cancellation and deadline apply
+// to the TCP connect only, not the session).
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -58,19 +83,62 @@ func (c *Client) Hello(station string, cfg cic.Config) error {
 	return c.awaitOK("hello")
 }
 
-// awaitOK reads one server reply frame, mapping ERROR to an error.
-func (c *Client) awaitOK(stage string) error {
-	typ, body, err := ReadFrame(c.br)
+// Resume performs the resumable handshake (protocol v2): the server
+// either reclaims a parked session for the station or opens a fresh
+// resumable one, and replies with the sample offset it has already
+// ingested — the client must replay its stream from that offset. On a
+// resumable session the server acknowledges every IQ frame with an ACK
+// carrying the updated offset (see ReconnectingClient, which consumes
+// them; a synchronous caller may ignore them — awaitOK skips ACKs).
+func (c *Client) Resume(station string, cfg cic.Config) (int64, error) {
+	body, err := EncodeHello(HelloFor(station, cfg))
 	if err != nil {
-		return fmt.Errorf("server: %s: reading reply: %w", stage, err)
+		return 0, err
 	}
-	switch typ {
-	case FrameOK:
-		return nil
-	case FrameError:
-		return fmt.Errorf("server: %s rejected: %s", stage, body)
-	default:
-		return fmt.Errorf("server: %s: unexpected reply frame 0x%02x", stage, typ)
+	if err := WriteFrame(c.bw, FrameResume, body); err != nil {
+		return 0, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, err
+	}
+	reply, err := c.awaitReply("resume")
+	if err != nil {
+		return 0, err
+	}
+	return ParseOffset(reply)
+}
+
+// awaitOK reads server reply frames until an OK (skipping interleaved
+// ACKs), mapping ERROR to an error.
+func (c *Client) awaitOK(stage string) error {
+	_, err := c.awaitReply(stage)
+	return err
+}
+
+// awaitReply returns the next OK frame's body, skipping ACK frames (a
+// resumable session acknowledges each IQ frame, so ACKs may be queued
+// ahead of the reply a synchronous caller is waiting for). An ERROR
+// frame maps to *ServerError when its body parses as the structured v2
+// layout, the raw reason string otherwise.
+func (c *Client) awaitReply(stage string) ([]byte, error) {
+	for {
+		typ, body, err := ReadFrame(c.br)
+		if err != nil {
+			return nil, fmt.Errorf("server: %s: reading reply: %w", stage, err)
+		}
+		switch typ {
+		case FrameOK:
+			return body, nil
+		case FrameAck:
+			continue
+		case FrameError:
+			if se, perr := ParseErrorBody(body); perr == nil {
+				return nil, fmt.Errorf("server: %s rejected: %w", stage, se)
+			}
+			return nil, fmt.Errorf("server: %s rejected: %s", stage, body)
+		default:
+			return nil, fmt.Errorf("server: %s: unexpected reply frame 0x%02x", stage, typ)
+		}
 	}
 }
 

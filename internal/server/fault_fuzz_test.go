@@ -1,0 +1,95 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+	"time"
+
+	"cic/internal/fault"
+)
+
+// FuzzFaultConnFraming feeds a valid frame stream through an arbitrary
+// fault schedule derived from the fuzz input and asserts the framing
+// layer either decodes cleanly or fails with a typed protocol error —
+// never a panic, and never an allocation beyond the per-frame body cap.
+func FuzzFaultConnFraming(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 10})                       // drop near the start
+	f.Add([]byte{2, 5, 2, 200})                // two corruptions
+	f.Add([]byte{3, 16, 1, 64, 0, 255})        // partial, stall, drop
+	f.Add([]byte{2, 0, 2, 1, 2, 2, 2, 3, 2, 4} /* corrupt the length header */)
+
+	stream := validFrameStream(f)
+
+	f.Fuzz(func(t *testing.T, spec []byte) {
+		events := eventsFromSpec(spec)
+		r := bufio.NewReader(fault.NewReader(bytes.NewReader(stream), events))
+		for i := 0; i < 64; i++ {
+			typ, body, err := ReadFrame(r)
+			if err != nil {
+				// Injected faults surface as io errors or typed protocol
+				// errors; either is a clean failure. Done.
+				return
+			}
+			if max := MaxBody(typ); max >= 0 && len(body) > max {
+				t.Fatalf("frame 0x%02x body %d bytes exceeds cap %d", typ, len(body), max)
+			}
+		}
+	})
+}
+
+// validFrameStream encodes one exemplar of every frame type.
+func validFrameStream(f *testing.F) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	hello, err := EncodeHello(Hello{Station: "fuzz", SF: 8, CR: 3, OSR: 8})
+	if err != nil {
+		f.Fatalf("EncodeHello: %v", err)
+	}
+	iq := make([]byte, 256*8)
+	for i := range iq {
+		iq[i] = byte(i)
+	}
+	frames := []struct {
+		typ  byte
+		body []byte
+	}{
+		{FrameHello, hello},
+		{FrameResume, hello},
+		{FrameOK, EncodeOffset(0)},
+		{FrameIQ, iq},
+		{FrameAck, EncodeOffset(256)},
+		{FrameError, EncodeErrorBody(ErrCodeOverload, time.Second, "try later")},
+		{FrameClose, nil},
+	}
+	for _, fr := range frames {
+		if err := WriteFrame(&buf, fr.typ, fr.body); err != nil {
+			f.Fatalf("WriteFrame(0x%02x): %v", fr.typ, err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// eventsFromSpec decodes up to 16 fault events from pairs of fuzz
+// bytes: spec[i] selects the kind and doubles as the corruption mask,
+// spec[i+1] scales to a byte offset inside (or just past) the stream.
+func eventsFromSpec(spec []byte) []fault.Event {
+	var events []fault.Event
+	for i := 0; i+1 < len(spec) && len(events) < 16; i += 2 {
+		e := fault.Event{Offset: int64(spec[i+1]) * 17}
+		switch spec[i] % 4 {
+		case 0:
+			e.Kind = fault.KindDrop
+		case 1:
+			e.Kind = fault.KindStall // zero Delay keeps the fuzz loop fast
+		case 2:
+			e.Kind = fault.KindCorrupt
+			e.Mask = spec[i]
+		case 3:
+			e.Kind = fault.KindPartial
+		}
+		events = append(events, e)
+	}
+	return events
+}

@@ -17,6 +17,18 @@ const (
 	MetricSubscribers       = "server_subscribers"
 	MetricSubscriberDropped = "server_subscriber_dropped"
 	MetricMemoryInUse       = "server_memory_bytes"
+
+	// Resilience metrics (PR 5): session resume, parking, fault
+	// injection, panic recovery, decode deadlines and sink retries.
+	MetricSessionsParked   = "server_sessions_parked"
+	MetricResumesTotal     = "server_resumes_total"
+	MetricResumesExpired   = "server_resumes_expired"
+	MetricResumeAcks       = "server_resume_acks"
+	MetricPanicsRecovered  = "server_panics_recovered"
+	MetricDecodeDeadlines  = "server_decode_deadlines"
+	MetricSinkRetries      = "server_sink_retries"
+	MetricFaultsInjected   = "server_faults_injected"
+	MetricOverloadRejected = "server_overload_rejected"
 )
 
 // serverMetrics is the pre-resolved handle set for the daemon, mirroring
@@ -34,6 +46,16 @@ type serverMetrics struct {
 	Subscribers       *obs.Gauge
 	SubscriberDropped *obs.Counter
 	MemoryInUse       *obs.Gauge
+
+	SessionsParked   *obs.Gauge
+	ResumesTotal     *obs.Counter
+	ResumesExpired   *obs.Counter
+	ResumeAcks       *obs.Counter
+	PanicsRecovered  *obs.Counter
+	DecodeDeadlines  *obs.Counter
+	SinkRetries      *obs.Counter
+	FaultsInjected   *obs.Counter
+	OverloadRejected *obs.Counter
 }
 
 // newServerMetrics registers the daemon's metrics on r (nil-safe).
@@ -50,5 +72,15 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 		Subscribers:       r.Gauge(MetricSubscribers),
 		SubscriberDropped: r.Counter(MetricSubscriberDropped),
 		MemoryInUse:       r.Gauge(MetricMemoryInUse),
+
+		SessionsParked:   r.Gauge(MetricSessionsParked),
+		ResumesTotal:     r.Counter(MetricResumesTotal),
+		ResumesExpired:   r.Counter(MetricResumesExpired),
+		ResumeAcks:       r.Counter(MetricResumeAcks),
+		PanicsRecovered:  r.Counter(MetricPanicsRecovered),
+		DecodeDeadlines:  r.Counter(MetricDecodeDeadlines),
+		SinkRetries:      r.Counter(MetricSinkRetries),
+		FaultsInjected:   r.Counter(MetricFaultsInjected),
+		OverloadRejected: r.Counter(MetricOverloadRejected),
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"cic"
 )
@@ -34,21 +35,40 @@ const (
 	// FrameOK acknowledges a HELLO (session admitted) or a CLOSE (session
 	// drained); its body is empty (server→client).
 	FrameOK byte = 0x04
-	// FrameError rejects the session; the body is a UTF-8 reason and the
-	// server closes the connection after sending it (server→client).
+	// FrameError ends the session with a structured reason (see
+	// EncodeErrorBody: a code byte, a retry-after hint, and a UTF-8
+	// reason); the server closes the connection after sending it
+	// (server→client).
 	FrameError byte = 0x05
+	// FrameResume opens a *resumable* session (client→server): the body
+	// is a HELLO body. If the server holds a parked session for the
+	// station the stream continues where it left off; either way the OK
+	// reply carries the server's ingested-sample offset, and the server
+	// acknowledges progress with ACK frames so the client can trim its
+	// replay buffer.
+	FrameResume byte = 0x06
+	// FrameAck reports the total samples the server has ingested into
+	// the session's Gateway (server→client, resumable sessions only):
+	// an 8-byte big-endian count. After a reconnect the client replays
+	// from the last offset the server reported.
+	FrameAck byte = 0x07
 )
 
 // Frame size limits, enforced by both ReadFrame and WriteFrame.
 const (
-	// MaxHelloBody bounds the HELLO body.
+	// MaxHelloBody bounds the HELLO and RESUME bodies.
 	MaxHelloBody = 1 << 10
 	// MaxIQBody bounds one IQ frame: 1 MiB = 128 Ki samples.
 	MaxIQBody = 1 << 20
 	// MaxIQSamples is the sample capacity of one IQ frame.
 	MaxIQSamples = MaxIQBody / 8
-	// MaxErrorBody bounds the ERROR reason.
+	// MaxErrorBody bounds the ERROR body (header + reason).
 	MaxErrorBody = 1 << 10
+	// MaxOKBody bounds the OK body: empty for a plain acknowledgement,
+	// 8 bytes (a resume offset) when answering RESUME.
+	MaxOKBody = 8
+	// AckBody is the exact ACK body size.
+	AckBody = 8
 
 	frameHeaderSize = 5
 )
@@ -57,12 +77,16 @@ const (
 // unknown type.
 func MaxBody(typ byte) int {
 	switch typ {
-	case FrameHello:
+	case FrameHello, FrameResume:
 		return MaxHelloBody
 	case FrameIQ:
 		return MaxIQBody
-	case FrameClose, FrameOK:
+	case FrameClose:
 		return 0
+	case FrameOK:
+		return MaxOKBody
+	case FrameAck:
+		return AckBody
 	case FrameError:
 		return MaxErrorBody
 	}
@@ -133,7 +157,10 @@ func WriteFrame(w io.Writer, typ byte, body []byte) error {
 // protocol revision.
 var helloMagic = [4]byte{'C', 'I', 'C', 'g'}
 
-const helloVersion = 1
+// helloVersion 2 added the resilience extensions: RESUME/ACK frames,
+// the OK resume-offset body, and the structured ERROR body. The HELLO
+// body layout is unchanged from v1.
+const helloVersion = 2
 
 // helloFixedSize is the byte length of the fixed part of a HELLO body:
 // magic(4) version(1) SF(1) CR(1) OSR(4) BW(8) stationLen(2).
@@ -243,6 +270,104 @@ func AppendIQBody(buf []byte, iq []complex128) []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(float32(imag(v))))
 	}
 	return buf
+}
+
+// ERROR body codes. A structured ERROR body is one code byte, a
+// big-endian uint32 retry-after hint in milliseconds, then the UTF-8
+// reason.
+const (
+	// ErrCodeGeneric is a terminal failure; retrying immediately will
+	// not help (bad handshake, protocol violation, decode failure).
+	ErrCodeGeneric byte = 0x00
+	// ErrCodeOverload is load shedding: the server is over its session
+	// or memory budget. The retry-after field tells the client when the
+	// admission is worth retrying.
+	ErrCodeOverload byte = 0x01
+)
+
+// errorFixedSize is the structured ERROR body header: code u8 +
+// retry-after-ms u32.
+const errorFixedSize = 5
+
+// ServerError is a decoded ERROR frame. Clients reach it through the
+// error chain with errors.As to read the code and retry-after hint.
+type ServerError struct {
+	// Code classifies the failure (ErrCodeGeneric, ErrCodeOverload).
+	Code byte
+	// RetryAfter is the server's load-shedding hint: how long to wait
+	// before retrying admission (0 = no hint).
+	RetryAfter time.Duration
+	// Reason is the human-readable explanation.
+	Reason string
+}
+
+// Error renders the frame for logs; the reason text is preserved
+// verbatim so callers can match on it.
+func (e *ServerError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("%s (retry after %v)", e.Reason, e.RetryAfter)
+	}
+	return e.Reason
+}
+
+// Temporary reports whether the rejection is worth retrying (load
+// shedding rather than a terminal protocol failure).
+func (e *ServerError) Temporary() bool { return e.Code == ErrCodeOverload }
+
+// EncodeErrorBody serialises a structured ERROR body, truncating the
+// reason to fit MaxErrorBody.
+func EncodeErrorBody(code byte, retryAfter time.Duration, reason string) []byte {
+	if len(reason) > MaxErrorBody-errorFixedSize {
+		reason = reason[:MaxErrorBody-errorFixedSize]
+	}
+	ms := retryAfter.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	if ms > math.MaxUint32 {
+		ms = math.MaxUint32
+	}
+	body := make([]byte, 0, errorFixedSize+len(reason))
+	body = append(body, code)
+	body = binary.BigEndian.AppendUint32(body, uint32(ms))
+	body = append(body, reason...)
+	return body
+}
+
+// ParseErrorBody decodes a structured ERROR body.
+func ParseErrorBody(body []byte) (*ServerError, error) {
+	if len(body) < errorFixedSize {
+		return nil, fmt.Errorf("server: error body %d bytes, need at least %d", len(body), errorFixedSize)
+	}
+	return &ServerError{
+		Code:       body[0],
+		RetryAfter: time.Duration(binary.BigEndian.Uint32(body[1:5])) * time.Millisecond,
+		Reason:     string(body[errorFixedSize:]),
+	}, nil
+}
+
+// EncodeOffset serialises a sample offset for an OK-with-offset reply
+// or an ACK body.
+func EncodeOffset(n int64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(n))
+	return b[:]
+}
+
+// ParseOffset decodes an OK or ACK body into a sample offset. An empty
+// OK body (a plain acknowledgement) is offset 0.
+func ParseOffset(body []byte) (int64, error) {
+	switch len(body) {
+	case 0:
+		return 0, nil
+	case 8:
+		n := binary.BigEndian.Uint64(body)
+		if n > math.MaxInt64 {
+			return 0, fmt.Errorf("server: offset %d overflows int64", n)
+		}
+		return int64(n), nil
+	}
+	return 0, fmt.Errorf("server: offset body %d bytes, want 0 or 8", len(body))
 }
 
 // DecodeIQBody appends the samples encoded in an IQ frame body to dst.

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestErrorBodyRoundTrip(t *testing.T) {
+	cases := []struct {
+		code       byte
+		retryAfter time.Duration
+		reason     string
+	}{
+		{ErrCodeGeneric, 0, "bad handshake"},
+		{ErrCodeOverload, 1500 * time.Millisecond, "session limit reached (64 active)"},
+		{ErrCodeOverload, time.Second, ""},
+	}
+	for _, c := range cases {
+		body := EncodeErrorBody(c.code, c.retryAfter, c.reason)
+		if len(body) > MaxErrorBody {
+			t.Fatalf("encoded body %d bytes exceeds MaxErrorBody", len(body))
+		}
+		se, err := ParseErrorBody(body)
+		if err != nil {
+			t.Fatalf("ParseErrorBody(%v): %v", c, err)
+		}
+		if se.Code != c.code || se.RetryAfter != c.retryAfter || se.Reason != c.reason {
+			t.Errorf("round trip %+v, want %+v", se, c)
+		}
+	}
+}
+
+func TestErrorBodyTruncatesReason(t *testing.T) {
+	long := strings.Repeat("x", 2*MaxErrorBody)
+	body := EncodeErrorBody(ErrCodeGeneric, 0, long)
+	if len(body) != MaxErrorBody {
+		t.Fatalf("truncated body %d bytes, want exactly MaxErrorBody (%d)", len(body), MaxErrorBody)
+	}
+	se, err := ParseErrorBody(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(long, se.Reason) || len(se.Reason) != MaxErrorBody-5 {
+		t.Errorf("reason truncated wrong: %d bytes", len(se.Reason))
+	}
+}
+
+func TestParseErrorBodyRejectsShort(t *testing.T) {
+	for _, n := range []int{0, 1, 4} {
+		if _, err := ParseErrorBody(make([]byte, n)); err == nil {
+			t.Errorf("ParseErrorBody accepted %d-byte body", n)
+		}
+	}
+}
+
+func TestServerErrorSemantics(t *testing.T) {
+	over := &ServerError{Code: ErrCodeOverload, RetryAfter: time.Second, Reason: "memory budget exceeded"}
+	if !over.Temporary() {
+		t.Error("overload not Temporary")
+	}
+	if !strings.Contains(over.Error(), "memory budget exceeded") || !strings.Contains(over.Error(), "retry after") {
+		t.Errorf("Error() = %q, want reason + retry hint", over.Error())
+	}
+	term := &ServerError{Code: ErrCodeGeneric, Reason: "bad frame"}
+	if term.Temporary() {
+		t.Error("generic failure reported Temporary")
+	}
+	if term.Error() != "bad frame" {
+		t.Errorf("Error() = %q, want bare reason", term.Error())
+	}
+	// errors.As must reach a wrapped ServerError (the client wraps with %w).
+	wrapped := errWrap(over)
+	var se *ServerError
+	if !errors.As(wrapped, &se) || se != over {
+		t.Error("errors.As failed to unwrap ServerError")
+	}
+}
+
+func errWrap(err error) error { return &wrapErr{err} }
+
+type wrapErr struct{ inner error }
+
+func (w *wrapErr) Error() string { return "wrapped: " + w.inner.Error() }
+func (w *wrapErr) Unwrap() error { return w.inner }
+
+func TestOffsetRoundTrip(t *testing.T) {
+	for _, n := range []int64{0, 1, 8192, 1 << 40} {
+		got, err := ParseOffset(EncodeOffset(n))
+		if err != nil {
+			t.Fatalf("ParseOffset(EncodeOffset(%d)): %v", n, err)
+		}
+		if got != n {
+			t.Errorf("offset %d round-tripped to %d", n, got)
+		}
+	}
+	if got, err := ParseOffset(nil); err != nil || got != 0 {
+		t.Errorf("empty body → (%d, %v), want (0, nil)", got, err)
+	}
+	for _, n := range []int{1, 7, 9} {
+		if _, err := ParseOffset(make([]byte, n)); err == nil {
+			t.Errorf("ParseOffset accepted %d-byte body", n)
+		}
+	}
+	if _, err := ParseOffset([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Error("ParseOffset accepted an offset overflowing int64")
+	}
+}
+
+func TestMaxBodyV2Frames(t *testing.T) {
+	if got := MaxBody(FrameResume); got != MaxHelloBody {
+		t.Errorf("MaxBody(RESUME) = %d, want %d", got, MaxHelloBody)
+	}
+	if got := MaxBody(FrameAck); got != AckBody {
+		t.Errorf("MaxBody(ACK) = %d, want %d", got, AckBody)
+	}
+	if got := MaxBody(FrameOK); got != MaxOKBody {
+		t.Errorf("MaxBody(OK) = %d, want %d", got, MaxOKBody)
+	}
+}

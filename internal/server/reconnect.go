@@ -1,0 +1,431 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"cic"
+)
+
+// Reconnect defaults.
+const (
+	DefaultMaxAttempts  = 8
+	DefaultBaseBackoff  = 100 * time.Millisecond
+	DefaultMaxBackoff   = 5 * time.Second
+	DefaultCloseTimeout = 60 * time.Second
+)
+
+// ErrResumeGap reports that the server's resume offset fell behind the
+// client's retain window: samples the server never ingested were
+// already discarded locally, so a gap-free resume is impossible (the
+// parked session expired, or the server restarted). The stream must be
+// restarted from scratch.
+var ErrResumeGap = errors.New("server: resume offset behind retained data")
+
+// ReconnectOptions parameterises a ReconnectingClient. Station, Config
+// and either Addr or Dial are required.
+type ReconnectOptions struct {
+	// Station and Config form the RESUME handshake (must be identical
+	// across reconnects — the server matches parked sessions on both).
+	Station string
+	Config  cic.Config
+	// Addr is the daemon's ingestion address, dialled with DialTimeout.
+	Addr string
+	// DialTimeout bounds each TCP connect (DefaultDialTimeout when 0).
+	DialTimeout time.Duration
+	// Dial overrides the transport — the fault-injection hook for
+	// tests (wrap the returned conn with internal/fault.WrapConn).
+	Dial func() (net.Conn, error)
+	// MaxAttempts caps *consecutive* failed reconnect attempts before
+	// the client gives up (DefaultMaxAttempts when 0; negative means
+	// retry forever). The counter resets on every successful handshake.
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff shape the exponential backoff between
+	// reconnect attempts; each sleep is uniformly jittered over
+	// [d/2, d). Defaults: DefaultBaseBackoff, DefaultMaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// CloseTimeout bounds Close's drain-acknowledgement wait
+	// (DefaultCloseTimeout when 0).
+	CloseTimeout time.Duration
+	// Seed makes the backoff jitter deterministic (tests); 0 selects a
+	// fixed default seed — the client is deterministic by design.
+	Seed int64
+	// Logf logs reconnect events (silent when nil).
+	Logf func(format string, args ...any)
+}
+
+// ReconnectingClient is a Client that survives connection loss: it
+// opens a resumable session (RESUME handshake), retains every sample
+// the server has not yet acknowledged, and on any transport error
+// redials with exponential backoff, resumes the parked session, and
+// replays exactly the unacknowledged tail — the server-side stream has
+// no gaps and no duplicates.
+//
+// The write path (WriteIQ, StreamCF32, Close) must be driven by one
+// goroutine; a background reader consumes the server's ACK frames
+// concurrently.
+type ReconnectingClient struct {
+	o   ReconnectOptions
+	rng *rand.Rand
+
+	cur *rcConn // nil when disconnected
+
+	mu          sync.Mutex
+	retain      []complex128 // samples in [retainStart, sent), oldest first
+	retainStart int64        // absolute sample offset of retain[0]
+	sent        int64        // absolute samples handed to WriteIQ (+ fast-forward)
+	acked       int64        // highest server-acknowledged offset
+	reconnects  int64        // successful RESUME handshakes after the first
+	closed      bool
+}
+
+// rcConn is one live connection: the Client plus its reader goroutine.
+type rcConn struct {
+	cli  *Client
+	raw  net.Conn
+	done chan struct{} // closed when the reader exits
+	okCh chan struct{} // one token per OK frame (the CLOSE drain ack)
+	err  error         // reader's terminal error; read only after done
+}
+
+// NewReconnectingClient builds the client; no connection is made until
+// Connect or the first write.
+func NewReconnectingClient(o ReconnectOptions) *ReconnectingClient {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = DefaultMaxAttempts
+	}
+	if o.BaseBackoff == 0 {
+		o.BaseBackoff = DefaultBaseBackoff
+	}
+	if o.MaxBackoff == 0 {
+		o.MaxBackoff = DefaultMaxBackoff
+	}
+	if o.CloseTimeout == 0 {
+		o.CloseTimeout = DefaultCloseTimeout
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &ReconnectingClient{o: o, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (r *ReconnectingClient) logf(format string, args ...any) {
+	if r.o.Logf != nil {
+		r.o.Logf(format, args...)
+	}
+}
+
+// dial opens the transport (options hook, else TCP to Addr).
+func (r *ReconnectingClient) dial() (net.Conn, error) {
+	if r.o.Dial != nil {
+		return r.o.Dial()
+	}
+	c, err := DialTimeout(r.o.Addr, r.o.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return c.conn, nil
+}
+
+// Connect establishes (or re-establishes) the session and returns the
+// server's resume offset — the number of samples it has already
+// ingested for this station. A caller recovering from a process
+// restart should skip that many samples of its input before streaming.
+func (r *ReconnectingClient) Connect() (int64, error) {
+	if err := r.connect(); err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retainStart, nil
+}
+
+// ResumeOffset reports the absolute sample offset the next written
+// sample continues from (== the last RESUME reply after Connect, before
+// anything was written).
+func (r *ReconnectingClient) ResumeOffset() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sent
+}
+
+// Reconnects counts successful RESUME handshakes after the initial
+// connect — the number of recoveries.
+func (r *ReconnectingClient) Reconnects() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reconnects
+}
+
+// Acked reports the highest sample offset the server has acknowledged
+// as ingested.
+func (r *ReconnectingClient) Acked() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.acked
+}
+
+// Abort kills the connection without the CLOSE handshake and disables
+// the client — an abrupt front-end death. A parked server session (and
+// a later RESUME by a new client) can still pick the stream up.
+func (r *ReconnectingClient) Abort() error {
+	r.markClosed()
+	if c := r.cur; c != nil {
+		c.raw.Close()
+		<-c.done
+		r.cur = nil
+	}
+	return nil
+}
+
+// connect dials until a RESUME handshake succeeds (bounded by
+// MaxAttempts consecutive failures), replays the unacknowledged tail,
+// and starts the ACK reader. A non-temporary server rejection (bad
+// configuration) fails immediately; overload rejections honour the
+// server's retry-after hint.
+func (r *ReconnectingClient) connect() error {
+	if r.cur != nil {
+		return nil
+	}
+	backoff := r.o.BaseBackoff
+	for attempt := 0; ; attempt++ {
+		r.mu.Lock()
+		closed := r.closed
+		first := r.sent == 0 && r.reconnects == 0
+		r.mu.Unlock()
+		if closed {
+			return net.ErrClosed
+		}
+		err := r.tryConnect(first)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrResumeGap) {
+			return err
+		}
+		var se *ServerError
+		if errors.As(err, &se) && !se.Temporary() {
+			return err
+		}
+		if r.o.MaxAttempts > 0 && attempt+1 >= r.o.MaxAttempts {
+			return fmt.Errorf("server: reconnect: giving up after %d attempts: %w", attempt+1, err)
+		}
+		sleep := backoff/2 + time.Duration(r.rng.Int63n(int64(backoff/2)+1))
+		if se != nil && se.RetryAfter > sleep {
+			sleep = se.RetryAfter
+		}
+		r.logf("reconnect attempt %d failed (%v); retrying in %v", attempt+1, err, sleep)
+		time.Sleep(sleep)
+		if backoff *= 2; backoff > r.o.MaxBackoff {
+			backoff = r.o.MaxBackoff
+		}
+	}
+}
+
+// tryConnect performs one dial + RESUME + replay cycle.
+func (r *ReconnectingClient) tryConnect(first bool) error {
+	conn, err := r.dial()
+	if err != nil {
+		return err
+	}
+	cli := NewClient(conn)
+	off, err := cli.Resume(r.o.Station, r.o.Config)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+
+	r.mu.Lock()
+	switch {
+	case off < r.retainStart:
+		r.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("%w (server at %d, retained from %d)", ErrResumeGap, off, r.retainStart)
+	case off > r.sent:
+		// The server is ahead of this process's stream position — a
+		// restarted client resuming a parked session. Fast-forward; the
+		// caller skips the input via Connect's offset.
+		r.retain = r.retain[:0]
+		r.retainStart, r.sent, r.acked = off, off, off
+	default:
+		r.retain = r.retain[off-r.retainStart:]
+		r.retainStart = off
+		if off > r.acked {
+			r.acked = off
+		}
+	}
+	replay := append([]complex128(nil), r.retain...)
+	if !first {
+		r.reconnects++
+	}
+	r.mu.Unlock()
+
+	c := &rcConn{
+		cli:  cli,
+		raw:  conn,
+		done: make(chan struct{}),
+		okCh: make(chan struct{}, 1),
+	}
+	go r.readLoop(c)
+	if len(replay) > 0 {
+		r.logf("resumed at offset %d, replaying %d samples", off, len(replay))
+		if err := cli.WriteIQ(replay); err != nil {
+			r.dropConn(c)
+			return fmt.Errorf("server: replay after resume: %w", err)
+		}
+	} else if !first {
+		r.logf("resumed at offset %d (nothing to replay)", off)
+	}
+	r.cur = c
+	return nil
+}
+
+// readLoop consumes server frames on one connection: ACKs trim the
+// retain buffer, OK signals the CLOSE drain acknowledgement, ERROR or
+// a transport error ends the loop.
+func (r *ReconnectingClient) readLoop(c *rcConn) {
+	defer close(c.done)
+	for {
+		typ, body, err := ReadFrame(c.cli.br)
+		if err != nil {
+			c.err = err
+			return
+		}
+		switch typ {
+		case FrameAck:
+			off, err := ParseOffset(body)
+			if err != nil {
+				c.err = err
+				return
+			}
+			r.noteAck(off)
+		case FrameOK:
+			select {
+			case c.okCh <- struct{}{}:
+			default:
+			}
+		case FrameError:
+			if se, perr := ParseErrorBody(body); perr == nil {
+				c.err = se
+			} else {
+				c.err = fmt.Errorf("server error: %s", body)
+			}
+			return
+		default:
+			c.err = fmt.Errorf("unexpected server frame 0x%02x", typ)
+			return
+		}
+	}
+}
+
+// noteAck advances the acknowledged offset, releasing retained samples
+// the server has durably ingested.
+func (r *ReconnectingClient) noteAck(off int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off <= r.acked {
+		return
+	}
+	r.acked = off
+	if drop := off - r.retainStart; drop > 0 && drop <= int64(len(r.retain)) {
+		r.retain = r.retain[drop:]
+		r.retainStart = off
+	}
+}
+
+// dropConn closes a dead connection and waits for its reader.
+func (r *ReconnectingClient) dropConn(c *rcConn) {
+	c.raw.Close()
+	<-c.done
+	if r.cur == c {
+		r.cur = nil
+	}
+}
+
+// WriteIQ streams samples, transparently reconnecting and replaying the
+// unacknowledged tail on any transport failure.
+func (r *ReconnectingClient) WriteIQ(iq []complex128) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return net.ErrClosed
+	}
+	r.retain = append(r.retain, iq...)
+	r.sent += int64(len(iq))
+	r.mu.Unlock()
+	for {
+		if r.cur == nil {
+			// connect replays the whole retained tail, which includes iq.
+			if err := r.connect(); err != nil {
+				return err
+			}
+			return nil
+		}
+		if err := r.cur.cli.WriteIQ(iq); err == nil {
+			return nil
+		}
+		r.dropConn(r.cur)
+	}
+}
+
+// Close ends the stream: CLOSE, drain acknowledgement, disconnect —
+// reconnecting and retrying if the connection dies during the drain
+// wait. A nil return means every sample reached a published state.
+func (r *ReconnectingClient) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.mu.Unlock()
+	deadline := time.NewTimer(r.o.CloseTimeout)
+	defer deadline.Stop()
+	for {
+		if r.cur == nil {
+			if err := r.connect(); err != nil {
+				r.markClosed()
+				return err
+			}
+		}
+		c := r.cur
+		err := WriteFrame(c.cli.bw, FrameClose, nil)
+		if err == nil {
+			err = c.cli.bw.Flush()
+		}
+		if err != nil {
+			r.dropConn(c)
+			continue
+		}
+		select {
+		case <-c.okCh:
+			r.markClosed()
+			c.raw.Close()
+			<-c.done
+			r.cur = nil
+			return nil
+		case <-c.done:
+			// Connection died before the drain ack; resume and retry.
+			r.logf("close interrupted (%v); retrying", c.err)
+			r.dropConn(c)
+		case <-deadline.C:
+			r.markClosed()
+			r.dropConn(c)
+			return fmt.Errorf("server: close: no drain acknowledgement within %v", r.o.CloseTimeout)
+		}
+	}
+}
+
+func (r *ReconnectingClient) markClosed() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+}

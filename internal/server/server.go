@@ -18,6 +18,16 @@ const (
 	DefaultMaxSessions  = 64
 	DefaultMemoryBudget = int64(1) << 30 // 1 GiB of session footprint
 	DefaultIdleTimeout  = 60 * time.Second
+	// DefaultParkTimeout is how long a resumable session survives its
+	// connection: a client that reconnects with RESUME within the window
+	// continues where it left off; past it the session drains.
+	DefaultParkTimeout = 15 * time.Second
+	// DefaultDecodeTimeout bounds one IQ frame's decode admission (see
+	// SessionOptions.DecodeTimeout).
+	DefaultDecodeTimeout = 30 * time.Second
+	// DefaultRetryAfter is the retry hint carried in overload ERROR
+	// frames.
+	DefaultRetryAfter = time.Second
 )
 
 // DefaultWorkers is the per-session decode pool default: sessions run
@@ -33,8 +43,8 @@ func DefaultWorkers() int {
 // falls back to the package defaults and the sink defaults to a fanout
 // with no outputs (TCP subscribers can still attach).
 type Config struct {
-	// MaxSessions caps concurrent ingestion sessions (DefaultMaxSessions
-	// when 0; negative means unlimited).
+	// MaxSessions caps concurrent ingestion sessions, parked ones
+	// included (DefaultMaxSessions when 0; negative means unlimited).
 	MaxSessions int
 	// MemoryBudget caps the summed EstimateMemoryBytes of admitted
 	// sessions (DefaultMemoryBudget when 0; negative means unlimited).
@@ -42,6 +52,19 @@ type Config struct {
 	// IdleTimeout closes a session that sends no frame for this long
 	// (DefaultIdleTimeout when 0; negative disables the timeout).
 	IdleTimeout time.Duration
+	// ParkTimeout is the resume window: how long a resumable session
+	// stays parked after its connection drops before it is drained
+	// (DefaultParkTimeout when 0; negative disables parking, so even
+	// RESUME sessions end with their connection).
+	ParkTimeout time.Duration
+	// DecodeTimeout bounds one IQ frame's decode admission; a session
+	// that cannot accept a frame within it is failed rather than left
+	// wedging its handler (DefaultDecodeTimeout when 0; negative
+	// disables the deadline).
+	DecodeTimeout time.Duration
+	// RetryAfter is the retry hint carried in overload ERROR frames
+	// (DefaultRetryAfter when 0; negative means no hint).
+	RetryAfter time.Duration
 	// Workers is the per-session decode pool size (DefaultWorkers when
 	// 0).
 	Workers int
@@ -51,6 +74,15 @@ type Config struct {
 	Metrics *cic.Metrics
 	// Sink receives decoded-packet records (a silent fanout when nil).
 	Sink *Fanout
+	// WrapConn, when set, wraps every accepted ingestion connection
+	// before the handshake — the hook behind the daemon's -fault-spec
+	// flag (internal/fault.WrapConn) and usable for any transport
+	// middleware. Subscriber connections are not wrapped.
+	WrapConn func(net.Conn) net.Conn
+	// GatewayOptions are appended to every session Gateway's options —
+	// a development hook (e.g. cic.WithDecodeInterceptor for chaos
+	// tests); nil for production use.
+	GatewayOptions []cic.Option
 	// Logf logs connection-level events (silent when nil).
 	Logf func(format string, args ...any)
 }
@@ -59,6 +91,12 @@ type Config struct {
 // with admission control (session count + memory budget), and publishes
 // decoded packets through the sink. Create with New, feed it listeners
 // via Serve/ServePub, stop it with Shutdown.
+//
+// Resilience: a session opened with RESUME survives its connection —
+// on abnormal disconnect it is parked for Config.ParkTimeout and a
+// reconnecting client reclaims it, replaying from the acknowledged
+// sample offset. A decode-worker panic or decode deadline fails only
+// the offending session; the daemon keeps serving.
 type Server struct {
 	cfg  Config
 	m    *serverMetrics
@@ -69,6 +107,7 @@ type Server struct {
 	nextID    uint64
 	memInUse  int64
 	sessions  map[uint64]*activeSession
+	parked    map[string]*parkedSession
 	listeners map[net.Listener]struct{}
 	connWG    sync.WaitGroup
 }
@@ -78,6 +117,16 @@ type Server struct {
 type activeSession struct {
 	sess *Session
 	conn net.Conn
+}
+
+// parkedSession is a resumable session between connections: its gateway
+// (and memory reservation) stays live until a RESUME reclaims it or the
+// park timer drains it.
+type parkedSession struct {
+	sess  *Session
+	est   int64
+	hello Hello
+	timer *time.Timer
 }
 
 // New builds a Server from cfg (see Config for zero-value defaults).
@@ -91,6 +140,15 @@ func New(cfg Config) *Server {
 	if cfg.IdleTimeout == 0 {
 		cfg.IdleTimeout = DefaultIdleTimeout
 	}
+	if cfg.ParkTimeout == 0 {
+		cfg.ParkTimeout = DefaultParkTimeout
+	}
+	if cfg.DecodeTimeout == 0 {
+		cfg.DecodeTimeout = DefaultDecodeTimeout
+	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
 	if cfg.Workers == 0 {
 		cfg.Workers = DefaultWorkers()
 	}
@@ -102,6 +160,7 @@ func New(cfg Config) *Server {
 		m:         newServerMetrics(cfg.Metrics),
 		sink:      cfg.Sink,
 		sessions:  map[uint64]*activeSession{},
+		parked:    map[string]*parkedSession{},
 		listeners: map[net.Listener]struct{}{},
 	}
 	s.sink.setMetrics(s.m)
@@ -178,20 +237,40 @@ func (s *Server) isClosed() bool {
 	return s.closed
 }
 
-// admit applies the session-count and memory-budget limits, reserving
-// the estimate on success. Callers release via release().
-func (s *Server) admit(est int64) error {
+// retryAfter is the hint for overload rejections (0 when disabled).
+func (s *Server) retryAfter() time.Duration {
+	if s.cfg.RetryAfter < 0 {
+		return 0
+	}
+	return s.cfg.RetryAfter
+}
+
+// admit applies the session-count and memory-budget limits (parked
+// sessions count against both — their gateways are still live),
+// reserving the estimate on success. Callers release via release().
+// A *ServerError return carries the overload code and retry hint for
+// the rejection ERROR frame.
+func (s *Server) admit(est int64) *ServerError {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return errors.New("server draining")
+		return &ServerError{Code: ErrCodeGeneric, Reason: "server draining"}
 	}
-	if s.cfg.MaxSessions > 0 && len(s.sessions) >= s.cfg.MaxSessions {
-		return fmt.Errorf("session limit reached (%d active)", len(s.sessions))
+	inUse := len(s.sessions) + len(s.parked)
+	if s.cfg.MaxSessions > 0 && inUse >= s.cfg.MaxSessions {
+		return &ServerError{
+			Code:       ErrCodeOverload,
+			RetryAfter: s.retryAfter(),
+			Reason:     fmt.Sprintf("session limit reached (%d active)", inUse),
+		}
 	}
 	if s.cfg.MemoryBudget > 0 && s.memInUse+est > s.cfg.MemoryBudget {
-		return fmt.Errorf("memory budget exceeded (%d in use + %d requested > %d)",
-			s.memInUse, est, s.cfg.MemoryBudget)
+		return &ServerError{
+			Code:       ErrCodeOverload,
+			RetryAfter: s.retryAfter(),
+			Reason: fmt.Sprintf("memory budget exceeded (%d in use + %d requested > %d)",
+				s.memInUse, est, s.cfg.MemoryBudget),
+		}
 	}
 	s.memInUse += est
 	s.m.MemoryInUse.Set(s.memInUse)
@@ -205,21 +284,23 @@ func (s *Server) release(est int64) {
 	s.m.MemoryInUse.Set(s.memInUse)
 }
 
-// reject answers a handshake with an ERROR frame and closes the
-// connection.
-func (s *Server) reject(conn net.Conn, reason string) {
+// reject answers a handshake with a structured ERROR frame and closes
+// the connection.
+func (s *Server) reject(conn net.Conn, e *ServerError) {
 	s.m.SessionsRejected.Inc()
-	if len(reason) > MaxErrorBody {
-		reason = reason[:MaxErrorBody]
+	if e.Code == ErrCodeOverload {
+		s.m.OverloadRejected.Inc()
 	}
-	_ = WriteFrame(conn, FrameError, []byte(reason))
+	_ = WriteFrame(conn, FrameError, EncodeErrorBody(e.Code, e.RetryAfter, e.Reason))
 	conn.Close()
 }
 
-// handleConn runs one ingestion connection end to end: handshake,
-// admission, the frame loop, and teardown (always draining the session
-// so buffered packets are published even on abrupt disconnect).
+// handleConn runs one ingestion connection end to end: handshake
+// (HELLO or RESUME), admission or reclaim, then the frame loop.
 func (s *Server) handleConn(conn net.Conn) {
+	if s.cfg.WrapConn != nil {
+		conn = s.cfg.WrapConn(conn)
+	}
 	br := bufio.NewReaderSize(conn, 64<<10)
 	idle := s.cfg.IdleTimeout
 
@@ -228,50 +309,93 @@ func (s *Server) handleConn(conn net.Conn) {
 		_ = conn.SetReadDeadline(time.Now().Add(idle))
 	}
 	typ, body, err := ReadFrame(br)
-	if err != nil || typ != FrameHello {
+	if err != nil || (typ != FrameHello && typ != FrameResume) {
 		s.m.HelloErrors.Inc()
 		if err == nil {
-			err = fmt.Errorf("first frame type 0x%02x, want HELLO", typ)
+			err = fmt.Errorf("first frame type 0x%02x, want HELLO or RESUME", typ)
 		}
-		s.reject(conn, fmt.Sprintf("bad handshake: %v", err))
+		s.reject(conn, &ServerError{Reason: fmt.Sprintf("bad handshake: %v", err)})
 		return
 	}
 	h, err := ParseHello(body)
 	if err != nil {
 		s.m.HelloErrors.Inc()
-		s.reject(conn, err.Error())
+		s.reject(conn, &ServerError{Reason: err.Error()})
 		return
 	}
+	resumable := typ == FrameResume
+
+	// RESUME first tries to reclaim a parked session for the station;
+	// if none matches it falls through to a fresh resumable session
+	// starting at offset 0.
+	if resumable {
+		if p := s.awaitParked(h, conn); p != nil {
+			off := p.sess.Ingested()
+			if err := WriteFrame(conn, FrameOK, EncodeOffset(off)); err != nil {
+				s.parkOrFinish(p.sess, p.est, h, conn, true)
+				return
+			}
+			s.m.ResumesTotal.Inc()
+			s.logf("%s resumed from %s at sample offset %d", p.sess, conn.RemoteAddr(), off)
+			s.serveSession(p.sess, p.est, h, conn, br)
+			return
+		}
+	}
+
 	cfg := h.Config()
 	if err := cfg.Validate(); err != nil {
 		s.m.HelloErrors.Inc()
-		s.reject(conn, err.Error())
+		s.reject(conn, &ServerError{Reason: err.Error()})
 		return
 	}
 	est, err := EstimateMemoryBytes(cfg, s.cfg.Workers)
 	if err != nil {
 		s.m.HelloErrors.Inc()
-		s.reject(conn, err.Error())
+		s.reject(conn, &ServerError{Reason: err.Error()})
 		return
 	}
-	if err := s.admit(est); err != nil {
-		s.logf("reject %s from %s: %v", h.Station, conn.RemoteAddr(), err)
-		s.reject(conn, err.Error())
+	if aerr := s.admit(est); aerr != nil {
+		s.logf("reject %s from %s: %v", h.Station, conn.RemoteAddr(), aerr)
+		s.reject(conn, aerr)
 		return
 	}
-	sess, err := s.newAdmittedSession(h, est, conn)
+	sess, err := s.newAdmittedSession(h, est, conn, resumable)
 	if err != nil {
 		s.release(est)
-		s.reject(conn, err.Error())
+		s.reject(conn, &ServerError{Reason: err.Error()})
 		return
 	}
-	if err := WriteFrame(conn, FrameOK, nil); err != nil {
+	// A plain HELLO gets the empty OK of protocol v1; RESUME gets the
+	// starting offset (0 for a fresh session) so the client knows where
+	// replay would begin.
+	var okBody []byte
+	if resumable {
+		okBody = EncodeOffset(0)
+	}
+	if err := WriteFrame(conn, FrameOK, okBody); err != nil {
 		s.finishSession(sess, est, conn)
 		return
 	}
 	s.logf("%s connected from %s (≈%d MiB reserved)", sess, conn.RemoteAddr(), est>>20)
+	s.serveSession(sess, est, h, conn, br)
+}
 
-	// Frame loop.
+// serveSession runs the frame loop for an established session and
+// tears it down: parking it when a resumable connection dies abnormally
+// (so RESUME can reclaim it), draining it otherwise. A panic anywhere
+// in the loop is contained to this session.
+func (s *Server) serveSession(sess *Session, est int64, h Hello, conn net.Conn, br *bufio.Reader) {
+	idle := s.cfg.IdleTimeout
+	park := false
+	defer func() {
+		if v := recover(); v != nil {
+			s.m.PanicsRecovered.Inc()
+			s.logf("%s handler panic: %v", sess, v)
+			park = false
+		}
+		s.parkOrFinish(sess, est, h, conn, park)
+	}()
+
 	var iqBuf []complex128
 	for {
 		if idle > 0 {
@@ -285,8 +409,11 @@ func (s *Server) handleConn(conn net.Conn) {
 				s.logf("%s idle timeout", sess)
 			} else {
 				s.logf("%s disconnected: %v", sess, err)
+				// Only an abnormal disconnect parks; an idle station has
+				// stopped on purpose and re-handshakes when it returns.
+				park = sess.Resumable
 			}
-			break
+			return
 		}
 		switch typ {
 		case FrameIQ:
@@ -297,13 +424,22 @@ func (s *Server) handleConn(conn net.Conn) {
 				err = sess.Write(iqBuf)
 			}
 			if err != nil {
-				// ErrGatewayClosed means Shutdown drained us mid-stream;
-				// either way the session is over.
-				_ = WriteFrame(conn, FrameError, []byte(err.Error()))
-				goto done
+				// ErrGatewayClosed means Shutdown drained us mid-stream; a
+				// failed session carries its fault. Either way the session
+				// is over — a failed session is never parked.
+				_ = WriteFrame(conn, FrameError, EncodeErrorBody(ErrCodeGeneric, 0, err.Error()))
+				return
 			}
 			s.m.FramesIngested.Inc()
 			s.m.BytesIngested.Add(int64(len(body)))
+			if sess.Resumable {
+				if err := WriteFrame(conn, FrameAck, EncodeOffset(sess.Ingested())); err != nil {
+					s.logf("%s ack write failed: %v", sess, err)
+					park = true
+					return
+				}
+				s.m.ResumeAcks.Inc()
+			}
 		case FrameClose:
 			// Flush, publish everything, then acknowledge so the client
 			// knows its packets are out.
@@ -313,24 +449,33 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			_ = WriteFrame(conn, FrameOK, nil)
 			s.logf("%s closed cleanly", sess)
-			goto done
+			return
 		default:
 			s.logf("%s sent unexpected frame type 0x%02x", sess, typ)
-			_ = WriteFrame(conn, FrameError, []byte(fmt.Sprintf("unexpected frame type 0x%02x", typ)))
-			goto done
+			_ = WriteFrame(conn, FrameError,
+				EncodeErrorBody(ErrCodeGeneric, 0, fmt.Sprintf("unexpected frame type 0x%02x", typ)))
+			return
 		}
 	}
-done:
-	s.finishSession(sess, est, conn)
 }
 
 // newAdmittedSession builds the session and tracks it.
-func (s *Server) newAdmittedSession(h Hello, est int64, conn net.Conn) (*Session, error) {
+func (s *Server) newAdmittedSession(h Hello, est int64, conn net.Conn, resumable bool) (*Session, error) {
 	s.mu.Lock()
 	s.nextID++
 	id := s.nextID
 	s.mu.Unlock()
-	sess, err := NewSession(id, h, s.cfg.Workers, s.cfg.Metrics, s.sink)
+	decodeTimeout := s.cfg.DecodeTimeout
+	if decodeTimeout < 0 {
+		decodeTimeout = 0
+	}
+	sess, err := NewSessionOpts(id, h, SessionOptions{
+		Workers:        s.cfg.Workers,
+		Metrics:        s.cfg.Metrics,
+		DecodeTimeout:  decodeTimeout,
+		Resumable:      resumable,
+		GatewayOptions: s.cfg.GatewayOptions,
+	}, s.sink)
 	if err != nil {
 		return nil, err
 	}
@@ -342,6 +487,125 @@ func (s *Server) newAdmittedSession(h Hello, est int64, conn net.Conn) (*Session
 	s.m.SessionsTotal.Inc()
 	s.m.SessionsActive.Set(int64(active))
 	return sess, nil
+}
+
+// resumeGrace bounds how long a RESUME waits for the station's dying
+// connection to park its session: a client that detected the failure
+// first can reconnect before the server's reader has seen the
+// disconnect, and reclaiming must win that race or the client would be
+// handed a fresh session at offset 0 while the old one still holds the
+// ingested stream.
+const resumeGrace = 3 * time.Second
+
+// awaitParked reclaims the station's parked session, briefly waiting
+// out an in-flight park when the previous connection is still tearing
+// down (see resumeGrace).
+func (s *Server) awaitParked(h Hello, conn net.Conn) *parkedSession {
+	if p := s.resumeParked(h, conn); p != nil {
+		return p
+	}
+	deadline := time.Now().Add(resumeGrace)
+	for s.hasActiveStation(h) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		if p := s.resumeParked(h, conn); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// hasActiveStation reports whether a resumable session for the station
+// is still attached to a connection.
+func (s *Server) hasActiveStation(h Hello) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.sessions {
+		if a.sess.Resumable && a.sess.Station == h.Station {
+			return true
+		}
+	}
+	return false
+}
+
+// resumeParked reclaims the station's parked session for a new
+// connection, returning nil when there is nothing to reclaim (no parked
+// session, a different stream configuration, the park timer already
+// fired, or the server is draining).
+func (s *Server) resumeParked(h Hello, conn net.Conn) *parkedSession {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	p := s.parked[h.Station]
+	if p == nil || p.hello != h {
+		return nil
+	}
+	if !p.timer.Stop() {
+		// The expiry fired and is waiting on the lock; let it drain.
+		return nil
+	}
+	delete(s.parked, h.Station)
+	s.sessions[p.sess.ID] = &activeSession{sess: p.sess, conn: conn}
+	s.m.SessionsParked.Set(int64(len(s.parked)))
+	s.m.SessionsActive.Set(int64(len(s.sessions)))
+	return p
+}
+
+// parkOrFinish tears a session down after its connection ends: a
+// healthy resumable session is parked for the resume window (when park
+// is set and parking is enabled); anything else drains immediately.
+func (s *Server) parkOrFinish(sess *Session, est int64, h Hello, conn net.Conn, park bool) {
+	if park && sess.Failed() == nil && s.parkSession(sess, est, h) {
+		conn.Close()
+		s.logf("%s parked for %v (resume window)", sess, s.cfg.ParkTimeout)
+		return
+	}
+	s.finishSession(sess, est, conn)
+}
+
+// parkSession moves a session from the active set to the parked map,
+// starting its expiry timer. Fails (→ caller drains) when parking is
+// disabled, the server is draining, or the station already has a parked
+// session.
+func (s *Server) parkSession(sess *Session, est int64, h Hello) bool {
+	if s.cfg.ParkTimeout <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if _, dup := s.parked[sess.Station]; dup {
+		return false
+	}
+	delete(s.sessions, sess.ID)
+	p := &parkedSession{sess: sess, est: est, hello: h}
+	p.timer = time.AfterFunc(s.cfg.ParkTimeout, func() { s.expirePark(sess.Station, p) })
+	s.parked[sess.Station] = p
+	s.m.SessionsActive.Set(int64(len(s.sessions)))
+	s.m.SessionsParked.Set(int64(len(s.parked)))
+	return true
+}
+
+// expirePark drains a parked session whose resume window elapsed.
+func (s *Server) expirePark(station string, p *parkedSession) {
+	s.mu.Lock()
+	if s.parked[station] != p {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.parked, station)
+	parked := len(s.parked)
+	s.mu.Unlock()
+	s.m.SessionsParked.Set(int64(parked))
+	s.m.ResumesExpired.Inc()
+	s.logf("%s resume window expired", p.sess)
+	if err := p.sess.Drain(); err != nil {
+		s.logf("%s expiry drain: %v", p.sess, err)
+	}
+	s.release(p.est)
 }
 
 // finishSession drains (idempotent — publishes any still-buffered
@@ -358,9 +622,10 @@ func (s *Server) finishSession(sess *Session, est int64, conn net.Conn) {
 }
 
 // Shutdown drains the daemon gracefully: stop accepting, flush every
-// session's Gateway (publishing all fully-buffered packets), close the
-// connections, and wait for the handlers — bounded by ctx. The sink is
-// left open; close it after Shutdown so late records are not lost.
+// session's Gateway (parked sessions included, publishing all
+// fully-buffered packets), close the connections, and wait for the
+// handlers — bounded by ctx. The sink is left open; close it after
+// Shutdown so late records are not lost.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
@@ -375,7 +640,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for _, a := range s.sessions {
 		active = append(active, a)
 	}
+	idle := make([]*parkedSession, 0, len(s.parked))
+	for _, p := range s.parked {
+		p.timer.Stop()
+		idle = append(idle, p)
+	}
+	s.parked = map[string]*parkedSession{}
 	s.mu.Unlock()
+	s.m.SessionsParked.Set(0)
 
 	// Flush sessions concurrently; closing each connection afterwards
 	// unblocks its reader so the handler can finish.
@@ -389,6 +661,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			}
 			a.conn.Close()
 		}(a)
+	}
+	for _, p := range idle {
+		wg.Add(1)
+		go func(p *parkedSession) {
+			defer wg.Done()
+			if err := p.sess.Drain(); err != nil {
+				s.logf("%s shutdown drain: %v", p.sess, err)
+			}
+			s.release(p.est)
+		}(p)
 	}
 	flushed := make(chan struct{})
 	go func() {
@@ -409,4 +691,12 @@ func (s *Server) SessionCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.sessions)
+}
+
+// ParkedCount reports the number of parked (resumable, disconnected)
+// sessions.
+func (s *Server) ParkedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.parked)
 }

@@ -4,19 +4,26 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cic"
 )
 
 // Session is one ingestion stream: a dedicated cic.Gateway plus the
 // publisher goroutine that forwards its decoded packets to the sink as
-// Records. The daemon runs one per connection; tests construct them
-// directly.
+// Records. The daemon runs one per connection; a *resumable* session
+// (opened with FrameResume) can outlive its connection — the server
+// parks it on disconnect and a reconnecting client picks it up again.
+// Tests construct Sessions directly.
 type Session struct {
 	// ID is the server-assigned session number (unique per Server).
 	ID uint64
 	// Station is the HELLO station identifier.
 	Station string
+	// Resumable records that the session was opened with FrameResume:
+	// the server acks ingestion progress and parks it on disconnect.
+	Resumable bool
 
 	gw   *cic.Gateway
 	sink *Fanout
@@ -26,6 +33,18 @@ type Session struct {
 	// (3× the max packet) plus up to 2×workers in-flight sample
 	// snapshots, at 16 bytes per complex128.
 	MemoryBytes int64
+
+	// ingested counts samples accepted into the Gateway — the resume
+	// offset acked to resumable clients. writeTimeout bounds one Write's
+	// decode admission (0 = unbounded).
+	ingested     atomic.Int64
+	writeTimeout time.Duration
+
+	// failErr records the first unrecoverable session fault (a recovered
+	// decode panic, a decode deadline); once set, Write refuses and the
+	// connection handler fails the session with an ERROR frame.
+	failMu  sync.Mutex
+	failErr error
 
 	drainOnce sync.Once
 	pubDone   chan struct{}
@@ -43,35 +62,65 @@ func EstimateMemoryBytes(cfg cic.Config, workers int) (int64, error) {
 	return int64(maxPkt) * 16 * int64(3+2*workers), nil
 }
 
+// SessionOptions parameterises NewSession beyond the handshake.
+type SessionOptions struct {
+	// Workers is the decode pool size (≤ 0 selects the gateway default).
+	Workers int
+	// Metrics aggregates decode metrics across sessions (nil disables).
+	Metrics *cic.Metrics
+	// DecodeTimeout bounds one Write's decode admission; when exceeded the
+	// session fails (and is drained) rather than wedging its connection
+	// handler forever (0 = unbounded).
+	DecodeTimeout time.Duration
+	// Resumable marks the session resumable (see Session.Resumable).
+	Resumable bool
+	// GatewayOptions are appended to the per-session Gateway's options
+	// (after the defaults, so they may override WithWorkers etc.).
+	GatewayOptions []cic.Option
+}
+
 // NewSession validates the handshake's configuration, builds its
 // Gateway (decode metrics land on reg when non-nil, aggregating across
 // sessions) and starts the publisher. workers ≤ 0 selects the gateway
 // default (GOMAXPROCS).
 func NewSession(id uint64, h Hello, workers int, reg *cic.Metrics, sink *Fanout) (*Session, error) {
+	return NewSessionOpts(id, h, SessionOptions{Workers: workers, Metrics: reg}, sink)
+}
+
+// NewSessionOpts is NewSession with the full option set.
+func NewSessionOpts(id uint64, h Hello, o SessionOptions, sink *Fanout) (*Session, error) {
 	cfg := h.Config()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	opts := []cic.Option{cic.WithWorkers(workers)}
-	if reg != nil {
-		opts = append(opts, cic.WithMetrics(reg))
+	s := &Session{
+		ID:           id,
+		Station:      h.Station,
+		Resumable:    o.Resumable,
+		sink:         sink,
+		m:            newServerMetrics(nil),
+		writeTimeout: o.DecodeTimeout,
+		pubDone:      make(chan struct{}),
 	}
+	opts := []cic.Option{cic.WithWorkers(o.Workers)}
+	if o.Metrics != nil {
+		opts = append(opts, cic.WithMetrics(o.Metrics))
+	}
+	opts = append(opts, o.GatewayOptions...)
+	// The panic hook is installed last so a worker panic always fails
+	// exactly this session, even when GatewayOptions carries its own
+	// experimental hooks.
+	opts = append(opts, cic.WithPanicHook(s.onPanic))
 	gw, err := cic.NewGateway(cfg, opts...)
 	if err != nil {
 		return nil, err
 	}
+	s.gw = gw
+	workers := o.Workers
 	if workers <= 0 {
 		workers = gw.Workers()
 	}
-	s := &Session{
-		ID:          id,
-		Station:     h.Station,
-		gw:          gw,
-		sink:        sink,
-		m:           newServerMetrics(nil),
-		MemoryBytes: gw.MaxPacketSamples() * 16 * int64(3+2*workers),
-		pubDone:     make(chan struct{}),
-	}
+	s.MemoryBytes = gw.MaxPacketSamples() * 16 * int64(3+2*workers)
 	go s.publish()
 	return s, nil
 }
@@ -79,6 +128,73 @@ func NewSession(id uint64, h Hello, workers int, reg *cic.Metrics, sink *Fanout)
 // setMetrics attaches the daemon metric handles (Server wires this
 // before the first Write; tests may leave the no-op set).
 func (s *Session) setMetrics(m *serverMetrics) { s.m = m }
+
+// onPanic is the Gateway's panic hook: a recovered decode-worker panic
+// fails this session (and only this session) — the daemon keeps serving
+// every other connection.
+func (s *Session) onPanic(stage string, recovered any) {
+	s.m.PanicsRecovered.Inc()
+	s.fail(fmt.Errorf("decode %s worker panic: %v", stage, recovered))
+}
+
+// fail records the session's first fault and drains it asynchronously
+// (Drain cannot run on the faulting goroutine: a worker draining its own
+// pool would deadlock). Subsequent Writes surface the fault.
+func (s *Session) fail(err error) {
+	s.failMu.Lock()
+	if s.failErr == nil {
+		s.failErr = err
+	}
+	s.failMu.Unlock()
+	go func() { _ = s.Drain() }()
+}
+
+// Failed returns the session's recorded fault, nil while healthy.
+func (s *Session) Failed() error {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	return s.failErr
+}
+
+// Write pushes IQ samples into the session's Gateway. After Drain it
+// returns cic.ErrGatewayClosed. It may block under decode backpressure —
+// that is the mechanism that propagates flow control to the TCP stream —
+// but never past the session's write timeout: a decode pipeline that
+// cannot admit one IQ frame within the deadline fails this session
+// (counted in server_decode_deadlines) instead of wedging its handler.
+// A panic escaping the ingest-side decode path (detection, header
+// demodulation) is likewise contained to this session.
+func (s *Session) Write(iq []complex128) (err error) {
+	if ferr := s.Failed(); ferr != nil {
+		return fmt.Errorf("session failed: %w", ferr)
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			s.m.PanicsRecovered.Inc()
+			err = fmt.Errorf("decode ingest panic: %v", v)
+			s.fail(err)
+		}
+	}()
+	if s.writeTimeout > 0 {
+		t := time.AfterFunc(s.writeTimeout, func() {
+			s.m.DecodeDeadlines.Inc()
+			s.fail(fmt.Errorf("decode deadline exceeded (%v)", s.writeTimeout))
+		})
+		defer t.Stop()
+	}
+	if _, err := s.gw.Write(iq); err != nil {
+		if ferr := s.Failed(); ferr != nil {
+			return fmt.Errorf("session failed: %w", ferr)
+		}
+		return err
+	}
+	s.ingested.Add(int64(len(iq)))
+	return nil
+}
+
+// Ingested reports the samples accepted into the Gateway so far — the
+// offset acked to resumable clients and returned on RESUME.
+func (s *Session) Ingested() int64 { return s.ingested.Load() }
 
 // publish forwards every decoded packet to the sink in the Gateway's
 // delivery (air-time) order.
@@ -100,14 +216,6 @@ func (s *Session) publish() {
 		s.m.PacketsPublished.Inc()
 		seq++
 	}
-}
-
-// Write pushes IQ samples into the session's Gateway. After Drain it
-// returns cic.ErrGatewayClosed. It may block under decode backpressure —
-// that is the mechanism that propagates flow control to the TCP stream.
-func (s *Session) Write(iq []complex128) error {
-	_, err := s.gw.Write(iq)
-	return err
 }
 
 // Drain flushes the Gateway — decoding every packet whose samples are

@@ -2,9 +2,11 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Record is one decoded packet as published on the NDJSON sink: the
@@ -36,6 +38,16 @@ type Record struct {
 // that falls further behind than this is dropped (slow-consumer
 // eviction) rather than allowed to stall the decode pipeline.
 const subscriberBuffer = 1024
+
+// Subscriber write-retry policy: a write that times out (a transiently
+// stalled peer) is retried with doubling backoff before the subscriber
+// is evicted; a hard error (connection reset) evicts immediately.
+// Retries are counted in server_sink_retries.
+const (
+	subscriberWriteTimeout = 2 * time.Second
+	subscriberWriteRetries = 3
+	subscriberRetryBase    = 50 * time.Millisecond
+)
 
 // Fanout publishes NDJSON records to a set of io.Writers (stdout, files)
 // and to dynamically attached TCP subscribers. Writer output is
@@ -125,7 +137,7 @@ func (f *Fanout) AddSubscriber(conn net.Conn) {
 	go func() {
 		defer f.wg.Done()
 		for line := range s.ch {
-			if _, err := s.conn.Write(line); err != nil {
+			if err := f.writeLine(s, line); err != nil {
 				f.mu.Lock()
 				f.dropLocked(s)
 				f.mu.Unlock()
@@ -137,6 +149,32 @@ func (f *Fanout) AddSubscriber(conn net.Conn) {
 		}
 		s.conn.Close()
 	}()
+}
+
+// writeLine delivers one NDJSON line to a subscriber, retrying timed-out
+// writes (subscriberWriteRetries attempts with doubling backoff) so a
+// transiently stalled consumer is not evicted for one slow moment.
+// Partial writes advance through the line, keeping the stream
+// byte-exact across retries.
+func (f *Fanout) writeLine(s *subscriber, line []byte) error {
+	backoff := subscriberRetryBase
+	for attempt := 0; ; attempt++ {
+		_ = s.conn.SetWriteDeadline(time.Now().Add(subscriberWriteTimeout))
+		n, err := s.conn.Write(line)
+		line = line[n:]
+		if err == nil && len(line) == 0 {
+			return nil
+		}
+		if err != nil {
+			var ne net.Error
+			if attempt >= subscriberWriteRetries || !errors.As(err, &ne) || !ne.Timeout() {
+				return err
+			}
+			f.m.SinkRetries.Inc()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
 }
 
 // dropLocked detaches a subscriber (caller holds mu). Closing the

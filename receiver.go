@@ -52,6 +52,9 @@ type receiverOptions struct {
 	metrics *Metrics
 	tracer  func(Event)
 
+	intercept func(Packet) Packet
+	panicHook func(stage string, recovered any)
+
 	// batchOnly collects the names of applied options that only affect the
 	// batch Receiver. NewReceiver ignores it; NewGateway rejects any option
 	// recorded here rather than silently ignoring it, so a streaming caller
@@ -94,6 +97,27 @@ func WithoutCFOFilter() Option {
 // (ablation of paper §5.7, Figs 36–37).
 func WithoutPowerFilter() Option {
 	return func(o *receiverOptions) { o.disablePowerFilter = true }
+}
+
+// WithDecodeInterceptor installs f on the streaming Gateway's worker
+// output path: every decoded packet passes through f before the reorder
+// stage, so a deployment can filter, annotate or transform packets
+// in-pipeline. f runs on a worker goroutine and must be safe for
+// concurrent calls; a panic inside f is contained by the worker's
+// recovery (the packet is delivered undecoded and the panic hook
+// fires). Batch Receivers ignore the interceptor.
+func WithDecodeInterceptor(f func(Packet) Packet) Option {
+	return func(o *receiverOptions) { o.intercept = f }
+}
+
+// WithPanicHook installs h as the streaming Gateway's panic observer: a
+// panic recovered on a decode worker (stage "payload") invokes h with
+// the recovered value instead of crashing the process. The packet whose
+// decode panicked is delivered undecoded (OK=false) so delivery order
+// is preserved. h runs on the panicking goroutine and must not itself
+// panic. Batch Receivers ignore the hook.
+func WithPanicHook(h func(stage string, recovered any)) Option {
+	return func(o *receiverOptions) { o.panicHook = h }
 }
 
 // Receiver decodes LoRa packets — including collided ones — from raw

@@ -79,4 +79,61 @@ while IFS=, read -r _node _start _snr _cfo hex; do
     fi
 done < <(tail -n +2 "$tmp/truth.csv")
 
+# Resilience check: kill cic-feed mid-stream, restart it on the same
+# station, and assert the resumed session yields every ground-truth
+# payload exactly once — no gaps, no duplicates.
+echo "smoke: restart-resume — starting fresh cic-gatewayd"
+"$tmp/bin/cic-gatewayd" -listen 127.0.0.1:0 -out "$tmp/out2.ndjson" \
+    -addr-file "$tmp/addr2" -quiet 2> "$tmp/daemon2.log" &
+daemon=$!
+for _ in $(seq 100); do
+    [ -s "$tmp/addr2" ] && break
+    sleep 0.1
+done
+[ -s "$tmp/addr2" ] || { echo "smoke: resume daemon never bound"; cat "$tmp/daemon2.log"; exit 1; }
+addr2=$(head -n1 "$tmp/addr2")
+
+# Throttle so the full capture takes ~5s of streaming, then kill the
+# feeder mid-stream with SIGKILL (no chance for a clean CLOSE).
+samples=$(( $(wc -c < "$tmp/capture.cf32") / 8 ))
+rate=$(( samples / 5 ))
+echo "smoke: feeding throttled ($rate samples/s), killing mid-stream"
+"$tmp/bin/cic-feed" -addr "$addr2" -in "$tmp/capture.cf32" -station resume -cr 3 \
+    -rate "$rate" 2> "$tmp/feed1.log" &
+feed=$!
+sleep 1.5
+kill -9 "$feed" 2>/dev/null || true
+wait "$feed" 2>/dev/null || true
+
+echo "smoke: restarting cic-feed on the same station"
+"$tmp/bin/cic-feed" -addr "$addr2" -in "$tmp/capture.cf32" -station resume -cr 3 \
+    2> "$tmp/feed2.log"
+grep -q "resuming at sample offset" "$tmp/feed2.log" || {
+    echo "smoke: FAIL — restarted cic-feed did not resume a parked session"
+    cat "$tmp/feed2.log"
+    exit 1
+}
+
+echo "smoke: draining resume daemon (SIGTERM)"
+kill -TERM "$daemon"
+wait "$daemon" || { echo "smoke: resume daemon exited non-zero"; cat "$tmp/daemon2.log"; exit 1; }
+daemon=
+
+fail=0
+while IFS=, read -r _node _start _snr _cfo hex; do
+    count=$(grep -c "\"payload\":\"$hex\"" "$tmp/out2.ndjson" || true)
+    if [ "$count" -ne 1 ]; then
+        echo "smoke: FAIL — resumed stream has $count record(s) for payload $hex, want exactly 1"
+        fail=1
+    fi
+done < <(tail -n +2 "$tmp/truth.csv")
+if [ "$fail" -ne 0 ]; then
+    echo "--- truth ---";   cat "$tmp/truth.csv"
+    echo "--- ndjson ---";  cat "$tmp/out2.ndjson"
+    echo "--- feed1 ---";   cat "$tmp/feed1.log"
+    echo "--- feed2 ---";   cat "$tmp/feed2.log"
+    exit 1
+fi
+echo "smoke: restart-resume OK — gap-free, duplicate-free after mid-stream kill"
+
 echo "smoke: OK — $(wc -l < "$tmp/out.ndjson") NDJSON record(s) delivered"

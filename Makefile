@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all vet lint build test race bench bench-gateway bench-json fuzz chaos smoke ci
+.PHONY: all vet lint build test race bench bench-gateway bench-json bench-matrix bench-gate fuzz chaos smoke ci
 
 all: ci
 
@@ -14,7 +14,7 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific safety invariants (nopanic, boundedalloc, errwrap,
-# clockinject, nilsafeobs, atomicalign). See docs/LINTING.md.
+# clockinject, nilsafeobs, atomicalign, hotalloc). See docs/LINTING.md.
 lint:
 	$(GO) run ./cmd/cic-lint ./...
 
@@ -31,7 +31,7 @@ race:
 # micro-benchmarks. One iteration each — a smoke test that the benches
 # run, not a measurement (use bench-gateway for numbers).
 bench:
-	$(GO) test -run '^$$' -bench 'GatewayStream|FFT1024|DechirpAndFold|MustPlanParallel|CICSymbol' -benchtime=1x ./ ./internal/dsp/
+	$(GO) test -run '^$$' -bench 'GatewayStream|FFT1024|FFT4096|ForwardWindowed1024|ForwardReal1024|DFTBin1024|DechirpAndFold|MustPlanParallel|CICSymbol' -benchtime=1x ./ ./internal/dsp/
 
 # Measured gateway streaming throughput at 1/4/GOMAXPROCS workers;
 # baselines recorded in BENCH_gateway.json.
@@ -44,6 +44,22 @@ bench-gateway:
 # into the checked-in JSON shape.
 bench-json:
 	$(GO) test -run '^$$' -bench 'GatewayStream' -benchtime=10x ./ | $(GO) run ./cmd/cic-bench -out BENCH_gateway.json
+
+# Re-record the full benchmark matrix: the gateway streaming record
+# (bench-json) plus the DSP kernel record. Run on the machine whose
+# numbers you intend to commit; the records embed the host environment.
+bench-matrix: bench-json
+	$(GO) test -run '^$$' -bench 'FFT4096|ForwardWindowed1024|ForwardReal1024|DFTBin1024' -benchtime=1000x ./internal/dsp/ | \
+		$(GO) run ./cmd/cic-bench -out BENCH_dsp.json \
+		-benchmark "DSP kernels" \
+		-description "FFT kernel micro-benchmarks: radix-4 forward transform, fused windowed transform, packed real-input transform, Goertzel fractional-bin DTFT (make bench-matrix)."
+
+# Regression gate against the committed records: allocs/op must stay
+# within max(+10%, +5) of BENCH_gateway.json / BENCH_dsp.json. Alloc
+# counts are deterministic, so this is CI-safe; wall-clock numbers are
+# informational only (see scripts/bench_gate.sh).
+bench-gate:
+	./scripts/bench_gate.sh
 
 # Short fuzz passes over every byte-level parser that faces untrusted
 # input: the cf32 reader and the cic-gatewayd frame/handshake parsers.
@@ -69,4 +85,4 @@ chaos:
 smoke:
 	./scripts/smoke.sh
 
-ci: vet lint build race bench fuzz chaos smoke
+ci: vet lint build race bench bench-gate fuzz chaos smoke

@@ -7,6 +7,16 @@
 // Usage:
 //
 //	go test -run '^$' -bench GatewayStream -benchtime=5x ./ | cic-bench -out BENCH_gateway.json
+//
+// With -gate it runs in regression-gate mode instead of record mode: the
+// fresh bench output on stdin is compared against a committed BENCH_*.json
+// record and the process exits non-zero when a benchmark's allocs/op grows
+// past the committed value's slack (default max(+10%, +5) — allocation
+// counts are deterministic, so this gate is CI-safe on any machine).
+// Wall-clock gating is off by default because ns/op depends on the host;
+// enable it locally with -gate-time-ratio.
+//
+//	go test -run '^$' -bench GatewayStream -benchtime=10x ./ | cic-bench -gate BENCH_gateway.json
 package main
 
 import (
@@ -56,6 +66,11 @@ func run() error {
 		desc      = flag.String("description", "Streaming ingest throughput through the Gateway's pipelined decode path on a 3-packet-collision trace (make bench-json).", "record description")
 		note      = flag.String("note", "", "free-form environment note")
 		out       = flag.String("out", "", "output path (default stdout)")
+
+		gate          = flag.String("gate", "", "committed BENCH_*.json to gate fresh stdin results against (regression-gate mode; no record is written)")
+		gateSlackPct  = flag.Float64("gate-alloc-slack-pct", 10, "allowed allocs/op growth over the committed value, percent")
+		gateSlackAbs  = flag.Int64("gate-alloc-slack-abs", 5, "allowed allocs/op growth over the committed value, absolute (the effective budget is the larger of the two slacks)")
+		gateTimeRatio = flag.Float64("gate-time-ratio", 0, "when >0, fail if ns/op exceeds the committed ns/op by more than this factor (machine-sensitive; off by default)")
 	)
 	flag.Parse()
 
@@ -98,6 +113,10 @@ func run() error {
 		return fmt.Errorf("no benchmark result lines on stdin")
 	}
 
+	if *gate != "" {
+		return runGate(*gate, rec.Results, *gateSlackPct, *gateSlackAbs, *gateTimeRatio)
+	}
+
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err
@@ -111,6 +130,75 @@ func run() error {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "wrote", *out)
+	return nil
+}
+
+// runGate compares fresh results against the committed record at path.
+// The authoritative check is allocs/op: Go's allocation accounting is
+// deterministic per code path, so the budget
+// max(committed*(1+slackPct/100), committed+slackAbs) catches real
+// regressions without flaking across CI hosts. When timeRatio > 0 a
+// wall-clock check (ns/op <= committed*timeRatio) is applied as well.
+func runGate(path string, fresh []result, slackPct float64, slackAbs int64, timeRatio float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base record
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	committed := make(map[string]result, len(base.Results))
+	for _, r := range base.Results {
+		committed[r.Name] = r
+	}
+
+	var failures []string
+	checked := 0
+	for _, n := range fresh {
+		o, ok := committed[n.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gate: %-45s not in %s (new benchmark, skipped)\n", n.Name, path)
+			continue
+		}
+		checked++
+		budget := int64(float64(o.AllocsPerOp) * (1 + slackPct/100))
+		if abs := o.AllocsPerOp + slackAbs; abs > budget {
+			budget = abs
+		}
+		if n.AllocsPerOp > budget {
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op, committed %d (budget %d)",
+				n.Name, n.AllocsPerOp, o.AllocsPerOp, budget))
+		} else {
+			fmt.Fprintf(os.Stderr, "gate: %-45s %6d allocs/op (budget %d) ok\n", n.Name, n.AllocsPerOp, budget)
+		}
+		if timeRatio > 0 && o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*timeRatio {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op, committed %.0f (ratio limit %.2fx)",
+				n.Name, n.NsPerOp, o.NsPerOp, timeRatio))
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("gate: no stdin benchmark overlaps %s — wrong -bench filter or stale record", path)
+	}
+	for _, o := range base.Results {
+		found := false
+		for _, n := range fresh {
+			if n.Name == o.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "gate: %-45s in %s but not exercised this run\n", o.Name, path)
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "gate: REGRESSION:", f)
+		}
+		return fmt.Errorf("gate: %d regression(s) vs %s", len(failures), path)
+	}
+	fmt.Fprintf(os.Stderr, "gate: %d benchmark(s) within budget of %s\n", checked, path)
 	return nil
 }
 

@@ -501,12 +501,30 @@ func (g *Gateway) traceHeader(p *rx.Packet, seq int64, ok bool) {
 	})
 }
 
+// workerState is one pool worker's private arena: the demodulator plus
+// the per-job scratch that the payload path reuses across packets. No
+// other goroutine touches it, so the steady-state decode loop performs no
+// cross-worker sharing and no per-symbol allocation.
+type workerState struct {
+	dm      *core.Demodulator
+	src     rx.MemorySource // per-job sample view (avoids a heap escape per packet)
+	altFlat []uint16        // backing store for all of one packet's ranked alternates
+	altIdx  [][]uint16      // per-symbol views into altFlat
+}
+
 // worker demodulates payloads from the job queue with a private
 // demodulator and forwards results to the reorder stage.
 func (g *Gateway) worker(dm *core.Demodulator) {
 	defer g.workerWG.Done()
+	// Alternate arenas are pre-sized for a typical payload (the caps are
+	// soft — a long packet grows them once and they stay grown).
+	ws := &workerState{
+		dm:      dm,
+		altFlat: make([]uint16, 0, 512),
+		altIdx:  make([][]uint16, 0, 128),
+	}
 	for job := range g.jobs {
-		g.runJob(dm, job)
+		g.runJob(ws, job)
 	}
 }
 
@@ -517,7 +535,7 @@ func (g *Gateway) worker(dm *core.Demodulator) {
 // counter ticks, and the panic hook (if any) observes the value — the
 // worker then keeps serving the queue. Without this, one hostile packet
 // would kill the process and with it every other session's gateway.
-func (g *Gateway) runJob(dm *core.Demodulator, job decodeJob) {
+func (g *Gateway) runJob(ws *workerState, job decodeJob) {
 	g.m.WorkersBusy.Add(1)
 	defer g.m.WorkersBusy.Add(-1)
 	done := false
@@ -546,9 +564,9 @@ func (g *Gateway) runJob(dm *core.Demodulator, job decodeJob) {
 	nsyms := 0
 	if !job.ready {
 		t0 := g.m.DemodTime.Start()
-		pkt = g.decodePayload(dm, job)
+		pkt = g.decodePayload(ws, job)
 		g.m.DemodTime.Since(t0)
-		gates.Add(dm.TakeGateTally())
+		gates.Add(ws.dm.TakeGateTally())
 		nsyms = job.pkt.NSymbols
 		g.snapPool.Put(job.snapBuf)
 	}
@@ -570,19 +588,27 @@ func (g *Gateway) runJob(dm *core.Demodulator, job decodeJob) {
 
 // decodePayload runs CIC payload demodulation for one dispatched packet,
 // including the pipeline's CRC-driven chase pass over ranked alternates.
-func (g *Gateway) decodePayload(dm *core.Demodulator, job decodeJob) Packet {
+// The ranked alternates returned by the picker are its scratch, so they
+// are copied into the worker's flat arena before the next symbol.
+//
+//cic:hotpath
+func (g *Gateway) decodePayload(ws *workerState, job decodeJob) Packet {
 	out := job.result
-	src := &rx.MemorySource{Base: job.snapStart, Samples: job.snap}
+	ws.src = rx.MemorySource{Base: job.snapStart, Samples: job.snap}
+	src := &ws.src
 	syms := job.syms
-	var alternates [][]uint16
+	ws.altFlat = ws.altFlat[:0]
+	ws.altIdx = ws.altIdx[:0]
 	for s := phy.HeaderSymbolCount; s < job.pkt.NSymbols; s++ {
-		ranked := dm.PickSymbolAlternates(src, job.pkt, s, job.others)
+		ranked := ws.dm.PickSymbolAlternates(src, job.pkt, s, job.others)
 		syms = append(syms, ranked[0])
-		alternates = append(alternates, ranked)
+		start := len(ws.altFlat)
+		ws.altFlat = append(ws.altFlat, ranked...)
+		ws.altIdx = append(ws.altIdx, ws.altFlat[start:len(ws.altFlat):len(ws.altFlat)])
 	}
 	dec, err := phy.Decode(syms, g.fcfg.PHY)
 	if err == nil && !dec.CRCOK {
-		if fixed, ok := rx.ChaseDecode(syms, alternates, g.fcfg.PHY); ok {
+		if fixed, ok := rx.ChaseDecode(syms, ws.altIdx, g.fcfg.PHY); ok {
 			dec = fixed
 			g.m.ChaseRecovered.Inc()
 		}

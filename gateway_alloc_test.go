@@ -1,0 +1,83 @@
+package cic_test
+
+import (
+	"testing"
+
+	"cic"
+)
+
+// writeAllocBudget is the pinned steady-state allocation ceiling for one
+// full trace pass (three colliding packets + quiet tail, ~4.7M samples)
+// through a warm single-worker gateway: every Write, the detection scan,
+// three dispatches, three payload decodes and three emitted packets.
+// The measured value on a warm gateway is ~80 allocs; the budget leaves
+// ~2× headroom for scheduling noise so the test stays deterministic while
+// still catching any per-window or per-symbol allocation regression
+// (one alloc per symbol window would add thousands).
+const writeAllocBudget = 200
+
+// TestGatewayWriteAllocBudget pins the steady-state allocation count of
+// the streaming ingest path on a long-lived gateway. Construction and
+// arena warm-up are excluded by running several passes before measuring.
+func TestGatewayWriteAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	cfg := cic.DefaultConfig()
+	cfg.CodingRate = 3
+	iq, _ := streamTrace(t, cfg)
+
+	gw, err := cic.NewGateway(cfg, cic.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain emitted packets for the gateway's whole lifetime; count them
+	// so the measured passes are known to exercise the full decode path.
+	decoded := make(chan int, 1)
+	go func() {
+		n := 0
+		for p := range gw.Packets() {
+			if p.OK {
+				n++
+			}
+		}
+		decoded <- n
+	}()
+
+	const chunk = 8192
+	pass := func() {
+		for off := 0; off < len(iq); off += chunk {
+			end := off + chunk
+			if end > len(iq) {
+				end = len(iq)
+			}
+			if _, err := gw.Write(iq[off:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Warm-up: let every scratch arena, reorder buffer and channel reach
+	// its steady-state capacity before counting.
+	const warmPasses = 6
+	for i := 0; i < warmPasses; i++ {
+		pass()
+	}
+
+	const measuredPasses = 8
+	avg := testing.AllocsPerRun(measuredPasses, pass)
+
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := <-decoded
+	// AllocsPerRun executes pass once extra before its measured runs.
+	minDecodes := 3 * (warmPasses + measuredPasses)
+	if n < minDecodes {
+		t.Fatalf("gateway decoded %d packets across all passes, want >= %d (decode path not exercised)", n, minDecodes)
+	}
+	if avg > writeAllocBudget {
+		t.Errorf("steady-state pass allocates %.0f objects, budget %d", avg, writeAllocBudget)
+	}
+	t.Logf("steady-state allocs per trace pass: %.1f (budget %d)", avg, writeAllocBudget)
+}

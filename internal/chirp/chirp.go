@@ -90,11 +90,21 @@ func (g *Generator) Symbol(dst []complex128, k int) error {
 
 // AppendSymbol appends symbol value k to buf and returns the extended
 // slice. An out-of-range k is an error, with buf returned unmodified
-// (the appended region is rolled back).
+// (the appended region is rolled back). The symbol is written directly
+// into buf's grown tail — no per-call temporary is allocated.
 func (g *Generator) AppendSymbol(buf []complex128, k int) ([]complex128, error) {
 	m := g.p.SamplesPerSymbol()
 	start := len(buf)
-	buf = append(buf, make([]complex128, m)...)
+	if cap(buf)-start < m {
+		newCap := 2 * cap(buf) // keep append's amortised geometric growth
+		if newCap < start+m {
+			newCap = start + m
+		}
+		grown := make([]complex128, start, newCap)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:start+m]
 	if err := g.Symbol(buf[start:], k); err != nil {
 		return buf[:start], err
 	}

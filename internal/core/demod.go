@@ -1,7 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
 
 	"cic/internal/dsp"
@@ -18,14 +20,28 @@ type Demodulator struct {
 	opts Options
 	d    *rx.Demod
 
-	// scratch
-	acc     dsp.Spectrum
-	sub     dsp.Spectrum
-	full    dsp.Spectrum
-	lh, rh  dsp.Spectrum
-	sedTmp  dsp.Spectrum
-	boundsB []int
-	refAmp  float64 // current packet's preamble amplitude (set per symbol)
+	// scratch — every per-symbol working set lives here so the steady
+	// state of a worker allocates nothing (see docs/PERFORMANCE.md for
+	// the arena ownership rules). The Candidate buffers are distinct
+	// because their users overlap: filterCFO and filterPower both read
+	// the same input set, and the intersection of their outputs must
+	// survive while both are alive.
+	acc      dsp.Spectrum
+	sub      dsp.Spectrum
+	full     dsp.Spectrum
+	lh, rh   dsp.Spectrum
+	sedTmp   dsp.Spectrum
+	boundsB  []int
+	peaksBuf []dsp.Peak
+	candBuf  []Candidate
+	cfoBuf   []Candidate
+	powBuf   []Candidate
+	gateBuf  []Candidate
+	rankBuf  []Candidate
+	tonesBuf []float64
+	sigsBuf  []float64
+	altBuf   []uint16
+	refAmp   float64 // current packet's preamble amplitude (set per symbol)
 
 	// tally accumulates the gate verdicts since the last TakeGateTally —
 	// plain (non-atomic) fields, private to this demodulator's goroutine;
@@ -41,16 +57,31 @@ func NewDemodulator(cfg frame.Config, opts Options) (*Demodulator, error) {
 		return nil, err
 	}
 	n := cfg.Chirp.ChipCount()
+	// Candidate scratch is pre-sized to the configured caps so a fresh
+	// demodulator's first symbols don't pay warm-up growth on the hot path
+	// (the caps bound every append below; growth remains possible but is
+	// not expected).
+	mc := opts.MaxCandidates
 	return &Demodulator{
-		cfg:    cfg,
-		opts:   opts,
-		d:      d,
-		acc:    make(dsp.Spectrum, n),
-		sub:    make(dsp.Spectrum, n),
-		full:   make(dsp.Spectrum, n),
-		lh:     make(dsp.Spectrum, n),
-		rh:     make(dsp.Spectrum, n),
-		sedTmp: make(dsp.Spectrum, n),
+		cfg:      cfg,
+		opts:     opts,
+		d:        d,
+		acc:      make(dsp.Spectrum, n),
+		sub:      make(dsp.Spectrum, n),
+		full:     make(dsp.Spectrum, n),
+		lh:       make(dsp.Spectrum, n),
+		rh:       make(dsp.Spectrum, n),
+		sedTmp:   make(dsp.Spectrum, n),
+		boundsB:  make([]int, 0, 4*opts.MaxBoundaries),
+		peaksBuf: make([]dsp.Peak, 0, mc),
+		candBuf:  make([]Candidate, 0, mc),
+		cfoBuf:   make([]Candidate, 0, mc),
+		powBuf:   make([]Candidate, 0, mc),
+		gateBuf:  make([]Candidate, 0, mc),
+		rankBuf:  make([]Candidate, 0, mc),
+		tonesBuf: make([]float64, 0, 16),
+		sigsBuf:  make([]float64, 0, 16),
+		altBuf:   make([]uint16, 0, 8),
 	}, nil
 }
 
@@ -73,12 +104,34 @@ func (dm *Demodulator) TakeGateTally() obs.GateCounts {
 // grid q.Start + k·M; the 2.25 down-chirps shift the data grid to
 // q.Start + 12.25·M + j·M.
 func BoundariesIn(cfg frame.Config, q *rx.Packet, winStart int64) []int {
+	out := appendBoundariesIn(nil, cfg, q, winStart)
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Ints(out)
+	// Deduplicate (the junction may coincide with a grid point).
+	uniq := out[:0]
+	for i, v := range out {
+		if i == 0 || v != uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	return uniq
+}
+
+// appendBoundariesIn is BoundariesIn appending into dst, unsorted and
+// without per-interferer deduplication: CollectBoundaries sorts the merged
+// set of all interferers anyway, and its one-chip coalescing subsumes the
+// dedup, so the hot path skips both.
+//
+//cic:hotpath
+func appendBoundariesIn(dst []int, cfg frame.Config, q *rx.Packet, winStart int64) []int {
 	m := int64(cfg.Chirp.SamplesPerSymbol())
 	end := winStart + m
-	var out []int
+	out := dst
 	qEnd := q.End(cfg)
 	if q.Start >= end || qEnd <= winStart {
-		return nil
+		return out
 	}
 	add := func(t int64) {
 		if t > winStart && t < end {
@@ -112,24 +165,18 @@ func BoundariesIn(cfg frame.Config, q *rx.Packet, winStart int64) []int {
 		}
 		add(t)
 	}
-	sort.Ints(out)
-	// Deduplicate (the junction may coincide with a grid point).
-	uniq := out[:0]
-	for i, v := range out {
-		if i == 0 || v != uniq[len(uniq)-1] {
-			uniq = append(uniq, v)
-		}
-	}
-	return uniq
+	return out
 }
 
 // CollectBoundaries merges the boundaries of all interferers inside the
 // window, coalescing boundaries closer than one chip (they cancel at
 // indistinguishable resolution anyway) and capping the count.
+//
+//cic:hotpath
 func (dm *Demodulator) CollectBoundaries(winStart int64, others []*rx.Packet) []int {
 	dm.boundsB = dm.boundsB[:0]
 	for _, q := range others {
-		dm.boundsB = append(dm.boundsB, BoundariesIn(dm.cfg, q, winStart)...)
+		dm.boundsB = appendBoundariesIn(dm.boundsB, dm.cfg, q, winStart)
 	}
 	sort.Ints(dm.boundsB)
 	osr := dm.cfg.Chirp.OSR
@@ -173,6 +220,11 @@ func (dm *Demodulator) PickSymbol(src rx.SampleSource, pkt *rx.Packet, symIdx in
 // PickSymbolAlternates implements rx.AlternatePicker: it returns the
 // surviving candidates' symbol values best-first, so the pipeline's
 // CRC-driven chase pass can retry the runner-up on marginal symbols.
+// The returned slice is demodulator scratch, valid only until the next
+// PickSymbolAlternates call (per the rx.AlternatePicker contract);
+// callers that accumulate alternates across symbols copy the values out.
+//
+//cic:hotpath
 func (dm *Demodulator) PickSymbolAlternates(src rx.SampleSource, pkt *rx.Packet, symIdx int, others []*rx.Packet) []uint16 {
 	dm.opts.Metrics.SymbolsDemodulated.Inc()
 	winStart := pkt.SymbolStart(dm.cfg, symIdx)
@@ -188,7 +240,7 @@ func (dm *Demodulator) PickSymbolAlternates(src rx.SampleSource, pkt *rx.Packet,
 	primary := uint16(dm.refineBinVote(dm.selectCandidate(cands, pkt), bounds))
 	ranked := dm.rankCandidates(cands, pkt)
 	n := dm.cfg.Chirp.ChipCount()
-	out := []uint16{primary}
+	out := append(dm.altBuf[:0], primary)
 	for _, c := range ranked {
 		v := uint16(c.Value(n))
 		dup := false
@@ -202,11 +254,14 @@ func (dm *Demodulator) PickSymbolAlternates(src rx.SampleSource, pkt *rx.Packet,
 			out = append(out, v)
 		}
 	}
+	dm.altBuf = out
 	return out
 }
 
 // DemodulateSymbol decodes data symbol symIdx of pkt, cancelling the
 // interferers listed in others. It returns the chosen bin value.
+//
+//cic:hotpath
 func (dm *Demodulator) DemodulateSymbol(src rx.SampleSource, pkt *rx.Packet, symIdx int, others []*rx.Packet) uint16 {
 	dm.opts.Metrics.SymbolsDemodulated.Inc()
 	winStart := pkt.SymbolStart(dm.cfg, symIdx)
@@ -230,6 +285,8 @@ func (dm *Demodulator) DemodulateSymbol(src rx.SampleSource, pkt *rx.Packet, sym
 // vote over three DTFT position estimates: the full window and the two
 // boundary-delimited edge sub-windows (which exclude C_next and C_prev
 // interference respectively).
+//
+//cic:hotpath
 func (dm *Demodulator) refineBinVote(best Candidate, bounds []int) int {
 	n := dm.cfg.Chirp.ChipCount()
 	m := dm.cfg.Chirp.SamplesPerSymbol()
@@ -239,36 +296,36 @@ func (dm *Demodulator) refineBinVote(best Candidate, bounds []int) int {
 	}
 	first, last := bounds[0], bounds[len(bounds)-1]
 	minSpan := m / 4 // edge estimates need enough span to refine to ±½ bin
-	votes := []int{v}
+	var edges [2]int
+	nEdges := 0
 	dech := dm.d.Dechirped()
-	for _, w := range []struct{ from, to int }{{0, first}, {last, m}} {
+	for _, w := range [2]struct{ from, to int }{{0, first}, {last, m}} {
 		if w.to-w.from < minSpan {
 			continue
 		}
-		pos, _ := refineWindowed(dech[w.from:w.to], m, w.from, best.Pos, dm.cfg.Chirp.OSR, n)
-		votes = append(votes, pos)
+		pos, _ := refineWindowed(dech[w.from:w.to], m, best.Pos, dm.cfg.Chirp.OSR, n)
+		edges[nEdges] = pos
+		nEdges++
 	}
-	if len(votes) == 1 {
-		return v
+	// Majority over {v, edges…}: with at most three voters the only way a
+	// bin outvotes the full-window estimate v is both edges agreeing on a
+	// different bin; every other split leaves v with the (tie-preferred)
+	// plurality.
+	if nEdges == 2 && edges[0] == edges[1] {
+		return edges[0]
 	}
-	counts := map[int]int{}
-	for _, b := range votes {
-		counts[b]++
-	}
-	bestBin, bestCount := v, 0
-	for b, c := range counts {
-		if c > bestCount || (c == bestCount && b == v) {
-			bestBin, bestCount = b, c
-		}
-	}
-	return bestBin
+	return v
 }
 
 // refineWindowed estimates the integer bin of a tone near approxPos using
-// only the samples of a sub-window. The sub-window's phase reference is the
-// window start, so the DTFT is probed with the appropriate offset.
-func refineWindowed(sub []complex128, m, offset int, approxPos float64, osr, n int) (int, float64) {
-	// Probe both OSR images around the approximate position.
+// only the samples of a sub-window. The DTFT magnitude is invariant to the
+// sub-window's offset from the symbol start (the offset contributes a
+// constant phase per probe position), so the probe uses the sub-window
+// samples directly. Probing runs over a ±1.5-bin grid at 1/8-bin steps on
+// both OSR images via the two-stage strided search.
+//
+//cic:hotpath
+func refineWindowed(sub []complex128, m int, approxPos float64, osr, n int) (int, float64) {
 	best := math.Inf(-1)
 	bestBin := int(math.Round(approxPos))
 	for img := 0; img < 2; img++ {
@@ -276,21 +333,14 @@ func refineWindowed(sub []complex128, m, offset int, approxPos float64, osr, n i
 		if img == 1 {
 			base += float64((osr - 1) * n)
 		}
-		for s := -12; s <= 12; s++ {
-			pos := base + float64(s)/8.0
-			// DTFT over the sub-window with the global time origin: the
-			// phase offset from the window start is e^{-2πi·pos·offset/m},
-			// constant per pos — irrelevant for magnitude.
-			val := dsp.DFTBin(sub, m, pos)
-			p := real(val)*real(val) + imag(val)*imag(val)
-			if p > best {
-				best = p
-				bb := int(math.Round(pos)) % n
-				if bb < 0 {
-					bb += n
-				}
-				bestBin = bb
+		pos, p := dsp.SearchFineGrid(sub, m, base, 12, 1.0/8)
+		if p > best {
+			best = p
+			bb := int(math.Round(pos)) % n
+			if bb < 0 {
+				bb += n
 			}
+			bestBin = bb
 		}
 	}
 	return bestBin, best
@@ -337,21 +387,26 @@ func KnownPreambleTone(cfg frame.Config, pkt, q *rx.Packet, winStart int64) (flo
 // excludeKnownTones removes candidates that sit on a tracked interferer's
 // preamble/SYNC tone (within 1.2 bins — covering both estimation error and
 // the tone's own lobe), keeping at least one candidate.
+//
+//cic:hotpath
 func (dm *Demodulator) excludeKnownTones(cands []Candidate, pkt *rx.Packet, winStart int64, others []*rx.Packet) []Candidate {
 	if len(cands) <= 1 {
 		return cands
 	}
 	n := float64(dm.cfg.Chirp.ChipCount())
-	var tones []float64
+	tones := dm.tonesBuf[:0]
 	for _, q := range others {
 		if t, ok := KnownPreambleTone(dm.cfg, pkt, q, winStart); ok {
 			tones = append(tones, t)
 		}
 	}
+	dm.tonesBuf = tones
 	if len(tones) == 0 {
 		return cands
 	}
-	kept := cands[:0:0]
+	// In-place filter: kept writes strictly behind the read cursor, and the
+	// no-survivor fallback returns cands before anything was overwritten.
+	kept := cands[:0]
 	for _, c := range cands {
 		hit := false
 		for _, t := range tones {
@@ -396,11 +451,13 @@ func InterfererSignature(cfg frame.Config, pkt, q *rx.Packet, winStart int64) (f
 // matches a tracked interferer's data-tone signature while clearly not
 // matching our own grid (fractional ≈ 0 after CFO correction). At least one
 // candidate is always kept.
+//
+//cic:hotpath
 func (dm *Demodulator) excludeInterfererSignatures(cands []Candidate, pkt *rx.Packet, winStart int64, others []*rx.Packet) []Candidate {
 	if len(cands) <= 1 || dm.opts.DisableCFOFilter {
 		return cands
 	}
-	var sigs []float64
+	sigs := dm.sigsBuf[:0]
 	for _, q := range others {
 		if s, ok := InterfererSignature(dm.cfg, pkt, q, winStart); ok {
 			// Signatures indistinguishable from our own grid cannot be
@@ -410,10 +467,12 @@ func (dm *Demodulator) excludeInterfererSignatures(cands []Candidate, pkt *rx.Pa
 			}
 		}
 	}
+	dm.sigsBuf = sigs
 	if len(sigs) == 0 {
 		return cands
 	}
-	kept := cands[:0:0]
+	// In-place filter, same aliasing contract as excludeKnownTones.
+	kept := cands[:0]
 	for _, c := range cands {
 		hit := false
 		if math.Abs(c.FracBins) > dm.opts.CFOToleranceBins {
@@ -446,6 +505,8 @@ func (dm *Demodulator) IntersectedSpectrum(src rx.SampleSource, pkt *rx.Packet, 
 // intersectICSS computes the spectral intersection over the ICSS for the
 // currently loaded window (Eqn 12), leaving the result in dm.acc. It also
 // fills dm.full with the full-symbol spectrum (un-normalised).
+//
+//cic:hotpath
 func (dm *Demodulator) intersectICSS(bounds []int) dsp.Spectrum {
 	m := dm.cfg.Chirp.SamplesPerSymbol()
 	// Full symbol spectrum: keep an un-normalised copy for the power
@@ -492,10 +553,15 @@ func (dm *Demodulator) intersectICSS(bounds []int) dsp.Spectrum {
 }
 
 // candidates extracts candidate bins from the intersected spectrum and
-// annotates them with full-spectrum amplitude and fractional offset.
+// annotates them with full-spectrum amplitude and fractional offset. The
+// returned slice is the demodulator's candidate arena, valid until the
+// next call.
+//
+//cic:hotpath
 func (dm *Demodulator) candidates(spec dsp.Spectrum) []Candidate {
-	peaks := dsp.TopPeaks(spec, dm.opts.CandidateFraction, dm.opts.MaxCandidates)
-	cands := make([]Candidate, 0, len(peaks))
+	dm.peaksBuf = dsp.AppendTopPeaks(dm.peaksBuf[:0], spec, dm.opts.CandidateFraction, dm.opts.MaxCandidates)
+	peaks := dm.peaksBuf
+	cands := dm.candBuf[:0]
 	m := dm.cfg.Chirp.SamplesPerSymbol()
 	n := dm.cfg.Chirp.ChipCount()
 	osr := dm.cfg.Chirp.OSR
@@ -531,6 +597,7 @@ func (dm *Demodulator) candidates(spec dsp.Spectrum) []Candidate {
 	// Candidates whose refined positions round to the same value are
 	// duplicates (adjacent local maxima of one broadened lobe): keep the
 	// one with the strongest intersected power.
+	dm.candBuf = cands
 	dedup := cands[:0]
 	for _, c := range cands {
 		dup := false
@@ -553,6 +620,8 @@ func (dm *Demodulator) candidates(spec dsp.Spectrum) []Candidate {
 // selectCandidate applies the §5.6–§5.7 pipeline: CFO filter, power filter,
 // then SED; falling back to the strongest intersected peak when a stage
 // eliminates everything.
+//
+//cic:hotpath
 func (dm *Demodulator) selectCandidate(cands []Candidate, pkt *rx.Packet) Candidate {
 	if len(cands) == 0 {
 		return Candidate{}
@@ -578,9 +647,9 @@ func (dm *Demodulator) selectCandidate(cands []Candidate, pkt *rx.Packet) Candid
 			dm.opts.Metrics.PowerAccept, dm.opts.Metrics.PowerReject,
 			len(powSet), len(cands))
 	}
-	switch {
-	case len(intersectCands(cfoSet, powSet)) > 0:
-		filtered = intersectCands(cfoSet, powSet)
+	switch both := dm.intersectCands(cfoSet, powSet); {
+	case len(both) > 0:
+		filtered = both
 	case !dm.opts.DisablePowerFilter && len(powSet) > 0:
 		filtered = powSet
 	case !dm.opts.DisableCFOFilter && len(cfoSet) > 0:
@@ -619,6 +688,8 @@ func (dm *Demodulator) countGate(tallyAcc, tallyRej *int64, acc, rej *obs.Counte
 // rankCandidates returns the gate-surviving candidates ordered by the same
 // criterion selectCandidate uses to pick the winner (composite score with
 // SED, or intersected power without it).
+//
+//cic:hotpath
 func (dm *Demodulator) rankCandidates(cands []Candidate, pkt *rx.Packet) []Candidate {
 	if len(cands) <= 1 {
 		return cands
@@ -632,30 +703,36 @@ func (dm *Demodulator) rankCandidates(cands []Candidate, pkt *rx.Packet) []Candi
 	if !dm.opts.DisablePowerFilter {
 		powSet = dm.filterPower(cands, pkt)
 	}
-	switch {
-	case len(intersectCands(cfoSet, powSet)) > 0:
-		filtered = intersectCands(cfoSet, powSet)
+	switch both := dm.intersectCands(cfoSet, powSet); {
+	case len(both) > 0:
+		filtered = both
 	case !dm.opts.DisablePowerFilter && len(powSet) > 0:
 		filtered = powSet
 	case !dm.opts.DisableCFOFilter && len(cfoSet) > 0:
 		filtered = cfoSet
 	}
-	out := append([]Candidate(nil), filtered...)
+	out := append(dm.rankBuf[:0], filtered...)
+	dm.rankBuf = out
 	if !dm.opts.DisableSED {
 		// selectBySED fills the SED fields; reuse its scoring.
 		dm.selectBySED(out)
-		sort.Slice(out, func(a, b int) bool {
-			return dm.candidateScore(out[a]) < dm.candidateScore(out[b])
+		slices.SortFunc(out, func(a, b Candidate) int {
+			return cmp.Compare(dm.candidateScore(a), dm.candidateScore(b))
 		})
 	} else {
-		sort.Slice(out, func(a, b int) bool { return out[a].Power > out[b].Power })
+		slices.SortFunc(out, func(a, b Candidate) int {
+			return cmp.Compare(b.Power, a.Power)
+		})
 	}
 	return out
 }
 
-// intersectCands returns candidates present (by Bin) in both sets.
-func intersectCands(a, b []Candidate) []Candidate {
-	var out []Candidate
+// intersectCands returns candidates present (by Bin) in both sets, in the
+// demodulator's gate arena (valid until the next call).
+//
+//cic:hotpath
+func (dm *Demodulator) intersectCands(a, b []Candidate) []Candidate {
+	out := dm.gateBuf[:0]
 	for _, x := range a {
 		for _, y := range b {
 			if x.Bin == y.Bin {
@@ -664,6 +741,7 @@ func intersectCands(a, b []Candidate) []Candidate {
 			}
 		}
 	}
+	dm.gateBuf = out
 	return out
 }
 
@@ -671,23 +749,30 @@ func intersectCands(a, b []Candidate) []Candidate {
 // CFO after correcting with the packet's own estimate) is within tolerance
 // — interfering symbols carry other transmitters' CFOs plus the
 // boundary-offset shift Δf (Eqn 10), which is generically off-grid.
+//
+//cic:hotpath
 func (dm *Demodulator) filterCFO(cands []Candidate) []Candidate {
-	out := cands[:0:0]
+	// Writes dm.cfoBuf (not cands in place): filterPower reads the same
+	// input set afterwards, so the input must survive this filter.
+	out := dm.cfoBuf[:0]
 	for _, c := range cands {
 		if math.Abs(c.FracBins) <= dm.opts.CFOToleranceBins {
 			out = append(out, c)
 		}
 	}
+	dm.cfoBuf = out
 	return out
 }
 
 // filterPower keeps candidates whose full-spectrum peak amplitude is within
 // PowerToleranceDB of the packet's preamble-estimated amplitude.
+//
+//cic:hotpath
 func (dm *Demodulator) filterPower(cands []Candidate, pkt *rx.Packet) []Candidate {
 	if pkt.PeakAmp <= 0 {
 		return cands
 	}
-	out := cands[:0:0]
+	out := dm.powBuf[:0]
 	for _, c := range cands {
 		if c.FullAmp <= 0 {
 			continue
@@ -697,6 +782,7 @@ func (dm *Demodulator) filterPower(cands []Candidate, pkt *rx.Packet) []Candidat
 			out = append(out, c)
 		}
 	}
+	dm.powBuf = out
 	return out
 }
 
@@ -705,6 +791,8 @@ func (dm *Demodulator) filterPower(cands []Candidate, pkt *rx.Packet) []Candidat
 // frequency is present uniformly across the symbol, so its edge spectra
 // carry equal energy, while an interferer's C_prev/C_next is stronger at
 // one edge.
+//
+//cic:hotpath
 func (dm *Demodulator) selectBySED(cands []Candidate) Candidate {
 	m := dm.cfg.Chirp.SamplesPerSymbol()
 	n := dm.opts.SEDWindows
@@ -751,6 +839,8 @@ func (dm *Demodulator) selectBySED(cands []Candidate) Candidate {
 // discriminator per §5.6; the residuals break the near-ties that occur
 // when an interferer repeats a symbol across its boundary and therefore
 // also reads as edge-uniform.
+//
+//cic:hotpath
 func (dm *Demodulator) candidateScore(c Candidate) float64 {
 	b := c.Value(dm.cfg.Chirp.ChipCount())
 	tot := dm.rh[b] + dm.lh[b]

@@ -1,6 +1,7 @@
 // Package dsp provides the signal-processing kernel used throughout the
-// repository: an allocation-free radix-2 complex FFT, folded LoRa spectra,
-// peak detection with sub-bin interpolation, and small statistics helpers.
+// repository: an allocation-free mixed radix-4/radix-2 complex FFT, folded
+// LoRa spectra, peak detection with sub-bin interpolation, and small
+// statistics helpers.
 //
 // The package is deliberately self-contained (stdlib only) because the rest
 // of the system — chirp modulation, de-chirping, CIC spectral intersection —
@@ -15,13 +16,17 @@ import (
 )
 
 // FFT is a reusable plan for forward and inverse complex FFTs of a fixed
-// power-of-two size. A plan is safe for concurrent use by multiple
-// goroutines: Transform writes into caller-provided scratch only.
+// power-of-two size. The transform is decimation-in-time radix-4 with a
+// single radix-2 first stage when log2(n) is odd; radix-4 butterflies do
+// ~25% fewer complex multiplies than radix-2. A plan is safe for concurrent
+// use by multiple goroutines: transforms are in place over caller storage
+// and the plan itself is read-only after construction.
 type FFT struct {
 	n       int
 	logN    int
-	perm    []int        // bit-reversal permutation
-	twiddle []complex128 // twiddle[k] = exp(-2πi k / n), k < n/2
+	perm    []int        // mixed-radix digit-reversal: stage input p holds x[perm[p]]
+	swaps   []int32      // transposition list realising perm in place (cycle decomposition)
+	twiddle []complex128 // twiddle[k] = exp(-2πi k / n), k < n (full circle, serves w^k, w^2k, w^3k)
 }
 
 var (
@@ -35,17 +40,62 @@ func NewFFT(n int) (*FFT, error) {
 		return nil, fmt.Errorf("dsp: FFT size %d is not a positive power of two", n)
 	}
 	f := &FFT{n: n, logN: bits.TrailingZeros(uint(n))}
-	f.perm = make([]int, n)
-	shift := 64 - uint(f.logN)
-	for i := range f.perm {
-		f.perm[i] = int(bits.Reverse64(uint64(i)) >> shift)
-	}
-	f.twiddle = make([]complex128, n/2)
+	f.perm = digitReversal(n)
+	f.swaps = permSwaps(f.perm)
+	f.twiddle = make([]complex128, n)
 	for k := range f.twiddle {
 		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
 		f.twiddle[k] = complex(c, s)
 	}
 	return f, nil
+}
+
+// digitReversal builds the input permutation for the mixed-radix
+// decimation-in-time schedule: radix-4 stages throughout, with a radix-2
+// stage innermost (executed first) when log2(n) is odd. Position p of the
+// permuted input holds x[perm[p]].
+func digitReversal(n int) []int {
+	if n == 1 {
+		return []int{0}
+	}
+	r := 4
+	if n == 2 {
+		r = 2
+	}
+	m := n / r
+	sub := digitReversal(m)
+	out := make([]int, n)
+	for k := 0; k < r; k++ {
+		for j := 0; j < m; j++ {
+			out[k*m+j] = r*sub[j] + k
+		}
+	}
+	return out
+}
+
+// permSwaps flattens perm's cycle decomposition into an ordered list of
+// transpositions (a, b) such that applying the swaps left to right yields
+// y[p] = x[perm[p]]. Unlike plain bit reversal the mixed-radix permutation
+// is not an involution, so it cannot be applied with the classic
+// "swap if i < j" loop.
+func permSwaps(perm []int) []int32 {
+	n := len(perm)
+	seen := make([]bool, n)
+	var swaps []int32
+	for start := 0; start < n; start++ {
+		if seen[start] || perm[start] == start {
+			seen[start] = true
+			continue
+		}
+		prev := start
+		for j := perm[start]; j != start; j = perm[j] {
+			seen[j] = true
+			swaps = append(swaps, int32(prev), int32(j))
+			prev = j
+		}
+		seen[start] = true
+	}
+	return swaps
 }
 
 // Plan returns a cached FFT plan for size n, creating it on first use.
@@ -88,7 +138,7 @@ func (f *FFT) Size() int { return f.n }
 
 // resolve returns the plan matching len(x): the receiver when the
 // length agrees, the cached plan of size len(x) otherwise, and nil when
-// len(x) is not a positive power of two (no radix-2 transform exists).
+// len(x) is not a positive power of two (no power-of-two transform exists).
 // This makes every transform method total — a mismatched buffer is
 // handled by the right plan or left untouched, never a panic, so a
 // hostile window length cannot crash a decode worker.
@@ -106,6 +156,8 @@ func (f *FFT) resolve(x []complex128) *FFT {
 // Forward computes the in-place forward DFT of x. A length mismatch is
 // redirected to the cached plan of size len(x); inputs whose length is
 // not a positive power of two are left unchanged (see resolve).
+//
+//cic:hotpath
 func (f *FFT) Forward(x []complex128) {
 	if g := f.resolve(x); g != nil {
 		g.transform(x)
@@ -131,25 +183,62 @@ func (f *FFT) Inverse(x []complex128) {
 }
 
 // transform assumes len(x) == f.n; exported wrappers resolve the plan
-// first.
+// first. Schedule: digit-reversal permutation, an optional radix-2 stage
+// (odd log2 n), then radix-4 stages of size 4·(previous).
+//
+//cic:hotpath
 func (f *FFT) transform(x []complex128) {
-	// Bit-reversal permutation.
-	for i, j := range f.perm {
-		if i < j {
-			x[i], x[j] = x[j], x[i]
-		}
+	for i := 0; i < len(f.swaps); i += 2 {
+		a, b := f.swaps[i], f.swaps[i+1]
+		x[a], x[b] = x[b], x[a]
 	}
-	// Iterative Cooley-Tukey butterflies.
-	for size := 2; size <= f.n; size <<= 1 {
-		half := size >> 1
-		step := f.n / size
-		for start := 0; start < f.n; start += size {
-			tw := 0
-			for k := start; k < start+half; k++ {
-				w := f.twiddle[tw]
+	f.stages(x)
+}
+
+// stages runs the butterfly schedule over x, which must already be in
+// digit-reversed order.
+//
+//cic:hotpath
+func (f *FFT) stages(x []complex128) {
+	n := f.n
+	first4 := 4
+	if f.logN&1 == 1 {
+		// Radix-2 pass over adjacent pairs; W_2^0 = 1, so no twiddles.
+		for i := 0; i < n; i += 2 {
+			a, b := x[i], x[i+1]
+			x[i], x[i+1] = a+b, a-b
+		}
+		first4 = 8
+	}
+	for size := first4; size <= n; size <<= 2 {
+		q := size >> 2
+		step := n / size
+		for base := 0; base < n; base += size {
+			// k = 0 butterfly: all twiddles are 1.
+			{
+				a, b := x[base], x[base+q]
+				c, d := x[base+2*q], x[base+3*q]
+				t0, t1 := a+c, a-c
+				t2, e := b+d, b-d
+				t3 := complex(imag(e), -real(e)) // -i·(b-d)
+				x[base], x[base+q] = t0+t2, t1+t3
+				x[base+2*q], x[base+3*q] = t0-t2, t1-t3
+			}
+			tw := step
+			for i := base + 1; i < base+q; i++ {
+				w1 := f.twiddle[tw]
+				w2 := f.twiddle[2*tw]
+				w3 := f.twiddle[3*tw]
 				tw += step
-				a, b := x[k], x[k+half]*w
-				x[k], x[k+half] = a+b, a-b
+				a := x[i]
+				b := x[i+q] * w1
+				c := x[i+2*q] * w2
+				d := x[i+3*q] * w3
+				t0, t1 := a+c, a-c
+				t2, e := b+d, b-d
+				t3 := complex(imag(e), -real(e)) // -i·(b-d)
+				x[i], x[i+q] = t0+t2, t1+t3
+				x[i+2*q], x[i+3*q] = t0-t2, t1-t3
 			}
 		}
 	}
@@ -159,6 +248,8 @@ func (f *FFT) transform(x []complex128) {
 // transform size) and transforms dst in place, with the same
 // length-redirect semantics as Forward (a dst of unusable length is
 // left unchanged).
+//
+//cic:hotpath
 func (f *FFT) ForwardInto(dst, src []complex128) {
 	g := f.resolve(dst)
 	if g == nil {
@@ -169,6 +260,103 @@ func (f *FFT) ForwardInto(dst, src []complex128) {
 		dst[i] = 0
 	}
 	g.transform(dst)
+}
+
+// ForwardWindowed computes the forward DFT of the signal that equals src
+// on the sample range [from, to) and is zero elsewhere, writing the
+// spectrum into dst (src is not modified). This is the zero-padded
+// sub-window transform at the heart of ICSS spectral intersection: the
+// digit-reversal gather, the zero padding, and the segment copy fuse into
+// a single pass over dst, so no separate buffer clear is needed between
+// sub-symbols. dst follows Forward's length-redirect semantics; out-of-range
+// from/to are clamped, and an empty range yields the all-zero spectrum.
+//
+//cic:hotpath
+func (f *FFT) ForwardWindowed(dst, src []complex128, from, to int) {
+	g := f.resolve(dst)
+	if g == nil {
+		return
+	}
+	if from < 0 {
+		from = 0
+	}
+	if to > len(src) {
+		to = len(src)
+	}
+	for p, q := range g.perm {
+		if q >= from && q < to {
+			dst[p] = src[q]
+		} else {
+			dst[p] = 0
+		}
+	}
+	g.stages(dst)
+}
+
+// ForwardReal computes the n-point DFT of the real sequence src
+// (n = len(src)) via one complex transform of half the size: even/odd
+// samples are packed as real/imaginary parts, transformed with the n/2
+// plan, and the two interleaved spectra are disentangled with the plan's
+// full-circle twiddle table. The full conjugate-symmetric spectrum is
+// written into dst[:n], so folded-magnitude consumers can use the output
+// exactly like Forward's.
+//
+// It follows the package's totality rules: a plan/size mismatch is
+// redirected to the cached plan of size len(src); the call is a no-op when
+// len(src) is not a power of two >= 1 or dst is shorter than len(src).
+// No allocation occurs after the n and n/2 plans are warm.
+func (f *FFT) ForwardReal(dst []complex128, src []float64) {
+	n := len(src)
+	if f == nil || f.n != n {
+		p, err := Plan(n)
+		if err != nil {
+			return
+		}
+		f = p
+	}
+	if len(dst) < n {
+		return
+	}
+	dst = dst[:n]
+	if n == 1 {
+		dst[0] = complex(src[0], 0)
+		return
+	}
+	h := n / 2
+	halfPlan, err := Plan(h)
+	if err != nil {
+		return
+	}
+	z := dst[:h]
+	for j := 0; j < h; j++ {
+		z[j] = complex(src[2*j], src[2*j+1])
+	}
+	halfPlan.transform(z)
+	// Unpack: with E = DFT(even samples), O = DFT(odd samples),
+	// Z[k] = E[k] + i·O[k] and conj(Z[h-k]) = E[k] - i·O[k], so
+	// X[k] = E[k] + W^k·O[k] with W = exp(-2πi/n) = f.twiddle[1].
+	z0 := z[0]
+	dst[0] = complex(real(z0)+imag(z0), 0)
+	if h >= 1 {
+		dst[h] = complex(real(z0)-imag(z0), 0)
+	}
+	for k := 1; 2*k < h; k++ {
+		zk, zmk := z[k], z[h-k]
+		er := (zk + complex(real(zmk), -imag(zmk))) * 0.5
+		od := (zk - complex(real(zmk), -imag(zmk))) * complex(0, -0.5)
+		xk := er + f.twiddle[k]*od
+		xmk := complex(real(er), -imag(er)) + f.twiddle[h-k]*complex(real(od), -imag(od))
+		dst[k], dst[h-k] = xk, xmk
+		dst[n-k] = complex(real(xk), -imag(xk))
+		dst[n-h+k] = complex(real(xmk), -imag(xmk))
+	}
+	if h%2 == 0 && h >= 2 {
+		k := h / 2
+		zk := z[k]
+		xk := complex(real(zk), 0) + f.twiddle[k]*complex(imag(zk), 0)
+		dst[k] = xk
+		dst[n-k] = complex(real(xk), -imag(xk))
+	}
 }
 
 // NextPow2 returns the smallest power of two >= n (and >= 1).

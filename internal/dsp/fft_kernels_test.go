@@ -1,0 +1,256 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// radix2Reference is the classic recursive radix-2 decimation-in-time FFT
+// the package used before the radix-4 rewrite — kept here as an independent
+// cross-check of the butterfly schedule (the naive DFT checks correctness,
+// this checks the numerically-close path a radix bug would diverge from).
+func radix2Reference(x []complex128) []complex128 {
+	n := len(x)
+	if n == 1 {
+		return []complex128{x[0]}
+	}
+	even := make([]complex128, n/2)
+	odd := make([]complex128, n/2)
+	for i := 0; i < n/2; i++ {
+		even[i] = x[2*i]
+		odd[i] = x[2*i+1]
+	}
+	fe := radix2Reference(even)
+	fo := radix2Reference(odd)
+	out := make([]complex128, n)
+	for k := 0; k < n/2; k++ {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		tw := cmplx.Exp(complex(0, ang)) * fo[k]
+		out[k] = fe[k] + tw
+		out[k+n/2] = fe[k] - tw
+	}
+	return out
+}
+
+// TestFFTMatchesRadix2Reference cross-checks the mixed radix-4/radix-2
+// schedule against an independent radix-2 implementation over randomized
+// inputs at every size the decode path uses (both odd and even log2 n, so
+// both the pure-radix-4 and the radix-2-first-stage schedules are hit).
+func TestFFTMatchesRadix2Reference(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048} {
+		for trial := 0; trial < 4; trial++ {
+			x := randSignal(r, n)
+			want := radix2Reference(x)
+			got := append([]complex128(nil), x...)
+			MustPlan(n).Forward(got)
+			if e := maxErr(got, want); e > 1e-9*float64(n) {
+				t.Errorf("n=%d trial=%d: max error %g vs radix-2 reference", n, trial, e)
+			}
+		}
+	}
+}
+
+// TestForwardWindowedMatchesZeroPadded verifies the fused
+// gather-permutation path against the straightforward copy-then-transform
+// it replaced, over randomized windows including degenerate and
+// out-of-range [from, to).
+func TestForwardWindowedMatchesZeroPadded(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for _, n := range []int{4, 16, 64, 256, 1024} {
+		f := MustPlan(n)
+		for trial := 0; trial < 8; trial++ {
+			x := randSignal(r, n)
+			from := r.Intn(n+8) - 4 // may be negative or past the end
+			to := r.Intn(n+8) - 4
+			// Reference: explicit zero-padded copy, then Forward.
+			want := make([]complex128, n)
+			cf, ct := from, to
+			if cf < 0 {
+				cf = 0
+			}
+			if ct > n {
+				ct = n
+			}
+			for i := cf; i < ct; i++ {
+				want[i] = x[i]
+			}
+			f.Forward(want)
+
+			got := make([]complex128, n)
+			for i := range got {
+				got[i] = complex(42, -42) // stale garbage must be overwritten
+			}
+			f.ForwardWindowed(got, x, from, to)
+			if e := maxErr(got, want); e > 1e-9*float64(n) {
+				t.Errorf("n=%d window=[%d,%d): max error %g", n, from, to, e)
+			}
+		}
+	}
+}
+
+// TestForwardRealMatchesNaiveDFT verifies the packed half-size real
+// transform (including its conjugate-symmetric upper half) against the
+// naive DFT of the same samples, over randomized inputs at every size.
+func TestForwardRealMatchesNaiveDFT(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024} {
+		for trial := 0; trial < 4; trial++ {
+			src := make([]float64, n)
+			asComplex := make([]complex128, n)
+			for i := range src {
+				src[i] = r.NormFloat64()
+				asComplex[i] = complex(src[i], 0)
+			}
+			want := naiveDFT(asComplex)
+			got := make([]complex128, n)
+			MustPlan(n).ForwardReal(got, src)
+			if e := maxErr(got, want); e > 1e-9*float64(n) {
+				t.Errorf("n=%d trial=%d: max error %g vs naive DFT", n, trial, e)
+			}
+		}
+	}
+}
+
+// TestForwardRealConjugateSymmetry pins the structural property consumers
+// rely on: X[n-k] = conj(X[k]) for real input.
+func TestForwardRealConjugateSymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	n := 512
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = r.NormFloat64()
+	}
+	got := make([]complex128, n)
+	MustPlan(n).ForwardReal(got, src)
+	for k := 1; k < n/2; k++ {
+		if d := cmplx.Abs(got[n-k] - cmplx.Conj(got[k])); d > 1e-9 {
+			t.Fatalf("bin %d: |X[n-k] - conj(X[k])| = %g", k, d)
+		}
+	}
+	if imag(got[0]) != 0 || imag(got[n/2]) != 0 {
+		t.Fatalf("DC/Nyquist bins not purely real: %v %v", got[0], got[n/2])
+	}
+}
+
+// naiveDTFT evaluates the DTFT of x at a (possibly fractional) bin by
+// direct summation.
+func naiveDTFT(x []complex128, n int, bin float64) complex128 {
+	var sum complex128
+	for t := 0; t < len(x) && t < n; t++ {
+		ang := -2 * math.Pi * bin * float64(t) / float64(n)
+		sum += x[t] * cmplx.Exp(complex(0, ang))
+	}
+	return sum
+}
+
+// TestDFTBinFractionalMatchesNaiveDTFT verifies the Goertzel evaluation at
+// randomized fractional bins (the DTFT-zoom path of peak refinement)
+// against direct summation.
+func TestDFTBinFractionalMatchesNaiveDTFT(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	for _, n := range []int{16, 64, 256, 1024} {
+		x := randSignal(r, n)
+		for trial := 0; trial < 16; trial++ {
+			bin := float64(n) * (2*r.Float64() - 0.5) // includes <0 and >n
+			want := naiveDTFT(x, n, bin)
+			got := DFTBin(x, n, bin)
+			scale := cmplx.Abs(want) + 1
+			if d := cmplx.Abs(got - want); d > 1e-8*float64(n)*scale {
+				t.Errorf("n=%d bin=%.4f: |err| = %g", n, bin, d)
+			}
+		}
+	}
+}
+
+// TestKernelsAllocFree pins the warm-path allocation budget of every FFT
+// kernel entry point at zero: after the plans are cached, no transform
+// call may allocate.
+func TestKernelsAllocFree(t *testing.T) {
+	n := 1024
+	f := MustPlan(n)
+	MustPlan(n / 2) // ForwardReal's half-size plan
+	buf := make([]complex128, n)
+	dst := make([]complex128, n)
+	re := make([]float64, n)
+	r := rand.New(rand.NewSource(16))
+	for i := range buf {
+		buf[i] = complex(r.NormFloat64(), r.NormFloat64())
+		re[i] = r.NormFloat64()
+	}
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"Forward", func() { f.Forward(buf) }},
+		{"ForwardInto", func() { f.ForwardInto(dst, buf) }},
+		{"ForwardWindowed", func() { f.ForwardWindowed(dst, buf, 100, 900) }},
+		{"ForwardReal", func() { f.ForwardReal(dst, re) }},
+		{"Inverse", func() { f.Inverse(buf) }},
+		{"DFTBin", func() { _ = DFTBin(buf, n, 41.25) }},
+	}
+	for _, c := range checks {
+		if allocs := testing.AllocsPerRun(100, c.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", c.name, allocs)
+		}
+	}
+}
+
+// --- Kernel benchmarks (recorded by `make bench-matrix` into BENCH_dsp.json) --
+
+func benchSignal(n int) []complex128 {
+	r := rand.New(rand.NewSource(21))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return x
+}
+
+func BenchmarkFFT4096(b *testing.B) {
+	f := MustPlan(4096)
+	buf := benchSignal(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Forward(buf)
+	}
+}
+
+func BenchmarkForwardWindowed1024(b *testing.B) {
+	f := MustPlan(1024)
+	src := benchSignal(1024)
+	dst := make([]complex128, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ForwardWindowed(dst, src, 128, 640)
+	}
+}
+
+func BenchmarkForwardReal1024(b *testing.B) {
+	f := MustPlan(1024)
+	MustPlan(512)
+	src := make([]float64, 1024)
+	r := rand.New(rand.NewSource(22))
+	for i := range src {
+		src[i] = r.NormFloat64()
+	}
+	dst := make([]complex128, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ForwardReal(dst, src)
+	}
+}
+
+func BenchmarkDFTBin1024(b *testing.B) {
+	x := benchSignal(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DFTBin(x, 1024, 511.3125)
+	}
+}

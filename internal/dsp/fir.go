@@ -116,15 +116,34 @@ func (d *Decimator) Factor() int { return d.factor }
 
 // Process filters and downsamples iq, returning ceil(len/factor) samples.
 // Only output phases are computed (polyphase evaluation), so the cost is
-// len(iq)·taps/factor multiply-adds.
+// len(iq)·taps/factor multiply-adds. See ProcessInto for the
+// allocation-free form.
 func (d *Decimator) Process(iq []complex128) []complex128 {
+	return d.ProcessInto(nil, iq)
+}
+
+// OutputLen returns the number of samples Process produces for an input of
+// inLen samples: ceil(inLen/factor).
+func (d *Decimator) OutputLen(inLen int) int {
+	return (inLen + d.factor - 1) / d.factor
+}
+
+// ProcessInto is Process writing into dst, which is grown (reallocating
+// only when capacity is insufficient) to OutputLen(len(iq)) and returned.
+// Streaming callers retain the returned slice across calls to keep the
+// front end allocation-free once dst has reached its high-water mark.
+//
+//cic:hotpath
+func (d *Decimator) ProcessInto(dst, iq []complex128) []complex128 {
+	n := d.OutputLen(len(iq))
+	if cap(dst) < n {
+		dst = make([]complex128, n) //cic:alloc-ok — grows to the stream's high-water mark once
+	}
+	out := dst[:n]
 	if d.factor == 1 {
-		out := make([]complex128, len(iq))
 		copy(out, iq)
 		return out
 	}
-	n := (len(iq) + d.factor - 1) / d.factor
-	out := make([]complex128, n)
 	mid := (len(d.taps) - 1) / 2
 	for o := 0; o < n; o++ {
 		center := o * d.factor

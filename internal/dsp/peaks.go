@@ -1,6 +1,9 @@
 package dsp
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // Peak is a local maximum of a spectrum.
 type Peak struct {
@@ -8,22 +11,26 @@ type Peak struct {
 	Power float64 // bin power
 }
 
-// FindPeaks returns local maxima of s whose power is at least minPower,
-// sorted by descending power and truncated to maxPeaks (maxPeaks <= 0 means
-// unlimited). The spectrum is treated as circular, matching the LoRa bin
-// space. A plateau contributes a single peak at its first bin.
-func FindPeaks(s Spectrum, minPower float64, maxPeaks int) []Peak {
+// AppendPeaks appends the local maxima of s whose power is at least
+// minPower to dst, sorted by descending power and truncated to maxPeaks
+// (maxPeaks <= 0 means unlimited). The spectrum is treated as circular,
+// matching the LoRa bin space. A plateau contributes a single peak at its
+// first bin. Hot-path callers pass a retained dst to stay allocation-free;
+// FindPeaks is the allocating convenience wrapper.
+//
+//cic:hotpath
+func AppendPeaks(dst []Peak, s Spectrum, minPower float64, maxPeaks int) []Peak {
 	n := len(s)
 	if n == 0 {
-		return nil
+		return dst
 	}
 	if n == 1 {
 		if s[0] >= minPower {
-			return []Peak{{Bin: 0, Power: s[0]}}
+			return append(dst, Peak{Bin: 0, Power: s[0]})
 		}
-		return nil
+		return dst
 	}
-	var peaks []Peak
+	base := len(dst)
 	for i := 0; i < n; i++ {
 		v := s[i]
 		if v < minPower {
@@ -32,33 +39,72 @@ func FindPeaks(s Spectrum, minPower float64, maxPeaks int) []Peak {
 		prev := s[(i-1+n)%n]
 		next := s[(i+1)%n]
 		if v > prev && v >= next {
-			peaks = append(peaks, Peak{Bin: i, Power: v})
+			dst = append(dst, Peak{Bin: i, Power: v})
 		}
 	}
-	sort.Slice(peaks, func(a, b int) bool { return peaks[a].Power > peaks[b].Power })
+	peaks := dst[base:]
+	slices.SortFunc(peaks, func(a, b Peak) int {
+		switch {
+		case a.Power > b.Power:
+			return -1
+		case a.Power < b.Power:
+			return 1
+		default:
+			return a.Bin - b.Bin
+		}
+	})
 	if maxPeaks > 0 && len(peaks) > maxPeaks {
-		peaks = peaks[:maxPeaks]
+		dst = dst[:base+maxPeaks]
 	}
-	return peaks
+	return dst
+}
+
+// FindPeaks returns local maxima of s whose power is at least minPower,
+// sorted by descending power and truncated to maxPeaks (maxPeaks <= 0 means
+// unlimited). See AppendPeaks for the allocation-free form.
+func FindPeaks(s Spectrum, minPower float64, maxPeaks int) []Peak {
+	return AppendPeaks(nil, s, minPower, maxPeaks)
+}
+
+// AppendTopPeaks appends up to maxPeaks local maxima whose power is at
+// least frac times the global maximum (frac in [0,1]) to dst.
+//
+//cic:hotpath
+func AppendTopPeaks(dst []Peak, s Spectrum, frac float64, maxPeaks int) []Peak {
+	maxV, at := s.Max()
+	if at < 0 || maxV <= 0 {
+		return dst
+	}
+	return AppendPeaks(dst, s, maxV*frac, maxPeaks)
 }
 
 // TopPeaks returns up to maxPeaks local maxima whose power is at least
-// frac times the global maximum. frac in [0,1].
+// frac times the global maximum. frac in [0,1]. See AppendTopPeaks for the
+// allocation-free form.
 func TopPeaks(s Spectrum, frac float64, maxPeaks int) []Peak {
-	maxV, at := s.Max()
-	if at < 0 || maxV <= 0 {
-		return nil
-	}
-	return FindPeaks(s, maxV*frac, maxPeaks)
+	return AppendTopPeaks(nil, s, frac, maxPeaks)
 }
 
 // NoiseFloor estimates the noise floor of a spectrum as the median bin
 // power. The median is robust to a handful of strong signal peaks.
 func NoiseFloor(s Spectrum) float64 {
+	return NoiseFloorInto(nil, s)
+}
+
+// NoiseFloorInto is NoiseFloor with caller-provided scratch: when
+// len(tmp) >= len(s) the median is computed in tmp and the call does not
+// allocate; otherwise scratch is allocated as in NoiseFloor. The caller's
+// tmp contents are overwritten.
+//
+//cic:hotpath
+func NoiseFloorInto(tmp []float64, s Spectrum) float64 {
 	if len(s) == 0 {
 		return 0
 	}
-	tmp := make([]float64, len(s))
+	if len(tmp) < len(s) {
+		tmp = make([]float64, len(s)) //cic:alloc-ok — cold fallback for short scratch
+	}
+	tmp = tmp[:len(s)]
 	copy(tmp, s)
 	sort.Float64s(tmp)
 	m := len(tmp) / 2

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc enforces the zero-steady-state-allocation contract on the
+// decode hot path: inside any function whose doc comment carries a
+// `//cic:hotpath` marker, calls to make() and new() are flagged, and
+// append() is flagged unless its destination is arena-rooted — derived
+// from a struct field, a function parameter, or a callee's return value
+// (the dst-reuse idiom: scratch owned by the struct or handed in by the
+// caller may grow once at warm-up and is then reused). A `//cic:alloc-ok`
+// comment on the same line waives one sanctioned allocation (e.g. a
+// result that genuinely escapes to the caller). docs/PERFORMANCE.md
+// describes the arena ownership rules; docs/LINTING.md catalogues the
+// invariant.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "functions marked //cic:hotpath must not allocate: no make/new, and " +
+		"append only into arena-rooted (field/parameter/callee-returned) slices; " +
+		"waive single lines with //cic:alloc-ok",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		waived := allocOKLines(pass, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotpath(fn) {
+				continue
+			}
+			checkHotAlloc(pass, fn, waived)
+		}
+	}
+	return nil
+}
+
+// isHotpath reports whether the function's doc comment contains a
+// `//cic:hotpath` marker line.
+func isHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == "//cic:hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+// allocOKLines collects the source lines carrying a `//cic:alloc-ok`
+// waiver comment (trailing text after the marker is free-form rationale).
+func allocOKLines(pass *Pass, file *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//cic:alloc-ok") {
+				lines[pass.Fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+func checkHotAlloc(pass *Pass, fn *ast.FuncDecl, waived map[int]bool) {
+	rooted := arenaRootedVars(pass, fn)
+	report := func(pos token.Pos, format string, args ...any) {
+		if waived[pass.Fset.Position(pos).Line] {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		b, ok := pass.Info.Uses[id].(*types.Builtin)
+		if !ok {
+			return true
+		}
+		switch b.Name() {
+		case "make":
+			report(call.Pos(), "make() in hot-path function %s: allocate scratch at construction and reuse it, or waive with //cic:alloc-ok", fn.Name.Name)
+		case "new":
+			report(call.Pos(), "new() in hot-path function %s: reuse construction-time scratch, or waive with //cic:alloc-ok", fn.Name.Name)
+		case "append":
+			if len(call.Args) == 0 {
+				return true
+			}
+			if !arenaRooted(pass, call.Args[0], rooted) {
+				report(call.Pos(), "append into non-arena slice in hot-path function %s: grow caller-provided or struct-field scratch instead, or waive with //cic:alloc-ok", fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// arenaRooted reports whether the expression's storage root is an arena:
+// a struct field (selector), a non-builtin call result (callees return
+// their own scratch), or a local/parameter in the rooted set. Slice and
+// index expressions delegate to their operand.
+func arenaRooted(pass *Pass, e ast.Expr, rooted map[types.Object]bool) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return true
+		case *ast.CallExpr:
+			// Builtins: append inherits its destination's rootedness,
+			// make/new (and everything else returning fresh values) do not
+			// root anything. Non-builtin calls may legitimately return
+			// reusable scratch, so they count as arenas.
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+					if b.Name() == "append" && len(x.Args) > 0 {
+						e = x.Args[0]
+						continue
+					}
+					return false
+				}
+			}
+			return true
+		case *ast.Ident:
+			obj := pass.Info.Uses[x]
+			if obj == nil {
+				obj = pass.Info.Defs[x]
+			}
+			return obj != nil && rooted[obj]
+		default:
+			return false
+		}
+	}
+}
+
+// arenaRootedVars computes (to a fixpoint, flow-insensitively) the
+// variables inside fn whose storage is arena-rooted: the receiver and
+// parameters seed the set, and any variable assigned from an arena-rooted
+// expression joins it. `cands := dm.candBuf[:0]` therefore roots cands,
+// while `var cands []T` or `cands := make([]T, 0)` does not.
+func arenaRootedVars(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	rooted := map[types.Object]bool{}
+	seed := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, f := range fields.List {
+			for _, name := range f.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					rooted[obj] = true
+				}
+			}
+		}
+	}
+	seed(fn.Recv)
+	seed(fn.Type.Params)
+
+	lhsObj := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := pass.Info.Defs[id]; obj != nil {
+			return obj
+		}
+		return pass.Info.Uses[id]
+	}
+	for changed := true; changed; {
+		changed = false
+		mark := func(obj types.Object) {
+			if obj != nil && !rooted[obj] {
+				rooted[obj] = true
+				changed = true
+			}
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for i, lh := range x.Lhs {
+					if i < len(x.Rhs) && arenaRooted(pass, x.Rhs[i], rooted) {
+						mark(lhsObj(lh))
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range x.Names {
+					if i < len(x.Values) && arenaRooted(pass, x.Values[i], rooted) {
+						mark(pass.Info.Defs[name])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return rooted
+}

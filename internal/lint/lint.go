@@ -80,6 +80,7 @@ func All() []*Analyzer {
 		BoundedAlloc,
 		ClockInject,
 		ErrWrap,
+		HotAlloc,
 		NilSafeObs,
 		NoPanic,
 	}

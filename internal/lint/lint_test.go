@@ -35,6 +35,10 @@ func TestBoundedAllocFixture(t *testing.T) {
 	linttest.RunFixture(t, lint.BoundedAlloc, "testdata/boundedalloc")
 }
 
+func TestHotAllocFixture(t *testing.T) {
+	linttest.RunFixture(t, lint.HotAlloc, "testdata/hotalloc")
+}
+
 // TestScopedAnalyzersSkipForeignPackages pins the package-name scoping:
 // the decode-path and obs analyzers must stay silent on packages
 // outside their scope even when those packages contain what would

@@ -1,0 +1,124 @@
+// Package fixture exercises the hotalloc analyzer: functions marked
+// //cic:hotpath must not call make/new and may append only into
+// arena-rooted slices (struct fields, parameters, callee-returned
+// scratch); //cic:alloc-ok waives a line.
+package fixture
+
+type demod struct {
+	scratch []float64
+	peaks   []int
+}
+
+func (d *demod) arena() []float64 { return d.scratch[:0] }
+
+// coldPath is unmarked: the analyzer must stay silent no matter what it
+// allocates.
+func coldPath(n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}
+
+// hotMake allocates fresh storage every call.
+//
+//cic:hotpath
+func hotMake(n int) []float64 {
+	out := make([]float64, n) // want `make\(\) in hot-path function hotMake`
+	return out
+}
+
+// hotNew heap-allocates every call.
+//
+//cic:hotpath
+func hotNew() *demod {
+	return new(demod) // want `new\(\) in hot-path function hotNew`
+}
+
+// hotAppendFresh grows a slice rooted in nothing: every warm call may
+// reallocate.
+//
+//cic:hotpath
+func hotAppendFresh(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `append into non-arena slice in hot-path function hotAppendFresh`
+	}
+	return out
+}
+
+// hotAppendFromMake roots the destination in a make: both sites are
+// wrong, and each is reported where it happens.
+//
+//cic:hotpath
+func hotAppendFromMake(n int) []int {
+	out := make([]int, 0) // want `make\(\) in hot-path function hotAppendFromMake`
+	return append(out, n) // want `append into non-arena slice in hot-path function hotAppendFromMake`
+}
+
+// hotWaived shows the escape hatch: the result genuinely escapes, so the
+// allocation is sanctioned inline.
+//
+//cic:hotpath
+func hotWaived() *demod {
+	d := new(demod) //cic:alloc-ok — the accepted result escapes to the caller
+	return d
+}
+
+// hotFieldAppend grows struct-field scratch directly: allowed (grows once
+// at warm-up, reused thereafter).
+//
+//cic:hotpath
+func (d *demod) hotFieldAppend(v int) {
+	d.peaks = append(d.peaks, v)
+}
+
+// hotFieldRootedLocal uses the save-back arena idiom: the local is rooted
+// in a field slice expression, so appends through it are allowed.
+//
+//cic:hotpath
+func (d *demod) hotFieldRootedLocal(vals []float64) {
+	buf := d.scratch[:0]
+	for _, v := range vals {
+		buf = append(buf, v)
+	}
+	d.scratch = buf
+}
+
+// hotParamAppend implements the dst-reuse idiom: the caller owns the
+// storage, so growing it is the caller's decision.
+//
+//cic:hotpath
+func hotParamAppend(dst []int, n int) []int {
+	for i := 0; i < n; i++ {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+// hotCalleeScratch appends into a callee-returned slice: the callee may
+// hand out reusable scratch, so this is trusted.
+//
+//cic:hotpath
+func (d *demod) hotCalleeScratch(v float64) {
+	buf := append(d.arena(), v)
+	d.scratch = buf
+}
+
+// hotClosure checks that allocation sites inside closures of a hot-path
+// function are still scanned, and that captured rooted locals stay rooted.
+//
+//cic:hotpath
+func (d *demod) hotClosure(vals []int) {
+	out := d.peaks[:0]
+	add := func(v int) {
+		out = append(out, v)
+		tmp := make([]int, 1) // want `make\(\) in hot-path function hotClosure`
+		_ = tmp
+	}
+	for _, v := range vals {
+		add(v)
+	}
+	d.peaks = out
+}

@@ -191,7 +191,12 @@ func Decode(symbols []uint16, cfg Config) (*DecodeResult, error) {
 	}
 	res := &DecodeResult{}
 
-	nibs, err := decodeBlock(symbols[:HeaderSymbolCount], cfg, 0, res)
+	// The header block carries SF−2 ≤ 10 nibbles: decode it into a small
+	// stack buffer, then size the full nibble stream exactly once from the
+	// header-declared length (the hot decode path allocates only the stream
+	// and the payload).
+	var first [maxBlockRows]byte
+	nibs, err := decodeBlockInto(first[:0], symbols[:HeaderSymbolCount], cfg, 0, res)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrHeader, err)
 	}
@@ -212,18 +217,22 @@ func Decode(symbols []uint16, cfg Config) (*DecodeResult, error) {
 	pcfg.HasCRC = hdr.HasCRC
 
 	total := nibbleCount(int(hdr.Length), hdr.HasCRC, cfg.ImplicitHeader)
-	stream := nibs // first-block nibbles beyond the header carry payload
+	capN := total
+	if capN < len(nibs) {
+		capN = len(nibs)
+	}
+	// First-block nibbles beyond the header carry payload.
+	stream := append(make([]byte, 0, capN), nibs...)
 	pos := HeaderSymbolCount
 	for block := 1; len(stream) < total; block++ {
 		cols := pcfg.blockCR(block).CodewordBits()
 		if pos+cols > len(symbols) {
 			return res, fmt.Errorf("%w: need %d symbols, have %d", ErrTooFewSymbols, pos+cols, len(symbols))
 		}
-		blk, err := decodeBlock(symbols[pos:pos+cols], pcfg, block, res)
+		stream, err = decodeBlockInto(stream, symbols[pos:pos+cols], pcfg, block, res)
 		if err != nil {
 			return res, err
 		}
-		stream = append(stream, blk...)
 		pos += cols
 	}
 	if !cfg.ImplicitHeader {
@@ -247,14 +256,30 @@ func Decode(symbols []uint16, cfg Config) (*DecodeResult, error) {
 	return res, nil
 }
 
-// decodeBlock de-maps, deinterleaves and FEC-decodes one block, returning
-// its data nibbles. FEC detection failures are tolerated (the nibble is
-// passed through) so that the payload CRC delivers the final verdict;
-// correction counts accumulate into res.
-func decodeBlock(symbols []uint16, cfg Config, block int, res *DecodeResult) ([]byte, error) {
+// maxBlockRows bounds the interleaver row count (SF ≤ 12, and the exported
+// Interleave/Deinterleave accept up to 16) so block decoding can use
+// fixed-size stack arrays.
+const maxBlockRows = 16
+
+// decodeBlockInto de-maps, deinterleaves and FEC-decodes one block,
+// appending its data nibbles onto dst. FEC detection failures are tolerated
+// (the nibble is passed through) so that the payload CRC delivers the final
+// verdict; correction counts accumulate into res. The de-mapped symbol
+// values and deinterleaved codewords live in fixed stack arrays, so the
+// only allocation a block decode can cause is growth of dst.
+//
+//cic:hotpath
+func decodeBlockInto(dst []byte, symbols []uint16, cfg Config, block int, res *DecodeResult) ([]byte, error) {
 	rows := cfg.rows(block)
 	cr := cfg.blockCR(block)
-	vals := make([]uint16, len(symbols))
+	cols := cr.CodewordBits()
+	if len(symbols) != cols {
+		return nil, fmt.Errorf("phy: deinterleave block has %d symbols, want %d", len(symbols), cols)
+	}
+	if rows < 1 || rows > maxBlockRows || cols > maxBlockRows {
+		return nil, fmt.Errorf("phy: deinterleave rows %d out of range [1,%d]", rows, maxBlockRows)
+	}
+	var vals, cws [maxBlockRows]uint16
 	mask := uint16(1)<<rows - 1
 	for i, s := range symbols {
 		if cfg.reduced(block) {
@@ -265,18 +290,22 @@ func decodeBlock(symbols []uint16, cfg Config, block int, res *DecodeResult) ([]
 		}
 		vals[i] = uint16(GrayDecode(int(s & mask)))
 	}
-	cws, err := Deinterleave(vals, cr, rows)
-	if err != nil {
-		return nil, err
+	// Diagonal deinterleave (same mapping as the exported Deinterleave,
+	// inlined over the stack arrays).
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			src := (r + c) % rows
+			bit := (vals[c] >> r) & 1
+			cws[src] |= bit << c
+		}
 	}
-	nibs := make([]byte, rows)
-	for r, cw := range cws {
-		nib, corrected, ok := HammingDecode(cw, cr)
+	for r := 0; r < rows; r++ {
+		nib, corrected, ok := HammingDecode(cws[r], cr)
 		if corrected {
 			res.FECCorrected++
 		}
 		_ = ok // detection-only failures resolved by the payload CRC
-		nibs[r] = nib
+		dst = append(dst, nib)
 	}
-	return nibs, nil
+	return dst, nil
 }

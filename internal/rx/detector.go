@@ -2,7 +2,7 @@ package rx
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"cic/internal/dsp"
 	"cic/internal/frame"
@@ -85,10 +85,35 @@ func (o *DetectorOptions) setDefaults() {
 // LoRa, Choir and FTrack) and CIC's down-chirp search (§5.8), which stays
 // clean under collisions because concurrent data symbols do not correlate
 // against an up-chirp multiplier.
+//
+// A Detector is not safe for concurrent use: every scan and refinement
+// method works in the struct's scratch arenas (allocation-free per window
+// after warm-up); create one Detector per goroutine.
 type Detector struct {
 	cfg  frame.Config
 	opts DetectorOptions
 	d    *Demod
+
+	// Scratch arenas, sized at construction (m = samples/symbol, n =
+	// chips/symbol) and reused by every scan window so the streaming scan
+	// path performs no steady-state allocation. Lifetimes never overlap:
+	// each mgrid/fold result is fully consumed before the next window
+	// overwrites it.
+	win      []complex128 // raw window samples
+	dd       []complex128 // de-chirped window
+	fftTmp   []complex128 // mgrid FFT destination
+	mag      dsp.Spectrum // M-grid power spectrum (len m)
+	spec     dsp.Spectrum // N-grid folded spectrum (len n)
+	nfTmp    []float64    // NoiseFloorInto workspace
+	peaksBuf []dsp.Peak
+	candsBuf []int64 // raw down-chirp anchors per scan
+	counts   []int   // up-chirp bin vote histogram (len n), cleared per use
+	hyposBuf []int
+	bUpsBuf  []float64
+	fracsBuf []float64
+	ampsBuf  []float64
+	snrsBuf  []float64
+	want     []int // expected preamble+SYNC symbol values (constant per cfg)
 }
 
 // NewDetector builds a Detector.
@@ -98,12 +123,66 @@ func NewDetector(cfg frame.Config, opts DetectorOptions) (*Detector, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Detector{cfg: cfg, opts: opts, d: d}, nil
+	m := cfg.Chirp.SamplesPerSymbol()
+	n := cfg.Chirp.ChipCount()
+	x, y := cfg.SyncSymbolValues()
+	want := make([]int, 0, frame.PreambleUpchirps+frame.SyncSymbols)
+	for i := 0; i < frame.PreambleUpchirps; i++ {
+		want = append(want, 0)
+	}
+	want = append(want, x, y)
+	return &Detector{
+		cfg:      cfg,
+		opts:     opts,
+		d:        d,
+		win:      make([]complex128, m),
+		dd:       make([]complex128, m),
+		fftTmp:   make([]complex128, m),
+		mag:      make(dsp.Spectrum, m),
+		spec:     make(dsp.Spectrum, n),
+		nfTmp:    make([]float64, n),
+		counts:   make([]int, n),
+		peaksBuf: make([]dsp.Peak, 0, 8),
+		candsBuf: make([]int64, 0, 32),
+		hyposBuf: make([]int, 0, 16),
+		bUpsBuf:  make([]float64, 0, 4),
+		fracsBuf: make([]float64, 0, frame.PreambleUpchirps),
+		ampsBuf:  make([]float64, 0, len(want)),
+		snrsBuf:  make([]float64, 0, len(want)),
+		want:     want,
+	}, nil
 }
 
 // dcRegionOffset is the number of whole symbols between the packet start
 // and the start of the down-chirp region (8 preamble + 2 SYNC).
 const dcRegionOffset = frame.PreambleUpchirps + frame.SyncSymbols
+
+// preStartOf returns the packet-start estimate implied by a down-chirp
+// region starting at dcStart.
+func preStartOf(dcStart int64, m int) int64 {
+	return dcStart - int64(dcRegionOffset*m)
+}
+
+// mgrid FFTs the de-chirped window onto the M grid and squares it into the
+// detector's scratch power spectrum (valid until the next mgrid call).
+//
+//cic:hotpath
+func (det *Detector) mgrid(dd []complex128) dsp.Spectrum {
+	det.d.FFT().ForwardInto(det.fftTmp, dd)
+	return det.mgridFromTmp()
+}
+
+// mgridFromTmp squares det.fftTmp (already transformed) into the M-grid
+// scratch spectrum — the tail half of mgrid for callers that ran the FFT
+// themselves.
+//
+//cic:hotpath
+func (det *Detector) mgridFromTmp() dsp.Spectrum {
+	for i, v := range det.fftTmp {
+		det.mag[i] = real(v)*real(v) + imag(v)*imag(v)
+	}
+	return det.mag
+}
 
 // ScanDownchirp searches the whole source with CIC's down-chirp method and
 // returns verified, deduplicated packets sorted by start.
@@ -123,15 +202,13 @@ func (det *Detector) ScanDownchirp(src SampleSource) []*Packet {
 // in [start, end) — the incremental entry point used by the streaming
 // gateway. Detected packets may begin before `start` (the preamble extends
 // ~12 symbols before the down-chirps the scan keys on).
+//
+//cic:hotpath
 func (det *Detector) ScanDownchirpRange(src SampleSource, start, end int64) []*Packet {
 	m := det.cfg.Chirp.SamplesPerSymbol()
 	osr := det.cfg.Chirp.OSR
-	win := make([]complex128, m)
-	dd := make([]complex128, m)
-	mag := make(dsp.Spectrum, m)
-	fft := det.d.FFT()
 	gen := det.d.Generator()
-	var cands []int64
+	cands := det.candsBuf[:0]
 	// Align scan positions to the global half-symbol grid so incremental
 	// range scans visit exactly the positions a whole-span scan would.
 	first := start - int64(m)
@@ -141,13 +218,12 @@ func (det *Detector) ScanDownchirpRange(src SampleSource, start, end int64) []*P
 	}
 	for p := first; p < end; p += grid {
 		det.opts.Metrics.DetectWindows.Inc()
-		src.Read(win, p)
-		gen.DechirpDown(dd, win)
-		fft.ForwardInto(dd, dd[:m])
+		src.Read(det.win, p)
+		gen.DechirpDown(det.dd, det.win)
+		mag := det.mgrid(det.dd)
 		meanPow := 0.0
-		for i, v := range dd {
-			mag[i] = real(v)*real(v) + imag(v)*imag(v)
-			meanPow += mag[i]
+		for _, v := range mag {
+			meanPow += v
 		}
 		meanPow /= float64(m)
 		peak, bin := mag.Max()
@@ -163,6 +239,7 @@ func (det *Detector) ScanDownchirpRange(src SampleSource, start, end int64) []*P
 		}
 		cands = append(cands, p+int64(e))
 	}
+	det.candsBuf = cands
 	return det.resolveCandidates(src, cands)
 }
 
@@ -189,22 +266,20 @@ func (det *Detector) ScanUpchirpRange(src SampleSource, start, end int64) []*Pac
 	n := det.cfg.Chirp.ChipCount()
 	fft := det.d.FFT()
 	gen := det.d.Generator()
-	win := make([]complex128, m)
-	dd := make([]complex128, m)
-	spec := make(dsp.Spectrum, n)
 
 	var history []upWindow
-	var cands []int64
+	cands := det.candsBuf[:0]
 	run := det.opts.UpchirpRun
 
 	for p := start - int64(m); p < end; p += int64(m) {
 		det.opts.Metrics.DetectWindows.Inc()
-		src.Read(win, p)
-		gen.Dechirp(dd, win)
-		fft.ForwardInto(dd, dd[:m])
-		dsp.FoldMagnitude(spec, dd, n, det.cfg.Chirp.OSR)
-		floor := dsp.NoiseFloor(spec)
-		peaks := dsp.TopPeaks(spec, 0.2, det.opts.UpchirpTopK)
+		src.Read(det.win, p)
+		gen.Dechirp(det.dd, det.win)
+		fft.ForwardInto(det.fftTmp, det.dd)
+		dsp.FoldMagnitude(det.spec, det.fftTmp, n, det.cfg.Chirp.OSR)
+		floor := dsp.NoiseFloorInto(det.nfTmp, det.spec)
+		peaks := dsp.AppendTopPeaks(det.peaksBuf[:0], det.spec, 0.2, det.opts.UpchirpTopK)
+		det.peaksBuf = peaks
 		// Keep only peaks meaningfully above the floor.
 		kept := peaks[:0]
 		for _, pk := range peaks {
@@ -212,6 +287,8 @@ func (det *Detector) ScanUpchirpRange(src SampleSource, start, end int64) []*Pac
 				kept = append(kept, pk)
 			}
 		}
+		// The per-window history copy allocates; the conventional scan is
+		// a comparison baseline, not the streaming hot path.
 		history = append(history, upWindow{pos: p, peaks: append([]dsp.Peak(nil), kept...)})
 		if len(history) < run {
 			continue
@@ -228,6 +305,7 @@ func (det *Detector) ScanUpchirpRange(src SampleSource, start, end int64) []*Pac
 			}
 		}
 	}
+	det.candsBuf = cands
 	return det.resolveCandidates(src, cands)
 }
 
@@ -268,22 +346,17 @@ func consistentBin(run []upWindow, n int) (int, bool) {
 func (det *Detector) localDownchirp(src SampleSource, from int64, symbols int) (int64, bool) {
 	m := det.cfg.Chirp.SamplesPerSymbol()
 	osr := det.cfg.Chirp.OSR
-	win := make([]complex128, m)
-	dd := make([]complex128, m)
-	mag := make(dsp.Spectrum, m)
-	fft := det.d.FFT()
 	gen := det.d.Generator()
 	bestPower := 0.0
 	var bestAnchor int64
 	found := false
 	for p := from; p < from+int64(symbols*m); p += int64(m / 2) {
-		src.Read(win, p)
-		gen.DechirpDown(dd, win)
-		fft.ForwardInto(dd, dd[:m])
+		src.Read(det.win, p)
+		gen.DechirpDown(det.dd, det.win)
+		mag := det.mgrid(det.dd)
 		meanPow := 0.0
-		for i, v := range dd {
-			mag[i] = real(v)*real(v) + imag(v)*imag(v)
-			meanPow += mag[i]
+		for _, v := range mag {
+			meanPow += v
 		}
 		meanPow /= float64(m)
 		peak, bin := mag.Max()
@@ -304,12 +377,15 @@ func (det *Detector) localDownchirp(src SampleSource, from int64, symbols int) (
 }
 
 // resolveCandidates refines, verifies and deduplicates raw candidate
-// down-chirp anchors, producing tracked packets sorted by start.
+// down-chirp anchors, producing tracked packets sorted by start. The
+// anchors slice is sorted in place (it is the detector's scratch).
+//
+//cic:hotpath
 func (det *Detector) resolveCandidates(src SampleSource, dcAnchors []int64) []*Packet {
 	m := int64(det.cfg.Chirp.SamplesPerSymbol())
 	var pkts []*Packet
 	det.opts.Metrics.DetectCandidates.Add(int64(len(dcAnchors)))
-	sort.Slice(dcAnchors, func(i, j int) bool { return dcAnchors[i] < dcAnchors[j] })
+	slices.Sort(dcAnchors)
 	for _, anchor := range dcAnchors {
 		// Skip anchors that obviously duplicate an accepted packet before
 		// paying for refinement.
@@ -340,13 +416,21 @@ func (det *Detector) resolveCandidates(src SampleSource, dcAnchors []int64) []*P
 			}
 		}
 		if !dup {
-			pkts = append(pkts, pkt)
+			pkts = append(pkts, pkt) //cic:alloc-ok — accepted detections escape to the caller
 			if det.opts.MaxPackets > 0 && len(pkts) >= det.opts.MaxPackets {
 				break
 			}
 		}
 	}
-	sort.Slice(pkts, func(i, j int) bool { return pkts[i].Start < pkts[j].Start })
+	slices.SortFunc(pkts, func(a, b *Packet) int {
+		switch {
+		case a.Start < b.Start:
+			return -1
+		case a.Start > b.Start:
+			return 1
+		}
+		return 0
+	})
 	for i, p := range pkts {
 		p.ID = i
 	}
@@ -373,6 +457,8 @@ func abs64(x int64) int64 {
 // so δ = (b_up + b_down)/2 and e = OSR·(b_down − b_up)/2. Because the
 // coarse anchor may lock onto the second down-chirp, the final verification
 // tries the ±1-symbol shifts and keeps the best-scoring alignment.
+//
+//cic:hotpath
 func (det *Detector) Synchronize(src SampleSource, dcAnchor int64) (*Packet, bool) {
 	cfg := det.cfg
 	m := cfg.Chirp.SamplesPerSymbol()
@@ -380,14 +466,11 @@ func (det *Detector) Synchronize(src SampleSource, dcAnchor int64) (*Packet, boo
 	gen := det.d.Generator()
 	fft := det.d.FFT()
 
-	win := make([]complex128, m)
-	dd := make([]complex128, m)
-
 	// Measure the down-chirp tone once at the anchor — concurrent data
 	// up-chirps spread under DechirpDown, so its global peak is ours.
-	src.Read(win, dcAnchor)
-	gen.DechirpDown(dd, win)
-	mag := mgridSpectrum(fft, dd, m)
+	src.Read(det.win, dcAnchor)
+	gen.DechirpDown(det.dd, det.win)
+	mag := det.mgrid(det.dd)
 	_, at := mag.Max()
 	if at < 0 {
 		return nil, false
@@ -397,19 +480,21 @@ func (det *Detector) Synchronize(src SampleSource, dcAnchor int64) (*Packet, boo
 	// collisions the preamble windows contain tones from concurrent
 	// transmissions too, each appearing consistently; every recurring bin
 	// is a hypothesis, and the CFO budget plus preamble verification pick
-	// the right one.
-	preStart := dcAnchor - int64(dcRegionOffset*m)
-	counts := map[int]int{}
-	spec := make(dsp.Spectrum, n)
+	// the right one. The vote histogram is a fixed length-N slice rather
+	// than a map, so hypothesis gathering never allocates.
+	counts := det.counts
+	clear(counts)
+	preStart := preStartOf(dcAnchor, m)
 	for _, sym := range []int{2, 3, 4, 5} {
-		src.Read(win, preStart+int64(sym*m))
-		gen.Dechirp(dd, win)
-		fft.ForwardInto(dd, dd[:m])
-		dsp.FoldMagnitude(spec, dd, n, det.cfg.Chirp.OSR)
+		src.Read(det.win, preStart+int64(sym*m))
+		gen.Dechirp(det.dd, det.win)
+		fft.ForwardInto(det.fftTmp, det.dd)
+		dsp.FoldMagnitude(det.spec, det.fftTmp, n, det.cfg.Chirp.OSR)
 		// The folded spectrum combines each tone's OSR images into one bin,
 		// so a handful of strong interferers cannot crowd a weak packet's
 		// tone out of the peak list.
-		for _, pk := range dsp.TopPeaks(spec, 0.05, 6) {
+		det.peaksBuf = dsp.AppendTopPeaks(det.peaksBuf[:0], det.spec, 0.05, 6)
+		for _, pk := range det.peaksBuf {
 			// Collapse the OSR images onto the N circle and tolerate ±1 bin
 			// of drift between windows (fractional peaks near a bin edge
 			// flip sides from window to window).
@@ -419,7 +504,7 @@ func (det *Detector) Synchronize(src SampleSource, dcAnchor int64) (*Packet, boo
 			counts[(b+1)%n]++
 		}
 	}
-	var hypos []int
+	hypos := det.hyposBuf[:0]
 	for bin, c := range counts {
 		if c < 3 {
 			continue
@@ -434,12 +519,13 @@ func (det *Detector) Synchronize(src SampleSource, dcAnchor int64) (*Packet, boo
 		}
 		hypos = append(hypos, bin)
 	}
-	sort.Slice(hypos, func(a, b int) bool {
-		if counts[hypos[a]] != counts[hypos[b]] {
-			return counts[hypos[a]] > counts[hypos[b]]
+	slices.SortFunc(hypos, func(a, b int) int {
+		if counts[a] != counts[b] {
+			return counts[b] - counts[a]
 		}
-		return hypos[a] < hypos[b]
+		return a - b
 	})
+	det.hyposBuf = hypos
 	if len(hypos) > 4 {
 		hypos = hypos[:4]
 	}
@@ -462,23 +548,22 @@ func (det *Detector) Synchronize(src SampleSource, dcAnchor int64) (*Packet, boo
 // refineHypothesis iterates the (δ, ε) solution for one up-chirp bin
 // hypothesis, then verifies the resulting alignment (including the ±1
 // symbol down-chirp ambiguity).
+//
+//cic:hotpath
 func (det *Detector) refineHypothesis(src SampleSource, dcAnchor int64, bUpHypo float64) (*Packet, bool) {
 	cfg := det.cfg
 	m := cfg.Chirp.SamplesPerSymbol()
 	n := cfg.Chirp.ChipCount()
 	osr := cfg.Chirp.OSR
 	gen := det.d.Generator()
-	fft := det.d.FFT()
-	win := make([]complex128, m)
-	dd := make([]complex128, m)
 
 	dcStart := dcAnchor
 	var cfoBins float64
 	expectUp := bUpHypo
 	for iter := 0; iter < 3; iter++ {
-		src.Read(win, dcStart)
-		gen.DechirpDown(dd, win)
-		mag := mgridSpectrum(fft, dd, m)
+		src.Read(det.win, dcStart)
+		gen.DechirpDown(det.dd, det.win)
+		mag := det.mgrid(det.dd)
 		var bDown float64
 		var pDown float64
 		if iter == 0 {
@@ -494,12 +579,12 @@ func (det *Detector) refineHypothesis(src SampleSource, dcAnchor int64, bUpHypo 
 		}
 		bDownW := dsp.WrapToHalf(bDown, float64(m)/2)
 
-		preStart := dcStart - int64(dcRegionOffset*m)
-		bUps := make([]float64, 0, 4)
+		preStart := preStartOf(dcStart, m)
+		bUps := det.bUpsBuf[:0]
 		for _, sym := range []int{2, 3, 4, 5} {
-			src.Read(win, preStart+int64(sym*m))
-			gen.Dechirp(dd, win)
-			umag := mgridSpectrum(fft, dd, m)
+			src.Read(det.win, preStart+int64(sym*m))
+			gen.Dechirp(det.dd, det.win)
+			umag := det.mgrid(det.dd)
 			// Search near the expected bin on both OSR images.
 			b1, p1 := nearestPeak(umag, expectUp, 3)
 			b2, p2 := nearestPeak(umag, expectUp+float64((osr-1)*n), 3)
@@ -508,7 +593,8 @@ func (det *Detector) refineHypothesis(src SampleSource, dcAnchor int64, bUpHypo 
 			}
 			bUps = append(bUps, dsp.WrapToHalf(b1, float64(n)/2))
 		}
-		sort.Float64s(bUps)
+		det.bUpsBuf = bUps
+		slices.Sort(bUps)
 		bUp := 0.5 * (bUps[1] + bUps[2]) // median of 4
 		cfoBins = (bUp + bDownW) / 2
 		if math.Abs(cfoBins) > det.opts.MaxCFOBins {
@@ -525,15 +611,20 @@ func (det *Detector) refineHypothesis(src SampleSource, dcAnchor int64, bUpHypo 
 	}
 
 	cfoHz := cfoBins * cfg.Chirp.BinWidth()
-	base := dcStart - int64(dcRegionOffset*m)
+	base := preStartOf(dcStart, m)
 
 	// Resolve the which-down-chirp ambiguity: try start shifts of 0, ±1
-	// symbol and keep the best verification score.
+	// symbol and keep the best verification score. The trial Packet stays
+	// on the stack; only an accepted alignment is promoted to the heap, so
+	// rejected hypotheses (the common case while scanning) cost nothing.
 	var best *Packet
 	for _, shift := range []int64{0, -int64(m), int64(m)} {
-		pkt := &Packet{Start: base + shift, CFOHz: cfoHz}
-		if det.verify(src, pkt) && (best == nil || pkt.Score > best.Score) {
-			best = pkt
+		trial := Packet{Start: base + shift, CFOHz: cfoHz}
+		if det.verify(src, &trial) && (best == nil || trial.Score > best.Score) {
+			if best == nil {
+				best = new(Packet) //cic:alloc-ok — the accepted detection escapes
+			}
+			*best = trial
 		}
 	}
 	if best == nil {
@@ -550,14 +641,16 @@ func (det *Detector) refineHypothesis(src SampleSource, dcAnchor int64, bUpHypo 
 // constant), so absorbing the residual here makes the packet's own data
 // peaks land within a small fraction of a bin — the margin the §5.7
 // fractional-CFO candidate filter depends on.
+//
+//cic:hotpath
 func (det *Detector) refineEffectiveCFO(src SampleSource, pkt *Packet) {
 	cfg := det.cfg
 	m := cfg.Chirp.SamplesPerSymbol()
 	d := det.d
-	fracs := make([]float64, 0, frame.PreambleUpchirps)
+	fracs := det.fracsBuf[:0]
 	for i := 0; i < frame.PreambleUpchirps; i++ {
 		d.LoadWindow(src, pkt.Start+int64(i*m), pkt.CFOHz)
-		mag := mgridSpectrum(d.FFT(), d.Dechirped(), m)
+		mag := det.mgrid(d.Dechirped())
 		// The preamble tone (k=0) should sit at M-grid bin ~0; search ±2
 		// bins then zoom.
 		pos, pow := nearestPeak(mag, 0, 2)
@@ -568,31 +661,22 @@ func (det *Detector) refineEffectiveCFO(src SampleSource, pkt *Packet) {
 		zpos, _ := dsp.RefinePeak(d.Dechirped(), m, ipos, 16)
 		fracs = append(fracs, dsp.WrapToHalf(zpos, float64(m)/2))
 	}
+	det.fracsBuf = fracs
 	if len(fracs) < 3 {
 		return
 	}
-	sort.Float64s(fracs)
+	slices.Sort(fracs)
 	med := fracs[len(fracs)/2]
 	if math.Abs(med) < 1.5 {
 		pkt.CFOHz += med * cfg.Chirp.BinWidth()
 	}
 }
 
-// mgridSpectrum FFTs the de-chirped window on the M grid and returns the
-// power spectrum (freshly allocated).
-func mgridSpectrum(fft *dsp.FFT, dd []complex128, m int) dsp.Spectrum {
-	tmp := make([]complex128, m)
-	fft.ForwardInto(tmp, dd)
-	mag := make(dsp.Spectrum, m)
-	for i, v := range tmp {
-		mag[i] = real(v)*real(v) + imag(v)*imag(v)
-	}
-	return mag
-}
-
 // nearestPeak finds the strongest bin within ±radius (circular) of the
 // expected fractional position and refines it, returning position and
 // power.
+//
+//cic:hotpath
 func nearestPeak(mag dsp.Spectrum, expect float64, radius int) (float64, float64) {
 	m := len(mag)
 	center := int(math.Round(expect))
@@ -620,39 +704,38 @@ func nearestPeak(mag dsp.Spectrum, expect float64, radius int) (float64, float64
 // verify demodulates the 8 preamble up-chirps and 2 SYNC symbols with the
 // packet's timing and CFO; it scores matches, estimates the reference peak
 // amplitude and SNR, and accepts when the score reaches VerifyMinScore.
+//
+//cic:hotpath
 func (det *Detector) verify(src SampleSource, pkt *Packet) bool {
 	cfg := det.cfg
 	m := cfg.Chirp.SamplesPerSymbol()
 	n := cfg.Chirp.ChipCount()
 	d := det.d
-	x, y := cfg.SyncSymbolValues()
-	want := make([]int, 0, frame.PreambleUpchirps+frame.SyncSymbols)
-	for i := 0; i < frame.PreambleUpchirps; i++ {
-		want = append(want, 0)
-	}
-	want = append(want, x, y)
 
 	score := 0
-	var amps, snrs []float64
-	for i, w := range want {
+	amps := det.ampsBuf[:0]
+	snrs := det.snrsBuf[:0]
+	for i, w := range det.want {
 		d.LoadWindow(src, pkt.Start+int64(i*m), pkt.CFOHz)
 		spec := d.FoldedSpectrum()
 		// Check the expected bin (±1) against the noise floor instead of
 		// requiring the global maximum: under collisions a stronger
 		// concurrent transmission legitimately owns the global peak.
 		peak := spec[w]
-		for _, b := range []int{(w + 1) % n, (w - 1 + n) % n} {
-			if spec[b] > peak {
-				peak = spec[b]
-			}
+		if up := spec[(w+1)%n]; up > peak {
+			peak = up
 		}
-		nf := dsp.NoiseFloor(spec)
+		if dn := spec[(w-1+n)%n]; dn > peak {
+			peak = dn
+		}
+		nf := dsp.NoiseFloorInto(det.nfTmp, spec)
 		if nf > 0 && peak >= det.opts.VerifyPeakFactor*nf {
 			score++
 			amps = append(amps, math.Sqrt(peak))
 			snrs = append(snrs, dsp.DB(peak/nf))
 		}
 	}
+	det.ampsBuf, det.snrsBuf = amps, snrs
 	pkt.Score = score
 	if score < det.opts.VerifyMinScore {
 		return false
@@ -674,32 +757,24 @@ func (det *Detector) verify(src SampleSource, pkt *Packet) bool {
 // de-chirp (against C0, with CFO removed) to a strong tone at M-grid bin
 // 0±2. Checking both defeats aliases that place only one window over
 // genuinely down-chirping samples.
+//
+//cic:hotpath
 func (det *Detector) downchirpAligned(src SampleSource, pkt *Packet) bool {
 	cfg := det.cfg
 	m := cfg.Chirp.SamplesPerSymbol()
 	gen := det.d.Generator()
-	fft := det.d.FFT()
-	win := make([]complex128, m)
-	dd := make([]complex128, m)
-	mag := make(dsp.Spectrum, m)
-	peaks := make([]float64, frame.DownchirpsWhole)
+	var peaks [frame.DownchirpsWhole]float64
 	for dc := 0; dc < frame.DownchirpsWhole; dc++ {
-		src.Read(win, pkt.Start+int64((dcRegionOffset+dc)*m))
-		gen.DechirpDown(dd, win)
-		if pkt.CFOHz != 0 {
-			step := -2 * math.Pi * pkt.CFOHz / cfg.Chirp.SampleRate()
-			phase := 0.0
-			for i := range dd {
-				s, c := math.Sincos(phase)
-				dd[i] *= complex(c, s)
-				phase += step
-			}
-		}
-		fft.ForwardInto(dd, dd[:m])
+		src.Read(det.win, pkt.Start+int64((dcRegionOffset+dc)*m))
+		gen.DechirpDown(det.dd, det.win)
+		// The demodulator's cached per-packet rotation table removes the
+		// CFO (identical math to a per-sample Sincos loop, but the table
+		// is rebuilt only when the packet's estimate changes).
+		det.d.ApplyCFO(det.dd, pkt.CFOHz)
+		mag := det.mgrid(det.dd)
 		meanPow := 0.0
-		for i, v := range dd {
-			mag[i] = real(v)*real(v) + imag(v)*imag(v)
-			meanPow += mag[i]
+		for _, v := range mag {
+			meanPow += v
 		}
 		meanPow /= float64(m)
 		peak, at := mag.Max()

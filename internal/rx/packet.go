@@ -53,6 +53,13 @@ type Demod struct {
 	dech []complex128 // de-chirped, CFO-corrected window
 	tmp  []complex128 // FFT scratch
 	spec dsp.Spectrum // folded spectrum scratch
+
+	// CFO rotation cache: exp(−2πi·cfo·n/fs) for one symbol. A packet's
+	// CFO estimate is constant across its symbols, so the table is rebuilt
+	// only when the corrected CFO changes (≈ once per packet), replacing a
+	// per-sample Sincos in every window load.
+	rot   []complex128
+	rotHz float64
 }
 
 // NewDemod builds a Demod for the configuration.
@@ -87,6 +94,8 @@ func (d *Demod) FFT() *dsp.FFT { return d.fft }
 
 // LoadWindow reads one symbol-length window starting at the absolute index
 // and de-chirps it with CFO correction, leaving the result in Dechirped().
+//
+//cic:hotpath
 func (d *Demod) LoadWindow(src SampleSource, start int64, cfoHz float64) {
 	src.Read(d.win, start)
 	d.DechirpCFO(d.dech, d.win, cfoHz)
@@ -102,23 +111,57 @@ func (d *Demod) Dechirped() []complex128 { return d.dech }
 
 // DechirpCFO de-chirps r into dst while removing a carrier frequency
 // offset: dst[n] = r[n]·conj(C0[n])·exp(−2πi·cfo·n/fs).
+//
+//cic:hotpath
 func (d *Demod) DechirpCFO(dst, r []complex128, cfoHz float64) {
 	d.gen.Dechirp(dst, r)
+	d.ApplyCFO(dst[:min(len(dst), len(r))], cfoHz)
+}
+
+// ApplyCFO rotates x in place by exp(−2πi·cfo·n/fs), the de-rotation that
+// removes a carrier frequency offset. The per-symbol rotation table is
+// cached on the Demod and rebuilt only when cfoHz changes, so the steady
+// state of a packet (constant CFO estimate) never calls Sincos.
+//
+//cic:hotpath
+func (d *Demod) ApplyCFO(x []complex128, cfoHz float64) {
 	if cfoHz == 0 {
 		return
 	}
+	rot := d.cfoRotation(cfoHz)
+	if len(x) > len(rot) {
+		x = x[:len(rot)]
+	}
+	for i := range x {
+		x[i] *= rot[i]
+	}
+}
+
+// cfoRotation returns the cached one-symbol rotation table for cfoHz,
+// rebuilding it when the offset differs from the cached one.
+func (d *Demod) cfoRotation(cfoHz float64) []complex128 {
+	if d.rot != nil && d.rotHz == cfoHz {
+		return d.rot
+	}
+	if d.rot == nil {
+		d.rot = make([]complex128, d.cfg.Chirp.SamplesPerSymbol())
+	}
 	step := -2 * math.Pi * cfoHz / d.cfg.Chirp.SampleRate()
 	phase := 0.0
-	for i := range dst[:len(r)] {
+	for i := range d.rot {
 		s, c := math.Sincos(phase)
-		dst[i] *= complex(c, s)
+		d.rot[i] = complex(c, s)
 		phase += step
 	}
+	d.rotHz = cfoHz
+	return d.rot
 }
 
 // FoldedSpectrum computes the folded power spectrum of the de-chirped
 // window (full symbol). The returned slice is scratch, valid until the next
 // call.
+//
+//cic:hotpath
 func (d *Demod) FoldedSpectrum() dsp.Spectrum {
 	d.fft.ForwardInto(d.tmp, d.dech)
 	return dsp.FoldMagnitude(d.spec, d.tmp, d.cfg.Chirp.ChipCount(), d.cfg.Chirp.OSR)
@@ -128,20 +171,9 @@ func (d *Demod) FoldedSpectrum() dsp.Spectrum {
 // sub-window [from, to) (sample offsets within the symbol), zero-padded to
 // the full FFT grid so bins align across sub-symbols, written into dst
 // (allocated if nil). This is the Φ(r_{i→j}) operation of the paper.
+//
+//cic:hotpath
 func (d *Demod) SubSymbolSpectrum(dst dsp.Spectrum, from, to int) dsp.Spectrum {
-	m := d.fft.Size()
-	if from < 0 {
-		from = 0
-	}
-	if to > m {
-		to = m
-	}
-	for i := range d.tmp {
-		d.tmp[i] = 0
-	}
-	if to > from {
-		copy(d.tmp[from:to], d.dech[from:to])
-	}
-	d.fft.Forward(d.tmp)
+	d.fft.ForwardWindowed(d.tmp, d.dech, from, to)
 	return dsp.FoldMagnitude(dst, d.tmp, d.cfg.Chirp.ChipCount(), d.cfg.Chirp.OSR)
 }

@@ -26,6 +26,11 @@ type SymbolPicker interface {
 // payload CRC it retries the runner-up value on the marginal symbols, a
 // standard receiver trick that converts packets with one or two borderline
 // symbols from losses into successes.
+//
+// The returned slice is the picker's scratch, valid only until the next
+// PickSymbolAlternates call on the same picker: callers that keep
+// alternates across symbols (the chase pass does) must copy the values
+// out. The contract keeps the per-symbol hot path allocation-free.
 type AlternatePicker interface {
 	SymbolPicker
 	PickSymbolAlternates(src SampleSource, pkt *Packet, symIdx int, others []*Packet) []uint16
@@ -159,7 +164,8 @@ func (pl *Pipeline) DecodeAll(src SampleSource, pkts []*Packet) ([]Decoded, erro
 				if hasAlt {
 					ranked := alt.PickSymbolAlternates(src, pkt, s, others)
 					syms = append(syms, ranked[0])
-					alternates = append(alternates, ranked)
+					// ranked is picker scratch — copy before the next call.
+					alternates = append(alternates, append([]uint16(nil), ranked...))
 				} else {
 					syms = append(syms, picker.PickSymbol(src, pkt, s, others))
 				}

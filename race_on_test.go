@@ -1,0 +1,7 @@
+//go:build race
+
+package cic_test
+
+// raceEnabled reports whether the binary was built with -race; allocation
+// budget tests skip themselves under the detector (it changes counts).
+const raceEnabled = true

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"time"
 
@@ -49,6 +50,7 @@ func run() error {
 		dialTimeout = flag.Duration("dial-timeout", server.DefaultDialTimeout, "TCP connect timeout")
 		rate        = flag.Float64("rate", 0, "throttle to this many samples/sec (0 = as fast as possible)")
 		quiet       = flag.Bool("quiet", false, "suppress reconnect logging")
+		logFormat   = flag.String("log-format", "text", `log encoding: "text" or "json" (structured NDJSON)`)
 	)
 	flag.Parse()
 	if *addr == "" || *in == "" {
@@ -77,11 +79,21 @@ func run() error {
 		src = f
 	}
 
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "cic-feed: "+format+"\n", args...)
-	}
-	if *quiet {
-		logf = nil
+	var logger *slog.Logger
+	var logf func(format string, args ...any)
+	if !*quiet {
+		switch *logFormat {
+		case "text":
+			logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		case "json":
+			logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		default:
+			return fmt.Errorf("-log-format: unknown format %q (want text or json)", *logFormat)
+		}
+		logger = logger.With("station", *station)
+		logf = func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		}
 	}
 	c := server.NewReconnectingClient(server.ReconnectOptions{
 		Station:     *station,
@@ -102,8 +114,10 @@ func run() error {
 		if _, err := io.CopyN(io.Discard, src, off*8); err != nil {
 			return fmt.Errorf("skipping %d already-ingested samples: %w", off, err)
 		}
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "cic-feed: resuming at sample offset %d\n", off)
+		if logger != nil {
+			// The message text is load-bearing: scripts/smoke.sh greps it
+			// to prove the restarted feed resumed instead of replaying.
+			logger.Info(fmt.Sprintf("resuming at sample offset %d", off), "offset", off)
 		}
 	}
 
@@ -116,8 +130,17 @@ func run() error {
 	if err := c.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "cic-feed: streamed %d samples (%.2fs of air at %.0f Hz) in %v, session drained (%d reconnects)\n",
-		n, float64(n)/cfg.SampleRate(), cfg.SampleRate(), time.Since(t0).Round(time.Millisecond), c.Reconnects())
+	if logger != nil {
+		logger.Info("session drained",
+			"samples", n,
+			"air_seconds", float64(n)/cfg.SampleRate(),
+			"sample_rate_hz", cfg.SampleRate(),
+			"elapsed", time.Since(t0).Round(time.Millisecond).String(),
+			"reconnects", c.Reconnects())
+	} else {
+		fmt.Fprintf(os.Stderr, "cic-feed: streamed %d samples, session drained (%d reconnects)\n",
+			n, c.Reconnects())
+	}
 	return nil
 }
 

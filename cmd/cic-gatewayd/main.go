@@ -10,6 +10,13 @@
 //	             [-max-sessions N] [-mem-budget bytes] [-idle-timeout d]
 //	             [-park-timeout d] [-decode-timeout d] [-workers N]
 //	             [-debug-addr addr] [-addr-file path] [-fault-spec spec]
+//	             [-log-level level] [-log-format text|json]
+//	             [-flight N] [-station-series N]
+//
+// The debug endpoint (-debug-addr) serves /metrics (JSON, or Prometheus
+// text exposition under content negotiation), /healthz (liveness),
+// /readyz (readiness = admission control not shedding), /debug/flight
+// (the decode flight recorder) and /debug/pprof.
 //
 // -fault-spec enables the development fault injector: every accepted
 // ingestion connection is wrapped with a deterministic, seeded fault
@@ -26,11 +33,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -59,9 +67,13 @@ func run() error {
 		decodeTO    = flag.Duration("decode-timeout", server.DefaultDecodeTimeout, "per-IQ-frame decode admission deadline (-1s = unbounded)")
 		workers     = flag.Int("workers", server.DefaultWorkers(), "decode workers per session")
 		faultSpec   = flag.String("fault-spec", "", "DEV ONLY: inject deterministic connection faults, e.g. \"seed=42;every=2;drop@65536;stall@4096r:50ms\"")
-		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /healthz, /readyz, /debug/flight, /debug/vars and /debug/pprof on this address")
 		addrFile    = flag.String("addr-file", "", "write the bound ingestion and pub addresses (one per line) to this file once listening")
 		quiet       = flag.Bool("quiet", false, "suppress per-connection logging")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		logFormat   = flag.String("log-format", "text", `log encoding: "text" or "json" (structured NDJSON)`)
+		flightSize  = flag.Int("flight", 1024, "decode flight-recorder capacity in events (0 = disabled)")
+		stationCap  = flag.Int("station-series", 0, "max live stations per labeled metric family (0 = default cap)")
 	)
 	flag.Parse()
 
@@ -81,9 +93,13 @@ func run() error {
 	}
 	sink := server.NewFanout(writers...)
 
-	logf := log.New(os.Stderr, "cic-gatewayd: ", log.LstdFlags).Printf
-	if *quiet {
-		logf = nil
+	logger, err := buildLogger(*logLevel, *logFormat, *quiet)
+	if err != nil {
+		return err
+	}
+	var flight *cic.FlightRecorder
+	if *flightSize > 0 {
+		flight = cic.NewFlightRecorder(*flightSize)
 	}
 	var wrapConn func(net.Conn) net.Conn
 	if *faultSpec != "" {
@@ -103,16 +119,18 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "cic-gatewayd: FAULT INJECTION ACTIVE (%s) — dev use only\n", spec)
 	}
 	srv := server.New(server.Config{
-		MaxSessions:   *maxSessions,
-		MemoryBudget:  *memBudget,
-		IdleTimeout:   *idleTimeout,
-		ParkTimeout:   *parkTimeout,
-		DecodeTimeout: *decodeTO,
-		Workers:       *workers,
-		Metrics:       reg,
-		Sink:          sink,
-		WrapConn:      wrapConn,
-		Logf:          logf,
+		MaxSessions:      *maxSessions,
+		MemoryBudget:     *memBudget,
+		IdleTimeout:      *idleTimeout,
+		ParkTimeout:      *parkTimeout,
+		DecodeTimeout:    *decodeTO,
+		Workers:          *workers,
+		Metrics:          reg,
+		Sink:             sink,
+		WrapConn:         wrapConn,
+		Log:              logger,
+		Flight:           flight,
+		MaxStationSeries: *stationCap,
 	})
 
 	dataLn, err := net.Listen("tcp", *listen)
@@ -127,16 +145,38 @@ func run() error {
 		}
 		pubAddr = pubLn.Addr().String()
 	}
+	dbgAddr := ""
 	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", cic.DebugHandler(reg, flight))
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Cache-Control", "no-store")
+			fmt.Fprintln(w, "ok")
+		})
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Cache-Control", "no-store")
+			if err := srv.Ready(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintln(w, "ok")
+		})
+		// Listen explicitly (rather than ListenAndServe) so a :0 debug
+		// address resolves to a real port we can report in the addr-file.
+		dbgLn, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("-debug-addr: %w", err)
+		}
+		dbgAddr = dbgLn.Addr().String()
 		go func() {
-			if err := http.ListenAndServe(*debugAddr, cic.DebugHandler(reg)); err != nil {
+			if err := http.Serve(dbgLn, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "cic-gatewayd: debug server:", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "cic-gatewayd: debug endpoint on http://%s/metrics\n", *debugAddr)
+		fmt.Fprintf(os.Stderr, "cic-gatewayd: debug endpoint on http://%s/metrics\n", dbgAddr)
 	}
 	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(dataLn.Addr().String()+"\n"+pubAddr+"\n"), 0o644); err != nil {
+		if err := os.WriteFile(*addrFile, []byte(dataLn.Addr().String()+"\n"+pubAddr+"\n"+dbgAddr+"\n"), 0o644); err != nil {
 			return err
 		}
 	}
@@ -172,4 +212,34 @@ func run() error {
 	}
 	fmt.Fprintln(os.Stderr, "cic-gatewayd: drained")
 	return nil
+}
+
+// buildLogger assembles the daemon's structured logger from the
+// -log-level / -log-format / -quiet flags. A nil logger means silent.
+func buildLogger(level, format string, quiet bool) (*slog.Logger, error) {
+	if quiet {
+		return nil, nil
+	}
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level: unknown level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format: unknown format %q (want text or json)", format)
+	}
 }

@@ -1,0 +1,395 @@
+// Command cic-promcheck validates a live Prometheus metrics endpoint
+// and probes health endpoints, using only the standard library — it is
+// the scrape-side counterpart to the exposition writer in internal/obs
+// and exists so scripts/smoke.sh can assert the daemon's telemetry
+// without pulling in promtool or any external dependency.
+//
+// Two modes:
+//
+//	cic-promcheck -metrics URL [-require fam,fam] [-contains substr]...
+//	cic-promcheck -probe URL [-status 200] [-body-contains substr]
+//
+// -metrics fetches the URL with a Prometheus scraper Accept header and
+// runs a strict text-format (0.0.4) validation pass: every sample line
+// must parse as `name{labels} value [timestamp]`, every sample must
+// belong to a family announced by a preceding # TYPE line, label sets
+// must be well formed, histogram buckets must be cumulative and end in
+// a +Inf bucket equal to _count. -require lists family names that must
+// carry at least one sample; -contains (repeatable) asserts a literal
+// substring, e.g. a specific labeled series.
+//
+// -probe performs a GET and asserts the response status (default 200)
+// and, optionally, a body substring. Exit status is 0 only when every
+// check passes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// repeatFlag collects a repeatable -flag value.
+type repeatFlag []string
+
+func (f *repeatFlag) String() string     { return strings.Join(*f, ",") }
+func (f *repeatFlag) Set(v string) error { *f = append(*f, v); return nil }
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cic-promcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var contains, require repeatFlag
+	var (
+		metricsURL = flag.String("metrics", "", "metrics URL to fetch and validate as Prometheus text exposition")
+		probeURL   = flag.String("probe", "", "URL to probe with a plain GET")
+		status     = flag.Int("status", http.StatusOK, "expected HTTP status for -probe")
+		bodyWant   = flag.String("body-contains", "", "substring the -probe response body must contain")
+		timeout    = flag.Duration("timeout", 10*time.Second, "HTTP request timeout")
+	)
+	flag.Var(&require, "require", "metric family that must be present (repeatable, or comma-separated)")
+	flag.Var(&contains, "contains", "literal substring the exposition must contain (repeatable)")
+	flag.Parse()
+
+	client := &http.Client{Timeout: *timeout}
+	switch {
+	case *metricsURL != "":
+		return checkMetrics(client, *metricsURL, splitAll(require), contains)
+	case *probeURL != "":
+		return probe(client, *probeURL, *status, *bodyWant)
+	default:
+		flag.Usage()
+		return fmt.Errorf("one of -metrics or -probe is required")
+	}
+}
+
+func splitAll(vs []string) []string {
+	var out []string
+	for _, v := range vs {
+		for _, p := range strings.Split(v, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+func probe(client *http.Client, url string, wantStatus int, wantBody string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != wantStatus {
+		return fmt.Errorf("probe %s: status %d, want %d (body: %s)",
+			url, resp.StatusCode, wantStatus, strings.TrimSpace(string(body)))
+	}
+	if wantBody != "" && !strings.Contains(string(body), wantBody) {
+		return fmt.Errorf("probe %s: body %q does not contain %q", url, string(body), wantBody)
+	}
+	fmt.Printf("cic-promcheck: probe %s: %d OK\n", url, resp.StatusCode)
+	return nil
+}
+
+func checkMetrics(client *http.Client, url string, require, contains []string) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	// Scrape like Prometheus does, so content negotiation picks the text
+	// exposition even though the endpoint defaults to JSON.
+	req.Header.Set("Accept", "application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return fmt.Errorf("%s: Content-Type %q, want text/plain exposition", url, ct)
+	}
+
+	families, err := validateExposition(string(body))
+	if err != nil {
+		return fmt.Errorf("%s: %w\n--- exposition ---\n%s", url, err, body)
+	}
+	for _, fam := range require {
+		if families[fam] == 0 {
+			return fmt.Errorf("%s: required family %q has no samples\n--- exposition ---\n%s", url, fam, body)
+		}
+	}
+	for _, sub := range contains {
+		if !strings.Contains(string(body), sub) {
+			return fmt.Errorf("%s: exposition does not contain %q\n--- exposition ---\n%s", url, sub, body)
+		}
+	}
+	names := make([]string, 0, len(families))
+	total := 0
+	for name, n := range families {
+		names = append(names, name)
+		total += n
+	}
+	sort.Strings(names)
+	fmt.Printf("cic-promcheck: %s: %d families, %d samples OK\n", url, len(names), total)
+	return nil
+}
+
+// validateExposition runs the strict Prometheus text-format (0.0.4)
+// pass described in the package comment and returns per-family sample
+// counts (histogram _bucket/_sum/_count fold onto their base family).
+func validateExposition(body string) (map[string]int, error) {
+	families := map[string]int{}
+	typed := map[string]string{}
+	// histogram series state, keyed by family + label set minus le:
+	// cumulative bucket values in order of appearance, plus the _count.
+	type histSeries struct {
+		buckets []float64
+		les     []string
+		count   float64
+		hasCnt  bool
+	}
+	hists := map[string]*histSeries{}
+
+	for ln, line := range strings.Split(body, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed # TYPE: %q", lineNo, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if !validMetricName(name) {
+			return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed := strings.TrimSuffix(name, suffix); trimmed != name {
+				if typed[trimmed] == "histogram" || typed[trimmed] == "summary" {
+					base = trimmed
+				}
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		families[base]++
+
+		if typed[base] == "histogram" && base != name {
+			key := base + "\x00" + labelsKey(labels, "le")
+			hs := hists[key]
+			if hs == nil {
+				hs = &histSeries{}
+				hists[key] = hs
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le, ok := labels["le"]
+				if !ok {
+					return nil, fmt.Errorf("line %d: histogram bucket without le label: %q", lineNo, line)
+				}
+				hs.buckets = append(hs.buckets, value)
+				hs.les = append(hs.les, le)
+			case strings.HasSuffix(name, "_count"):
+				hs.count = value
+				hs.hasCnt = true
+			}
+		}
+	}
+
+	for key, hs := range hists {
+		fam := key[:strings.IndexByte(key, '\x00')]
+		if len(hs.les) == 0 || hs.les[len(hs.les)-1] != "+Inf" {
+			return nil, fmt.Errorf("histogram %s: bucket run does not end in le=\"+Inf\" (got %v)", fam, hs.les)
+		}
+		for i := 1; i < len(hs.buckets); i++ {
+			if hs.buckets[i] < hs.buckets[i-1] {
+				return nil, fmt.Errorf("histogram %s: buckets not cumulative at le=%q (%v < %v)",
+					fam, hs.les[i], hs.buckets[i], hs.buckets[i-1])
+			}
+		}
+		if hs.hasCnt && hs.buckets[len(hs.buckets)-1] != hs.count {
+			return nil, fmt.Errorf("histogram %s: +Inf bucket %v != _count %v",
+				fam, hs.buckets[len(hs.buckets)-1], hs.count)
+		}
+	}
+	return families, nil
+}
+
+// parseSample splits one sample line into name, label map, and value.
+// An optional trailing timestamp (an integer) is accepted and ignored.
+func parseSample(line string) (string, map[string]string, float64, error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("no value separator: %q", line)
+	}
+	name := rest[:i]
+	labels := map[string]string{}
+	if rest[i] == '{' {
+		var err error
+		labels, rest, err = parseLabels(rest[i+1:])
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("%w in %q", err, line)
+		}
+	} else {
+		rest = rest[i:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("want `value [timestamp]` after name, got %q", rest)
+	}
+	value, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("bad timestamp %q: %w", fields[1], err)
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels consumes `k="v",...}` and returns the map plus the
+// remainder of the line after the closing brace.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := map[string]string{}
+	for {
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without `=`")
+		}
+		key := s[:eq]
+		if !validLabelName(key) {
+			return nil, "", fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("unquoted label value for %q", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if s == "" {
+				return nil, "", fmt.Errorf("unterminated label value for %q", key)
+			}
+			c := s[0]
+			s = s[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if s == "" {
+					return nil, "", fmt.Errorf("dangling escape in label %q", key)
+				}
+				switch s[0] {
+				case '\\', '"':
+					val.WriteByte(s[0])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c in label %q", s[0], key)
+				}
+				s = s[1:]
+				continue
+			}
+			val.WriteByte(c)
+		}
+		labels[key] = val.String()
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		}
+	}
+}
+
+// labelsKey serialises a label map deterministically, skipping one key.
+func labelsKey(labels map[string]string, skip string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != skip {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\x01')
+		b.WriteString(labels[k])
+		b.WriteByte('\x02')
+	}
+	return b.String()
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

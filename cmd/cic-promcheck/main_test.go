@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodExposition = `# HELP frames_total Frames.
+# TYPE frames_total counter
+frames_total 12
+# TYPE sessions gauge
+sessions{station="a b",sf="7"} 2
+sessions{station="we\"ird\\st"} 1
+# TYPE lat histogram
+lat_bucket{station="a",le="0.1"} 1
+lat_bucket{station="a",le="1"} 3
+lat_bucket{station="a",le="+Inf"} 4
+lat_sum{station="a"} 5.5
+lat_count{station="a"} 4
+`
+
+func TestValidateExpositionGood(t *testing.T) {
+	families, err := validateExposition(goodExposition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if families["frames_total"] != 1 || families["sessions"] != 2 || families["lat"] != 5 {
+		t.Fatalf("family counts = %v", families)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"untyped sample":         "frames_total 1\n",
+		"bad value":              "# TYPE x counter\nx one\n",
+		"bad metric name":        "# TYPE x counter\nx-y 1\n",
+		"unterminated labels":    "# TYPE x counter\nx{a=\"b 1\n",
+		"unquoted label value":   "# TYPE x counter\nx{a=b} 1\n",
+		"bad escape":             "# TYPE x counter\nx{a=\"\\t\"} 1\n",
+		"unknown type":           "# TYPE x widget\nx 1\n",
+		"non-cumulative buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n",
+		"missing +Inf bucket":    "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_count 2\n",
+		"count mismatch":         "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 3\n",
+	}
+	for name, body := range cases {
+		if _, err := validateExposition(body); err == nil {
+			t.Errorf("%s: validated bad exposition:\n%s", name, body)
+		}
+	}
+}
+
+func TestParseSampleTimestamp(t *testing.T) {
+	name, labels, v, err := parseSample(`x{a="b"} 4.5 1712000000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "x" || labels["a"] != "b" || v != 4.5 {
+		t.Fatalf("parseSample = %q %v %v", name, labels, v)
+	}
+	if _, _, _, err := parseSample(`x 1 not-a-ts`); err == nil {
+		t.Fatal("accepted garbage timestamp")
+	}
+}
+
+func TestLabelsKeySkipsLe(t *testing.T) {
+	a := labelsKey(map[string]string{"station": "s", "le": "1"}, "le")
+	b := labelsKey(map[string]string{"le": "+Inf", "station": "s"}, "le")
+	if a != b {
+		t.Fatalf("labelsKey not stable across le: %q vs %q", a, b)
+	}
+	if strings.Contains(a, "+Inf") {
+		t.Fatal("labelsKey leaked the skipped label")
+	}
+}

@@ -98,6 +98,11 @@ type Gateway struct {
 	// panic hook observes recovered worker panics. Both nil by default.
 	intercept func(Packet) Packet
 	panicHook func(stage string, recovered any)
+
+	// flight records emit verdicts and worker-panic incidents into the
+	// session's flight-recorder scope (WithFlightScope). Nil when no
+	// recorder is attached; never touched from the //cic:hotpath loop.
+	flight *obs.FlightScope
 }
 
 // decodeJob carries one dispatched packet to the worker pool. The ingest
@@ -202,6 +207,7 @@ func NewGateway(cfg Config, options ...Option) (*Gateway, error) {
 		tracer:      obs.Tracer(o.tracer),
 		intercept:   o.intercept,
 		panicHook:   o.panicHook,
+		flight:      o.flight,
 	}
 	if o.metrics != nil || o.tracer != nil {
 		g.detectedAt = make(map[int]time.Time)
@@ -545,6 +551,11 @@ func (g *Gateway) runJob(ws *workerState, job decodeJob) {
 		}
 		v := recover()
 		g.m.WorkerPanics.Inc()
+		if g.flight != nil {
+			g.flight.RecordErr("worker_panic",
+				fmt.Sprintf("packet %d seq %d forwarded undecoded", job.id, job.seq),
+				fmt.Sprint(v))
+		}
 		if g.panicHook != nil {
 			g.panicHook("payload", v)
 		}
@@ -683,6 +694,15 @@ func (g *Gateway) emit(r seqPacket) {
 			ev.Latency = obs.Since(r.detectedAt)
 		}
 		g.tracer(ev)
+	}
+	if g.flight != nil {
+		gates := r.gates
+		g.flight.RecordEvent(obs.FlightEvent{
+			Kind:   "emit",
+			Packet: r.id,
+			CRCOK:  r.pkt.OK,
+			Gates:  &gates,
+		})
 	}
 }
 

@@ -13,10 +13,15 @@ import (
 // allocates. The instrumented hot paths rely on this costing exactly
 // one pointer-nil test.
 var obsHandleTypes = map[string]bool{
-	"Counter":   true,
-	"Gauge":     true,
-	"Histogram": true,
-	"Registry":  true,
+	"Counter":        true,
+	"Gauge":          true,
+	"Histogram":      true,
+	"Registry":       true,
+	"CounterVec":     true,
+	"GaugeVec":       true,
+	"HistogramVec":   true,
+	"FlightRecorder": true,
+	"FlightScope":    true,
 }
 
 // NilSafeObs checks that every exported pointer-receiver method on an

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultFlightSize is the event capacity of a flight recorder created
+// with size <= 0.
+const DefaultFlightSize = 1024
+
+// FlightEvent is one entry in the decode flight recorder: a session
+// transition, a decoded-packet verdict, or an incident (shed, panic,
+// decode deadline). Events are tiny and structured so the ring can be
+// dumped as JSON at /debug/flight or into the log on an incident.
+type FlightEvent struct {
+	Seq     uint64    `json:"seq"`
+	Time    time.Time `json:"time"`
+	Kind    string    `json:"kind"`
+	CID     string    `json:"cid,omitempty"`     // session correlation id
+	Station string    `json:"station,omitempty"` // station id from HELLO
+	Detail  string    `json:"detail,omitempty"`  // human-oriented context
+	Err     string    `json:"err,omitempty"`     // error text for incidents
+
+	// Packet-verdict fields (emit events).
+	Packet int         `json:"packet,omitempty"`
+	CRCOK  bool        `json:"crc_ok,omitempty"`
+	Gates  *GateCounts `json:"gates,omitempty"`
+}
+
+// FlightRecorder is a fixed-size lock-free ring of recent FlightEvents.
+// Record is wait-free (one atomic add + one atomic pointer store) and
+// safe from any goroutine, including panic-recovery paths; once the
+// ring wraps, the oldest event is overwritten. A nil recorder drops
+// every event, so instrumented code needs no enable checks.
+type FlightRecorder struct {
+	slots []atomic.Pointer[FlightEvent]
+	seq   atomic.Uint64
+}
+
+// NewFlightRecorder returns a recorder holding the last `size` events
+// (DefaultFlightSize when size <= 0).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultFlightSize
+	}
+	return &FlightRecorder{slots: make([]atomic.Pointer[FlightEvent], size)}
+}
+
+// Record stamps ev with the next sequence number (and the current time,
+// unless the caller pre-filled one) and stores it in the ring.
+func (f *FlightRecorder) Record(ev FlightEvent) {
+	if f == nil {
+		return
+	}
+	ev.Seq = f.seq.Add(1)
+	if ev.Time.IsZero() {
+		ev.Time = Now()
+	}
+	f.slots[ev.Seq%uint64(len(f.slots))].Store(&ev)
+}
+
+// Snapshot returns the retained events in sequence order. Because
+// sequence assignment and the slot store are two separate atomics, a
+// snapshot racing concurrent writers can miss an in-flight event; it
+// never observes torn or duplicate entries.
+func (f *FlightRecorder) Snapshot() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	out := make([]FlightEvent, 0, len(f.slots))
+	for i := range f.slots {
+		if p := f.slots[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// SnapshotCID returns the retained events for one correlation id, in
+// sequence order — the post-mortem trail of a single session.
+func (f *FlightRecorder) SnapshotCID(cid string) []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	all := f.Snapshot()
+	out := all[:0]
+	for _, ev := range all {
+		if ev.CID == cid {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Len reports how many events are currently retained. 0 on nil.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	n := 0
+	for i := range f.slots {
+		if f.slots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Cap reports the ring capacity. 0 on nil.
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.slots)
+}
+
+// Scope returns a handle that stamps every recorded event with the
+// given correlation id and station — one per session, shared by the
+// server frame loop and the session's gateway callbacks. Nil-safe:
+// a nil recorder yields a nil (no-op) scope.
+func (f *FlightRecorder) Scope(cid, station string) *FlightScope {
+	if f == nil {
+		return nil
+	}
+	return &FlightScope{rec: f, cid: cid, station: station}
+}
+
+// FlightScope stamps flight events with a session's identity. All
+// methods are nil-safe no-ops on a nil scope.
+type FlightScope struct {
+	rec     *FlightRecorder
+	cid     string
+	station string
+}
+
+// Record appends a kind+detail event under the scope's identity.
+func (s *FlightScope) Record(kind, detail string) {
+	if s == nil {
+		return
+	}
+	s.rec.Record(FlightEvent{Kind: kind, CID: s.cid, Station: s.station, Detail: detail})
+}
+
+// RecordErr appends an incident event carrying an error string.
+func (s *FlightScope) RecordErr(kind, detail, errText string) {
+	if s == nil {
+		return
+	}
+	s.rec.Record(FlightEvent{Kind: kind, CID: s.cid, Station: s.station, Detail: detail, Err: errText})
+}
+
+// RecordEvent appends a caller-built event (packet verdicts with gate
+// tallies), overwriting its identity fields with the scope's.
+func (s *FlightScope) RecordEvent(ev FlightEvent) {
+	if s == nil {
+		return
+	}
+	ev.CID = s.cid
+	ev.Station = s.station
+	s.rec.Record(ev)
+}
+
+// CID returns the scope's correlation id ("" on nil).
+func (s *FlightScope) CID() string {
+	if s == nil {
+		return ""
+	}
+	return s.cid
+}
+
+// flightDump is the /debug/flight response body.
+type flightDump struct {
+	Len    int           `json:"len"`
+	Cap    int           `json:"cap"`
+	Events []FlightEvent `json:"events"`
+}
+
+// ServeHTTP dumps the ring as JSON (mounted at /debug/flight by
+// DebugMux). `?cid=` filters to one session's trail.
+func (f *FlightRecorder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet && req.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	events := f.Snapshot()
+	if cid := req.URL.Query().Get("cid"); cid != "" {
+		filtered := events[:0]
+		for _, ev := range events {
+			if ev.CID == cid {
+				filtered = append(filtered, ev)
+			}
+		}
+		events = filtered
+	}
+	if events == nil {
+		events = []FlightEvent{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	if req.Method == http.MethodHead {
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(flightDump{Len: f.Len(), Cap: f.Cap(), Events: events})
+}

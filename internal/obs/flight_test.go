@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	if fr.Cap() != 4 {
+		t.Fatalf("Cap = %d", fr.Cap())
+	}
+	for i := 0; i < 6; i++ {
+		fr.Record(FlightEvent{Kind: fmt.Sprintf("k%d", i)})
+	}
+	evs := fr.Snapshot()
+	if len(evs) != 4 || fr.Len() != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// The oldest two wrapped away; order is by sequence.
+	for i, ev := range evs {
+		if want := fmt.Sprintf("k%d", i+2); ev.Kind != want {
+			t.Errorf("event %d kind = %q, want %q", i, ev.Kind, want)
+		}
+		if i > 0 && evs[i].Seq <= evs[i-1].Seq {
+			t.Errorf("sequence not increasing: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+		if ev.Time.IsZero() {
+			t.Error("event missing timestamp")
+		}
+	}
+}
+
+func TestFlightScopeStamping(t *testing.T) {
+	fr := NewFlightRecorder(16)
+	a := fr.Scope("cid-a", "st-1")
+	b := fr.Scope("cid-b", "st-2")
+	a.Record("accept", "hello")
+	b.Record("accept", "hello")
+	a.RecordErr("panic", "worker 3", "boom")
+	a.RecordEvent(FlightEvent{Kind: "emit", CID: "overwritten", Packet: 7, CRCOK: true,
+		Gates: &GateCounts{SEDAccept: 5}})
+
+	trail := fr.SnapshotCID("cid-a")
+	if len(trail) != 3 {
+		t.Fatalf("cid-a trail = %+v", trail)
+	}
+	for _, ev := range trail {
+		if ev.CID != "cid-a" || ev.Station != "st-1" {
+			t.Errorf("bad stamp: %+v", ev)
+		}
+	}
+	if trail[1].Err != "boom" || trail[2].Packet != 7 || !trail[2].CRCOK {
+		t.Errorf("trail fields lost: %+v", trail)
+	}
+	if trail[2].Gates.SEDAccept != 5 {
+		t.Errorf("gates lost: %+v", trail[2].Gates)
+	}
+	if a.CID() != "cid-a" {
+		t.Errorf("CID() = %q", a.CID())
+	}
+}
+
+// TestFlightConcurrent hammers Record against Snapshot under -race: no
+// torn events, every snapshot sorted.
+func TestFlightConcurrent(t *testing.T) {
+	fr := NewFlightRecorder(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			scope := fr.Scope(fmt.Sprintf("cid-%d", g), "st")
+			for i := 0; i < 500; i++ {
+				scope.Record("tick", "")
+				if i%25 == 0 {
+					for j, ev := range fr.Snapshot() {
+						if j > 0 && ev.Seq == 0 {
+							t.Error("zero seq in snapshot")
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if fr.Len() != 32 {
+		t.Errorf("Len = %d, want full ring", fr.Len())
+	}
+}
+
+func TestFlightHTTP(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.Scope("cid-x", "st").Record("accept", "")
+	fr.Scope("cid-y", "st").Record("accept", "")
+	srv := httptest.NewServer(fr)
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/?cid=cid-x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("Cache-Control = %q", cc)
+	}
+	var dump struct {
+		Len    int           `json:"len"`
+		Cap    int           `json:"cap"`
+		Events []FlightEvent `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Cap != 8 || dump.Len != 2 {
+		t.Errorf("dump len/cap = %d/%d", dump.Len, dump.Cap)
+	}
+	if len(dump.Events) != 1 || dump.Events[0].CID != "cid-x" {
+		t.Errorf("cid filter failed: %+v", dump.Events)
+	}
+
+	post, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Errorf("POST status = %d, want 405", post.StatusCode)
+	}
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramEdgeObservations: NaN is dropped, ±Inf is bucketed but
+// not summed, negatives land in the first bucket, values beyond the
+// last bound land in the overflow bucket — and the snapshot always
+// survives JSON encoding.
+func TestHistogramEdgeObservations(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edge", []float64{0, 1, 10})
+
+	h.Observe(math.NaN())
+	snap := r.Snapshot().Histograms["edge"]
+	if snap.Count != 0 {
+		t.Errorf("NaN was counted: %+v", snap)
+	}
+
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	snap = r.Snapshot().Histograms["edge"]
+	if snap.Count != 2 {
+		t.Errorf("Inf count = %d, want 2", snap.Count)
+	}
+	if snap.Sum != 0 {
+		t.Errorf("Inf poisoned the sum: %g", snap.Sum)
+	}
+	if snap.Buckets[0] != 1 { // -Inf: first bucket
+		t.Errorf("-Inf bucket: %v", snap.Buckets)
+	}
+	if snap.Buckets[len(snap.Buckets)-1] != 1 { // +Inf: overflow
+		t.Errorf("+Inf bucket: %v", snap.Buckets)
+	}
+
+	h.Observe(-5) // negative but finite: first bucket, summed
+	h.Observe(11) // beyond last bound: overflow, summed
+	h.Observe(10) // exactly the last bound: last bounded bucket (le semantics)
+	snap = r.Snapshot().Histograms["edge"]
+	if snap.Count != 5 {
+		t.Errorf("count = %d", snap.Count)
+	}
+	if snap.Sum != -5+11+10 {
+		t.Errorf("sum = %g", snap.Sum)
+	}
+	if snap.Buckets[0] != 2 || snap.Buckets[2] != 1 || snap.Buckets[3] != 2 {
+		t.Errorf("buckets = %v", snap.Buckets)
+	}
+
+	// The whole point: a hostile stream can never make the snapshot
+	// unencodable (NaN/Inf have no JSON representation).
+	if _, err := json.Marshal(r.Snapshot()); err != nil {
+		t.Fatalf("snapshot not JSON-encodable after edge observations: %v", err)
+	}
+
+	var buf nullWriter
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatalf("exposition failed after edge observations: %v", err)
+	}
+}
+
+type nullWriter struct{}
+
+func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestHistogramConcurrentObserveSnapshot: snapshots taken while
+// observations race are monotonically consistent — Observe bumps the
+// bucket before the count and Snapshot reads the count first, so a
+// snapshot's bucket total can never be BELOW its count — and the final
+// quiesced state is exact.
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("race", []float64{1, 2, 4})
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	snapErr := make(chan string, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot().Histograms["race"]
+			var total int64
+			for _, b := range s.Buckets {
+				total += b
+			}
+			if total < s.Count {
+				select {
+				case snapErr <- fmt.Sprintf("bucket total %d < count %d", total, s.Count):
+				default:
+				}
+				return
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(1.5)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	select {
+	case msg := <-snapErr:
+		t.Error(msg)
+	default:
+	}
+	s := r.Snapshot().Histograms["race"]
+	if s.Count != goroutines*perG {
+		t.Errorf("count = %d, want %d", s.Count, goroutines*perG)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total != s.Count {
+		t.Errorf("quiesced bucket total %d != count %d", total, s.Count)
+	}
+	if want := 1.5 * goroutines * perG; math.Abs(s.Sum-want) > 1e-6 {
+		t.Errorf("sum = %g, want %g", s.Sum, want)
+	}
+}

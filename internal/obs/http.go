@@ -3,41 +3,125 @@ package obs
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 )
 
-// ServeHTTP serves the registry's JSON snapshot, making *Registry an
-// http.Handler (mounted at /metrics by DebugMux).
-func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
+// ServeHTTP serves the registry snapshot, making *Registry an
+// http.Handler (mounted at /metrics by DebugMux). The encoding is
+// content-negotiated:
+//
+//   - Prometheus text exposition (format 0.0.4) when the Accept header
+//     asks for application/openmetrics-text or text/plain — i.e. any
+//     standard Prometheus scraper;
+//   - the bespoke JSON snapshot otherwise (curl with no Accept header,
+//     browsers, and every pre-existing consumer);
+//   - `?format=prometheus` / `?format=json` overrides the header.
+//
+// Non-GET/HEAD methods are rejected with 405, and responses are marked
+// Cache-Control: no-store — a cached scrape is worse than none.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet && req.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	prom := wantsPrometheus(req)
+	if prom {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	if req.Method == http.MethodHead {
+		return
+	}
+	s := r.Snapshot()
+	if prom {
+		_ = s.WritePrometheus(w)
+		return
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(r.Snapshot())
+	_ = enc.Encode(s)
 }
 
-// expvarOnce guards the process-wide expvar publication: expvar.Publish
-// panics on duplicate names, so only the first registry mounted by
-// DebugMux is exported under "cic" (one registry per process is the
-// expected deployment shape).
-var expvarOnce sync.Once
+// wantsPrometheus decides the /metrics encoding: explicit ?format=
+// wins, then the Accept header; the default stays JSON for backward
+// compatibility with the pre-exposition consumers.
+func wantsPrometheus(req *http.Request) bool {
+	switch strings.ToLower(req.URL.Query().Get("format")) {
+	case "prometheus", "prom", "text", "openmetrics":
+		return true
+	case "json":
+		return false
+	}
+	accept := req.Header.Get("Accept")
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		switch strings.ToLower(mt) {
+		case "application/openmetrics-text", "text/plain":
+			return true
+		case "application/json":
+			return false
+		}
+	}
+	return false
+}
+
+// expvar publication is process-global and expvar.Publish panics on a
+// duplicate name, so DebugMux assigns each distinct registry a unique
+// name: the first is "cic", later ones "cic_1", "cic_2", … Remounting
+// the same registry reuses its existing name.
+var (
+	expvarMu    sync.Mutex
+	expvarNames = map[*Registry]string{}
+)
+
+// expvarName publishes r (once) and returns its /debug/vars key.
+func expvarName(r *Registry) string {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if name, ok := expvarNames[r]; ok {
+		return name
+	}
+	name := "cic"
+	if n := len(expvarNames); n > 0 {
+		name = fmt.Sprintf("cic_%d", n)
+	}
+	expvarNames[r] = name
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	return name
+}
 
 // DebugMux returns the ops endpoint for an instrumented process:
 //
-//	/metrics          JSON snapshot of the registry
-//	/debug/vars       expvar (includes the registry under "cic", plus
-//	                  memstats and cmdline)
+//	/metrics          registry snapshot (JSON or Prometheus text, see
+//	                  Registry.ServeHTTP)
+//	/debug/vars       expvar (includes the registry under "cic" — or
+//	                  "cic_N" for additional registries in the same
+//	                  process — plus memstats and cmdline)
+//	/debug/flight     flight-recorder dump, when a recorder is passed
 //	/debug/pprof/...  net/http/pprof profiles
 //
 // Mount it on a private port (the cmd tools' -debug-addr flag).
-func DebugMux(r *Registry) *http.ServeMux {
-	expvarOnce.Do(func() {
-		expvar.Publish("cic", expvar.Func(func() any { return r.Snapshot() }))
-	})
+func DebugMux(r *Registry, flight ...*FlightRecorder) *http.ServeMux {
+	expvarName(r)
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r)
 	mux.Handle("/debug/vars", expvar.Handler())
+	for _, f := range flight {
+		if f != nil {
+			mux.Handle("/debug/flight", f)
+			break
+		}
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

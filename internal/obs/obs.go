@@ -96,8 +96,17 @@ type Histogram struct {
 }
 
 // Observe records one value. No-op on a nil receiver.
+//
+// Non-finite values are handled so a hostile observation can never
+// poison the snapshot (NaN/Inf do not survive JSON encoding and would
+// break every scrape thereafter): NaN observations are dropped
+// entirely, and ±Inf observations are bucketed (overflow / first
+// bucket) and counted but contribute nothing to the sum.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
+		return
+	}
+	if math.IsNaN(v) {
 		return
 	}
 	i := 0
@@ -106,6 +115,9 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.counts[i].Add(1)
 	h.n.Add(1)
+	if math.IsInf(v, 0) {
+		return
+	}
 	for {
 		old := h.sum.Load()
 		next := floatBits(bitsFloat(old) + v)
@@ -166,19 +178,25 @@ var SizeBuckets = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
 type Registry struct {
 	start time.Time
 
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu            sync.Mutex
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	histograms    map[string]*Histogram
+	counterVecs   map[string]*CounterVec
+	gaugeVecs     map[string]*GaugeVec
+	histogramVecs map[string]*HistogramVec
 }
 
 // NewRegistry creates an empty Registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		start:      time.Now(),
-		counters:   map[string]*Counter{},
-		gauges:     map[string]*Gauge{},
-		histograms: map[string]*Histogram{},
+		start:         time.Now(),
+		counters:      map[string]*Counter{},
+		gauges:        map[string]*Gauge{},
+		histograms:    map[string]*Histogram{},
+		counterVecs:   map[string]*CounterVec{},
+		gaugeVecs:     map[string]*GaugeVec{},
+		histogramVecs: map[string]*HistogramVec{},
 	}
 }
 
@@ -234,14 +252,103 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// CounterVec returns the named labeled counter family, registering it
+// on first use with the given label names and series cap (0 selects
+// DefaultMaxSeries; later calls reuse the registered family). Returns
+// nil (the no-op family) on a nil registry.
+func (r *Registry) CounterVec(name string, labels []string, limit int) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	evicted := r.Counter(MetricLabelsEvicted)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.counterVecs[name]
+	if !ok {
+		v = &CounterVec{name: name, labels: append([]string(nil), labels...)}
+		v.lru = newLRUSeries(limit, evicted)
+		r.counterVecs[name] = v
+	}
+	return v
+}
+
+// GaugeVec returns the named labeled gauge family; see CounterVec.
+func (r *Registry) GaugeVec(name string, labels []string, limit int) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	evicted := r.Counter(MetricLabelsEvicted)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gaugeVecs[name]
+	if !ok {
+		v = &GaugeVec{name: name, labels: append([]string(nil), labels...)}
+		v.lru = newLRUSeries(limit, evicted)
+		r.gaugeVecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the named labeled histogram family (children
+// share the given bucket bounds); see CounterVec.
+func (r *Registry) HistogramVec(name string, labels []string, bounds []float64, limit int) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	evicted := r.Counter(MetricLabelsEvicted)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.histogramVecs[name]
+	if !ok {
+		v = &HistogramVec{
+			name:   name,
+			labels: append([]string(nil), labels...),
+			bounds: append([]float64(nil), bounds...),
+		}
+		v.lru = newLRUSeries(limit, evicted)
+		r.histogramVecs[name] = v
+	}
+	return v
+}
+
 // Snapshot is a point-in-time copy of every registered metric. Maps
-// marshal with sorted keys, so the JSON encoding of equal snapshots is
-// byte-identical.
+// marshal with sorted keys and labeled series are sorted by label
+// values, so the JSON encoding of equal snapshots is byte-identical.
 type Snapshot struct {
 	UptimeSeconds float64                      `json:"uptime_seconds"`
 	Counters      map[string]int64             `json:"counters"`
 	Gauges        map[string]int64             `json:"gauges"`
 	Histograms    map[string]HistogramSnapshot `json:"histograms"`
+
+	// Labeled families (empty maps when none are registered).
+	CounterVecs   map[string]VecSnapshot          `json:"counter_vecs"`
+	GaugeVecs     map[string]VecSnapshot          `json:"gauge_vecs"`
+	HistogramVecs map[string]HistogramVecSnapshot `json:"histogram_vecs"`
+}
+
+// VecSnapshot is one labeled counter or gauge family: label names plus
+// every live series, sorted by label values.
+type VecSnapshot struct {
+	Labels []string        `json:"labels"`
+	Series []SeriesInt64   `json:"series"`
+}
+
+// SeriesInt64 is one labeled int64 series value.
+type SeriesInt64 struct {
+	Values []string `json:"values"`
+	Value  int64    `json:"value"`
+}
+
+// HistogramVecSnapshot is one labeled histogram family.
+type HistogramVecSnapshot struct {
+	Labels []string          `json:"labels"`
+	Series []SeriesHistogram `json:"series"`
+}
+
+// SeriesHistogram is one labeled histogram series.
+type SeriesHistogram struct {
+	Values    []string          `json:"values"`
+	Histogram HistogramSnapshot `json:"histogram"`
 }
 
 // HistogramSnapshot is one histogram's state: per-bucket (non-cumulative)
@@ -294,14 +401,31 @@ func (h HistogramSnapshot) Quantile(q float64) float64 {
 	return h.Bounds[len(h.Bounds)-1]
 }
 
+// snapshotHistogram copies one histogram's state.
+func snapshotHistogram(h *Histogram) HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Count:   h.n.Load(),
+		Sum:     bitsFloat(h.sum.Load()),
+		Bounds:  append([]float64(nil), h.bounds...),
+		Buckets: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		hs.Buckets[i] = h.counts[i].Load()
+	}
+	return hs
+}
+
 // Snapshot captures every registered metric. On a nil registry it returns
 // a zero Snapshot with non-nil empty maps (so callers can range/marshal it
 // without nil checks).
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		Counters:   map[string]int64{},
-		Gauges:     map[string]int64{},
-		Histograms: map[string]HistogramSnapshot{},
+		Counters:      map[string]int64{},
+		Gauges:        map[string]int64{},
+		Histograms:    map[string]HistogramSnapshot{},
+		CounterVecs:   map[string]VecSnapshot{},
+		GaugeVecs:     map[string]VecSnapshot{},
+		HistogramVecs: map[string]HistogramVecSnapshot{},
 	}
 	if r == nil {
 		return s
@@ -316,16 +440,43 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.histograms {
-		hs := HistogramSnapshot{
-			Count:   h.n.Load(),
-			Sum:     bitsFloat(h.sum.Load()),
-			Bounds:  append([]float64(nil), h.bounds...),
-			Buckets: make([]int64, len(h.counts)),
+		s.Histograms[name] = snapshotHistogram(h)
+	}
+	for name, v := range r.counterVecs {
+		v.mu.Lock()
+		vs := VecSnapshot{Labels: append([]string(nil), v.labels...), Series: []SeriesInt64{}}
+		for _, e := range v.lru.sortedEntries() {
+			vs.Series = append(vs.Series, SeriesInt64{
+				Values: append([]string(nil), e.values...),
+				Value:  e.metric.(*Counter).Value(),
+			})
 		}
-		for i := range h.counts {
-			hs.Buckets[i] = h.counts[i].Load()
+		v.mu.Unlock()
+		s.CounterVecs[name] = vs
+	}
+	for name, v := range r.gaugeVecs {
+		v.mu.Lock()
+		vs := VecSnapshot{Labels: append([]string(nil), v.labels...), Series: []SeriesInt64{}}
+		for _, e := range v.lru.sortedEntries() {
+			vs.Series = append(vs.Series, SeriesInt64{
+				Values: append([]string(nil), e.values...),
+				Value:  e.metric.(*Gauge).Value(),
+			})
 		}
-		s.Histograms[name] = hs
+		v.mu.Unlock()
+		s.GaugeVecs[name] = vs
+	}
+	for name, v := range r.histogramVecs {
+		v.mu.Lock()
+		vs := HistogramVecSnapshot{Labels: append([]string(nil), v.labels...), Series: []SeriesHistogram{}}
+		for _, e := range v.lru.sortedEntries() {
+			vs.Series = append(vs.Series, SeriesHistogram{
+				Values:    append([]string(nil), e.values...),
+				Histogram: snapshotHistogram(e.metric.(*Histogram)),
+			})
+		}
+		v.mu.Unlock()
+		s.HistogramVecs[name] = vs
 	}
 	return s
 }

@@ -1,0 +1,231 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cic"
+	"cic/internal/obs"
+	"cic/internal/server"
+)
+
+// syncBuf is a goroutine-safe log sink for asserting on slog output.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestFlightPostMortem is the observability chaos acceptance test: a
+// panic injected into one session's decode worker must leave a usable
+// post-mortem trail — the daemon's flight recorder holds the offending
+// session's events under its correlation id, /debug/flight serves them
+// over HTTP filtered by ?cid=, and the structured log carries a
+// "session post-mortem" record with the same cid and the event trail.
+func TestFlightPostMortem(t *testing.T) {
+	cfg := testConfig()
+	marker := []byte("poison-pkt")
+	flight := obs.NewFlightRecorder(256)
+	logBuf := &syncBuf{}
+	logger := slog.New(slog.NewJSONHandler(logBuf, nil))
+	srv, addr, sink, reg := chaosServer(t, server.Config{
+		Flight: flight,
+		Log:    logger,
+		GatewayOptions: []cic.Option{
+			cic.WithDecodeInterceptor(func(p cic.Packet) cic.Packet {
+				if bytes.Contains(p.Payload, marker) {
+					panic("injected decode panic")
+				}
+				return p
+			}),
+		},
+	})
+	defer shutdownAndCollect(t, srv, sink)
+
+	poisonIQ, _ := collisionTrace(t, cfg, 42, "poison")
+	pc, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pc.Hello("poison", cfg); err != nil {
+		t.Fatal(err)
+	}
+	werr := pc.WriteIQ(poisonIQ)
+	quiet := make([]complex128, chaosChunk)
+	for i := 0; i < 1000 && werr == nil; i++ {
+		werr = pc.WriteIQ(quiet)
+		time.Sleep(time.Millisecond)
+	}
+	if werr == nil {
+		t.Fatal("poisoned session never failed: worker panic not propagated")
+	}
+	pc.Abort()
+
+	// The flight ring must hold the panic with the session's cid.
+	var cid string
+	for _, ev := range flight.Snapshot() {
+		if ev.Kind == "worker_panic" && ev.Station == "poison" {
+			cid = ev.CID
+		}
+	}
+	if cid == "" {
+		t.Fatalf("no worker_panic flight event for station poison; ring: %+v", flight.Snapshot())
+	}
+
+	// The whole trail for that cid: accept → panic → session fate.
+	kinds := map[string]bool{}
+	for _, ev := range flight.SnapshotCID(cid) {
+		kinds[ev.Kind] = true
+		if ev.CID != cid {
+			t.Errorf("SnapshotCID leaked event with cid %q", ev.CID)
+		}
+	}
+	for _, want := range []string{"session_accept", "worker_panic", "session_failed"} {
+		if !kinds[want] {
+			t.Errorf("flight trail for cid %s missing %q event (got %v)", cid, want, kinds)
+		}
+	}
+
+	// /debug/flight?cid= serves the same trail over HTTP.
+	ts := httptest.NewServer(cic.DebugHandler(reg, flight))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/flight?cid=" + cid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/flight: status %d", resp.StatusCode)
+	}
+	var dump struct {
+		Events []obs.FlightEvent `json:"events"`
+	}
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatalf("/debug/flight body is not JSON: %v\n%s", err, body)
+	}
+	httpKinds := map[string]bool{}
+	for _, ev := range dump.Events {
+		httpKinds[ev.Kind] = true
+	}
+	if !httpKinds["worker_panic"] {
+		t.Errorf("/debug/flight?cid=%s missing worker_panic (got %v)", cid, httpKinds)
+	}
+
+	// The post-mortem log snapshot: serveSession dumps the failed
+	// session's trail on exit. The dump races with the client Abort, so
+	// poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		logs := logBuf.String()
+		if strings.Contains(logs, "session post-mortem") && strings.Contains(logs, cid) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("log snapshot missing post-mortem for cid %s; logs:\n%s", cid, logs)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The post-mortem line itself must carry the trail, not just the cid.
+	for _, line := range strings.Split(logBuf.String(), "\n") {
+		if !strings.Contains(line, "session post-mortem") {
+			continue
+		}
+		if !strings.Contains(line, "worker_panic") {
+			t.Errorf("post-mortem log line lacks the flight trail: %s", line)
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Errorf("post-mortem log line is not JSON: %v", err)
+		} else if rec["cid"] != cid {
+			t.Errorf("post-mortem log cid = %v, want %s", rec["cid"], cid)
+		}
+	}
+}
+
+// TestFlightShedTrail: an admission-rejected (shed) connection mints a
+// cid, records a shed flight event, and bumps the per-station shed
+// counter — overload is observable per station even though no session
+// ever exists.
+func TestFlightShedTrail(t *testing.T) {
+	cfg := testConfig()
+	flight := obs.NewFlightRecorder(64)
+	logBuf := &syncBuf{}
+	srv, addr, sink, reg := chaosServer(t, server.Config{
+		MaxSessions: 1,
+		Flight:      flight,
+		Log:         slog.New(slog.NewJSONHandler(logBuf, nil)),
+	})
+	defer shutdownAndCollect(t, srv, sink)
+
+	// First session occupies the only slot.
+	c1, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Hello("holder", cfg); err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	// Second one must shed.
+	c2, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Hello("shed-station", cfg); err == nil {
+		c2.Close()
+		t.Fatal("second session admitted past MaxSessions=1")
+	}
+
+	var shed *obs.FlightEvent
+	for _, ev := range flight.Snapshot() {
+		if ev.Kind == "shed" && ev.Station == "shed-station" {
+			ev := ev
+			shed = &ev
+			break
+		}
+	}
+	if shed == nil {
+		t.Fatalf("no shed flight event; ring: %+v", flight.Snapshot())
+	}
+	if shed.CID == "" {
+		t.Error("shed event has no cid")
+	}
+	snap := reg.Snapshot()
+	found := false
+	for _, s := range snap.CounterVecs[server.MetricStationSheds].Series {
+		if len(s.Values) == 1 && s.Values[0] == "shed-station" && s.Value >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("%s has no series for shed-station: %+v",
+			server.MetricStationSheds, snap.CounterVecs[server.MetricStationSheds])
+	}
+	if logs := logBuf.String(); !strings.Contains(logs, "session shed") || !strings.Contains(logs, shed.CID) {
+		t.Errorf("log missing shed dump for cid %s:\n%s", shed.CID, logs)
+	}
+}

@@ -1,0 +1,42 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+)
+
+// logfHandler adapts the legacy printf-style Config.Logf sink to slog:
+// each record renders as "msg key=value ..." on one line, so existing
+// Logf consumers keep working while the daemon logs structured events.
+// Level filtering and groups are intentionally not implemented — the
+// legacy sink never had them.
+type logfHandler struct {
+	logf  func(format string, args ...any)
+	attrs []slog.Attr
+}
+
+func (h logfHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h logfHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(r.Message)
+	write := func(a slog.Attr) bool {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+		return true
+	}
+	for _, a := range h.attrs {
+		write(a)
+	}
+	r.Attrs(write)
+	h.logf("%s", b.String())
+	return nil
+}
+
+func (h logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	h.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return h
+}
+
+func (h logfHandler) WithGroup(string) slog.Handler { return h }

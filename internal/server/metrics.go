@@ -29,6 +29,17 @@ const (
 	MetricSinkRetries      = "server_sink_retries"
 	MetricFaultsInjected   = "server_faults_injected"
 	MetricOverloadRejected = "server_overload_rejected"
+
+	// Labeled per-station / per-SF families (bounded cardinality: at
+	// most Config.MaxStationSeries live stations per family, LRU-evicted
+	// beyond that and counted on obs_labels_evicted).
+	MetricStationSessions = "server_station_sessions"          // {station}
+	MetricStationFrames   = "server_station_frames_ingested"   // {station}
+	MetricStationBytes    = "server_station_bytes_ingested"    // {station}
+	MetricStationPackets  = "server_station_packets_published" // {station, crc}
+	MetricStationResumes  = "server_station_resumes"           // {station}
+	MetricStationSheds    = "server_station_sheds"             // {station}
+	MetricSFPackets       = "server_sf_packets_published"      // {sf, crc}
 )
 
 // serverMetrics is the pre-resolved handle set for the daemon, mirroring
@@ -56,10 +67,23 @@ type serverMetrics struct {
 	SinkRetries      *obs.Counter
 	FaultsInjected   *obs.Counter
 	OverloadRejected *obs.Counter
+
+	// Labeled families. Sessions resolve their child handles once at
+	// admission (Session.setMetrics), so the frame loop and publisher
+	// never touch a family's lock.
+	StationSessions *obs.CounterVec
+	StationFrames   *obs.CounterVec
+	StationBytes    *obs.CounterVec
+	StationPackets  *obs.CounterVec
+	StationResumes  *obs.CounterVec
+	StationSheds    *obs.CounterVec
+	SFPackets       *obs.CounterVec
 }
 
 // newServerMetrics registers the daemon's metrics on r (nil-safe).
-func newServerMetrics(r *obs.Registry) *serverMetrics {
+// maxStationSeries caps each per-station family's live label sets
+// (obs.DefaultMaxSeries when 0).
+func newServerMetrics(r *obs.Registry, maxStationSeries int) *serverMetrics {
 	return &serverMetrics{
 		SessionsActive:    r.Gauge(MetricSessionsActive),
 		SessionsTotal:     r.Counter(MetricSessionsTotal),
@@ -82,5 +106,14 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 		SinkRetries:      r.Counter(MetricSinkRetries),
 		FaultsInjected:   r.Counter(MetricFaultsInjected),
 		OverloadRejected: r.Counter(MetricOverloadRejected),
+
+		StationSessions: r.CounterVec(MetricStationSessions, []string{"station"}, maxStationSeries),
+		StationFrames:   r.CounterVec(MetricStationFrames, []string{"station"}, maxStationSeries),
+		StationBytes:    r.CounterVec(MetricStationBytes, []string{"station"}, maxStationSeries),
+		StationPackets:  r.CounterVec(MetricStationPackets, []string{"station", "crc"}, maxStationSeries),
+		StationResumes:  r.CounterVec(MetricStationResumes, []string{"station"}, maxStationSeries),
+		StationSheds:    r.CounterVec(MetricStationSheds, []string{"station"}, maxStationSeries),
+		// SF cardinality is naturally tiny (SF7–SF12 × ok/fail).
+		SFPackets: r.CounterVec(MetricSFPackets, []string{"sf", "crc"}, 0),
 	}
 }

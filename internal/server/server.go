@@ -5,12 +5,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"runtime"
 	"sync"
 	"time"
 
 	"cic"
+	"cic/internal/obs"
 )
 
 // Defaults for Config zero values.
@@ -83,8 +85,25 @@ type Config struct {
 	// a development hook (e.g. cic.WithDecodeInterceptor for chaos
 	// tests); nil for production use.
 	GatewayOptions []cic.Option
-	// Logf logs connection-level events (silent when nil).
+	// Logf logs connection-level events (silent when nil). Superseded by
+	// Log: when both are set Log wins; when only Logf is set the daemon's
+	// structured events are rendered to it as "msg key=value" lines.
 	Logf func(format string, args ...any)
+	// Log receives structured session-lifecycle events (accept, resume,
+	// park, shed, panic post-mortems), each stamped with the session's
+	// correlation id. Nil falls back to Logf (or silence).
+	Log *slog.Logger
+	// Flight, when set, records session transitions and decode incidents
+	// into a lock-free ring for post-mortems: mount it at /debug/flight
+	// via cic.DebugHandler, and on a handler panic or overload shed the
+	// offending trail is also snapshotted into the log.
+	Flight *obs.FlightRecorder
+	// MaxStationSeries caps each per-station labeled metric family's
+	// live label sets (obs.DefaultMaxSeries when 0): beyond the cap the
+	// least-recently-active station's series is evicted and counted on
+	// obs_labels_evicted, so unbounded station churn cannot OOM the
+	// registry.
+	MaxStationSeries int
 }
 
 // Server accepts ingestion connections, runs one Session per connection
@@ -101,6 +120,7 @@ type Server struct {
 	cfg  Config
 	m    *serverMetrics
 	sink *Fanout
+	log  *slog.Logger // resolved from Config.Log / Config.Logf (nil = silent)
 
 	mu        sync.Mutex
 	closed    bool
@@ -157,21 +177,53 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:       cfg,
-		m:         newServerMetrics(cfg.Metrics),
+		m:         newServerMetrics(cfg.Metrics, cfg.MaxStationSeries),
 		sink:      cfg.Sink,
+		log:       cfg.Log,
 		sessions:  map[uint64]*activeSession{},
 		parked:    map[string]*parkedSession{},
 		listeners: map[net.Listener]struct{}{},
+	}
+	if s.log == nil && cfg.Logf != nil {
+		s.log = slog.New(logfHandler{logf: cfg.Logf})
 	}
 	s.sink.setMetrics(s.m)
 	return s
 }
 
-// logf logs through Config.Logf when set.
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
+// info/warn/logError emit structured events (silent without a logger).
+func (s *Server) info(msg string, args ...any) {
+	if s.log != nil {
+		s.log.Info(msg, args...)
 	}
+}
+
+func (s *Server) warn(msg string, args ...any) {
+	if s.log != nil {
+		s.log.Warn(msg, args...)
+	}
+}
+
+func (s *Server) logError(msg string, args ...any) {
+	if s.log != nil {
+		s.log.Error(msg, args...)
+	}
+}
+
+// sessAttrs is the common identity prefix for session-scoped log events.
+func sessAttrs(sess *Session) []any {
+	return []any{"cid", sess.CID, "station", sess.Station, "session", sess.ID}
+}
+
+// dumpFlight snapshots a session's flight-recorder trail into the log —
+// the automatic post-mortem on handler panics and overload sheds.
+func (s *Server) dumpFlight(msg, cid string, args ...any) {
+	if s.log == nil || s.cfg.Flight == nil {
+		return
+	}
+	trail := s.cfg.Flight.SnapshotCID(cid)
+	args = append(args, "cid", cid, "trail_events", len(trail), "trail", trail)
+	s.log.Error(msg, args...)
 }
 
 // Sink returns the server's fanout (for attaching subscribers directly).
@@ -336,7 +388,11 @@ func (s *Server) handleConn(conn net.Conn) {
 				return
 			}
 			s.m.ResumesTotal.Inc()
-			s.logf("%s resumed from %s at sample offset %d", p.sess, conn.RemoteAddr(), off)
+			s.m.StationResumes.With(h.Station).Inc()
+			p.sess.flight.Record("session_resume",
+				fmt.Sprintf("reclaimed at sample offset %d", off))
+			s.info("session resumed", append(sessAttrs(p.sess),
+				"remote", conn.RemoteAddr().String(), "offset", off)...)
 			s.serveSession(p.sess, p.est, h, conn, br)
 			return
 		}
@@ -355,7 +411,17 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 	if aerr := s.admit(est); aerr != nil {
-		s.logf("reject %s from %s: %v", h.Station, conn.RemoteAddr(), aerr)
+		if aerr.Code == ErrCodeOverload {
+			s.m.StationSheds.With(h.Station).Inc()
+			cid := MintCID()
+			s.cfg.Flight.Scope(cid, h.Station).RecordErr("shed",
+				"admission rejected under overload", aerr.Reason)
+			s.dumpFlight("session shed", cid,
+				"station", h.Station, "remote", conn.RemoteAddr().String(),
+				"reason", aerr.Reason)
+		}
+		s.warn("session rejected", "station", h.Station,
+			"remote", conn.RemoteAddr().String(), "reason", aerr.Reason)
 		s.reject(conn, aerr)
 		return
 	}
@@ -376,7 +442,11 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.finishSession(sess, est, conn)
 		return
 	}
-	s.logf("%s connected from %s (≈%d MiB reserved)", sess, conn.RemoteAddr(), est>>20)
+	sess.flight.Record("session_accept",
+		fmt.Sprintf("sf%d from %s", h.SF, conn.RemoteAddr()))
+	s.info("session accepted", append(sessAttrs(sess),
+		"remote", conn.RemoteAddr().String(), "sf", h.SF,
+		"resumable", resumable, "reserved_bytes", est)...)
 	s.serveSession(sess, est, h, conn, br)
 }
 
@@ -390,8 +460,15 @@ func (s *Server) serveSession(sess *Session, est int64, h Hello, conn net.Conn, 
 	defer func() {
 		if v := recover(); v != nil {
 			s.m.PanicsRecovered.Inc()
-			s.logf("%s handler panic: %v", sess, v)
+			sess.flight.RecordErr("handler_panic", "connection handler", fmt.Sprint(v))
+			s.logError("session handler panic", append(sessAttrs(sess), "panic", fmt.Sprint(v))...)
+			s.dumpFlight("session post-mortem", sess.CID, "trigger", "handler panic")
 			park = false
+		} else if ferr := sess.Failed(); ferr != nil {
+			// The session died of a decode incident (worker panic, decode
+			// deadline): snapshot its flight trail while the ring still
+			// holds it.
+			s.dumpFlight("session post-mortem", sess.CID, "trigger", ferr.Error())
 		}
 		s.parkOrFinish(sess, est, h, conn, park)
 	}()
@@ -406,9 +483,11 @@ func (s *Server) serveSession(sess *Session, est int64, h Hello, conn net.Conn, 
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
 				s.m.IdleTimeouts.Inc()
-				s.logf("%s idle timeout", sess)
+				sess.flight.Record("idle_timeout", "")
+				s.info("session idle timeout", sessAttrs(sess)...)
 			} else {
-				s.logf("%s disconnected: %v", sess, err)
+				sess.flight.RecordErr("disconnect", "", err.Error())
+				s.info("session disconnected", append(sessAttrs(sess), "err", err.Error())...)
 				// Only an abnormal disconnect parks; an idle station has
 				// stopped on purpose and re-handshakes when it returns.
 				park = sess.Resumable
@@ -419,7 +498,7 @@ func (s *Server) serveSession(sess *Session, est int64, h Hello, conn net.Conn, 
 		case FrameIQ:
 			iqBuf, err = DecodeIQBody(iqBuf[:0], body)
 			if err != nil {
-				s.logf("%s: %v", sess, err)
+				s.warn("bad IQ frame", append(sessAttrs(sess), "err", err.Error())...)
 			} else {
 				err = sess.Write(iqBuf)
 			}
@@ -432,9 +511,11 @@ func (s *Server) serveSession(sess *Session, est int64, h Hello, conn net.Conn, 
 			}
 			s.m.FramesIngested.Inc()
 			s.m.BytesIngested.Add(int64(len(body)))
+			sess.stFrames.Inc()
+			sess.stBytes.Add(int64(len(body)))
 			if sess.Resumable {
 				if err := WriteFrame(conn, FrameAck, EncodeOffset(sess.Ingested())); err != nil {
-					s.logf("%s ack write failed: %v", sess, err)
+					s.info("session ack write failed", append(sessAttrs(sess), "err", err.Error())...)
 					park = true
 					return
 				}
@@ -445,13 +526,14 @@ func (s *Server) serveSession(sess *Session, est int64, h Hello, conn net.Conn, 
 			// knows its packets are out.
 			_ = conn.SetReadDeadline(time.Time{})
 			if err := sess.Drain(); err != nil {
-				s.logf("%s drain: %v", sess, err)
+				s.warn("session drain failed", append(sessAttrs(sess), "err", err.Error())...)
 			}
 			_ = WriteFrame(conn, FrameOK, nil)
-			s.logf("%s closed cleanly", sess)
+			sess.flight.Record("session_close", "clean CLOSE")
+			s.info("session closed", sessAttrs(sess)...)
 			return
 		default:
-			s.logf("%s sent unexpected frame type 0x%02x", sess, typ)
+			s.warn("unexpected frame type", append(sessAttrs(sess), "type", fmt.Sprintf("0x%02x", typ))...)
 			_ = WriteFrame(conn, FrameError,
 				EncodeErrorBody(ErrCodeGeneric, 0, fmt.Sprintf("unexpected frame type 0x%02x", typ)))
 			return
@@ -475,6 +557,8 @@ func (s *Server) newAdmittedSession(h Hello, est int64, conn net.Conn, resumable
 		DecodeTimeout:  decodeTimeout,
 		Resumable:      resumable,
 		GatewayOptions: s.cfg.GatewayOptions,
+		Log:            s.log,
+		Flight:         s.cfg.Flight,
 	}, s.sink)
 	if err != nil {
 		return nil, err
@@ -486,6 +570,7 @@ func (s *Server) newAdmittedSession(h Hello, est int64, conn net.Conn, resumable
 	s.mu.Unlock()
 	s.m.SessionsTotal.Inc()
 	s.m.SessionsActive.Set(int64(active))
+	s.m.StationSessions.With(h.Station).Inc()
 	return sess, nil
 }
 
@@ -558,7 +643,10 @@ func (s *Server) resumeParked(h Hello, conn net.Conn) *parkedSession {
 func (s *Server) parkOrFinish(sess *Session, est int64, h Hello, conn net.Conn, park bool) {
 	if park && sess.Failed() == nil && s.parkSession(sess, est, h) {
 		conn.Close()
-		s.logf("%s parked for %v (resume window)", sess, s.cfg.ParkTimeout)
+		sess.flight.Record("session_park",
+			fmt.Sprintf("resume window %v", s.cfg.ParkTimeout))
+		s.info("session parked", append(sessAttrs(sess),
+			"resume_window", s.cfg.ParkTimeout)...)
 		return
 	}
 	s.finishSession(sess, est, conn)
@@ -601,9 +689,10 @@ func (s *Server) expirePark(station string, p *parkedSession) {
 	s.mu.Unlock()
 	s.m.SessionsParked.Set(int64(parked))
 	s.m.ResumesExpired.Inc()
-	s.logf("%s resume window expired", p.sess)
+	p.sess.flight.Record("park_expire", "resume window elapsed, draining")
+	s.info("session resume window expired", sessAttrs(p.sess)...)
 	if err := p.sess.Drain(); err != nil {
-		s.logf("%s expiry drain: %v", p.sess, err)
+		s.warn("session expiry drain failed", append(sessAttrs(p.sess), "err", err.Error())...)
 	}
 	s.release(p.est)
 }
@@ -657,7 +746,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		go func(a *activeSession) {
 			defer wg.Done()
 			if err := a.sess.Drain(); err != nil {
-				s.logf("%s shutdown drain: %v", a.sess, err)
+				s.warn("session shutdown drain failed", append(sessAttrs(a.sess), "err", err.Error())...)
 			}
 			a.conn.Close()
 		}(a)
@@ -667,7 +756,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		go func(p *parkedSession) {
 			defer wg.Done()
 			if err := p.sess.Drain(); err != nil {
-				s.logf("%s shutdown drain: %v", p.sess, err)
+				s.warn("session shutdown drain failed", append(sessAttrs(p.sess), "err", err.Error())...)
 			}
 			s.release(p.est)
 		}(p)
@@ -684,6 +773,28 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// Ready reports whether admission control would currently accept a new
+// session: nil while the daemon is accepting, an error describing the
+// overload (session limit, memory budget) or drain otherwise — the
+// /readyz probe's truth source, so load balancers stop routing to a
+// shedding instance.
+func (s *Server) Ready() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("draining")
+	}
+	inUse := len(s.sessions) + len(s.parked)
+	if s.cfg.MaxSessions > 0 && inUse >= s.cfg.MaxSessions {
+		return fmt.Errorf("shedding: session limit reached (%d/%d)", inUse, s.cfg.MaxSessions)
+	}
+	if s.cfg.MemoryBudget > 0 && s.memInUse >= s.cfg.MemoryBudget {
+		return fmt.Errorf("shedding: memory budget exhausted (%d/%d bytes)",
+			s.memInUse, s.cfg.MemoryBudget)
+	}
+	return nil
 }
 
 // SessionCount reports the number of live ingestion sessions.

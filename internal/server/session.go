@@ -1,13 +1,17 @@
 package server
 
 import (
+	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"log/slog"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"cic"
+	"cic/internal/obs"
 )
 
 // Session is one ingestion stream: a dedicated cic.Gateway plus the
@@ -24,10 +28,31 @@ type Session struct {
 	// Resumable records that the session was opened with FrameResume:
 	// the server acks ingestion progress and parks it on disconnect.
 	Resumable bool
+	// CID is the session correlation id minted at HELLO; it survives
+	// park/resume, stamping every log line and flight event of the
+	// stream's whole life across reconnects.
+	CID string
 
 	gw   *cic.Gateway
 	sink *Fanout
 	m    *serverMetrics
+	sf   string // SF label value, from the HELLO
+
+	// log carries the session's structured logger (nil = silent) and
+	// flight the recorder scope (nil = disabled); both are stamped with
+	// cid/station and are safe to use from any session goroutine.
+	log    *slog.Logger
+	flight *obs.FlightScope
+
+	// Per-station / per-SF child handles, resolved once at setMetrics so
+	// the frame loop and publisher never take a vec lock. Nil (no-op)
+	// when metrics are disabled.
+	stFrames  *obs.Counter
+	stBytes   *obs.Counter
+	stPktOK   *obs.Counter
+	stPktFail *obs.Counter
+	sfPktOK   *obs.Counter
+	sfPktFail *obs.Counter
 
 	// MemoryBytes is the session's accounted footprint: the gateway ring
 	// (3× the max packet) plus up to 2×workers in-flight sample
@@ -77,6 +102,16 @@ type SessionOptions struct {
 	// GatewayOptions are appended to the per-session Gateway's options
 	// (after the defaults, so they may override WithWorkers etc.).
 	GatewayOptions []cic.Option
+	// CID is the correlation id minted at HELLO ("" lets the session
+	// mint its own, so direct test construction still gets one).
+	CID string
+	// Log receives the session's structured log events (nil = silent);
+	// the session derives a child logger stamped with cid/station.
+	Log *slog.Logger
+	// Flight is the daemon's flight recorder (nil = disabled); the
+	// session derives a scope stamped with cid/station and threads it
+	// into the Gateway for emit/panic events.
+	Flight *obs.FlightRecorder
 }
 
 // NewSession validates the handshake's configuration, builds its
@@ -93,18 +128,31 @@ func NewSessionOpts(id uint64, h Hello, o SessionOptions, sink *Fanout) (*Sessio
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cid := o.CID
+	if cid == "" {
+		cid = MintCID()
+	}
 	s := &Session{
 		ID:           id,
 		Station:      h.Station,
 		Resumable:    o.Resumable,
+		CID:          cid,
 		sink:         sink,
-		m:            newServerMetrics(nil),
+		m:            newServerMetrics(nil, 0),
+		sf:           strconv.Itoa(h.SF),
+		flight:       o.Flight.Scope(cid, h.Station),
 		writeTimeout: o.DecodeTimeout,
 		pubDone:      make(chan struct{}),
+	}
+	if o.Log != nil {
+		s.log = o.Log.With("cid", cid, "station", h.Station, "session", id)
 	}
 	opts := []cic.Option{cic.WithWorkers(o.Workers)}
 	if o.Metrics != nil {
 		opts = append(opts, cic.WithMetrics(o.Metrics))
+	}
+	if s.flight != nil {
+		opts = append(opts, cic.WithFlightScope(s.flight))
 	}
 	opts = append(opts, o.GatewayOptions...)
 	// The panic hook is installed last so a worker panic always fails
@@ -125,15 +173,36 @@ func NewSessionOpts(id uint64, h Hello, o SessionOptions, sink *Fanout) (*Sessio
 	return s, nil
 }
 
-// setMetrics attaches the daemon metric handles (Server wires this
-// before the first Write; tests may leave the no-op set).
-func (s *Session) setMetrics(m *serverMetrics) { s.m = m }
+// setMetrics attaches the daemon metric handles and resolves the
+// session's per-station / per-SF children once, off the frame loop
+// (Server wires this before the first Write; tests may leave the no-op
+// set).
+func (s *Session) setMetrics(m *serverMetrics) {
+	s.m = m
+	s.stFrames = m.StationFrames.With(s.Station)
+	s.stBytes = m.StationBytes.With(s.Station)
+	s.stPktOK = m.StationPackets.With(s.Station, "ok")
+	s.stPktFail = m.StationPackets.With(s.Station, "fail")
+	s.sfPktOK = m.SFPackets.With(s.sf, "ok")
+	s.sfPktFail = m.SFPackets.With(s.sf, "fail")
+}
+
+// logError logs a session-scoped error event (silent without a logger).
+func (s *Session) logError(msg string, args ...any) {
+	if s.log != nil {
+		s.log.Error(msg, args...)
+	}
+}
 
 // onPanic is the Gateway's panic hook: a recovered decode-worker panic
 // fails this session (and only this session) — the daemon keeps serving
 // every other connection.
 func (s *Session) onPanic(stage string, recovered any) {
 	s.m.PanicsRecovered.Inc()
+	// The gateway already put a worker_panic event in the flight ring
+	// (same scope); here we add the session-fate consequence.
+	s.flight.RecordErr("session_failed", "decode "+stage+" worker panic", fmt.Sprint(recovered))
+	s.logError("decode worker panic", "stage", stage, "panic", fmt.Sprint(recovered))
 	s.fail(fmt.Errorf("decode %s worker panic: %v", stage, recovered))
 }
 
@@ -171,6 +240,8 @@ func (s *Session) Write(iq []complex128) (err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			s.m.PanicsRecovered.Inc()
+			s.flight.RecordErr("ingest_panic", "detection/header decode", fmt.Sprint(v))
+			s.logError("decode ingest panic", "panic", fmt.Sprint(v))
 			err = fmt.Errorf("decode ingest panic: %v", v)
 			s.fail(err)
 		}
@@ -178,6 +249,8 @@ func (s *Session) Write(iq []complex128) (err error) {
 	if s.writeTimeout > 0 {
 		t := time.AfterFunc(s.writeTimeout, func() {
 			s.m.DecodeDeadlines.Inc()
+			s.flight.RecordErr("decode_deadline", "one IQ frame's decode admission", s.writeTimeout.String())
+			s.logError("decode deadline exceeded", "timeout", s.writeTimeout)
 			s.fail(fmt.Errorf("decode deadline exceeded (%v)", s.writeTimeout))
 		})
 		defer t.Stop()
@@ -214,6 +287,18 @@ func (s *Session) publish() {
 			Payload:      hex.EncodeToString(pkt.Payload),
 		})
 		s.m.PacketsPublished.Inc()
+		if pkt.OK {
+			s.stPktOK.Inc()
+			s.sfPktOK.Inc()
+		} else {
+			s.stPktFail.Inc()
+			s.sfPktFail.Inc()
+		}
+		if s.log != nil {
+			s.log.Debug("packet published",
+				"seq", seq, "start", pkt.Start, "crc_ok", pkt.OK,
+				"payload_len", len(pkt.Payload), "snr_db", pkt.SNR)
+		}
 		seq++
 	}
 }
@@ -235,4 +320,15 @@ func (s *Session) Stats() cic.Stats { return s.gw.Stats() }
 // String identifies the session in logs.
 func (s *Session) String() string {
 	return fmt.Sprintf("session %d (station %q)", s.ID, s.Station)
+}
+
+// MintCID returns a fresh session correlation id (8 random bytes,
+// hex): minted at HELLO, carried through accept → decode → publish →
+// park → resume in every log line and flight event.
+func MintCID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("cid-%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
 }

@@ -72,7 +72,7 @@ type subscriber struct {
 // NewFanout builds a sink publishing to the given writers (nil writers
 // are skipped).
 func NewFanout(writers ...io.Writer) *Fanout {
-	f := &Fanout{subs: map[*subscriber]struct{}{}, m: newServerMetrics(nil)}
+	f := &Fanout{subs: map[*subscriber]struct{}{}, m: newServerMetrics(nil, 0)}
 	for _, w := range writers {
 		if w != nil {
 			f.writers = append(f.writers, w)

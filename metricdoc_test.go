@@ -1,0 +1,89 @@
+package cic_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestMetricsDocumented enforces the observability contract: every
+// Metric* string constant declared in internal/server/metrics.go and in
+// internal/obs must appear — by its exposed metric name — in
+// docs/OBSERVABILITY.md. A new metric without documentation fails CI
+// here, which is how the catalogue stays trustworthy.
+func TestMetricsDocumented(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("docs", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatalf("reading metric catalogue: %v", err)
+	}
+	catalogue := string(doc)
+
+	srcs := []string{filepath.Join("internal", "server", "metrics.go")}
+	obsFiles, err := filepath.Glob(filepath.Join("internal", "obs", "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range obsFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			srcs = append(srcs, f)
+		}
+	}
+
+	total := 0
+	for _, src := range srcs {
+		for constName, metricName := range metricConsts(t, src) {
+			total++
+			if !strings.Contains(catalogue, metricName) {
+				t.Errorf("%s: %s = %q is not documented in docs/OBSERVABILITY.md",
+					src, constName, metricName)
+			}
+		}
+	}
+	if total < 25 {
+		t.Fatalf("found only %d Metric* constants across %v — extraction broken?", total, srcs)
+	}
+}
+
+// metricConsts parses one Go source file and returns every top-level
+// `Metric* = "literal"` constant as constant-name → metric-name.
+func metricConsts(t *testing.T, path string) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	out := map[string]string{}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if !strings.HasPrefix(name.Name, "Metric") || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				val, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatalf("%s: unquoting %s: %v", path, lit.Value, err)
+				}
+				out[name.Name] = val
+			}
+		}
+	}
+	return out
+}

@@ -37,13 +37,33 @@ const (
 	EventEmit   = obs.EventEmit
 )
 
+// FlightRecorder is a fixed-size lock-free ring of recent structured
+// decode/session events, dumpable at /debug/flight for post-mortems.
+// A nil recorder drops everything, so it can be threaded unconditionally.
+type FlightRecorder = obs.FlightRecorder
+
+// FlightEvent is one flight-recorder entry.
+type FlightEvent = obs.FlightEvent
+
+// FlightScope stamps flight events with a session's correlation id and
+// station; attach one to a Gateway with WithFlightScope.
+type FlightScope = obs.FlightScope
+
 // NewMetrics creates an empty metrics registry to attach via WithMetrics.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
 
+// NewFlightRecorder creates a flight recorder retaining the last `size`
+// events (a default capacity when size <= 0).
+func NewFlightRecorder(size int) *FlightRecorder { return obs.NewFlightRecorder(size) }
+
 // DebugHandler returns the ops endpoint for an instrumented process:
-// /metrics (JSON snapshot), /debug/vars (expvar) and /debug/pprof. Mount
-// it on a private listener (the cmd tools expose it behind -debug-addr).
-func DebugHandler(m *Metrics) http.Handler { return obs.DebugMux(m) }
+// /metrics (JSON snapshot or Prometheus text exposition, content
+// negotiated), /debug/vars (expvar) and /debug/pprof. Pass a flight
+// recorder to additionally mount /debug/flight. Mount it on a private
+// listener (the cmd tools expose it behind -debug-addr).
+func DebugHandler(m *Metrics, flight ...*FlightRecorder) http.Handler {
+	return obs.DebugMux(m, flight...)
+}
 
 // WithMetrics attaches a metrics registry to a Receiver or Gateway. Every
 // decode stage updates the registry with lock-free atomics; without this
@@ -60,4 +80,13 @@ func WithMetrics(m *Metrics) Option {
 // (air-time) order.
 func WithTracer(fn func(Event)) Option {
 	return func(o *receiverOptions) { o.tracer = fn }
+}
+
+// WithFlightScope attaches a flight-recorder scope to a Gateway: emit
+// verdicts and worker-panic incidents are recorded into the ring under
+// the scope's correlation id. Recording is off the //cic:hotpath decode
+// loop (events fire at the emit boundary and on recovery paths) and a
+// nil scope is a free no-op.
+func WithFlightScope(s *FlightScope) Option {
+	return func(o *receiverOptions) { o.flight = s }
 }

@@ -51,6 +51,7 @@ type receiverOptions struct {
 
 	metrics *Metrics
 	tracer  func(Event)
+	flight  *obs.FlightScope
 
 	intercept func(Packet) Packet
 	panicHook func(stage string, recovered any)

@@ -17,14 +17,14 @@ cleanup() {
 trap cleanup EXIT
 
 echo "smoke: building tools"
-go build -o "$tmp/bin/" ./cmd/cic-gen ./cmd/cic-feed ./cmd/cic-gatewayd ./cmd/cic-decode
+go build -o "$tmp/bin/" ./cmd/cic-gen ./cmd/cic-feed ./cmd/cic-gatewayd ./cmd/cic-decode ./cmd/cic-promcheck
 
 echo "smoke: generating collision capture"
 "$tmp/bin/cic-gen" -out "$tmp/capture.cf32" -packets 3 -payload 12 -cr 3 -seed 7 > "$tmp/truth.csv"
 
 echo "smoke: starting cic-gatewayd"
 "$tmp/bin/cic-gatewayd" -listen 127.0.0.1:0 -out "$tmp/out.ndjson" \
-    -addr-file "$tmp/addr" -quiet 2> "$tmp/daemon.log" &
+    -addr-file "$tmp/addr" -debug-addr 127.0.0.1:0 -quiet 2> "$tmp/daemon.log" &
 daemon=$!
 for _ in $(seq 100); do
     [ -s "$tmp/addr" ] && break
@@ -44,6 +44,23 @@ addr=$(head -n1 "$tmp/addr")
 
 echo "smoke: feeding capture to $addr"
 "$tmp/bin/cic-feed" -addr "$addr" -in "$tmp/capture.cf32" -station smoke -cr 3
+
+# Telemetry assertions against the live daemon: liveness/readiness
+# probes plus a strict Prometheus text-format validation of /metrics,
+# including the per-station labeled series the feed just produced.
+dbg=$(sed -n '3p' "$tmp/addr")
+[ -n "$dbg" ] || { echo "smoke: FAIL — no debug address in addr-file"; exit 1; }
+echo "smoke: probing http://$dbg"
+"$tmp/bin/cic-promcheck" -probe "http://$dbg/healthz" -body-contains ok
+"$tmp/bin/cic-promcheck" -probe "http://$dbg/readyz" -body-contains ok
+"$tmp/bin/cic-promcheck" -metrics "http://$dbg/metrics" \
+    -require server_sessions_total,server_frames_ingested,server_packets_published \
+    -require server_station_sessions,server_station_frames_ingested \
+    -require server_station_bytes_ingested,server_station_packets_published \
+    -contains 'server_station_sessions{station="smoke"} 1' \
+    -contains 'server_station_frames_ingested{station="smoke"}' \
+    -contains 'server_station_packets_published{station="smoke",crc="ok"}'
+"$tmp/bin/cic-promcheck" -probe "http://$dbg/debug/flight" -body-contains '"events"'
 
 echo "smoke: draining daemon (SIGTERM)"
 kill -TERM "$daemon"
@@ -84,7 +101,7 @@ done < <(tail -n +2 "$tmp/truth.csv")
 # payload exactly once — no gaps, no duplicates.
 echo "smoke: restart-resume — starting fresh cic-gatewayd"
 "$tmp/bin/cic-gatewayd" -listen 127.0.0.1:0 -out "$tmp/out2.ndjson" \
-    -addr-file "$tmp/addr2" -quiet 2> "$tmp/daemon2.log" &
+    -addr-file "$tmp/addr2" -debug-addr 127.0.0.1:0 -quiet 2> "$tmp/daemon2.log" &
 daemon=$!
 for _ in $(seq 100); do
     [ -s "$tmp/addr2" ] && break
@@ -113,6 +130,13 @@ grep -q "resuming at sample offset" "$tmp/feed2.log" || {
     cat "$tmp/feed2.log"
     exit 1
 }
+
+# The resume must also show up in the per-station telemetry.
+dbg2=$(sed -n '3p' "$tmp/addr2")
+echo "smoke: checking resume telemetry on http://$dbg2"
+"$tmp/bin/cic-promcheck" -metrics "http://$dbg2/metrics" \
+    -require server_station_resumes \
+    -contains 'server_station_resumes{station="resume"} 1'
 
 echo "smoke: draining resume daemon (SIGTERM)"
 kill -TERM "$daemon"

@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all vet lint build test race bench bench-gateway bench-json bench-matrix bench-gate fuzz chaos smoke ci
+.PHONY: all vet lint build test race bench bench-gateway bench-json bench-matrix bench-gate fuzz chaos smoke experiments-smoke results ci
 
 all: ci
 
@@ -72,6 +72,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzPublishLineFraming$$' -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run '^$$' -fuzz '^FuzzFaultConnFraming$$' -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run '^$$' -fuzz '^FuzzParseBenchLine$$' -fuzztime $(FUZZTIME) ./cmd/cic-bench/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseExperimentConfig$$' -fuzztime $(FUZZTIME) ./internal/experiment/
 
 # Chaos end-to-end suite: concurrent sessions under seeded fault
 # schedules (forced disconnects, worker panics, process-restart resume)
@@ -86,4 +87,21 @@ chaos:
 smoke:
 	./scripts/smoke.sh
 
-ci: vet lint build race bench bench-gate fuzz chaos smoke
+# Declarative experiment harness smoke: the committed downscaled config
+# (experiments/smoke.json) end-to-end in both drive modes — in-process
+# and through a spawned cic-gatewayd — including a kill mid-matrix whose
+# journal resume must aggregate byte-identically. See
+# scripts/experiments_smoke.sh.
+experiments-smoke:
+	./scripts/experiments_smoke.sh
+
+# Regenerate every committed figure CSV in results/ from its config
+# under experiments/. Deterministic: identical invocations reproduce the
+# files byte-for-byte (≈20 min; the throughput/detection sweeps dominate).
+results:
+	for c in spectra heisenberg cancellation clutter maps snr ablation \
+	         temporal throughput detection; do \
+		$(GO) run ./cmd/cic-experiments -config experiments/$$c.json -outdir results -quiet || exit 1; \
+	done
+
+ci: vet lint build race bench bench-gate fuzz chaos smoke experiments-smoke

@@ -2,7 +2,20 @@
 // "Concurrent Interference Cancellation: Decoding Multi-Packet Collisions
 // in LoRa" (SIGCOMM 2021).
 //
-// Usage:
+// The primary interface is declarative: every committed figure has a
+// config under experiments/, and
+//
+//	cic-experiments -config experiments/<fig>.json -outdir results
+//
+// regenerates it. Sweep configs expand into a deterministic
+// deployment × rate × seed trial matrix executed on a bounded worker
+// pool; -journal checkpoints completed trials as NDJSON so an
+// interrupted matrix resumes without recomputation, and -drive gatewayd
+// runs the CIC receiver behind a real cic-gatewayd over TCP. See
+// docs/EXPERIMENTS.md for the schema, journal format and resume
+// semantics.
+//
+// The legacy positional interface is kept for exploration:
 //
 //	cic-experiments [flags] <experiment>
 //
@@ -21,20 +34,24 @@
 //	icss         extension: optimal-ICSS vs Strawman-CIC throughput
 //	all          everything above
 //
-// Flags select the deployment, rates, duration, seed and output format.
 // Figures are written to stdout (table) or to -outdir as CSV files.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"cic/internal/eval"
+	"cic/internal/experiment"
 	"cic/internal/obs"
 	"cic/internal/sim"
 )
@@ -48,6 +65,15 @@ func main() {
 
 func run() error {
 	var (
+		configPath = flag.String("config", "", "declarative experiment config (JSON, see experiments/); replaces the positional experiment")
+		journal    = flag.String("journal", "", "NDJSON trial journal for sweep configs: completed trials checkpoint here and a rerun resumes")
+		drive      = flag.String("drive", "", "sweep drive mode: inprocess (default) or gatewayd")
+		gwBin      = flag.String("gatewayd-bin", "", "with -drive gatewayd: spawn this cic-gatewayd binary on loopback")
+		gwAddr     = flag.String("gatewayd-addr", "", "with -drive gatewayd: attach to a running daemon at this ingestion address")
+		gwOut      = flag.String("gatewayd-out", "", "with -gatewayd-addr: the attached daemon's -out NDJSON file")
+		stopAfter  = flag.Int("stop-after", 0, "stop a sweep cleanly after N newly executed trials (resume later from -journal)")
+		trialConc  = flag.Int("trial-concurrency", 0, "sweep trial worker pool size (0 = GOMAXPROCS)")
+		quiet      = flag.Bool("quiet", false, "suppress per-trial progress logging")
 		deployment = flag.String("deployment", "", "deployment D1..D4 (default: all that apply)")
 		rates      = flag.String("rates", "5,10,20,40,60,80,100", "comma-separated offered loads (pkts/s)")
 		duration   = flag.Float64("duration", 2.0, "seconds of traffic per rate point (paper: 60)")
@@ -63,9 +89,50 @@ func run() error {
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	)
 	flag.Parse()
+
+	// Experiments always run instrumented: the receivers and the runner
+	// feed a metrics registry whose decode-latency histogram is summarised
+	// after the run, and -debug-addr exposes it live (plus expvar and
+	// pprof) while long experiments execute.
+	reg := obs.NewRegistry()
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, obs.DebugMux(reg)); err != nil {
+				fmt.Fprintln(os.Stderr, "cic-experiments: debug server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/metrics\n", *debugAddr)
+	}
+
+	if *configPath != "" {
+		if flag.NArg() != 0 {
+			return fmt.Errorf("-config and a positional experiment are mutually exclusive")
+		}
+		figs, err := runConfig(configOptions{
+			path:      *configPath,
+			journal:   *journal,
+			drive:     *drive,
+			gwBin:     *gwBin,
+			gwAddr:    *gwAddr,
+			gwOut:     *gwOut,
+			stopAfter: *stopAfter,
+			trialConc: *trialConc,
+			quiet:     *quiet,
+			metrics:   reg,
+		})
+		if err != nil {
+			return err
+		}
+		if err := emit(figs, *outdir, *format, *svg); err != nil {
+			return err
+		}
+		printDecodeStats(reg.Snapshot())
+		return nil
+	}
+
 	if flag.NArg() != 1 {
 		flag.Usage()
-		return fmt.Errorf("exactly one experiment required")
+		return fmt.Errorf("exactly one experiment (or -config) required")
 	}
 	exp := flag.Arg(0)
 
@@ -74,6 +141,7 @@ func run() error {
 	cfg.PayloadLen = *payload
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.Metrics = reg
 	cfg.Frame.Chirp.SF = *sf
 	cfg.Frame.Chirp.Bandwidth = *bw
 	cfg.Frame.Chirp.OSR = *osr
@@ -92,21 +160,6 @@ func run() error {
 		return err
 	}
 
-	// Experiments always run instrumented: the CIC receiver feeds a metrics
-	// registry whose decode-latency histogram is summarised after the run,
-	// and -debug-addr exposes it live (plus expvar and pprof) while long
-	// experiments execute.
-	reg := obs.NewRegistry()
-	cfg.Metrics = reg
-	if *debugAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*debugAddr, obs.DebugMux(reg)); err != nil {
-				fmt.Fprintln(os.Stderr, "cic-experiments: debug server:", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/metrics\n", *debugAddr)
-	}
-
 	figs, err := runExperiment(exp, cfg, deps)
 	if err != nil {
 		return err
@@ -116,6 +169,92 @@ func run() error {
 	}
 	printDecodeStats(reg.Snapshot())
 	return nil
+}
+
+// configOptions carries the -config mode flags.
+type configOptions struct {
+	path      string
+	journal   string
+	drive     string
+	gwBin     string
+	gwAddr    string
+	gwOut     string
+	stopAfter int
+	trialConc int
+	quiet     bool
+	metrics   *obs.Registry
+}
+
+// runConfig executes a declarative experiment config: figure configs
+// dispatch straight into internal/eval, sweep configs expand into a
+// journaled trial matrix and aggregate to mean ± 95% CI figures.
+func runConfig(o configOptions) ([]eval.Figure, error) {
+	cfg, err := experiment.Load(o.path)
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.Kind == experiment.KindFigure {
+		for _, f := range []struct{ name, val string }{
+			{"-journal", o.journal}, {"-drive", o.drive},
+			{"-gatewayd-bin", o.gwBin}, {"-gatewayd-addr", o.gwAddr},
+		} {
+			if f.val != "" {
+				return nil, fmt.Errorf("%s applies only to sweep configs (%s is kind %q)", f.name, o.path, cfg.Kind)
+			}
+		}
+		return experiment.Figures(cfg, o.metrics)
+	}
+
+	opts := experiment.RunnerOptions{
+		JournalPath: o.journal,
+		Drive:       o.drive,
+		Concurrency: o.trialConc,
+		StopAfter:   o.stopAfter,
+		Metrics:     o.metrics,
+	}
+	if !o.quiet {
+		opts.Log = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	if o.drive == experiment.DriveGatewayd {
+		switch {
+		case o.gwBin != "" && o.gwAddr != "":
+			return nil, fmt.Errorf("-gatewayd-bin and -gatewayd-addr are mutually exclusive")
+		case o.gwBin != "":
+			gd, err := experiment.SpawnGatewayd(o.gwBin, cfg.Fault)
+			if err != nil {
+				return nil, err
+			}
+			defer func() {
+				if err := gd.Stop(); err != nil {
+					fmt.Fprintln(os.Stderr, "cic-experiments: stop gatewayd:", err)
+				}
+			}()
+			opts.Gatewayd = gd
+		case o.gwAddr != "":
+			if o.gwOut == "" {
+				return nil, fmt.Errorf("-gatewayd-addr needs -gatewayd-out (the daemon's -out NDJSON file)")
+			}
+			opts.Gatewayd = &experiment.Gatewayd{Addr: o.gwAddr, OutPath: o.gwOut}
+		default:
+			return nil, fmt.Errorf("-drive gatewayd needs -gatewayd-bin or -gatewayd-addr")
+		}
+	}
+
+	// SIGINT/SIGTERM cancel the matrix cleanly: completed trials are
+	// already journaled, so the same invocation rerun resumes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := experiment.Run(ctx, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	if res.Stopped {
+		fmt.Fprintf(os.Stderr, "cic-experiments: stopped after %d trials; rerun with the same -config and -journal to resume\n", res.Executed)
+		return nil, nil
+	}
+	return experiment.Aggregate(cfg, res.Results)
 }
 
 // printDecodeStats summarises the CIC receiver's decode metrics for the

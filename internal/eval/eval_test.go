@@ -47,6 +47,90 @@ func TestFigureCSVAndTable(t *testing.T) {
 	}
 }
 
+func TestFigureCIColumns(t *testing.T) {
+	f := Figure{
+		ID: "figE", Title: "ci demo", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}, YErr: []float64{0.5, 0.25}},
+			{Name: "b", X: []float64{1, 2}, Y: []float64{30, 40}},
+		},
+	}
+	var csv bytes.Buffer
+	if err := f.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	out := csv.String()
+	if !strings.Contains(out, "x,a,a ci95,b") {
+		t.Errorf("CSV header missing ci95 column:\n%s", out)
+	}
+	if !strings.Contains(out, "1,10,0.5,30") {
+		t.Errorf("CSV row missing ci95 value:\n%s", out)
+	}
+	var tbl bytes.Buffer
+	if err := f.WriteTable(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "10.000±0.500") {
+		t.Errorf("table missing ± interval:\n%s", tbl.String())
+	}
+	var svg bytes.Buffer
+	if err := f.WriteSVG(&svg); err != nil {
+		t.Fatal(err)
+	}
+	// Nil-YErr figures must render byte-identically to the pre-YErr code:
+	// strip the error widths and check no extra columns or marks appear.
+	f.Series[0].YErr = nil
+	csv.Reset()
+	if err := f.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(csv.String(), "ci95") {
+		t.Error("nil YErr still emitted a ci95 column")
+	}
+}
+
+func TestReceiverByName(t *testing.T) {
+	cfg := quickConfig()
+	for _, name := range append(ReceiverNames(), "CIC-(CFO)", "CIC-(Power)", "CIC-(Power,CFO)") {
+		r, err := ReceiverByName(cfg.Frame, 1, name, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Name() != name {
+			t.Errorf("ReceiverByName(%q).Name() = %q", name, r.Name())
+		}
+	}
+	if _, err := ReceiverByName(cfg.Frame, 1, "nonesuch", nil); err == nil {
+		t.Error("unknown receiver accepted")
+	}
+}
+
+func TestDetectionScanners(t *testing.T) {
+	cfg := quickConfig()
+	scanners, err := DetectionScanners(cfg.Frame, cfg.PayloadLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scanners) != 3 {
+		t.Fatalf("%d scanners", len(scanners))
+	}
+	nw, err := sim.NewNetwork(cfg.Frame, sim.D1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := nw.BuildRun(20, cfg.Duration, cfg.PayloadLen, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scanners {
+		pkts := sc.Scan(run.Source)
+		score := sim.ScoreDetections(run, pkts, cfg.Duration)
+		if score.Detected == 0 {
+			t.Errorf("scanner %s detected nothing", sc.Name)
+		}
+	}
+}
+
 func TestDefaultReceiversAndVariants(t *testing.T) {
 	cfg := quickConfig()
 	rs, err := DefaultReceivers(cfg.Frame, 1)

@@ -13,11 +13,15 @@ import (
 	"strings"
 )
 
-// Series is one line of a figure.
+// Series is one line of a figure. YErr, when non-nil, carries a symmetric
+// error half-width per point (the experiment harness emits 95% confidence
+// intervals across seeds); nil YErr keeps every writer's output exactly as
+// it was before error bars existed.
 type Series struct {
 	Name string
 	X    []float64
 	Y    []float64
+	YErr []float64
 }
 
 // Figure is a regenerated paper figure as raw data.
@@ -31,7 +35,8 @@ type Figure struct {
 
 // WriteCSV emits the figure as CSV: one row per X value, one column per
 // series. Series are aligned by index (all experiment drivers emit series
-// on a shared X grid).
+// on a shared X grid). A series with YErr set gets a second
+// "<name> ci95" column holding the interval half-width.
 func (f Figure) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "# %s: %s\n", f.ID, f.Title); err != nil {
 		return err
@@ -39,6 +44,9 @@ func (f Figure) WriteCSV(w io.Writer) error {
 	cols := []string{f.XLabel}
 	for _, s := range f.Series {
 		cols = append(cols, s.Name)
+		if s.YErr != nil {
+			cols = append(cols, s.Name+" ci95")
+		}
 	}
 	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
 		return err
@@ -53,6 +61,13 @@ func (f Figure) WriteCSV(w io.Writer) error {
 				row = append(row, fmt.Sprintf("%.4g", s.Y[i]))
 			} else {
 				row = append(row, "")
+			}
+			if s.YErr != nil {
+				if i < len(s.YErr) {
+					row = append(row, fmt.Sprintf("%.4g", s.YErr[i]))
+				} else {
+					row = append(row, "")
+				}
 			}
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
@@ -91,9 +106,12 @@ func (f Figure) WriteTable(w io.Writer) error {
 	for i := range f.Series[0].X {
 		row := fmt.Sprintf("%-*g", xw, f.Series[0].X[i])
 		for _, s := range f.Series {
-			if i < len(s.Y) {
+			switch {
+			case i < len(s.Y) && i < len(s.YErr):
+				row += fmt.Sprintf("%*s", cw, fmt.Sprintf("%.3f±%.3f", s.Y[i], s.YErr[i]))
+			case i < len(s.Y):
 				row += fmt.Sprintf("%*.3f", cw, s.Y[i])
-			} else {
+			default:
 				row += fmt.Sprintf("%*s", cw, "-")
 			}
 		}

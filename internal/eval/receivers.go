@@ -74,3 +74,76 @@ type namedReceiver struct {
 }
 
 func (n namedReceiver) Name() string { return n.name }
+
+// ReceiverNames lists the receivers ReceiverByName can build, in the
+// paper's comparison order.
+func ReceiverNames() []string { return []string{"CIC", "FTrack", "Choir", "LoRa"} }
+
+// ReceiverByName builds a single named receiver from the paper's
+// comparison set ("CIC", "FTrack", "Choir", "LoRa") or the CIC ablation
+// variants of Figs 36–37 ("CIC-(CFO)", "CIC-(Power)", "CIC-(Power,CFO)").
+// The experiment harness uses this so a config can declare any subset.
+func ReceiverByName(cfg frame.Config, workers int, name string, m *obs.DecodeMetrics) (Receiver, error) {
+	switch name {
+	case "CIC":
+		return core.NewReceiver(cfg, core.Options{Metrics: m}, rx.DetectorOptions{Metrics: m}, workers)
+	case "CIC-(CFO)":
+		r, err := core.NewReceiver(cfg, core.Options{DisableCFOFilter: true}, rx.DetectorOptions{}, workers)
+		if err != nil {
+			return nil, err
+		}
+		return namedReceiver{Receiver: r, name: name}, nil
+	case "CIC-(Power)":
+		r, err := core.NewReceiver(cfg, core.Options{DisablePowerFilter: true}, rx.DetectorOptions{}, workers)
+		if err != nil {
+			return nil, err
+		}
+		return namedReceiver{Receiver: r, name: name}, nil
+	case "CIC-(Power,CFO)":
+		r, err := core.NewReceiver(cfg, core.Options{DisableCFOFilter: true, DisablePowerFilter: true}, rx.DetectorOptions{}, workers)
+		if err != nil {
+			return nil, err
+		}
+		return namedReceiver{Receiver: r, name: name}, nil
+	case "FTrack":
+		return ftrack.New(cfg, ftrack.Options{}, rx.DetectorOptions{}, workers)
+	case "Choir":
+		return choir.New(cfg, choir.Options{}, rx.DetectorOptions{}, workers)
+	case "LoRa":
+		return stdlora.New(cfg, rx.DetectorOptions{}, workers)
+	default:
+		return nil, fmt.Errorf("eval: unknown receiver %q (want one of CIC, FTrack, Choir, LoRa, or a CIC ablation variant)", name)
+	}
+}
+
+// DetectionScanner is a named preamble-detection strategy: the unit the
+// detection figures (Figs 32–35) compare. Scan returns the detected
+// packets for a rendered run.
+type DetectionScanner struct {
+	Name string
+	Scan func(src rx.SampleSource) []*rx.Packet
+}
+
+// DetectionScanners builds the three detection strategies of Figs 32–35:
+// CIC's down-chirp scan, FTrack's multi-peak up-chirp scan, and standard
+// LoRa's locked single-packet up-chirp receive. payloadLen fixes the
+// packet lengths the LoRa capture filter needs.
+func DetectionScanners(cfg frame.Config, payloadLen int) ([]DetectionScanner, error) {
+	det, err := rx.NewDetector(cfg, rx.DetectorOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("eval: detector: %w", err)
+	}
+	detFT, err := rx.NewDetector(cfg, rx.DetectorOptions{UpchirpTopK: 3})
+	if err != nil {
+		return nil, fmt.Errorf("eval: FTrack detector: %w", err)
+	}
+	return []DetectionScanner{
+		{Name: "CIC", Scan: det.ScanDownchirp},
+		{Name: "FTrack", Scan: detFT.ScanUpchirp},
+		{Name: "LoRa", Scan: func(src rx.SampleSource) []*rx.Packet {
+			up := clonePackets(det.ScanUpchirp(src))
+			setLengths(cfg, payloadLen, up)
+			return captureFilterForEval(cfg, up)
+		}},
+	}, nil
+}

@@ -31,6 +31,9 @@ func (f Figure) WriteSVG(w io.Writer) error {
 			minX = math.Min(minX, s.X[i])
 			maxX = math.Max(maxX, s.X[i])
 			maxY = math.Max(maxY, s.Y[i])
+			if i < len(s.YErr) {
+				maxY = math.Max(maxY, s.Y[i]+s.YErr[i])
+			}
 		}
 	}
 	if math.IsInf(minX, 1) || maxX == minX {
@@ -86,6 +89,18 @@ func (f Figure) WriteSVG(w io.Writer) error {
 			var px, py float64
 			fmt.Sscanf(p, "%f,%f", &px, &py)
 			fmt.Fprintf(&b, `<circle cx="%g" cy="%g" r="2.5" fill="%s"/>`+"\n", px, py, color)
+		}
+		// Error bars (95% CI) when the series carries per-point half-widths.
+		for i := range s.X {
+			if i >= len(s.YErr) || s.YErr[i] <= 0 {
+				continue
+			}
+			x := xPos(s.X[i])
+			lo := yPos(s.Y[i] - s.YErr[i])
+			hi := yPos(s.Y[i] + s.YErr[i])
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n", x, lo, x, hi, color)
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n", x-3, lo, x+3, lo, color)
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n", x-3, hi, x+3, hi, color)
 		}
 		// Legend entry.
 		lx := left + 10 + float64(si%2)*(plotW/2)

@@ -1,0 +1,155 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"cic/internal/eval"
+)
+
+// tCrit95 holds the two-tailed Student-t critical values at 95% for
+// degrees of freedom 1..30; beyond 30 the normal 1.96 is close enough.
+var tCrit95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// meanCI95 returns the sample mean and the half-width of its 95%
+// confidence interval (Student-t, sample standard deviation). Fewer than
+// two samples have no interval (half-width 0).
+func meanCI95(xs []float64) (mean, half float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	df := n - 1
+	t := 1.96
+	if df <= len(tCrit95) {
+		t = tCrit95[df-1]
+	}
+	return mean, t * sd / math.Sqrt(float64(n))
+}
+
+// metricValue extracts the config's sweep metric from a receiver score.
+func metricValue(metric string, sc ReceiverScore) float64 {
+	switch metric {
+	case MetricPRR:
+		return sc.PRR
+	case MetricDetection:
+		return sc.DetectionRate
+	default:
+		return sc.Throughput
+	}
+}
+
+// yLabel names the sweep metric's axis.
+func yLabel(metric string) string {
+	switch metric {
+	case MetricPRR:
+		return "packet reception rate"
+	case MetricDetection:
+		return "detection rate"
+	default:
+		return "network throughput (pkts/s)"
+	}
+}
+
+// seriesNames is the deterministic series order of a sweep figure.
+func (c *Config) seriesNames() []string {
+	if c.Metric == MetricDetection {
+		return []string{"CIC", "FTrack", "LoRa"}
+	}
+	return c.ReceiverNames()
+}
+
+// Aggregate folds completed trials into one figure per deployment point:
+// per (rate, receiver), the mean of the sweep metric across the seed
+// matrix with its 95% confidence half-width (YErr set only when the seed
+// count supports an interval). The computation uses only journaled
+// deterministic fields in config order, so an uninterrupted run and a
+// resumed run emit byte-identical figures. Trials missing from results
+// are an error — aggregate after the matrix completes.
+func Aggregate(cfg *Config, results map[string]TrialResult) ([]eval.Figure, error) {
+	if cfg.Kind != KindSweep {
+		return nil, fmt.Errorf("experiment: Aggregate wants a %q config", KindSweep)
+	}
+	names := cfg.seriesNames()
+	withCI := cfg.SeedCount() >= 2
+	var figs []eval.Figure
+	for _, d := range cfg.Deployments {
+		dep := d.Deployment()
+		fig := eval.Figure{
+			ID:     cfg.figureID(d),
+			Title:  fmt.Sprintf("%s for %s (%s)", titleFor(cfg.Metric), dep.Name, dep.Label),
+			XLabel: "offered pkts/s",
+			YLabel: yLabel(cfg.Metric),
+		}
+		series := make([]eval.Series, len(names))
+		for i, n := range names {
+			series[i].Name = n
+			if withCI {
+				series[i].YErr = []float64{}
+			}
+		}
+		for _, rate := range cfg.Rates {
+			samples := make([][]float64, len(names))
+			for si := 0; si < cfg.SeedCount(); si++ {
+				key := fmt.Sprintf("%s/r%g/s%d", d.Base, rate, si)
+				tr, ok := results[key]
+				if !ok {
+					return nil, fmt.Errorf("experiment: aggregate: trial %s missing (matrix incomplete — rerun to resume)", key)
+				}
+				for ni, name := range names {
+					sc, ok := tr.Receivers[name]
+					if !ok {
+						return nil, fmt.Errorf("experiment: aggregate: trial %s has no %s score", key, name)
+					}
+					samples[ni] = append(samples[ni], metricValue(cfg.Metric, sc))
+				}
+			}
+			for ni := range names {
+				mean, half := meanCI95(samples[ni])
+				series[ni].X = append(series[ni].X, rate)
+				series[ni].Y = append(series[ni].Y, mean)
+				if withCI {
+					series[ni].YErr = append(series[ni].YErr, half)
+				}
+			}
+		}
+		fig.Series = series
+		figs = append(figs, fig)
+		if cfg.Summary && cfg.Metric == MetricThroughput {
+			sum, err := eval.Summary(fig)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %w", err)
+			}
+			figs = append(figs, sum)
+		}
+	}
+	return figs, nil
+}
+
+// titleFor names the sweep metric for figure titles.
+func titleFor(metric string) string {
+	switch metric {
+	case MetricPRR:
+		return "Packet Reception Rate"
+	case MetricDetection:
+		return "Packet Detection"
+	default:
+		return "Network Throughput"
+	}
+}

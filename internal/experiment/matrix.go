@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"fmt"
+
+	"cic/internal/traffic"
+)
+
+// Trial is one fully-determined cell of the experiment matrix: a
+// deployment point, an offered load and a seed index. Everything a trial
+// needs is derived from the config and these coordinates, so trials can
+// execute in any order on any number of workers and produce identical
+// results.
+type Trial struct {
+	// Index is the trial's position in the canonical enumeration
+	// (deployments × rates × seeds, in config order).
+	Index int
+	// Key identifies the trial in the journal: "dep/rate/seed-index".
+	Key string
+	// Spec is the deployment point (config entry, not yet materialised).
+	Spec DeploymentSpec
+	// Rate is the aggregate offered load in packets/second.
+	Rate float64
+	// SeedIndex is the trial's position in the seed matrix.
+	SeedIndex int
+	// Seed is the derived simulation seed (see trialSeed).
+	Seed int64
+}
+
+// Trials expands a validated sweep config into its deterministic trial
+// matrix. The enumeration order is canonical (config order), but nothing
+// downstream depends on it: every trial's seed is a pure function of the
+// seed base and the trial's coordinates.
+func (c *Config) Trials() []Trial {
+	var out []Trial
+	for di, d := range c.Deployments {
+		for ri, rate := range c.Rates {
+			for si := 0; si < c.SeedCount(); si++ {
+				out = append(out, Trial{
+					Index:     len(out),
+					Key:       fmt.Sprintf("%s/r%g/s%d", d.Base, rate, si),
+					Spec:      d,
+					Rate:      rate,
+					SeedIndex: si,
+					Seed:      trialSeed(c.Seeds.Base, di, ri, si),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// trialSeed derives a trial's simulation seed from the experiment's base
+// seed and the trial coordinates. Coordinates are packed into disjoint
+// bit fields and mixed through the same splitmix finalizer the traffic
+// generator uses, so trials are decorrelated and the derivation is
+// independent of enumeration order, worker count and resume history.
+func trialSeed(base int64, dep, rate, seed int) int64 {
+	stream := int64(dep)<<40 | int64(rate)<<20 | int64(seed)
+	return traffic.SubSeed(base, stream)
+}

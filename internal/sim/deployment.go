@@ -1,7 +1,11 @@
 // Package sim reproduces the paper's deployment campaign in simulation:
 // the four test deployments D1–D4 (§7.1, Figs 22–27), Poisson traffic
-// generation across 20 nodes, rendering of the superposed air, and scoring
-// of receiver output against ground truth.
+// generation across the node population, rendering of the superposed air,
+// and scoring of receiver output against ground truth. Beyond the paper,
+// deployments carry parameterized extensions for the city-scale experiment
+// harness (internal/experiment): node-mobility power drift, log-normal
+// urban shadowing, and regulatory duty-cycle caps — all zero (disabled) in
+// the canonical D1–D4 so the paper baselines are untouched.
 package sim
 
 import (
@@ -16,7 +20,10 @@ import (
 )
 
 // Deployment captures the SNR regime and propagation character of one of
-// the paper's four test deployments. SNR ranges follow Fig 27.
+// the paper's four test deployments. SNR ranges follow Fig 27. The
+// extension fields (MobilityDriftDB, ShadowSigmaDB, DutyCycle) default to
+// zero = disabled; internal/experiment sets them from ExperimentConfig
+// deployment overrides.
 type Deployment struct {
 	Name       string
 	Label      string
@@ -26,6 +33,21 @@ type Deployment struct {
 	FadeDepth  float64 // in-packet amplitude fluctuation (D4: pedestrians/traffic)
 	AreaMeters float64 // deployment extent, for the Fig 22–26 maps
 	LoS        bool
+
+	// MobilityDriftDB is the per-packet received-power drift σ (dB) a
+	// moving node exhibits between transmissions: each packet's SNR is
+	// the node's mean plus a zero-mean Gaussian of this σ, drawn from
+	// the transmission's own sub-stream. Zero = static nodes (paper).
+	MobilityDriftDB float64
+	// ShadowSigmaDB adds log-normal urban shadowing to each node's mean
+	// SNR draw: a zero-mean Gaussian of this σ (dB) per node, from a
+	// sub-stream separate from the base draws so enabling shadowing
+	// cannot shift the canonical node parameters. Zero = no shadowing.
+	ShadowSigmaDB float64
+	// DutyCycle caps each node's transmit time as a fraction of wall
+	// time (EU 868 MHz: 0.01), enforced by the traffic generator.
+	// Zero = unregulated (the paper's US 915 MHz campaign).
+	DutyCycle float64
 }
 
 // The four deployments of §7.1.
@@ -84,6 +106,15 @@ const CrystalPPM = 10
 // CarrierHz is the assumed RF carrier for CFO generation.
 const CarrierHz = 915e6
 
+// Sub-stream salts: distinct random-stream families derived from the
+// network/run seed via traffic.SubSeed. Keeping each family on its own
+// salt means enabling one extension (shadowing, mobility) cannot perturb
+// the draws of another — the golden-distribution tests pin this.
+const (
+	shadowSalt     = 0x53484457 // "SHDW": per-node shadowing draws
+	impairmentSalt = 0x494D5052 // "IMPR": per-transmission channel impairments
+)
+
 // NewNetwork draws the per-node parameters for a deployment.
 func NewNetwork(cfg frame.Config, dep Deployment, seed int64) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
@@ -98,9 +129,16 @@ func NewNetwork(cfg frame.Config, dep Deployment, seed int64) (*Network, error) 
 		ang := rng.Float64() * 2 * math.Pi
 		// Area-uniform radius so the Fig 22–26 maps look plausible.
 		rad := dep.AreaMeters / 2 * math.Sqrt(rng.Float64())
+		snr := dep.SNRMinDB + rng.Float64()*(dep.SNRMaxDB-dep.SNRMinDB)
+		if dep.ShadowSigmaDB > 0 {
+			// Urban shadowing comes from its own sub-stream so the base
+			// draws above stay byte-identical with shadowing off.
+			srng := rand.New(rand.NewSource(traffic.SubSeed(seed^shadowSalt, int64(i))))
+			snr += srng.NormFloat64() * dep.ShadowSigmaDB
+		}
 		nw.Nodes = append(nw.Nodes, Node{
 			ID:    i,
-			SNRdB: dep.SNRMinDB + rng.Float64()*(dep.SNRMaxDB-dep.SNRMinDB),
+			SNRdB: snr,
 			CFOHz: channel.RandomCFO(rng, CrystalPPM, CarrierHz),
 			X:     rad * math.Cos(ang),
 			Y:     rad * math.Sin(ang),
@@ -119,6 +157,13 @@ type Run struct {
 // BuildRun generates Poisson traffic at the aggregate rate (packets/second
 // network-wide) for the duration, modulates every packet with its node's
 // impairments, and renders the air with unit-in-band-power AWGN.
+//
+// Every random draw comes from a sub-stream derived from the run seed:
+// node schedules from traffic's per-node streams, and each transmission's
+// channel impairments (initial phase, fade, mobility drift) from a
+// per-(node, seq) stream. A transmission's rendering is therefore a pure
+// function of (network, seed, node, seq) — independent of how many other
+// nodes transmit or in which order the emission list is assembled.
 func (nw *Network) BuildRun(aggregateRate, duration float64, payloadLen int, seed int64) (*Run, error) {
 	mod, err := frame.NewModulator(nw.Cfg)
 	if err != nil {
@@ -132,9 +177,9 @@ func (nw *Network) BuildRun(aggregateRate, duration float64, payloadLen int, see
 		SampleRate:    nw.Cfg.Chirp.SampleRate(),
 		PayloadLen:    payloadLen,
 		PacketAirtime: airtime,
+		DutyCycle:     nw.Dep.DutyCycle,
 	}
-	rng := rand.New(rand.NewSource(seed))
-	txs, err := traffic.Generate(tcfg, rng)
+	txs, err := traffic.Generate(tcfg, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -145,8 +190,15 @@ func (nw *Network) BuildRun(aggregateRate, duration float64, payloadLen int, see
 			return nil, err
 		}
 		node := nw.Nodes[tx.Node]
+		// Per-transmission impairment stream, keyed on (node, seq).
+		txStream := traffic.SubSeed(int64(tx.Node)<<20, int64(tx.Seq))
+		rng := rand.New(rand.NewSource(traffic.SubSeed(seed^impairmentSalt, txStream)))
+		snr := node.SNRdB
+		if nw.Dep.MobilityDriftDB > 0 {
+			snr += rng.NormFloat64() * nw.Dep.MobilityDriftDB
+		}
 		imp := channel.Impairments{
-			Amplitude:    channel.AmplitudeForSNR(node.SNRdB),
+			Amplitude:    channel.AmplitudeForSNR(snr),
 			CFOHz:        node.CFOHz,
 			InitialPhase: rng.Float64() * 2 * math.Pi,
 			SampleRate:   nw.Cfg.Chirp.SampleRate(),

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// Golden received-power distributions for D1–D4 at seed 1. These pin the
+// exact node draws of NewNetwork so geometry refactors (mobility, fading,
+// shadowing extensions) cannot silently shift the paper baselines: any
+// change to the draw order or formula trips the exact-value checks below.
+//
+// Regenerate by printing the same statistics from NewNetwork(testCfg(),
+// dep, 1) — but only when a baseline shift is intentional and called out
+// in the commit message.
+var goldenNetworks = []struct {
+	name     string
+	meanSNR  float64 // mean node SNR, dB
+	meanRad  float64 // mean node distance from gateway, m
+	snrBins  []int   // 5 dB histogram over [SNRMinDB, SNRMaxDB]
+	node0SNR float64
+	node0CFO float64
+}{
+	{"D1", 35.719942114, 10.436621292, []int{6, 14}, 36.645600532, -1139.830374478},
+	{"D2", 34.863930537, 20.873242583, []int{6, 10, 4}, 35.974720639, -1139.830374478},
+	{"D3", 19.299855285, 52.183106458, []int{2, 4, 4, 5, 5}, 21.614001330, -1139.830374478},
+	{"D4", 3.579913171, 521.831064576, []int{5, 7, 8}, 4.968400798, -1139.830374478},
+}
+
+func TestGoldenDeploymentDistributions(t *testing.T) {
+	const tol = 1e-6
+	for _, want := range goldenNetworks {
+		dep, err := DeploymentByName(want.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw, err := NewNetwork(testCfg(), dep, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sumSNR, sumRad float64
+		bins := make([]int, int(math.Ceil((dep.SNRMaxDB-dep.SNRMinDB)/5)))
+		for _, n := range nw.Nodes {
+			sumSNR += n.SNRdB
+			sumRad += math.Hypot(n.X, n.Y)
+			if b := int((n.SNRdB - dep.SNRMinDB) / 5); b >= 0 && b < len(bins) {
+				bins[b]++
+			}
+		}
+		n := float64(len(nw.Nodes))
+		if got := sumSNR / n; math.Abs(got-want.meanSNR) > tol {
+			t.Errorf("%s mean SNR %.9f, golden %.9f", want.name, got, want.meanSNR)
+		}
+		if got := sumRad / n; math.Abs(got-want.meanRad) > tol {
+			t.Errorf("%s mean radius %.9f, golden %.9f", want.name, got, want.meanRad)
+		}
+		if len(bins) != len(want.snrBins) {
+			t.Fatalf("%s histogram has %d bins, golden %d", want.name, len(bins), len(want.snrBins))
+		}
+		for i := range bins {
+			if bins[i] != want.snrBins[i] {
+				t.Errorf("%s SNR histogram %v, golden %v", want.name, bins, want.snrBins)
+				break
+			}
+		}
+		if got := nw.Nodes[0].SNRdB; math.Abs(got-want.node0SNR) > tol {
+			t.Errorf("%s node 0 SNR %.9f, golden %.9f", want.name, got, want.node0SNR)
+		}
+		if got := nw.Nodes[0].CFOHz; math.Abs(got-want.node0CFO) > tol {
+			t.Errorf("%s node 0 CFO %.9f, golden %.9f", want.name, got, want.node0CFO)
+		}
+	}
+}
+
+// TestShadowingLeavesBaseDrawsIntact pins the sub-stream separation
+// contract: enabling ShadowSigmaDB perturbs only the SNRs (via its own
+// SubSeed stream), never the positions or CFOs drawn from the base rng.
+func TestShadowingLeavesBaseDrawsIntact(t *testing.T) {
+	base, err := NewNetwork(testCfg(), D3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadowed := D3
+	shadowed.ShadowSigmaDB = 6
+	got, err := NewNetwork(testCfg(), shadowed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for i := range base.Nodes {
+		b, g := base.Nodes[i], got.Nodes[i]
+		if b.X != g.X || b.Y != g.Y || b.CFOHz != g.CFOHz {
+			t.Fatalf("node %d position/CFO changed under shadowing", i)
+		}
+		if b.SNRdB != g.SNRdB {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("shadowing changed no SNRs")
+	}
+}
+
+// TestMobilityDriftPerTransmission checks the mobility extension draws a
+// different received power per packet while leaving the canonical zero-
+// drift deployments' schedules and truth untouched.
+func TestMobilityDriftPerTransmission(t *testing.T) {
+	mobile := D1
+	mobile.MobilityDriftDB = 3
+	nwStatic, err := NewNetwork(testCfg(), D1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nwMobile, err := NewNetwork(testCfg(), mobile, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := nwStatic.BuildRun(40, 1.0, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := nwMobile.BuildRun(40, 1.0, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mobility must not alter the traffic schedule, only the channel.
+	if len(rs.Truth) != len(rm.Truth) {
+		t.Fatalf("mobility changed truth length: %d vs %d", len(rs.Truth), len(rm.Truth))
+	}
+	for i := range rs.Truth {
+		if rs.Truth[i].StartSample != rm.Truth[i].StartSample || rs.Truth[i].Node != rm.Truth[i].Node {
+			t.Fatal("mobility changed the traffic schedule")
+		}
+	}
+	// But the rendered air must differ (per-packet amplitude drift).
+	if len(rs.Truth) == 0 {
+		t.Fatal("no traffic generated")
+	}
+	off := rs.Truth[0].StartSample
+	a := make([]complex128, 256)
+	b := make([]complex128, 256)
+	rs.Source.Read(a, off)
+	rm.Source.Read(b, off)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("mobility drift left the rendered air byte-identical")
+	}
+}

@@ -1,8 +1,16 @@
 // Package traffic generates the sensor-node workload of the paper's
-// deployments: each of the 20 nodes transmits packets with exponentially
-// distributed inter-arrival times (Poisson process, §7.1), with random
-// payloads of a fixed size. The generator records ground truth so the
-// evaluation can score receivers.
+// deployments: each node transmits packets with exponentially distributed
+// inter-arrival times (Poisson process, §7.1), with random payloads of a
+// fixed size. The generator records ground truth so the evaluation can
+// score receivers.
+//
+// Every node draws from an independent random sub-stream derived from the
+// workload seed with a splitmix64 mixer (SubSeed), so one node's schedule
+// is a pure function of (seed, node index): adding or removing nodes,
+// reordering the generation loop, or sharding nodes across workers cannot
+// perturb any other node's schedule. This is the determinism contract the
+// experiment harness (internal/experiment) relies on for order-independent
+// trial execution.
 package traffic
 
 import (
@@ -14,6 +22,7 @@ import (
 // Transmission is one scheduled packet: ground truth for the evaluation.
 type Transmission struct {
 	Node        int    // transmitting node index
+	Seq         int    // per-node packet index, from 0
 	StartSample int64  // absolute air-time start
 	Payload     []byte // plaintext payload
 }
@@ -26,6 +35,13 @@ type Config struct {
 	SampleRate    float64 // Hz, converts times to sample indices
 	PayloadLen    int     // bytes per packet (paper: 28)
 	PacketAirtime float64 // seconds a packet occupies (for half-duplex spacing)
+
+	// DutyCycle, when non-zero, enforces a regulatory duty-cycle cap
+	// (EU 868 MHz: 0.01): after each packet the node stays silent until
+	// its airtime amounts to at most this fraction of elapsed time, i.e.
+	// the radio is blocked for Airtime/DutyCycle seconds per packet.
+	// Zero means unregulated (the paper's US 915 MHz campaign).
+	DutyCycle float64
 }
 
 // Validate checks the workload parameters.
@@ -45,48 +61,86 @@ func (c Config) Validate() error {
 	if c.PayloadLen < 0 || c.PayloadLen > 255 {
 		return fmt.Errorf("traffic: payload length %d out of [0,255]", c.PayloadLen)
 	}
+	if c.DutyCycle < 0 || c.DutyCycle > 1 {
+		return fmt.Errorf("traffic: duty cycle %g out of [0,1]", c.DutyCycle)
+	}
 	return nil
 }
 
-// Generate draws a Poisson schedule. Each node draws exponential
-// inter-arrival gaps with rate λ; a node that is still transmitting defers
-// the next departure until its radio is free (half-duplex), matching real
-// firmware queueing. The result is sorted by start time.
-func Generate(cfg Config, rng *rand.Rand) ([]Transmission, error) {
+// SubSeed derives an independent sub-stream seed from (seed, stream) with
+// a splitmix64 finalizer. Distinct stream indices yield decorrelated
+// rand.Source seeds, so per-node (and per-transmission) generators can be
+// created on demand without sharing any stream state.
+func SubSeed(seed, stream int64) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(stream+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Generate draws a Poisson schedule from the workload seed. Each node
+// draws exponential inter-arrival gaps with rate λ from its own SubSeed
+// sub-stream; a node that is still transmitting defers the next departure
+// until its radio is free (half-duplex) — and, when DutyCycle is set,
+// until the regulatory silence after the previous packet has elapsed —
+// matching real firmware queueing. The result is sorted by start time
+// (ties broken by node index, so the order is total and deterministic).
+func Generate(cfg Config, seed int64) ([]Transmission, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	var all []Transmission
 	for node := 0; node < cfg.Nodes; node++ {
-		t := 0.0
-		busyUntil := 0.0
-		for {
-			if cfg.PerNodeRate <= 0 {
-				break
-			}
-			t += rng.ExpFloat64() / cfg.PerNodeRate
-			if t >= cfg.Duration {
-				break
-			}
-			depart := t
-			if depart < busyUntil {
-				depart = busyUntil
-			}
-			if depart >= cfg.Duration {
-				break
-			}
-			busyUntil = depart + cfg.PacketAirtime
-			payload := make([]byte, cfg.PayloadLen)
-			rng.Read(payload)
-			all = append(all, Transmission{
-				Node:        node,
-				StartSample: int64(depart * cfg.SampleRate),
-				Payload:     payload,
-			})
-		}
+		all = append(all, GenerateNode(cfg, seed, node)...)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].StartSample < all[j].StartSample })
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].StartSample != all[j].StartSample {
+			return all[i].StartSample < all[j].StartSample
+		}
+		return all[i].Node < all[j].Node
+	})
 	return all, nil
+}
+
+// GenerateNode draws one node's schedule from its private sub-stream.
+// The caller is responsible for cfg validation (Generate does it once);
+// the result is independent of every other node's schedule.
+func GenerateNode(cfg Config, seed int64, node int) []Transmission {
+	if cfg.PerNodeRate <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(SubSeed(seed, int64(node))))
+	blocked := cfg.PacketAirtime
+	if cfg.DutyCycle > 0 {
+		blocked = cfg.PacketAirtime / cfg.DutyCycle
+	}
+	var out []Transmission
+	t := 0.0
+	busyUntil := 0.0
+	for seq := 0; ; seq++ {
+		t += rng.ExpFloat64() / cfg.PerNodeRate
+		if t >= cfg.Duration {
+			break
+		}
+		depart := t
+		if depart < busyUntil {
+			depart = busyUntil
+		}
+		if depart >= cfg.Duration {
+			break
+		}
+		busyUntil = depart + blocked
+		payload := make([]byte, cfg.PayloadLen)
+		rng.Read(payload)
+		out = append(out, Transmission{
+			Node:        node,
+			Seq:         seq,
+			StartSample: int64(depart * cfg.SampleRate),
+			Payload:     payload,
+		})
+	}
+	return out
 }
 
 // AggregateRate returns the offered load in packets/second.

@@ -1,8 +1,8 @@
 package traffic
 
 import (
+	"bytes"
 	"math"
-	"math/rand"
 	"testing"
 )
 
@@ -28,6 +28,8 @@ func TestValidate(t *testing.T) {
 		func(c *Config) { c.Duration = 0 },
 		func(c *Config) { c.SampleRate = 0 },
 		func(c *Config) { c.PayloadLen = 256 },
+		func(c *Config) { c.DutyCycle = -0.1 },
+		func(c *Config) { c.DutyCycle = 1.5 },
 	} {
 		c := baseConfig()
 		mutate(&c)
@@ -40,8 +42,7 @@ func TestValidate(t *testing.T) {
 func TestGeneratePoissonCount(t *testing.T) {
 	cfg := baseConfig()
 	cfg.Duration = 50
-	rng := rand.New(rand.NewSource(1))
-	txs, err := Generate(cfg, rng)
+	txs, err := Generate(cfg, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,9 +55,9 @@ func TestGeneratePoissonCount(t *testing.T) {
 
 func TestGenerateSortedAndInRange(t *testing.T) {
 	cfg := baseConfig()
-	rng := rand.New(rand.NewSource(2))
-	txs, _ := Generate(cfg, rng)
+	txs, _ := Generate(cfg, 2)
 	maxStart := int64(cfg.Duration * cfg.SampleRate)
+	seqs := map[int]int{}
 	for i, tx := range txs {
 		if i > 0 && tx.StartSample < txs[i-1].StartSample {
 			t.Fatal("schedule not sorted")
@@ -70,6 +71,10 @@ func TestGenerateSortedAndInRange(t *testing.T) {
 		if tx.Node < 0 || tx.Node >= cfg.Nodes {
 			t.Fatal("node index out of range")
 		}
+		if tx.Seq != seqs[tx.Node] {
+			t.Fatalf("node %d seq %d, want %d", tx.Node, tx.Seq, seqs[tx.Node])
+		}
+		seqs[tx.Node]++
 	}
 }
 
@@ -77,8 +82,7 @@ func TestGenerateHalfDuplexSpacing(t *testing.T) {
 	cfg := baseConfig()
 	cfg.PerNodeRate = 50 // heavy per-node load forces queueing
 	cfg.Duration = 2
-	rng := rand.New(rand.NewSource(3))
-	txs, _ := Generate(cfg, rng)
+	txs, _ := Generate(cfg, 3)
 	airSamples := int64(cfg.PacketAirtime * cfg.SampleRate)
 	last := map[int]int64{}
 	for _, tx := range txs {
@@ -91,10 +95,46 @@ func TestGenerateHalfDuplexSpacing(t *testing.T) {
 	}
 }
 
+func TestGenerateDutyCycleSpacing(t *testing.T) {
+	cfg := baseConfig()
+	cfg.PerNodeRate = 50 // heavy load: the duty cycle is the binding constraint
+	cfg.Duration = 5
+	cfg.DutyCycle = 0.01 // EU-style 1%
+	txs, err := Generate(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) == 0 {
+		t.Fatal("duty-cycled workload produced no packets")
+	}
+	minGap := int64(cfg.PacketAirtime / cfg.DutyCycle * cfg.SampleRate)
+	last := map[int]int64{}
+	for _, tx := range txs {
+		if prev, ok := last[tx.Node]; ok {
+			if gap := tx.StartSample - prev; gap < minGap {
+				t.Fatalf("node %d packets %d apart, duty-cycle floor %d", tx.Node, gap, minGap)
+			}
+		}
+		last[tx.Node] = tx.StartSample
+	}
+	// A saturated 1% duty cycle caps each node near duration·duty/airtime
+	// packets; with 50 pkts/s offered per node the cap must bind.
+	perNodeCap := cfg.Duration*cfg.DutyCycle/cfg.PacketAirtime + 1
+	counts := map[int]int{}
+	for _, tx := range txs {
+		counts[tx.Node]++
+	}
+	for node, n := range counts {
+		if float64(n) > perNodeCap {
+			t.Errorf("node %d sent %d packets, duty-cycle cap ≈%.1f", node, n, perNodeCap)
+		}
+	}
+}
+
 func TestGenerateZeroRate(t *testing.T) {
 	cfg := baseConfig()
 	cfg.PerNodeRate = 0
-	txs, err := Generate(cfg, rand.New(rand.NewSource(4)))
+	txs, err := Generate(cfg, 4)
 	if err != nil || len(txs) != 0 {
 		t.Errorf("zero rate produced %d packets, err %v", len(txs), err)
 	}
@@ -107,7 +147,7 @@ func TestGenerateExponentialGaps(t *testing.T) {
 	cfg.PerNodeRate = 20
 	cfg.Duration = 200
 	cfg.PacketAirtime = 0 // pure Poisson, no queueing distortion
-	txs, _ := Generate(cfg, rand.New(rand.NewSource(5)))
+	txs, _ := Generate(cfg, 5)
 	if len(txs) < 1000 {
 		t.Fatalf("too few packets: %d", len(txs))
 	}
@@ -132,6 +172,86 @@ func TestGenerateExponentialGaps(t *testing.T) {
 	// Exponential distribution has CV = 1.
 	if cv < 0.9 || cv > 1.1 {
 		t.Errorf("coefficient of variation %g, want ≈1 (exponential)", cv)
+	}
+}
+
+// TestGenerateNodeIndependence is the determinism regression for the
+// splitmix sub-stream contract: a node's schedule must be a pure function
+// of (seed, node index) — unchanged by the total node count, by which
+// other nodes exist, or by the order nodes are generated in.
+func TestGenerateNodeIndependence(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Duration = 20
+	full, err := Generate(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode := map[int][]Transmission{}
+	for _, tx := range full {
+		perNode[tx.Node] = append(perNode[tx.Node], tx)
+	}
+
+	// (1) Shrinking the population must not perturb the surviving nodes.
+	small := cfg
+	small.Nodes = 3
+	smallTxs, err := Generate(small, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallPerNode := map[int][]Transmission{}
+	for _, tx := range smallTxs {
+		smallPerNode[tx.Node] = append(smallPerNode[tx.Node], tx)
+	}
+	for node := 0; node < small.Nodes; node++ {
+		if !sameSchedule(perNode[node], smallPerNode[node]) {
+			t.Errorf("node %d schedule changed when population shrank 20 → 3", node)
+		}
+	}
+
+	// (2) Generating a node in isolation (as a sharded worker would)
+	// reproduces its slice of the full run exactly.
+	for node := 0; node < cfg.Nodes; node += 7 {
+		solo := GenerateNode(cfg, 42, node)
+		if !sameSchedule(perNode[node], solo) {
+			t.Errorf("node %d: GenerateNode disagrees with Generate", node)
+		}
+	}
+
+	// (3) Same seed → identical output; different seed → different output.
+	again, _ := Generate(cfg, 42)
+	if !sameSchedule(full, again) {
+		t.Error("same seed produced different schedules")
+	}
+	other, _ := Generate(cfg, 43)
+	if sameSchedule(full, other) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func sameSchedule(a, b []Transmission) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Node != b[i].Node || a[i].Seq != b[i].Seq ||
+			a[i].StartSample != b[i].StartSample || !bytes.Equal(a[i].Payload, b[i].Payload) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSubSeedDecorrelated(t *testing.T) {
+	seen := map[int64]int64{}
+	for stream := int64(0); stream < 10000; stream++ {
+		s := SubSeed(7, stream)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("SubSeed collision: streams %d and %d both → %d", prev, stream, s)
+		}
+		seen[s] = stream
+	}
+	if SubSeed(1, 0) == SubSeed(2, 0) {
+		t.Error("SubSeed ignores the seed")
 	}
 }
 

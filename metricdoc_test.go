@@ -12,10 +12,11 @@ import (
 )
 
 // TestMetricsDocumented enforces the observability contract: every
-// Metric* string constant declared in internal/server/metrics.go and in
-// internal/obs must appear — by its exposed metric name — in
-// docs/OBSERVABILITY.md. A new metric without documentation fails CI
-// here, which is how the catalogue stays trustworthy.
+// Metric* string constant declared in internal/server/metrics.go,
+// internal/experiment/metrics.go and internal/obs must appear — by its
+// exposed metric name — in docs/OBSERVABILITY.md. A new metric without
+// documentation fails CI here, which is how the catalogue stays
+// trustworthy.
 func TestMetricsDocumented(t *testing.T) {
 	doc, err := os.ReadFile(filepath.Join("docs", "OBSERVABILITY.md"))
 	if err != nil {
@@ -23,7 +24,10 @@ func TestMetricsDocumented(t *testing.T) {
 	}
 	catalogue := string(doc)
 
-	srcs := []string{filepath.Join("internal", "server", "metrics.go")}
+	srcs := []string{
+		filepath.Join("internal", "server", "metrics.go"),
+		filepath.Join("internal", "experiment", "metrics.go"),
+	}
 	obsFiles, err := filepath.Glob(filepath.Join("internal", "obs", "*.go"))
 	if err != nil {
 		t.Fatal(err)

@@ -136,6 +136,11 @@ func streamDecode(cfg cic.Config, src io.Reader, algo string, chunk int, options
 	if err != nil {
 		return err
 	}
+	// Close on every exit path: an early return on a read or write error
+	// must still close the Packets channel, or the printer goroutine
+	// below would block on its range forever. Close is idempotent, so
+	// the explicit flush before the final count is unaffected.
+	defer gw.Close()
 	done := make(chan int)
 	go func() {
 		n := 0

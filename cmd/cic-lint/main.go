@@ -6,10 +6,24 @@
 //
 // Usage:
 //
-//	cic-lint [-list] [packages]
+//	cic-lint [flags] [packages]
+//
+//	-list              print the analyzer catalogue (with -json: as JSON)
+//	-json              emit findings as a JSON array
+//	-sarif             emit findings as SARIF 2.1.0 on stdout
+//	-sarif-file path   also write the SARIF log to path
+//	-baseline path     suppression file (default lint.baseline)
+//	-update-baseline   rewrite the baseline from the current findings
+//	-workers n         type-checking workers (0 = GOMAXPROCS)
+//	-v                 per-analyzer timing on stderr
+//
+// Findings matched by the baseline are suppressed; baseline entries no
+// finding matches are reported as stale so dead suppressions cannot
+// accumulate. Exit status: 0 clean, 1 findings, 2 operational error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,9 +33,22 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the analyzers and their invariants, then exit")
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		list           = flag.Bool("list", false, "list the analyzers and their invariants, then exit")
+		jsonOut        = flag.Bool("json", false, "emit findings (or, with -list, the catalogue) as JSON")
+		sarifOut       = flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log on stdout")
+		sarifFile      = flag.String("sarif-file", "", "also write the SARIF 2.1.0 log to this path")
+		baselinePath   = flag.String("baseline", "lint.baseline", "suppression file for grandfathered findings")
+		updateBaseline = flag.Bool("update-baseline", false, "rewrite -baseline from the current findings and exit")
+		workers        = flag.Int("workers", 0, "concurrent type-checking workers (0 = GOMAXPROCS)")
+		verbose        = flag.Bool("v", false, "print per-analyzer timing on stderr")
+	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cic-lint [-list] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: cic-lint [flags] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Runs cic's invariant analyzers over the given package patterns\n")
 		fmt.Fprintf(os.Stderr, "(default ./...). Exits 1 when any diagnostic is reported.\n\n")
 		flag.PrintDefaults()
@@ -29,38 +56,124 @@ func main() {
 	flag.Parse()
 
 	if *list {
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(lint.Catalogue()); err != nil {
+				fmt.Fprintf(os.Stderr, "cic-lint: %v\n", err)
+				return 2
+			}
+			return 0
+		}
 		for _, a := range lint.All() {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := lint.Load(".", patterns...)
+	pkgs, err := lint.LoadWith(lint.LoadOptions{Workers: *workers}, ".", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cic-lint: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
-	diags, err := lint.Run(pkgs, lint.All())
+	diags, timings, err := lint.RunTimed(pkgs, lint.All())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cic-lint: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
+	if *verbose {
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "cic-lint: %-14s %8.1fms\n", t.Name, float64(t.Elapsed.Microseconds())/1000)
+		}
+	}
+
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		pos := d.Pos
+	rel := func(filename string) string {
 		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !filepath.IsAbs(rel) {
-				pos.Filename = rel
+			if r, err := filepath.Rel(cwd, filename); err == nil && !filepath.IsAbs(r) && r != ".." && !hasDotDotPrefix(r) {
+				return filepath.ToSlash(r)
 			}
 		}
-		fmt.Printf("%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+		return filepath.ToSlash(filename)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "cic-lint: %d invariant violation(s) in %d package(s)\n", len(diags), len(pkgs))
-		os.Exit(1)
+
+	if *updateBaseline {
+		if err := os.WriteFile(*baselinePath, lint.FormatBaseline(diags, rel), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "cic-lint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "cic-lint: wrote %d entr(ies) to %s — justify each before committing\n", len(diags), *baselinePath)
+		return 0
 	}
+
+	base, err := lint.LoadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cic-lint: %v\n", err)
+		return 2
+	}
+	kept, suppressed := base.Apply(diags, rel)
+	for _, stale := range base.Stale() {
+		fmt.Fprintf(os.Stderr, "cic-lint: stale baseline entry (finding is gone — delete it): %s\n", stale)
+	}
+
+	var sarifBytes []byte
+	if *sarifOut || *sarifFile != "" {
+		sarifBytes, err = lint.SARIF(lint.All(), kept, rel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cic-lint: %v\n", err)
+			return 2
+		}
+	}
+	if *sarifFile != "" {
+		if err := os.WriteFile(*sarifFile, append(sarifBytes, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "cic-lint: %v\n", err)
+			return 2
+		}
+	}
+
+	switch {
+	case *sarifOut:
+		os.Stdout.Write(append(sarifBytes, '\n'))
+	case *jsonOut:
+		type finding struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(kept))
+		for _, d := range kept {
+			out = append(out, finding{Analyzer: d.Analyzer, File: rel(d.Pos.Filename), Line: d.Pos.Line, Column: d.Pos.Column, Message: d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "cic-lint: %v\n", err)
+			return 2
+		}
+	default:
+		for _, d := range kept {
+			pos := d.Pos
+			pos.Filename = rel(pos.Filename)
+			fmt.Printf("%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+		}
+	}
+
+	if suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "cic-lint: %d finding(s) suppressed by %s\n", suppressed, *baselinePath)
+	}
+	if len(kept) > 0 {
+		fmt.Fprintf(os.Stderr, "cic-lint: %d invariant violation(s) in %d package(s)\n", len(kept), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+func hasDotDotPrefix(p string) bool {
+	return p == ".." || len(p) > 2 && p[:3] == ".."+string(filepath.Separator)
 }

@@ -146,7 +146,7 @@ func (f *FFT) resolve(x []complex128) *FFT {
 	if f != nil && len(x) == f.n {
 		return f
 	}
-	p, err := Plan(len(x))
+	p, err := Plan(len(x)) //cic:alloc-ok: once-per-size plan construction, memoised in the package cache — steady state hits the cache and never reaches this call
 	if err != nil {
 		return nil
 	}

@@ -26,7 +26,7 @@ type Spectrum []float64
 // contribute no power.
 func FoldMagnitude(dst Spectrum, x []complex128, bins, osr int) Spectrum {
 	if len(dst) != bins {
-		dst = make(Spectrum, bins)
+		dst = make(Spectrum, bins) //cic:alloc-ok: warm-up reallocation for a mismatched dst — steady-state callers pass the right-sized scratch and never allocate
 	}
 	if osr == 1 {
 		for k := 0; k < bins && k < len(x); k++ {

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Baseline is a suppression list for grandfathered findings: it lets a
+// new analyzer land strict while its pre-existing findings are burned
+// down explicitly. Entries match on analyzer, slash-relative path, and
+// the exact message — not the line number, so unrelated edits above a
+// finding do not invalidate the suppression. The file format is one
+// entry per line,
+//
+//	analyzer<TAB>path<TAB>message
+//
+// with '#' comments and blank lines ignored. Policy (enforced by
+// TestBaselineEntriesJustified) is that every entry carries a
+// justification comment on the line above it.
+type Baseline struct {
+	counts map[string]int
+	order  []string
+}
+
+func baselineKey(analyzer, path, message string) string {
+	return analyzer + "\t" + path + "\t" + message
+}
+
+// LoadBaseline reads the baseline at path; a missing file is an empty
+// baseline, not an error.
+func LoadBaseline(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &Baseline{counts: map[string]int{}}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := ParseBaseline(f)
+	if err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// ParseBaseline parses the baseline format, rejecting lines that are
+// neither comments nor well-formed three-field entries.
+func ParseBaseline(r io.Reader) (*Baseline, error) {
+	b := &Baseline{counts: map[string]int{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+			return nil, fmt.Errorf("line %d: want analyzer<TAB>path<TAB>message, got %q", lineNo, line)
+		}
+		key := baselineKey(parts[0], parts[1], parts[2])
+		if b.counts[key] == 0 {
+			b.order = append(b.order, key)
+		}
+		b.counts[key]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Len is the number of entries (counting duplicates).
+func (b *Baseline) Len() int {
+	n := 0
+	for _, c := range b.counts {
+		n += c
+	}
+	return n
+}
+
+// Apply partitions diags into the findings not covered by the baseline
+// (kept, still in sorted order) and the count of suppressed ones. Each
+// entry suppresses one matching diagnostic; rel maps a diagnostic's
+// filename to the slash-relative path the baseline uses. Apply consumes
+// entries: call Stale afterwards to list the ones nothing matched.
+func (b *Baseline) Apply(diags []Diagnostic, rel func(string) string) (kept []Diagnostic, suppressed int) {
+	for _, d := range diags {
+		key := baselineKey(d.Analyzer, rel(d.Pos.Filename), d.Message)
+		if b.counts[key] > 0 {
+			b.counts[key]--
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}
+
+// Stale lists the entries no diagnostic consumed in a prior Apply:
+// suppressions whose finding is gone and which should be deleted.
+func (b *Baseline) Stale() []string {
+	var out []string
+	for _, key := range b.order {
+		for i := 0; i < b.counts[key]; i++ {
+			out = append(out, strings.ReplaceAll(key, "\t", " "))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FormatBaseline renders diags as a baseline file. Generated entries
+// carry a TODO justification comment: the committer must replace it
+// with the actual reason the finding is suppressed rather than fixed.
+func FormatBaseline(diags []Diagnostic, rel func(string) string) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("# cic-lint baseline — grandfathered findings, burned down explicitly.\n")
+	buf.WriteString("# Format: analyzer<TAB>path<TAB>exact message. '#' comments and blank\n")
+	buf.WriteString("# lines are ignored. Every entry must carry a justification comment on\n")
+	buf.WriteString("# the line above it (enforced by internal/lint's baseline test).\n")
+	buf.WriteString("# Regenerate with: go run ./cmd/cic-lint -update-baseline ./...\n")
+	for _, d := range diags {
+		buf.WriteString("\n# TODO(justify): why is this finding suppressed instead of fixed?\n")
+		fmt.Fprintf(&buf, "%s\t%s\t%s\n", d.Analyzer, rel(d.Pos.Filename), d.Message)
+	}
+	return buf.Bytes()
+}

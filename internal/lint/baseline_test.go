@@ -1,0 +1,109 @@
+package lint_test
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"cic/internal/lint"
+)
+
+func diag(analyzer, file string, line int, msg string) lint.Diagnostic {
+	return lint.Diagnostic{
+		Analyzer: analyzer,
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Message:  msg,
+	}
+}
+
+func TestBaselineApplySuppressesAndReportsStale(t *testing.T) {
+	src := strings.Join([]string{
+		"# header",
+		"",
+		"# grandfathered until the pump refactor lands",
+		"goroutineleak\tinternal/server/server.go\tgoroutine has no termination signal",
+		"# duplicate finding, two sites with the same message",
+		"hotalloc\tinternal/rx/packet.go\tmake() in hot-path function demod",
+		"hotalloc\tinternal/rx/packet.go\tmake() in hot-path function demod",
+		"# this finding no longer exists",
+		"lockdiscipline\tgateway.go\tchannel send while holding Gateway.wmu",
+	}, "\n")
+	b, err := lint.ParseBaseline(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", b.Len())
+	}
+
+	diags := []lint.Diagnostic{
+		diag("goroutineleak", "/abs/internal/server/server.go", 10, "goroutine has no termination signal"),
+		diag("hotalloc", "/abs/internal/rx/packet.go", 20, "make() in hot-path function demod"),
+		diag("hotalloc", "/abs/internal/rx/packet.go", 99, "make() in hot-path function demod"),
+		diag("hotalloc", "/abs/internal/rx/packet.go", 120, "make() in hot-path function demod"), // third site: not covered
+		diag("nopanic", "/abs/internal/dsp/fft.go", 5, "panic on the decode path"),
+	}
+	rel := func(f string) string { return strings.TrimPrefix(f, "/abs/") }
+	kept, suppressed := b.Apply(diags, rel)
+	if suppressed != 3 {
+		t.Errorf("suppressed = %d, want 3", suppressed)
+	}
+	if len(kept) != 2 {
+		t.Fatalf("kept = %d findings (%v), want 2", len(kept), kept)
+	}
+	if kept[0].Analyzer != "hotalloc" || kept[0].Pos.Line != 120 {
+		t.Errorf("kept[0] = %s, want the uncovered third hotalloc site", kept[0])
+	}
+	if kept[1].Analyzer != "nopanic" {
+		t.Errorf("kept[1] = %s, want the nopanic finding", kept[1])
+	}
+	stale := b.Stale()
+	if len(stale) != 1 || !strings.Contains(stale[0], "lockdiscipline") {
+		t.Errorf("Stale() = %v, want exactly the lockdiscipline entry", stale)
+	}
+}
+
+func TestBaselineRejectsMalformedLines(t *testing.T) {
+	for _, src := range []string{
+		"analyzer only",
+		"two\tfields",
+		"\tpath\tmessage",
+	} {
+		if _, err := lint.ParseBaseline(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseBaseline(%q): want error, got nil", src)
+		}
+	}
+}
+
+func TestBaselineFormatRoundTrips(t *testing.T) {
+	diags := []lint.Diagnostic{
+		diag("arenaescape", "/abs/internal/rx/packet.go", 7, "arena-rooted slice sent over a channel from emit"),
+		diag("goroutineleak", "/abs/gateway.go", 3, "goroutine entry is a dynamic call, so its termination signal cannot be verified"),
+	}
+	rel := func(f string) string { return strings.TrimPrefix(f, "/abs/") }
+	formatted := lint.FormatBaseline(diags, rel)
+	b, err := lint.ParseBaseline(strings.NewReader(string(formatted)))
+	if err != nil {
+		t.Fatalf("parsing formatted baseline: %v\n%s", err, formatted)
+	}
+	if b.Len() != len(diags) {
+		t.Fatalf("round-trip kept %d entries, want %d", b.Len(), len(diags))
+	}
+	kept, suppressed := b.Apply(diags, rel)
+	if len(kept) != 0 || suppressed != len(diags) {
+		t.Errorf("round-tripped baseline suppressed %d/%d, kept %v", suppressed, len(diags), kept)
+	}
+	if !strings.Contains(string(formatted), "TODO(justify)") {
+		t.Errorf("generated baseline should carry TODO justification placeholders:\n%s", formatted)
+	}
+}
+
+func TestLoadBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := lint.LoadBaseline(t.TempDir() + "/nope.baseline")
+	if err != nil {
+		t.Fatalf("missing baseline should not error: %v", err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("missing baseline Len = %d, want 0", b.Len())
+	}
+}

@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the small intra-procedural dataflow helper under
+// lockdiscipline: a linear, branch-aware walk over a function body that
+// tracks an ordered set of facts (held locks) through statements. It is
+// deliberately not a full CFG — statements are visited in source order,
+// branches fork a copy of the state and merge by intersection, loops
+// are entered once with a forked copy — which is exactly enough for the
+// lock-shaped properties the analyzer checks and keeps the walk
+// linear in the size of the body.
+
+// flowState is the ordered fact set threaded through the walk. Facts
+// are identified by string keys; order of acquisition is preserved.
+type flowState struct {
+	facts []flowFact
+}
+
+type flowFact struct {
+	key string
+	pos token.Pos
+	// sticky facts (deferred unlocks) survive until function exit.
+	sticky bool
+}
+
+func (s *flowState) clone() *flowState {
+	return &flowState{facts: append([]flowFact(nil), s.facts...)}
+}
+
+func (s *flowState) add(key string, pos token.Pos) {
+	s.facts = append(s.facts, flowFact{key: key, pos: pos})
+}
+
+// drop removes the most recently added non-sticky fact with the key.
+func (s *flowState) drop(key string) {
+	for i := len(s.facts) - 1; i >= 0; i-- {
+		if s.facts[i].key == key && !s.facts[i].sticky {
+			s.facts = append(s.facts[:i], s.facts[i+1:]...)
+			return
+		}
+	}
+}
+
+// stick marks the most recent fact with the key as held to exit.
+func (s *flowState) stick(key string) {
+	for i := len(s.facts) - 1; i >= 0; i-- {
+		if s.facts[i].key == key {
+			s.facts[i].sticky = true
+			return
+		}
+	}
+}
+
+func (s *flowState) has(key string) bool {
+	for _, f := range s.facts {
+		if f.key == key {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *flowState) empty() bool { return len(s.facts) == 0 }
+
+// keys returns the fact keys in acquisition order.
+func (s *flowState) keys() []string {
+	out := make([]string, len(s.facts))
+	for i, f := range s.facts {
+		out[i] = f.key
+	}
+	return out
+}
+
+// intersect keeps the facts present in both states, in s's order.
+func (s *flowState) intersect(other *flowState) *flowState {
+	merged := &flowState{}
+	for _, f := range s.facts {
+		if other.has(f.key) {
+			merged.facts = append(merged.facts, f)
+		}
+	}
+	return merged
+}
+
+// flowHooks are the walker's callbacks: apply mutates the state for a
+// statement (lock/unlock), and visit observes a statement or expression
+// with the current state (event checks).
+type flowHooks struct {
+	// stmt is called for every statement before descending, with the
+	// live state. Returning false suppresses the default descent (the
+	// hook handled children itself).
+	stmt func(stmt ast.Stmt, st *flowState) bool
+	// expr is called for expressions embedded in otherwise unhandled
+	// statements.
+	expr func(e ast.Expr, st *flowState)
+}
+
+// walkFlow drives the branch-aware walk over a statement list with the
+// given entry state and returns the exit state.
+func walkFlow(stmts []ast.Stmt, st *flowState, hooks *flowHooks) *flowState {
+	for _, stmt := range stmts {
+		st = flowStmt(stmt, st, hooks)
+	}
+	return st
+}
+
+func flowStmt(stmt ast.Stmt, st *flowState, hooks *flowHooks) *flowState {
+	if hooks.stmt != nil && !hooks.stmt(stmt, st) {
+		return st
+	}
+	switch x := stmt.(type) {
+	case *ast.BlockStmt:
+		return walkFlow(x.List, st, hooks)
+	case *ast.LabeledStmt:
+		return flowStmt(x.Stmt, st, hooks)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			st = flowStmt(x.Init, st, hooks)
+		}
+		flowExpr(x.Cond, st, hooks)
+		entry := st.clone()
+		bodyOut := walkFlow(x.Body.List, st.clone(), hooks)
+		if x.Else != nil {
+			elseOut := flowStmt(x.Else, entry.clone(), hooks)
+			switch {
+			case blockTerminates(x.Body):
+				return elseOut
+			case stmtTerminates(x.Else):
+				return bodyOut
+			default:
+				return bodyOut.intersect(elseOut)
+			}
+		}
+		if blockTerminates(x.Body) {
+			return entry
+		}
+		return entry.intersect(bodyOut)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			st = flowStmt(x.Init, st, hooks)
+		}
+		flowExpr(x.Cond, st, hooks)
+		walkFlow(x.Body.List, st.clone(), hooks)
+		if x.Post != nil {
+			flowStmt(x.Post, st.clone(), hooks)
+		}
+		return st
+	case *ast.RangeStmt:
+		flowExpr(x.X, st, hooks)
+		walkFlow(x.Body.List, st.clone(), hooks)
+		return st
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			st = flowStmt(x.Init, st, hooks)
+		}
+		flowExpr(x.Tag, st, hooks)
+		for _, clause := range x.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				walkFlow(cc.Body, st.clone(), hooks)
+			}
+		}
+		return st
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			st = flowStmt(x.Init, st, hooks)
+		}
+		for _, clause := range x.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				walkFlow(cc.Body, st.clone(), hooks)
+			}
+		}
+		return st
+	case *ast.SelectStmt:
+		for _, clause := range x.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				walkFlow(cc.Body, st.clone(), hooks)
+			}
+		}
+		return st
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the current state.
+		return st
+	case *ast.DeferStmt:
+		// Deferred work runs at exit; the stmt hook already saw it.
+		return st
+	default:
+		if hooks.expr != nil {
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				if e, ok := n.(ast.Expr); ok {
+					hooks.expr(e, st)
+				}
+				return true
+			})
+		}
+		return st
+	}
+}
+
+func flowExpr(e ast.Expr, st *flowState, hooks *flowHooks) {
+	if e == nil || hooks.expr == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ex, ok := n.(ast.Expr); ok {
+			hooks.expr(ex, st)
+		}
+		return true
+	})
+}
+
+// blockTerminates reports whether a block's last statement leaves the
+// function or the enclosing loop (return, branch, panic).
+func blockTerminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	return stmtTerminates(b.List[len(b.List)-1])
+}
+
+func stmtTerminates(stmt ast.Stmt) bool {
+	switch x := stmt.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return blockTerminates(x)
+	case *ast.IfStmt:
+		// Both arms must leave.
+		if x.Else == nil {
+			return false
+		}
+		return blockTerminates(x.Body) && stmtTerminates(x.Else)
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+package lint_test
+
+import (
+	"reflect"
+	"testing"
+
+	"cic/internal/lint"
+)
+
+// TestDiagnosticsDeterministicAcrossWorkerCounts pins the ordering
+// contract of the parallel loader: LoadWith type-checks packages
+// concurrently along the dependency DAG, and the diagnostics of a run
+// over the result must be byte-identical regardless of the worker
+// count. The four whole-program fixture packages produce a rich,
+// multi-package diagnostic set, so any nondeterminism in package order,
+// call-graph construction, or report collection shows up as a diff.
+func TestDiagnosticsDeterministicAcrossWorkerCounts(t *testing.T) {
+	patterns := []string{
+		"./testdata/hotpropagate",
+		"./testdata/goroutineleak",
+		"./testdata/lockdiscipline",
+		"./testdata/arenaescape",
+	}
+	var reference []lint.Diagnostic
+	for _, workers := range []int{1, 2, 8} {
+		pkgs, err := lint.LoadWith(lint.LoadOptions{Workers: workers}, ".", patterns...)
+		if err != nil {
+			t.Fatalf("LoadWith(workers=%d): %v", workers, err)
+		}
+		if len(pkgs) != len(patterns) {
+			t.Fatalf("LoadWith(workers=%d) returned %d packages, want %d", workers, len(pkgs), len(patterns))
+		}
+		diags, err := lint.Run(pkgs, lint.All())
+		if err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		if len(diags) == 0 {
+			t.Fatalf("fixture packages produced no diagnostics; the determinism check needs a non-empty set")
+		}
+		if reference == nil {
+			reference = diags
+			continue
+		}
+		if !reflect.DeepEqual(reference, diags) {
+			t.Errorf("diagnostics differ between worker counts:\n  workers=1: %d findings\n  workers=%d: %d findings", len(reference), workers, len(diags))
+			for i := 0; i < len(reference) || i < len(diags); i++ {
+				var a, b string
+				if i < len(reference) {
+					a = reference[i].String()
+				}
+				if i < len(diags) {
+					b = diags[i].String()
+				}
+				if a != b {
+					t.Errorf("  [%d]\n    want %s\n    got  %s", i, a, b)
+				}
+			}
+		}
+	}
+}

@@ -15,30 +15,39 @@ import (
 // (the dst-reuse idiom: scratch owned by the struct or handed in by the
 // caller may grow once at warm-up and is then reused). A `//cic:alloc-ok`
 // comment on the same line waives one sanctioned allocation (e.g. a
-// result that genuinely escapes to the caller). docs/PERFORMANCE.md
+// result that genuinely escapes to the caller); a waiver on a line with
+// nothing to waive is itself reported as stale. docs/PERFORMANCE.md
 // describes the arena ownership rules; docs/LINTING.md catalogues the
 // invariant.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
 	Doc: "functions marked //cic:hotpath must not allocate: no make/new, and " +
 		"append only into arena-rooted (field/parameter/callee-returned) slices; " +
-		"waive single lines with //cic:alloc-ok",
+		"waive single lines with //cic:alloc-ok (stale waivers are reported)",
 	Run: runHotAlloc,
 }
 
 func runHotAlloc(pass *Pass) error {
 	for _, file := range pass.Files {
-		waived := allocOKLines(pass, file)
+		waived := markerLines(pass.Fset, file, allocOKMarker)
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil || !isHotpath(fn) {
 				continue
 			}
 			checkHotAlloc(pass, fn, waived)
+			checkStaleWaivers(pass, fn, waived)
 		}
 	}
 	return nil
 }
+
+// hotpath and waiver markers recognised in comments. The markers are
+// matched as comment prefixes so free-form rationale may follow.
+const (
+	hotpathMarker = "//cic:hotpath"
+	allocOKMarker = "//cic:alloc-ok"
+)
 
 // isHotpath reports whether the function's doc comment contains a
 // `//cic:hotpath` marker line.
@@ -47,35 +56,50 @@ func isHotpath(fn *ast.FuncDecl) bool {
 		return false
 	}
 	for _, c := range fn.Doc.List {
-		if strings.TrimSpace(c.Text) == "//cic:hotpath" {
+		if strings.TrimSpace(c.Text) == hotpathMarker {
 			return true
 		}
 	}
 	return false
 }
 
-// allocOKLines collects the source lines carrying a `//cic:alloc-ok`
-// waiver comment (trailing text after the marker is free-form rationale).
-func allocOKLines(pass *Pass, file *ast.File) map[int]bool {
-	lines := map[int]bool{}
+// markerLines collects the source lines carrying a comment with the
+// given prefix, keyed by line with the comment's position as value.
+func markerLines(fset *token.FileSet, file *ast.File, prefix string) map[int]token.Pos {
+	lines := map[int]token.Pos{}
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			if strings.HasPrefix(c.Text, "//cic:alloc-ok") {
-				lines[pass.Fset.Position(c.Pos()).Line] = true
+			if strings.HasPrefix(c.Text, prefix) {
+				lines[fset.Position(c.Pos()).Line] = c.Pos()
 			}
 		}
 	}
 	return lines
 }
 
-func checkHotAlloc(pass *Pass, fn *ast.FuncDecl, waived map[int]bool) {
-	rooted := arenaRootedVars(pass, fn)
-	report := func(pos token.Pos, format string, args ...any) {
-		if waived[pass.Fset.Position(pos).Line] {
+func checkHotAlloc(pass *Pass, fn *ast.FuncDecl, waived map[int]token.Pos) {
+	report := func(pos token.Pos, what string) {
+		if _, ok := waived[pass.Fset.Position(pos).Line]; ok {
 			return
 		}
-		pass.Reportf(pos, format, args...)
+		switch what {
+		case "make":
+			pass.Reportf(pos, "make() in hot-path function %s: allocate scratch at construction and reuse it, or waive with //cic:alloc-ok", fn.Name.Name)
+		case "new":
+			pass.Reportf(pos, "new() in hot-path function %s: reuse construction-time scratch, or waive with //cic:alloc-ok", fn.Name.Name)
+		case "append":
+			pass.Reportf(pos, "append into non-arena slice in hot-path function %s: grow caller-provided or struct-field scratch instead, or waive with //cic:alloc-ok", fn.Name.Name)
+		}
 	}
+	scanAllocs(pass.Info, fn, report)
+}
+
+// scanAllocs walks fn's body and calls report for every allocation the
+// hot-path contract forbids: make, new, and append into a non-arena
+// destination. Shared by hotalloc (annotated functions) and
+// hotpropagate (functions reachable from annotated roots).
+func scanAllocs(info *types.Info, fn *ast.FuncDecl, report func(pos token.Pos, what string)) {
+	rooted := arenaRootedVars(info, fn)
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -85,32 +109,67 @@ func checkHotAlloc(pass *Pass, fn *ast.FuncDecl, waived map[int]bool) {
 		if !ok {
 			return true
 		}
-		b, ok := pass.Info.Uses[id].(*types.Builtin)
+		b, ok := info.Uses[id].(*types.Builtin)
 		if !ok {
 			return true
 		}
 		switch b.Name() {
-		case "make":
-			report(call.Pos(), "make() in hot-path function %s: allocate scratch at construction and reuse it, or waive with //cic:alloc-ok", fn.Name.Name)
-		case "new":
-			report(call.Pos(), "new() in hot-path function %s: reuse construction-time scratch, or waive with //cic:alloc-ok", fn.Name.Name)
+		case "make", "new":
+			report(call.Pos(), b.Name())
 		case "append":
-			if len(call.Args) == 0 {
-				return true
-			}
-			if !arenaRooted(pass, call.Args[0], rooted) {
-				report(call.Pos(), "append into non-arena slice in hot-path function %s: grow caller-provided or struct-field scratch instead, or waive with //cic:alloc-ok", fn.Name.Name)
+			if len(call.Args) > 0 && !arenaRooted(info, call.Args[0], rooted) {
+				report(call.Pos(), "append")
 			}
 		}
 		return true
 	})
 }
 
+// checkStaleWaivers reports `//cic:alloc-ok` comments inside a hot-path
+// function that sit on a line with nothing to waive. Waivable events
+// are allocation sites (make/new/append), non-builtin calls (the
+// hotpropagate edge cut), composite literals, channel sends, and stores
+// through selectors (the arenaescape events) — a waiver anywhere else
+// is dead weight that would silently mask a future edit.
+func checkStaleWaivers(pass *Pass, fn *ast.FuncDecl, waived map[int]token.Pos) {
+	start := pass.Fset.Position(fn.Body.Pos()).Line
+	end := pass.Fset.Position(fn.Body.End()).Line
+	used := map[int]bool{}
+	mark := func(pos token.Pos) { used[pass.Fset.Position(pos).Line] = true }
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// Conversions allocate when the target is a slice/string;
+			// counting every call keeps the check conservative.
+			mark(x.Pos())
+		case *ast.CompositeLit:
+			mark(x.Pos())
+		case *ast.SendStmt:
+			mark(x.Pos())
+		case *ast.AssignStmt:
+			for _, lh := range x.Lhs {
+				if _, ok := ast.Unparen(lh).(*ast.SelectorExpr); ok {
+					mark(x.Pos())
+				}
+			}
+		case *ast.ReturnStmt:
+			mark(x.Pos())
+		}
+		return true
+	})
+	for line, pos := range waived {
+		if line < start || line > end || used[line] {
+			continue
+		}
+		pass.Reportf(pos, "stale //cic:alloc-ok waiver in hot-path function %s: nothing on this line allocates or escapes", fn.Name.Name)
+	}
+}
+
 // arenaRooted reports whether the expression's storage root is an arena:
 // a struct field (selector), a non-builtin call result (callees return
 // their own scratch), or a local/parameter in the rooted set. Slice and
 // index expressions delegate to their operand.
-func arenaRooted(pass *Pass, e ast.Expr, rooted map[types.Object]bool) bool {
+func arenaRooted(info *types.Info, e ast.Expr, rooted map[types.Object]bool) bool {
 	for {
 		switch x := ast.Unparen(e).(type) {
 		case *ast.SliceExpr:
@@ -125,7 +184,7 @@ func arenaRooted(pass *Pass, e ast.Expr, rooted map[types.Object]bool) bool {
 			// root anything. Non-builtin calls may legitimately return
 			// reusable scratch, so they count as arenas.
 			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
-				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
 					if b.Name() == "append" && len(x.Args) > 0 {
 						e = x.Args[0]
 						continue
@@ -135,9 +194,9 @@ func arenaRooted(pass *Pass, e ast.Expr, rooted map[types.Object]bool) bool {
 			}
 			return true
 		case *ast.Ident:
-			obj := pass.Info.Uses[x]
+			obj := info.Uses[x]
 			if obj == nil {
-				obj = pass.Info.Defs[x]
+				obj = info.Defs[x]
 			}
 			return obj != nil && rooted[obj]
 		default:
@@ -151,7 +210,7 @@ func arenaRooted(pass *Pass, e ast.Expr, rooted map[types.Object]bool) bool {
 // parameters seed the set, and any variable assigned from an arena-rooted
 // expression joins it. `cands := dm.candBuf[:0]` therefore roots cands,
 // while `var cands []T` or `cands := make([]T, 0)` does not.
-func arenaRootedVars(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+func arenaRootedVars(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
 	rooted := map[types.Object]bool{}
 	seed := func(fields *ast.FieldList) {
 		if fields == nil {
@@ -159,7 +218,7 @@ func arenaRootedVars(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
 		}
 		for _, f := range fields.List {
 			for _, name := range f.Names {
-				if obj := pass.Info.Defs[name]; obj != nil {
+				if obj := info.Defs[name]; obj != nil {
 					rooted[obj] = true
 				}
 			}
@@ -173,10 +232,10 @@ func arenaRootedVars(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
 		if !ok {
 			return nil
 		}
-		if obj := pass.Info.Defs[id]; obj != nil {
+		if obj := info.Defs[id]; obj != nil {
 			return obj
 		}
-		return pass.Info.Uses[id]
+		return info.Uses[id]
 	}
 	for changed := true; changed; {
 		changed = false
@@ -190,14 +249,14 @@ func arenaRootedVars(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
 			switch x := n.(type) {
 			case *ast.AssignStmt:
 				for i, lh := range x.Lhs {
-					if i < len(x.Rhs) && arenaRooted(pass, x.Rhs[i], rooted) {
+					if i < len(x.Rhs) && arenaRooted(info, x.Rhs[i], rooted) {
 						mark(lhsObj(lh))
 					}
 				}
 			case *ast.ValueSpec:
 				for i, name := range x.Names {
-					if i < len(x.Values) && arenaRooted(pass, x.Values[i], rooted) {
-						mark(pass.Info.Defs[name])
+					if i < len(x.Values) && arenaRooted(info, x.Values[i], rooted) {
+						mark(info.Defs[name])
 					}
 				}
 			}

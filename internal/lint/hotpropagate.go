@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// HotPropagate extends the hot-path contract through the call graph:
+// a function reachable from a `//cic:hotpath` root inherits the
+// zero-allocation obligation even without its own annotation, so a hot
+// loop cannot shed the contract by delegating to an unannotated helper.
+// Reachability follows static call edges everywhere and dynamic
+// (interface / func-value) edges into decode-path packages; an edge is
+// cut when the call site carries a `//cic:alloc-ok` waiver — that is
+// how a sanctioned per-packet allocation boundary (e.g. handing a
+// decoded payload to the caller) is expressed. The analyzer also flags
+// stale annotations: a `//cic:hotpath` comment not attached to a
+// function declaration, and annotated unexported functions that nothing
+// in the program calls.
+var HotPropagate = &Analyzer{
+	Name: "hotpropagate",
+	Doc: "functions reachable from a //cic:hotpath root must satisfy the " +
+		"hot-path allocation contract (annotate them, hoist the allocation, or " +
+		"cut the call edge with //cic:alloc-ok); stale //cic:hotpath markers are reported",
+	RunProgram: runHotPropagate,
+}
+
+func runHotPropagate(pass *ProgramPass) error {
+	cg := pass.Prog.CallGraph()
+	fset := pass.Prog.Fset
+
+	// Waived source lines across the whole program, keyed by filename.
+	waived := map[string]map[int]token.Pos{}
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, file := range pkg.Files {
+			name := fset.Position(file.Pos()).Filename
+			waived[name] = markerLines(fset, file, allocOKMarker)
+		}
+	}
+	isWaived := func(pos token.Pos) bool {
+		p := fset.Position(pos)
+		_, ok := waived[p.Filename][p.Line]
+		return ok
+	}
+
+	var roots []*FuncNode
+	for _, n := range cg.Nodes {
+		if n.Hot {
+			roots = append(roots, n)
+		}
+	}
+	reached := cg.reachableFrom(roots, func(site *CallSite) bool {
+		if isWaived(site.Pos) {
+			return true
+		}
+		// Dynamic dispatch is followed only into decode-path packages:
+		// sinks and observability implementations behind interfaces are
+		// not on the zero-alloc contract.
+		return site.Dynamic && !decodePathPkgs[site.Callee.Pkg.Name]
+	})
+
+	for _, n := range cg.Nodes {
+		info, ok := reached[n]
+		if !ok || n.Hot {
+			continue
+		}
+		root := info.root
+		path := pathTo(reached, n)
+		scanAllocs(n.Pkg.Info, n.Decl, func(pos token.Pos, what string) {
+			if isWaived(pos) {
+				return
+			}
+			verb := what + "()"
+			if what == "append" {
+				verb = "append into non-arena slice"
+			}
+			pass.Reportf(pos, "%s in %s, which is reachable from //cic:hotpath root %s (%s): annotate it //cic:hotpath, hoist the allocation, or waive the call edge with //cic:alloc-ok",
+				verb, n.Name(), root.Name(), path)
+		})
+	}
+
+	reportStaleHotpathMarkers(pass, cg)
+	return nil
+}
+
+// reportStaleHotpathMarkers flags //cic:hotpath comments that do not
+// annotate anything: markers outside any function doc comment, and
+// annotated unexported functions with no inbound call edges that are
+// never address-taken (nothing in the loaded program — tests are not
+// loaded — can reach them, so the contract is unenforced upstream).
+func reportStaleHotpathMarkers(pass *ProgramPass, cg *CallGraph) {
+	// Positions of comments that are part of a function's doc.
+	inDoc := map[token.Pos]bool{}
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					inDoc[c.Pos()] = true
+				}
+			}
+		}
+	}
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cgrp := range file.Comments {
+				for _, c := range cgrp.List {
+					trimmed := strings.TrimSpace(c.Text)
+					switch {
+					case trimmed == hotpathMarker && !inDoc[c.Pos()]:
+						pass.Reportf(c.Pos(), "stale //cic:hotpath marker: not attached to a function declaration, so no analyzer enforces it")
+					case trimmed != hotpathMarker && strings.HasPrefix(trimmed, hotpathMarker+" "):
+						// The marker only takes effect as the comment's entire
+						// text; trailing words silently disable it.
+						pass.Reportf(c.Pos(), "malformed //cic:hotpath marker: trailing text disables it — the marker must be the comment's entire text")
+					}
+				}
+			}
+		}
+	}
+	for _, n := range cg.Nodes {
+		if !n.Hot || ast.IsExported(n.Obj.Name()) || n.AddrTaken || len(n.Callers) > 0 {
+			continue
+		}
+		pass.Reportf(n.Decl.Pos(), "stale //cic:hotpath annotation on %s: no caller in the loaded program — remove the marker or wire the function into the pipeline", n.Name())
+	}
+}

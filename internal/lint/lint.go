@@ -17,6 +17,21 @@
 //   - atomicalign:  64-bit sync/atomic calls on raw integers are
 //     replaced by atomic.Int64/atomic.Uint64 typed atomics.
 //
+// On top of the per-package analyzers sits a whole-program layer
+// (callgraph.go) used by the flow-sensitive analyzers:
+//
+//   - hotpropagate: the //cic:hotpath contract propagates through the
+//     call graph — functions reachable from a hot root are alloc-checked
+//     even without their own annotation, and stale annotations are
+//     flagged.
+//   - goroutineleak: go statements in the server/cic/experiment
+//     packages must be tied to an observable termination signal.
+//   - lockdiscipline: no mutex held across channel operations, blocking
+//     I/O or callback invocations, and named server locks are acquired
+//     in a consistent order.
+//   - arenaescape:   receiver-owned scratch slices must not be stored
+//     into escaping values without an explicit copy or waiver.
+//
 // The shapes of Analyzer, Pass and Diagnostic mirror
 // golang.org/x/tools/go/analysis, so an analyzer written here ports to
 // the upstream driver by changing imports. cmd/cic-lint is the
@@ -29,9 +44,12 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
-// Analyzer is one invariant checker.
+// Analyzer is one invariant checker. Exactly one of Run and RunProgram
+// is set: Run sees one type-checked package at a time, RunProgram sees
+// the whole loaded module (with its call graph) in a single pass.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and documentation.
 	Name string
@@ -40,6 +58,9 @@ type Analyzer struct {
 	// Run inspects one type-checked package and reports findings
 	// through the Pass.
 	Run func(*Pass) error
+	// RunProgram inspects the whole program at once; used by the
+	// analyzers that need the call graph.
+	RunProgram func(*ProgramPass) error
 }
 
 // Pass carries one type-checked package through one analyzer run.
@@ -73,26 +94,66 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ProgramPass carries the whole loaded program through one
+// program-level analyzer run.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		ArenaEscape,
 		AtomicAlign,
 		BoundedAlloc,
 		ClockInject,
 		ErrWrap,
+		GoroutineLeak,
 		HotAlloc,
+		HotPropagate,
+		LockDiscipline,
 		NilSafeObs,
 		NoPanic,
 	}
+}
+
+// AnalyzerTiming is the cumulative wall time one analyzer spent across
+// every package (or its single whole-program pass).
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
 }
 
 // Run applies every analyzer to every package and returns the findings
 // sorted by position (then by analyzer name, for determinism when two
 // analyzers fire on the same token).
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunTimed(pkgs, analyzers)
+	return diags, err
+}
+
+// RunTimed is Run plus per-analyzer cumulative timing, in analyzer
+// order.
+func RunTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerTiming, error) {
 	var diags []Diagnostic
+	elapsed := map[string]time.Duration{}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -101,9 +162,32 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Info:     pkg.Info,
 				report:   func(d Diagnostic) { diags = append(diags, d) },
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: running %s on %s: %w", a.Name, pkg.Path, err)
+			start := time.Now()
+			err := a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("lint: running %s on %s: %w", a.Name, pkg.Path, err)
 			}
+		}
+	}
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if prog == nil {
+			prog = NewProgram(pkgs)
+		}
+		pass := &ProgramPass{
+			Analyzer: a,
+			Prog:     prog,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		start := time.Now()
+		err := a.RunProgram(pass)
+		elapsed[a.Name] += time.Since(start)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lint: running %s: %w", a.Name, err)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -119,7 +203,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	timings := make([]AnalyzerTiming, 0, len(analyzers))
+	for _, a := range analyzers {
+		timings = append(timings, AnalyzerTiming{Name: a.Name, Elapsed: elapsed[a.Name]})
+	}
+	return diags, timings, nil
 }
 
 // calleeFunc resolves the function or method a call statically invokes,

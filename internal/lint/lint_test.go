@@ -39,6 +39,22 @@ func TestHotAllocFixture(t *testing.T) {
 	linttest.RunFixture(t, lint.HotAlloc, "testdata/hotalloc")
 }
 
+func TestHotPropagateFixture(t *testing.T) {
+	linttest.RunFixture(t, lint.HotPropagate, "testdata/hotpropagate")
+}
+
+func TestGoroutineLeakFixture(t *testing.T) {
+	linttest.RunFixture(t, lint.GoroutineLeak, "testdata/goroutineleak")
+}
+
+func TestLockDisciplineFixture(t *testing.T) {
+	linttest.RunFixture(t, lint.LockDiscipline, "testdata/lockdiscipline")
+}
+
+func TestArenaEscapeFixture(t *testing.T) {
+	linttest.RunFixture(t, lint.ArenaEscape, "testdata/arenaescape")
+}
+
 // TestScopedAnalyzersSkipForeignPackages pins the package-name scoping:
 // the decode-path and obs analyzers must stay silent on packages
 // outside their scope even when those packages contain what would
@@ -48,4 +64,8 @@ func TestScopedAnalyzersSkipForeignPackages(t *testing.T) {
 	linttest.RunFixture(t, lint.ClockInject, "testdata/outofscope")
 	linttest.RunFixture(t, lint.BoundedAlloc, "testdata/outofscope")
 	linttest.RunFixture(t, lint.NilSafeObs, "testdata/outofscope")
+	linttest.RunFixture(t, lint.HotAlloc, "testdata/outofscope")
+	linttest.RunFixture(t, lint.GoroutineLeak, "testdata/outofscope")
+	linttest.RunFixture(t, lint.LockDiscipline, "testdata/outofscope")
+	linttest.RunFixture(t, lint.ArenaEscape, "testdata/outofscope")
 }

@@ -89,13 +89,25 @@ func RunFixture(t *testing.T, a *lint.Analyzer, dir string) {
 }
 
 // parseWantComment extracts the quoted regexps of a `// want "..."`
-// comment (nil if the comment is not a want comment).
+// comment (nil if the comment is not a want comment). A `//cic:` marker
+// comment may embed a want clause after the marker text (`//cic:alloc-ok
+// … want "..."`), since a line comment cannot be followed by a second
+// one on the same line and some diagnostics point at the marker itself.
 func parseWantComment(text string) ([]*regexp.Regexp, error) {
 	body, ok := strings.CutPrefix(text, "//")
 	if !ok {
 		return nil, nil // /* */ comments are not want carriers
 	}
-	body, ok = strings.CutPrefix(strings.TrimLeft(body, " \t"), "want ")
+	trimmed := strings.TrimLeft(body, " \t")
+	body, ok = strings.CutPrefix(trimmed, "want ")
+	if !ok && strings.HasPrefix(trimmed, "cic:") {
+		for _, open := range []string{" want \"", " want `"} {
+			if i := strings.Index(trimmed, open); i >= 0 {
+				body, ok = trimmed[i+len(" want "):], true
+				break
+			}
+		}
+	}
 	if !ok {
 		return nil, nil
 	}

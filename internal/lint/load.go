@@ -14,7 +14,10 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked target package: syntax plus type
@@ -35,26 +38,44 @@ type listPackage struct {
 	Dir        string
 	GoFiles    []string
 	CgoFiles   []string
+	Imports    []string
 	Export     string
 	DepOnly    bool
 	Standard   bool
 	Error      *struct{ Err string }
 }
 
+// LoadOptions configures Load's parallelism.
+type LoadOptions struct {
+	// Workers is the number of concurrent type-checking workers; 0 means
+	// GOMAXPROCS. Results are deterministic regardless of the count.
+	Workers int
+}
+
 // Load type-checks the packages matched by patterns, resolved relative
-// to dir. It shells out to `go list -export -deps -json`, which compiles
-// (or reuses cached) export data for every dependency, then parses and
-// type-checks only the matched packages from source — the same division
-// of labour as golang.org/x/tools/go/packages in LoadAllSyntax-for-roots
-// mode, but built on the standard library's gc importer. Test files are
-// not loaded: the analyzers police the shipped library and binaries.
+// to dir, with default options.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	return LoadWith(LoadOptions{}, dir, patterns...)
+}
+
+// LoadWith type-checks the packages matched by patterns, resolved
+// relative to dir. It shells out to one `go list -export -deps -json`
+// invocation, then parses and type-checks every in-module package in the
+// dependency closure from source — standard-library dependencies come
+// from compiled export data. Checking module dependencies from source
+// (rather than export data) makes type objects identical across
+// packages, which the whole-program call graph requires to resolve
+// cross-package calls. Packages are checked concurrently along the
+// dependency DAG; the shared FileSet and importer are safe for that.
+// Test files are not loaded: the analyzers police the shipped library
+// and binaries. Only the pattern-matched packages are returned.
+func LoadWith(opts LoadOptions, dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	args := append([]string{
 		"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Name,Dir,GoFiles,CgoFiles,Export,DepOnly,Standard,Error",
+		"-json=ImportPath,Name,Dir,GoFiles,CgoFiles,Imports,Export,DepOnly,Standard,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -66,7 +87,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 
 	exports := map[string]string{}
-	var targets []listPackage
+	var module []listPackage // in-module closure, dependency order
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listPackage
@@ -81,58 +102,196 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard {
-			targets = append(targets, p)
+		if p.Standard {
+			continue
 		}
-	}
-
-	fset := token.NewFileSet()
-	lookup := func(path string) (io.ReadCloser, error) {
-		f, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("lint: no export data for %q", path)
-		}
-		return os.Open(f)
-	}
-	imp := importer.ForCompiler(fset, "gc", lookup)
-
-	var pkgs []*Package
-	for _, p := range targets {
 		if len(p.GoFiles) == 0 {
 			continue // nothing but test files; analyzers skip those
 		}
 		if len(p.CgoFiles) > 0 {
 			return nil, fmt.Errorf("lint: %s uses cgo, which the source loader does not support", p.ImportPath)
 		}
-		var files []*ast.File
-		for _, name := range p.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
-			if err != nil {
-				return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
-			}
-			files = append(files, f)
-		}
-		info := &types.Info{
-			Types:      map[ast.Expr]types.TypeAndValue{},
-			Defs:       map[*ast.Ident]types.Object{},
-			Uses:       map[*ast.Ident]types.Object{},
-			Selections: map[*ast.SelectorExpr]*types.Selection{},
-			Implicits:  map[ast.Node]types.Object{},
-			Scopes:     map[ast.Node]*types.Scope{},
-		}
-		conf := types.Config{Importer: imp}
-		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
-		if err != nil {
-			return nil, fmt.Errorf("lint: type-checking %s: %w", p.ImportPath, err)
-		}
-		pkgs = append(pkgs, &Package{
-			Path:  p.ImportPath,
-			Name:  tpkg.Name(),
-			Fset:  fset,
-			Files: files,
-			Types: tpkg,
-			Info:  info,
-		})
+		module = append(module, p)
 	}
+
+	fset := token.NewFileSet()
+	imp := &hybridImporter{
+		src: map[string]*types.Package{},
+		exp: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("lint: no export data for %q", path)
+			}
+			return os.Open(f)
+		}),
+	}
+
+	checked, err := checkDAG(opts, fset, imp, module)
+	if err != nil {
+		return nil, err
+	}
+
+	var pkgs []*Package
+	for _, p := range module {
+		if p.DepOnly {
+			continue
+		}
+		pkgs = append(pkgs, checked[p.ImportPath])
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
+}
+
+// hybridImporter resolves in-module imports to the source-checked
+// package (identical type objects program-wide) and everything else
+// through gc export data. Safe for concurrent use.
+type hybridImporter struct {
+	mu  sync.Mutex
+	src map[string]*types.Package
+	exp types.Importer
+}
+
+func (h *hybridImporter) Import(path string) (*types.Package, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if p, ok := h.src[path]; ok {
+		return p, nil
+	}
+	return h.exp.Import(path)
+}
+
+func (h *hybridImporter) provide(path string, pkg *types.Package) {
+	h.mu.Lock()
+	h.src[path] = pkg
+	h.mu.Unlock()
+}
+
+// checkDAG parses and type-checks the module packages concurrently in
+// dependency order: a package is eligible once all its in-module
+// imports are checked. Workers share the FileSet (its methods are
+// synchronized) and the hybrid importer.
+func checkDAG(opts LoadOptions, fset *token.FileSet, imp *hybridImporter, module []listPackage) (map[string]*Package, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(module) {
+		workers = len(module)
+	}
+
+	inModule := map[string]*listPackage{}
+	for i := range module {
+		inModule[module[i].ImportPath] = &module[i]
+	}
+	waiting := map[string]int{}         // path → unchecked in-module imports
+	dependents := map[string][]string{} // dep path → importers
+	ready := make(chan *listPackage, len(module))
+	for i := range module {
+		p := &module[i]
+		n := 0
+		for _, dep := range p.Imports {
+			if _, ok := inModule[dep]; ok {
+				n++
+				dependents[dep] = append(dependents[dep], p.ImportPath)
+			}
+		}
+		waiting[p.ImportPath] = n
+		if n == 0 {
+			ready <- p
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		checked  = map[string]*Package{}
+		done     = make(chan struct{})
+		wg       sync.WaitGroup
+	)
+	release := func(path string) {
+		// Caller holds mu.
+		for _, dep := range dependents[path] {
+			waiting[dep]--
+			if waiting[dep] == 0 {
+				ready <- inModule[dep]
+			}
+		}
+		if len(checked) == len(inModule) && firstErr == nil {
+			close(done)
+		}
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			close(done)
+		}
+		mu.Unlock()
+	}
+
+	if len(module) == 0 {
+		return checked, nil
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				case p := <-ready:
+					pkg, err := checkOne(fset, imp, p)
+					if err != nil {
+						fail(err)
+						return
+					}
+					imp.provide(p.ImportPath, pkg.Types)
+					mu.Lock()
+					checked[p.ImportPath] = pkg
+					release(p.ImportPath)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	<-done
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return checked, nil
+}
+
+// checkOne parses and type-checks a single package from source.
+func checkOne(fset *token.FileSet, imp types.Importer, p *listPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", p.ImportPath, err)
+	}
+	return &Package{
+		Path:  p.ImportPath,
+		Name:  tpkg.Name(),
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
 }

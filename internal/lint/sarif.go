@@ -1,0 +1,130 @@
+package lint
+
+import "encoding/json"
+
+// SARIF 2.1.0 output, the static-analysis interchange shape GitHub code
+// scanning ingests. Only the required subset is emitted: one run, the
+// tool driver with one reportingDescriptor per analyzer, and one result
+// per finding with a physical location. Struct tags pin the exact
+// property names of the spec, and sarif_test.go asserts the shape.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+const sarifSchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+// SARIF renders the findings as a SARIF 2.1.0 log. rel maps a
+// diagnostic's filename to the repository-relative slash path emitted
+// as the artifact URI. Every analyzer appears as a rule even with zero
+// results, so the catalogue uploads alongside the findings.
+func SARIF(analyzers []*Analyzer, diags []Diagnostic, rel func(string) string) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       rel(d.Pos.Filename),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{
+						StartLine:   d.Pos.Line,
+						StartColumn: d.Pos.Column,
+					},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "cic-lint", InformationURI: "https://github.com/cic/cic/blob/main/docs/LINTING.md", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+// AnalyzerInfo is one entry of the analyzer catalogue, the shape
+// `cic-lint -list -json` emits and the docs/LINTING.md sync test
+// cross-checks.
+type AnalyzerInfo struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+	// WholeProgram marks call-graph analyzers (RunProgram) as opposed to
+	// per-package ones.
+	WholeProgram bool `json:"wholeProgram"`
+}
+
+// Catalogue lists the full suite in the stable All() order.
+func Catalogue() []AnalyzerInfo {
+	var out []AnalyzerInfo
+	for _, a := range All() {
+		out = append(out, AnalyzerInfo{Name: a.Name, Doc: a.Doc, WholeProgram: a.RunProgram != nil})
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"cic/internal/lint"
+)
+
+// TestSARIFShape validates the emitted log against the subset of the
+// SARIF 2.1.0 schema GitHub code scanning requires, using a hand-rolled
+// structural check (stdlib-only — no JSON-schema engine is available):
+// required properties, their types, and the cross-reference from every
+// result's ruleId into the driver's rules.
+func TestSARIFShape(t *testing.T) {
+	diags := []lint.Diagnostic{
+		diag("goroutineleak", "/repo/internal/server/server.go", 42, "goroutine has no termination signal"),
+		diag("hotpropagate", "/repo/internal/rx/packet.go", 7, "make() in rx.helper, which is reachable from //cic:hotpath root"),
+	}
+	rel := func(f string) string { return f[len("/repo/"):] }
+	out, err := lint.SARIF(lint.All(), diags, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var log map[string]any
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+
+	if s, _ := log["$schema"].(string); s != "https://json.schemastore.org/sarif-2.1.0.json" {
+		t.Errorf("$schema = %v", log["$schema"])
+	}
+	if v, _ := log["version"].(string); v != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", log["version"])
+	}
+	runs, ok := log["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs = %v, want exactly one run", log["runs"])
+	}
+	run := asObject(t, "runs[0]", runs[0])
+
+	driver := asObject(t, "tool.driver", asObject(t, "tool", run["tool"])["driver"])
+	if name, _ := driver["name"].(string); name != "cic-lint" {
+		t.Errorf("tool.driver.name = %v", driver["name"])
+	}
+	ruleIDs := map[string]bool{}
+	rules, ok := driver["rules"].([]any)
+	if !ok || len(rules) != len(lint.All()) {
+		t.Fatalf("driver.rules has %d entries, want one per analyzer (%d)", len(rules), len(lint.All()))
+	}
+	for i, r := range rules {
+		rule := asObject(t, fmt.Sprintf("rules[%d]", i), r)
+		id, _ := rule["id"].(string)
+		if id == "" {
+			t.Fatalf("rules[%d] has no id", i)
+		}
+		ruleIDs[id] = true
+		short := asObject(t, fmt.Sprintf("rules[%d].shortDescription", i), rule["shortDescription"])
+		if text, _ := short["text"].(string); text == "" {
+			t.Errorf("rules[%d].shortDescription.text is empty", i)
+		}
+	}
+
+	results, ok := run["results"].([]any)
+	if !ok || len(results) != len(diags) {
+		t.Fatalf("results has %d entries, want %d", len(results), len(diags))
+	}
+	for i, r := range results {
+		res := asObject(t, fmt.Sprintf("results[%d]", i), r)
+		ruleID, _ := res["ruleId"].(string)
+		if !ruleIDs[ruleID] {
+			t.Errorf("results[%d].ruleId %q does not reference a driver rule", i, ruleID)
+		}
+		switch res["level"] {
+		case "error", "warning", "note":
+		default:
+			t.Errorf("results[%d].level = %v, not a SARIF level", i, res["level"])
+		}
+		if text, _ := asObject(t, "message", res["message"])["text"].(string); text == "" {
+			t.Errorf("results[%d].message.text is empty", i)
+		}
+		locs, ok := res["locations"].([]any)
+		if !ok || len(locs) == 0 {
+			t.Fatalf("results[%d] has no locations", i)
+		}
+		phys := asObject(t, "physicalLocation", asObject(t, "location", locs[0])["physicalLocation"])
+		art := asObject(t, "artifactLocation", phys["artifactLocation"])
+		uri, _ := art["uri"].(string)
+		if uri == "" || uri[0] == '/' {
+			t.Errorf("results[%d] artifact uri = %q, want a relative slash path", i, uri)
+		}
+		region := asObject(t, "region", phys["region"])
+		if line, _ := region["startLine"].(float64); line < 1 {
+			t.Errorf("results[%d].region.startLine = %v, want >= 1", i, region["startLine"])
+		}
+	}
+}
+
+func asObject(t *testing.T, what string, v any) map[string]any {
+	t.Helper()
+	m, ok := v.(map[string]any)
+	if !ok {
+		t.Fatalf("%s is %T, want a JSON object", what, v)
+	}
+	return m
+}

@@ -1,0 +1,72 @@
+// Package core exercises the arenaescape analyzer: slices rooted in a
+// receiver-owned scratch arena are overwritten on the next packet, so
+// they must not escape through channel sends, stores into parameters or
+// package variables, or non-return composite literals without a copy.
+// Returning one is the documented hand-out idiom and stays legal;
+// //cic:alloc-ok waives a sanctioned escape.
+package core
+
+type result struct{ buf []float64 }
+
+type dec struct {
+	scratch []float64
+	out     chan []float64
+	sink    chan result
+}
+
+var lastBuf []float64
+
+// sendArena ships the arena over a channel: the receiver sees the
+// bytes race with the next packet's decode.
+func (d *dec) sendArena(n int) {
+	d.out <- d.scratch[:n] // want `arena-rooted slice sent over a channel from sendArena`
+}
+
+// sendCopy is the fix: a fresh buffer owns its bytes.
+func (d *dec) sendCopy(n int) {
+	buf := make([]float64, n)
+	copy(buf, d.scratch[:n])
+	d.out <- buf
+}
+
+// storeInLiteral wraps the arena in a value that outlives the reuse
+// cycle (the struct send itself is fine — the slice inside is not).
+func (d *dec) storeInLiteral(n int) {
+	r := result{buf: d.scratch[:n]} // want `arena-rooted slice stored into a composite literal in storeInLiteral`
+	d.sink <- r
+}
+
+// returnHandout is the documented borrow idiom: the caller knows the
+// buffer is only valid until the next call.
+func (d *dec) returnHandout(n int) result {
+	return result{buf: d.scratch[:n]}
+}
+
+// storeInParam hands the alias out through a caller-owned value.
+func (d *dec) storeInParam(r *result, n int) {
+	r.buf = d.scratch[:n] // want `arena-rooted slice stored into parameter r in storeInParam`
+}
+
+// storeInGlobal pins the arena in package state.
+func (d *dec) storeInGlobal(n int) {
+	lastBuf = d.scratch[:n] // want `arena-rooted slice stored into package variable lastBuf in storeInGlobal`
+}
+
+// aliasThroughLocal tracks rooting through a local alias: the view is
+// still the arena's storage.
+func (d *dec) aliasThroughLocal(n int) {
+	view := d.scratch[:n]
+	d.out <- view // want `arena-rooted slice sent over a channel from aliasThroughLocal`
+}
+
+// saveBack grows the arena through the receiver: the documented
+// save-back idiom, not an escape.
+func (d *dec) saveBack(v float64) {
+	d.scratch = append(d.scratch, v)
+}
+
+// waivedSend is a sanctioned hand-off: the consumer copies
+// synchronously by contract.
+func (d *dec) waivedSend(n int) {
+	d.out <- d.scratch[:n] //cic:alloc-ok — consumer copies synchronously by contract
+}

@@ -1,0 +1,188 @@
+// Package server exercises the goroutineleak analyzer: every goroutine
+// spawned in a policed package must be tied to a termination signal —
+// a select/receive/ctx check, an exit statement in its loop, or a
+// closable queue — and local rendezvous/pump channels must not be
+// abandonable. //cic:leak-ok waives a go statement.
+package server
+
+import (
+	"context"
+	"net"
+	"sync/atomic"
+)
+
+type svc struct {
+	jobs  chan int
+	count atomic.Int64
+	fn    func()
+}
+
+// spawnForever leaks: the loop has no exit statement and no signal.
+func (s *svc) spawnForever() {
+	go func() { // want `goroutine has no termination signal`
+		for {
+			s.count.Add(1)
+		}
+	}()
+}
+
+// spawnSelect is tied to ctx and the work queue: compliant.
+func (s *svc) spawnSelect(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-s.jobs:
+				s.count.Add(int64(j))
+			}
+		}
+	}()
+}
+
+// spawnRange drains a closable queue: the range ends when jobs closes.
+func (s *svc) spawnRange() {
+	go func() {
+		for j := range s.jobs {
+			s.count.Add(int64(j))
+		}
+	}()
+}
+
+// spawnNamed delegates to a named pump whose loop exits on read error:
+// the verdict descends into the callee and finds the return.
+func (s *svc) spawnNamed(c net.Conn) {
+	go s.pump(c)
+}
+
+func (s *svc) pump(c net.Conn) {
+	buf := make([]byte, 64)
+	for {
+		if _, err := c.Read(buf); err != nil {
+			return
+		}
+		s.count.Add(1)
+	}
+}
+
+// spawnCAS retries until the swap lands: the break is the exit, so the
+// loop is bounded by progress, not by a signal.
+func (s *svc) spawnCAS() {
+	go func() {
+		for {
+			old := s.count.Load()
+			if s.count.CompareAndSwap(old, old+1) {
+				break
+			}
+		}
+	}()
+}
+
+// spawnHelper leaks one static call down: the spin lives in the callee
+// and the verdict names the path.
+func (s *svc) spawnHelper() {
+	go func() { // want `goroutine has no termination signal: calls server\.\(\*svc\)\.spin, which spins in an unbounded for-loop`
+		s.spin()
+	}()
+}
+
+func (s *svc) spin() {
+	for {
+		s.count.Add(1)
+	}
+}
+
+// spawnDynamic launches a func value: the body is invisible, so the
+// signal cannot be verified.
+func (s *svc) spawnDynamic() {
+	go s.fn() // want `goroutine entry is a dynamic call`
+}
+
+// spawnWaived is vouched for by design.
+func (s *svc) spawnWaived() {
+	go func() { //cic:leak-ok — bounded by the process lifetime by design
+		for {
+			s.count.Add(1)
+		}
+	}()
+}
+
+// rendezvous can abandon its unbuffered sender: if ctx wins the select,
+// nothing ever receives and the sender blocks forever.
+func (s *svc) rendezvous(ctx context.Context) int {
+	res := make(chan int)
+	go func() {
+		res <- s.work() // want `send on unbuffered channel res can leak this goroutine`
+	}()
+	select {
+	case v := <-res:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// rendezvousBuffered is the fix: capacity 1 lets the sender finish even
+// when the result is abandoned.
+func (s *svc) rendezvousBuffered(ctx context.Context) int {
+	res := make(chan int, 1)
+	go func() {
+		res <- s.work()
+	}()
+	select {
+	case v := <-res:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+func (s *svc) work() int { return 1 }
+
+// leakyPump abandons its drainer on the early return: the queue is
+// closed only on the fall-through path.
+func (s *svc) leakyPump(c net.Conn) error {
+	q := newQueue()
+	go func() { // want `pump goroutine ranging over a channel from q can be abandoned`
+		for range q.items() {
+		}
+	}()
+	if err := s.feed(q, c); err != nil {
+		return err
+	}
+	q.Close()
+	return nil
+}
+
+// deferredPump is the fix: the deferred release ends the pump on every
+// exit path.
+func (s *svc) deferredPump(c net.Conn) error {
+	q := newQueue()
+	defer q.Close()
+	go func() {
+		for range q.items() {
+		}
+	}()
+	return s.feed(q, c)
+}
+
+type queue struct{ ch chan int }
+
+func newQueue() *queue             { return &queue{ch: make(chan int, 8)} }
+func (q *queue) items() <-chan int { return q.ch }
+func (q *queue) Close()            { close(q.ch) }
+func (q *queue) push(v int) {
+	select {
+	case q.ch <- v:
+	default:
+	}
+}
+
+func (s *svc) feed(q *queue, c net.Conn) error {
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err != nil {
+		return err
+	}
+	q.push(int(buf[0]))
+	return nil
+}

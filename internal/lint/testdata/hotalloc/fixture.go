@@ -122,3 +122,23 @@ func (d *demod) hotClosure(vals []int) {
 	}
 	d.peaks = out
 }
+
+// hotMultiSiteWaiver pins the waiver's line granularity: one
+// //cic:alloc-ok covers every allocation site on its line, here two
+// makes in a single assignment.
+//
+//cic:hotpath
+func hotMultiSiteWaiver() ([]float64, []float64) {
+	a, b := make([]float64, 4), make([]float64, 4) //cic:alloc-ok — both escape; one waiver spans the whole line
+	return a, b
+}
+
+// hotStaleWaiver carries a waiver on a line that neither allocates nor
+// escapes: the waiver is dead weight and must be reported so it cannot
+// mask a future allocation added to the same line.
+//
+//cic:hotpath
+func hotStaleWaiver(n int) int {
+	n++ //cic:alloc-ok — nothing here allocates: want `stale //cic:alloc-ok waiver in hot-path function hotStaleWaiver`
+	return n
+}

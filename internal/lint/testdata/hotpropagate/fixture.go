@@ -1,0 +1,76 @@
+// Package rx exercises the hotpropagate analyzer: the //cic:hotpath
+// contract follows call edges, so an unannotated helper reachable from
+// an annotated root inherits the zero-allocation obligation. Dynamic
+// edges are followed inside decode-path packages (this fixture's
+// package name keeps it on that path); a //cic:alloc-ok on the call
+// line cuts the edge. Stale and malformed markers are reported too.
+package rx
+
+type sink interface {
+	Consume(n int)
+}
+
+type state struct {
+	scratch []float64
+	s       sink
+}
+
+// HotRoot is the annotated root; edges from it propagate the contract.
+//
+//cic:hotpath
+func (st *state) HotRoot(n int) {
+	st.helper(n)
+	st.sanctioned(n) //cic:alloc-ok — sanctioned allocation boundary: the edge is cut here
+	st.s.Consume(n)  // dynamic edge, followed because the fixture is a decode-path package
+	st.arenaUser(float64(n))
+}
+
+// helper inherits the contract through the static edge from HotRoot.
+func (st *state) helper(n int) {
+	buf := make([]float64, n) // want `make\(\) in rx\.\(\*state\)\.helper, which is reachable from //cic:hotpath root rx\.\(\*state\)\.HotRoot`
+	_ = buf
+	st.deeper(n)
+}
+
+// deeper is two static edges from the root: still on the contract.
+func (st *state) deeper(n int) {
+	var out []float64
+	out = append(out, float64(n)) // want `append into non-arena slice in rx\.\(\*state\)\.deeper`
+	_ = out
+}
+
+// sanctioned is reachable only through the waived edge: its allocation
+// is the sanctioned boundary and must not be reported.
+func (st *state) sanctioned(n int) {
+	buf := make([]float64, n)
+	_ = buf
+}
+
+// arenaUser is reachable but allocates nothing (append into the
+// receiver arena is the documented idiom): compliant.
+func (st *state) arenaUser(v float64) {
+	st.scratch = append(st.scratch, v)
+}
+
+// impl implements sink; the dynamic dispatch edge from HotRoot reaches
+// its method.
+type impl struct{}
+
+func (impl) Consume(n int) {
+	p := new(impl) // want `new\(\) in rx\..*Consume, which is reachable from //cic:hotpath root`
+	_ = p
+}
+
+// deadHot is annotated but unexported with no callers and never
+// address-taken: the annotation enforces nothing.
+//
+//cic:hotpath
+func deadHot() {} // want `stale //cic:hotpath annotation on rx\.deadHot`
+
+// notActuallyHot carries a marker with trailing text: it silently fails
+// to apply, which is worth a diagnostic of its own.
+//
+//cic:hotpath but only on weekends — want `malformed //cic:hotpath marker`
+func notActuallyHot(n int) []int {
+	return make([]int, n)
+}

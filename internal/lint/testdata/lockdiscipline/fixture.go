@@ -1,0 +1,115 @@
+// Package server exercises the lockdiscipline analyzer: no mutex may
+// be held across a channel operation, blocking I/O, or a dynamic
+// callback — directly or through a static callee — and named locks
+// must be acquired in one global order. //cic:lock-ok waives a line.
+package server
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+type store struct {
+	mu   sync.Mutex
+	a, b sync.Mutex
+	out  chan int
+	w    io.Writer
+	log  *bytes.Buffer
+	cb   func()
+	n    int
+}
+
+// sendUnderLock holds mu across a channel send: the consumer now gates
+// every other critical section.
+func (s *store) sendUnderLock(v int) {
+	s.mu.Lock()
+	s.out <- v // want `channel send while holding store\.mu`
+	s.mu.Unlock()
+}
+
+// sendAfterUnlock is the compliant shape: mutate under the lock, send
+// outside it.
+func (s *store) sendAfterUnlock(v int) {
+	s.mu.Lock()
+	s.n = v
+	s.mu.Unlock()
+	s.out <- v
+}
+
+// recvUnderDeferredLock shows the deferred unlock sticking: mu stays
+// held through the return expression's receive.
+func (s *store) recvUnderDeferredLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.out // want `channel receive while holding store\.mu`
+}
+
+// ioUnderLock performs writer I/O under mu: the write may block on a
+// slow peer with the lock held.
+func (s *store) ioUnderLock(p []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.Write(p) // want `blocking I/O while holding store\.mu`
+}
+
+// memWriteUnderLock writes an in-memory buffer: never blocks, so the
+// held lock is fine.
+func (s *store) memWriteUnderLock(p []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log.Write(p)
+}
+
+// callbackUnderLock invokes a caller-supplied func under mu: the
+// callback's behaviour is invisible, so it must not run locked.
+func (s *store) callbackUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cb() // want `callback invocation while holding store\.mu`
+}
+
+// transitiveBlock reaches a channel send one static call down: the
+// callee's block summary propagates to this site.
+func (s *store) transitiveBlock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.emit(v) // want `call to server\.\(\*store\)\.emit that may perform a channel send while holding store\.mu`
+}
+
+func (s *store) emit(v int) { s.out <- v }
+
+// nonBlockingSelect is allowed under the lock: the default case bounds
+// the wait at zero.
+func (s *store) nonBlockingSelect(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.out <- v:
+	default:
+		s.n++
+	}
+}
+
+// waivedSend is vouched for: the consumer drains out by contract.
+func (s *store) waivedSend(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.out <- v //cic:lock-ok — bounded consumer drains out by contract
+}
+
+// lockAB and lockBA form an ABBA inversion; the cycle is reported at
+// each edge's first acquisition site.
+func (s *store) lockAB() {
+	s.a.Lock()
+	s.b.Lock() // want `inconsistent lock acquisition order: store\.b is acquired while holding store\.a`
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *store) lockBA() {
+	s.b.Lock()
+	s.a.Lock() // want `inconsistent lock acquisition order: store\.a is acquired while holding store\.b`
+	s.a.Unlock()
+	s.b.Unlock()
+}

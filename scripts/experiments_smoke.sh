@@ -14,6 +14,16 @@ CONFIG=experiments/smoke.json
 EXPERIMENTS="$WORK/cic-experiments"
 GATEWAYD="$WORK/cic-gatewayd"
 
+# Lint gate first: on failure, copy the SARIF artifact out of the work
+# dir (the trap removes it) and print its surviving path.
+echo "experiments-smoke: lint gate"
+if ! go run ./cmd/cic-lint -sarif-file "$WORK/lint.sarif" ./... > "$WORK/lint.out" 2>&1; then
+    cat "$WORK/lint.out"
+    cp "$WORK/lint.sarif" lint.sarif 2>/dev/null || true
+    echo "experiments-smoke: FAIL — lint gate failed; SARIF report: $(pwd)/lint.sarif" >&2
+    exit 1
+fi
+
 echo "experiments-smoke: building binaries"
 go build -o "$EXPERIMENTS" ./cmd/cic-experiments
 go build -o "$GATEWAYD" ./cmd/cic-gatewayd

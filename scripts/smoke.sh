@@ -16,6 +16,18 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# Lint gate first: `make ci` reaches smoke only after `make lint`, but
+# when smoke runs standalone on a dirty tree the invariant suite must
+# still hold. On failure the SARIF artifact is copied OUT of the temp
+# dir (which the EXIT trap removes) so the printed path stays valid.
+echo "smoke: lint gate"
+if ! go run ./cmd/cic-lint -sarif-file "$tmp/lint.sarif" ./... > "$tmp/lint.out" 2>&1; then
+    cat "$tmp/lint.out"
+    cp "$tmp/lint.sarif" lint.sarif 2>/dev/null || true
+    echo "smoke: FAIL — lint gate failed; SARIF report: $(pwd)/lint.sarif"
+    exit 1
+fi
+
 echo "smoke: building tools"
 go build -o "$tmp/bin/" ./cmd/cic-gen ./cmd/cic-feed ./cmd/cic-gatewayd ./cmd/cic-decode ./cmd/cic-promcheck
 

@@ -101,15 +101,18 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseHello$$' -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run '^$$' -fuzz '^FuzzPublishLineFraming$$' -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run '^$$' -fuzz '^FuzzFaultConnFraming$$' -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run '^$$' -fuzz '^FuzzFaultTwoHop$$' -fuzztime $(FUZZTIME) ./internal/fault/
 	$(GO) test -run '^$$' -fuzz '^FuzzParseBenchLine$$' -fuzztime $(FUZZTIME) ./cmd/cic-bench/
 	$(GO) test -run '^$$' -fuzz '^FuzzParseExperimentConfig$$' -fuzztime $(FUZZTIME) ./internal/experiment/
 
 # Chaos end-to-end suite: concurrent sessions under seeded fault
 # schedules (forced disconnects, worker panics, process-restart resume)
-# must produce record-identical NDJSON vs a fault-free run. The seed
-# matrix is fixed inside the tests so runs are reproducible.
+# must produce record-identical NDJSON vs a fault-free run, and the
+# cluster suite does the same across a sharded fleet (backend kills,
+# partitions, rebalances mid-collision). The seed matrix is fixed
+# inside the tests so runs are reproducible.
 chaos:
-	$(GO) test -race -run '^TestChaos' -count=1 ./internal/server/
+	$(GO) test -race -run '^TestChaos' -count=1 ./internal/server/ ./internal/cluster/
 
 # Loopback end-to-end smoke of the ingestion pipeline:
 # cic-gen capture → cic-feed → cic-gatewayd → NDJSON assert (plus a

@@ -17,12 +17,15 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cic"
@@ -95,10 +98,15 @@ func run() error {
 			logger.Info(fmt.Sprintf(format, args...))
 		}
 	}
+	// SIGINT/SIGTERM cancel the reconnect machinery immediately — a feed
+	// stuck in a backoff sleep exits on signal, not after the interval.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	c := server.NewReconnectingClient(server.ReconnectOptions{
 		Station:     *station,
 		Config:      cfg,
 		Addr:        *addr,
+		Context:     ctx,
 		DialTimeout: *dialTimeout,
 		MaxAttempts: *retries,
 		Logf:        logf,

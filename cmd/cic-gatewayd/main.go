@@ -103,10 +103,16 @@ func run() error {
 	}
 	var wrapConn func(net.Conn) net.Conn
 	if *faultSpec != "" {
-		spec, err := fault.ParseSpec(*faultSpec)
+		ms, err := fault.ParseMultiSpec(*faultSpec)
 		if err != nil {
 			return fmt.Errorf("-fault-spec: %w", err)
 		}
+		for _, sp := range ms {
+			if sp.LegName() != "client" {
+				return fmt.Errorf("-fault-spec: leg %q is not a cic-gatewayd leg (the daemon only has the client leg; leg=upstream belongs to cic-routerd)", sp.LegName())
+			}
+		}
+		spec := ms.ForLeg("client")
 		faults := reg.Counter(server.MetricFaultsInjected)
 		var connIdx atomic.Int64
 		wrapConn = func(c net.Conn) net.Conn {

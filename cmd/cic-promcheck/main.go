@@ -7,6 +7,7 @@
 // Two modes:
 //
 //	cic-promcheck -metrics URL [-require fam,fam] [-contains substr]...
+//	              [-await d] [-await-interval d]
 //	cic-promcheck -probe URL [-status 200] [-body-contains substr]
 //
 // -metrics fetches the URL with a Prometheus scraper Accept header and
@@ -17,6 +18,13 @@
 // a +Inf bucket equal to _count. -require lists family names that must
 // carry at least one sample; -contains (repeatable) asserts a literal
 // substring, e.g. a specific labeled series.
+//
+// -await turns the -metrics mode into a bounded poll: the scrape is
+// retried every -await-interval until all checks pass or the -await
+// window elapses (the last failure is reported). This is how the smoke
+// suite asserts *convergence* — e.g. that a router's
+// cluster_backend_healthy gauge reflects a killed backend within one
+// probe interval — without racing the state change.
 //
 // -probe performs a GET and asserts the response status (default 200)
 // and, optionally, a body substring. Exit status is 0 only when every
@@ -56,6 +64,8 @@ func run() error {
 		status     = flag.Int("status", http.StatusOK, "expected HTTP status for -probe")
 		bodyWant   = flag.String("body-contains", "", "substring the -probe response body must contain")
 		timeout    = flag.Duration("timeout", 10*time.Second, "HTTP request timeout")
+		await      = flag.Duration("await", 0, "retry a failing -metrics check until it passes, for up to this long (0 = single shot)")
+		awaitEvery = flag.Duration("await-interval", 200*time.Millisecond, "poll interval for -await")
 	)
 	flag.Var(&require, "require", "metric family that must be present (repeatable, or comma-separated)")
 	flag.Var(&contains, "contains", "literal substring the exposition must contain (repeatable)")
@@ -64,12 +74,37 @@ func run() error {
 	client := &http.Client{Timeout: *timeout}
 	switch {
 	case *metricsURL != "":
-		return checkMetrics(client, *metricsURL, splitAll(require), contains)
+		check := func() error {
+			return checkMetrics(client, *metricsURL, splitAll(require), contains)
+		}
+		if *await > 0 {
+			return awaitCheck(check, *await, *awaitEvery)
+		}
+		return check()
 	case *probeURL != "":
 		return probe(client, *probeURL, *status, *bodyWant)
 	default:
 		flag.Usage()
 		return fmt.Errorf("one of -metrics or -probe is required")
+	}
+}
+
+// awaitCheck polls check until it passes or the window elapses,
+// returning the last failure so the caller sees what never converged.
+func awaitCheck(check func() error, window, interval time.Duration) error {
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	deadline := time.Now().Add(window)
+	for {
+		err := check()
+		if err == nil {
+			return nil
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("condition not met within %v: %w", window, err)
+		}
+		time.Sleep(interval)
 	}
 }
 

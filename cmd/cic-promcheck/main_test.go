@@ -1,8 +1,14 @@
 package main
 
 import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 const goodExposition = `# HELP frames_total Frames.
@@ -59,6 +65,69 @@ func TestParseSampleTimestamp(t *testing.T) {
 	}
 	if _, _, _, err := parseSample(`x 1 not-a-ts`); err == nil {
 		t.Fatal("accepted garbage timestamp")
+	}
+}
+
+func TestAwaitCheckConverges(t *testing.T) {
+	var calls atomic.Int64
+	check := func() error {
+		if calls.Add(1) < 3 {
+			return errors.New("not yet")
+		}
+		return nil
+	}
+	if err := awaitCheck(check, 5*time.Second, time.Millisecond); err != nil {
+		t.Fatalf("awaitCheck = %v, want nil once the check converges", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("check ran %d times, want 3", n)
+	}
+}
+
+func TestAwaitCheckReportsLastFailure(t *testing.T) {
+	sentinel := errors.New("still down")
+	start := time.Now()
+	err := awaitCheck(func() error { return sentinel }, 30*time.Millisecond, time.Millisecond)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("awaitCheck = %v, want it to wrap the last failure", err)
+	}
+	if !strings.Contains(err.Error(), "condition not met within") {
+		t.Fatalf("awaitCheck error %q does not name the window", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("awaitCheck overshot its window")
+	}
+}
+
+// TestAwaitCheckMetricsEndpoint is the scenario smoke.sh relies on: a
+// metrics endpoint whose gauge flips after a delay (a probed-down
+// backend), with -await polling the scrape until the -contains
+// assertion holds.
+func TestAwaitCheckMetricsEndpoint(t *testing.T) {
+	var scrapes atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		healthy := 1
+		if scrapes.Add(1) >= 3 {
+			healthy = 0
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintf(w, "# TYPE cluster_backend_healthy gauge\ncluster_backend_healthy{backend=\"shard-0\"} %d\n", healthy)
+	}))
+	defer srv.Close()
+
+	client := &http.Client{Timeout: time.Second}
+	want := []string{`cluster_backend_healthy{backend="shard-0"} 0`}
+	check := func() error {
+		return checkMetrics(client, srv.URL, []string{"cluster_backend_healthy"}, want)
+	}
+	if err := check(); err == nil {
+		t.Fatal("single-shot check passed before the gauge flipped")
+	}
+	if err := awaitCheck(check, 5*time.Second, time.Millisecond); err != nil {
+		t.Fatalf("awaitCheck against flipping endpoint: %v", err)
+	}
+	if n := scrapes.Load(); n < 3 {
+		t.Fatalf("endpoint scraped %d times, want at least 3", n)
 	}
 }
 

@@ -1,0 +1,323 @@
+// Command cic-routerd is the CIC fleet frontend: it speaks the same v2
+// wire protocol as cic-gatewayd, consistently hashes each station onto
+// one of a configured set of gatewayd backends, and proxies the session
+// upstream. The fleet is self-healing — per-backend health probes and
+// circuit breakers, failover that replays a failed session onto a
+// replacement shard via RESUME, per-shard overload shedding with
+// retry-after propagation, and drain-based rebalancing when the backend
+// set changes. docs/SERVER.md ("Cluster mode") is the walkthrough.
+//
+// Usage:
+//
+//	cic-routerd -listen 127.0.0.1:7732 \
+//	            -backend 127.0.0.1:7733 \
+//	            -backend "addr=127.0.0.1:7743,name=b2,ready=http://127.0.0.1:9743/readyz,pub=127.0.0.1:8743" \
+//	            [-pub addr] [-out path|-] [-max-sessions N]
+//	            [-retain-cap samples] [-park-timeout d] [-idle-timeout d]
+//	            [-probe-interval d] [-breaker-base d] [-breaker-max d]
+//	            [-debug-addr addr] [-addr-file path] [-fault-spec spec]
+//	            [-log-level level] [-log-format text|json] [-seed N]
+//
+// Each -backend is either a bare ingest address or a comma-separated
+// k=v form with keys addr (required), name (metrics/log label), ready
+// (a /readyz URL to probe; TCP dial of addr otherwise) and pub (the
+// backend's NDJSON address; when set the router merges that backend's
+// records into its own -out/-pub stream, deduplicated across failover).
+//
+// -fault-spec uses the per-leg grammar of internal/fault: '|'-separated
+// specs, each optionally tagged leg=client (accepted connections, the
+// default) or leg=upstream (the router→backend dials). Offsets count
+// bytes per leg. Never set in production.
+//
+// The debug endpoint serves /metrics (cluster_* families), /healthz and
+// /readyz (ready = accepting, with at least one available backend and
+// session capacity).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"cic"
+	"cic/internal/cluster"
+	"cic/internal/fault"
+	"cic/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cic-routerd:", err)
+		os.Exit(1)
+	}
+}
+
+// backendFlags collects repeatable -backend values.
+type backendFlags []cluster.BackendSpec
+
+func (b *backendFlags) String() string { return fmt.Sprintf("%d backends", len(*b)) }
+
+func (b *backendFlags) Set(v string) error {
+	spec, err := parseBackendSpec(v)
+	if err != nil {
+		return err
+	}
+	*b = append(*b, spec)
+	return nil
+}
+
+// parseBackendSpec parses one -backend value: a bare "host:port", or
+// "addr=host:port[,name=...][,ready=URL][,pub=host:port]".
+func parseBackendSpec(v string) (cluster.BackendSpec, error) {
+	var spec cluster.BackendSpec
+	if !strings.Contains(v, "=") {
+		spec.Addr = strings.TrimSpace(v)
+		if spec.Addr == "" {
+			return spec, fmt.Errorf("empty backend address")
+		}
+		return spec, nil
+	}
+	for _, part := range strings.Split(v, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return spec, fmt.Errorf("backend spec %q: want k=v, got %q", v, part)
+		}
+		switch k {
+		case "addr":
+			spec.Addr = val
+		case "name":
+			spec.Name = val
+		case "ready":
+			spec.ReadyURL = val
+		case "pub":
+			spec.PubAddr = val
+		default:
+			return spec, fmt.Errorf("backend spec %q: unknown key %q (want addr, name, ready or pub)", v, k)
+		}
+	}
+	if spec.Addr == "" {
+		return spec, fmt.Errorf("backend spec %q: addr= is required", v)
+	}
+	return spec, nil
+}
+
+func run() error {
+	var backends backendFlags
+	var (
+		listen        = flag.String("listen", "127.0.0.1:7732", "client ingestion listen address")
+		pub           = flag.String("pub", "", "merged NDJSON subscriber listen address (disabled when empty)")
+		out           = flag.String("out", "-", `merged NDJSON output: "-" for stdout, a file path, or "" for none`)
+		maxSessions   = flag.Int("max-sessions", server.DefaultMaxSessions, "max concurrent routed sessions, parked included (-1 = unlimited)")
+		retainCap     = flag.Int64("retain-cap", cluster.DefaultRetainCap, "per-session replay retention in samples (-1 = unlimited; trimming makes failover lossy)")
+		idleTimeout   = flag.Duration("idle-timeout", server.DefaultIdleTimeout, "close client sessions idle for this long (-1s = never)")
+		parkTimeout   = flag.Duration("park-timeout", server.DefaultParkTimeout, "resume window for disconnected resumable sessions (-1s = disable parking)")
+		probeInterval = flag.Duration("probe-interval", cluster.DefaultProbeInterval, "backend health-probe period")
+		breakerBase   = flag.Duration("breaker-base", cluster.DefaultBreakerBase, "backend circuit-breaker base open window")
+		breakerMax    = flag.Duration("breaker-max", cluster.DefaultBreakerMax, "backend circuit-breaker max open window")
+		closeTimeout  = flag.Duration("close-timeout", cluster.DefaultCloseTimeout, "bound on one backend drain handshake")
+		seed          = flag.Int64("seed", 1, "breaker jitter seed (deterministic backoff)")
+		faultSpec     = flag.String("fault-spec", "", `DEV ONLY: per-leg fault injection, e.g. "leg=client;drop@65536|leg=upstream;corrupt@1024:0x20"`)
+		debugAddr     = flag.String("debug-addr", "", "serve /metrics, /healthz and /readyz on this address")
+		addrFile      = flag.String("addr-file", "", "write the bound ingestion, pub and debug addresses (one per line) to this file once listening")
+		quiet         = flag.Bool("quiet", false, "suppress per-session logging")
+		logLevel      = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		logFormat     = flag.String("log-format", "text", `log encoding: "text" or "json" (structured NDJSON)`)
+	)
+	flag.Var(&backends, "backend", "backend gatewayd (repeatable): addr, or addr=...,name=...,ready=...,pub=...")
+	flag.Parse()
+
+	if len(backends) == 0 {
+		return fmt.Errorf("at least one -backend is required")
+	}
+
+	reg := cic.NewMetrics()
+	var writers []io.Writer
+	switch *out {
+	case "":
+	case "-":
+		writers = append(writers, os.Stdout)
+	default:
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		writers = append(writers, f)
+	}
+	sink := server.NewFanout(writers...)
+
+	logger, err := buildLogger(*logLevel, *logFormat, *quiet)
+	if err != nil {
+		return err
+	}
+
+	var wrapConn, wrapUpstream func(net.Conn) net.Conn
+	if *faultSpec != "" {
+		ms, err := fault.ParseMultiSpec(*faultSpec)
+		if err != nil {
+			return fmt.Errorf("-fault-spec: %w", err)
+		}
+		for _, sp := range ms {
+			if leg := sp.LegName(); leg != "client" && leg != "upstream" {
+				return fmt.Errorf("-fault-spec: unknown leg %q (want client or upstream)", leg)
+			}
+		}
+		faults := reg.Counter(server.MetricFaultsInjected)
+		wrapLeg := func(sp *fault.Spec) func(net.Conn) net.Conn {
+			if sp == nil {
+				return nil
+			}
+			var idx atomic.Int64
+			return func(c net.Conn) net.Conn {
+				sched := sp.Schedule(int(idx.Add(1) - 1))
+				if len(sched.Read) == 0 && len(sched.Write) == 0 {
+					return c
+				}
+				return fault.WrapConn(c, sched, func(fault.Event) { faults.Inc() })
+			}
+		}
+		wrapConn = wrapLeg(ms.ForLeg("client"))
+		wrapUpstream = wrapLeg(ms.ForLeg("upstream"))
+		fmt.Fprintf(os.Stderr, "cic-routerd: FAULT INJECTION ACTIVE (%d leg specs) — dev use only\n", len(ms))
+	}
+
+	router := cluster.New(cluster.Config{
+		Backends:      backends,
+		MaxSessions:   *maxSessions,
+		RetainCap:     *retainCap,
+		IdleTimeout:   *idleTimeout,
+		ParkTimeout:   *parkTimeout,
+		ProbeInterval: *probeInterval,
+		BreakerBase:   *breakerBase,
+		BreakerMax:    *breakerMax,
+		CloseTimeout:  *closeTimeout,
+		Seed:          *seed,
+		Metrics:       reg,
+		Sink:          sink,
+		WrapConn:      wrapConn,
+		WrapUpstream:  wrapUpstream,
+		Log:           logger,
+	})
+
+	dataLn, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	var pubLn net.Listener
+	pubAddr := ""
+	if *pub != "" {
+		if pubLn, err = net.Listen("tcp", *pub); err != nil {
+			return err
+		}
+		pubAddr = pubLn.Addr().String()
+	}
+	dbgAddr := ""
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", cic.DebugHandler(reg, nil))
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Cache-Control", "no-store")
+			fmt.Fprintln(w, "ok")
+		})
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Cache-Control", "no-store")
+			if err := router.Ready(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintln(w, "ok")
+		})
+		dbgLn, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("-debug-addr: %w", err)
+		}
+		dbgAddr = dbgLn.Addr().String()
+		go func() {
+			if err := http.Serve(dbgLn, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "cic-routerd: debug server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "cic-routerd: debug endpoint on http://%s/metrics\n", dbgAddr)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(dataLn.Addr().String()+"\n"+pubAddr+"\n"+dbgAddr+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "cic-routerd: routing on %s across %d backends", dataLn.Addr(), len(backends))
+	if pubAddr != "" {
+		fmt.Fprintf(os.Stderr, ", publishing on %s", pubAddr)
+	}
+	fmt.Fprintln(os.Stderr)
+
+	errc := make(chan error, 2)
+	go func() { errc <- router.Serve(dataLn) }()
+	if pubLn != nil {
+		go func() { errc <- router.ServePub(pubLn) }()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "cic-routerd: %v — draining\n", sig)
+	case err := <-errc:
+		if err != nil {
+			return err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := router.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := sink.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "cic-routerd: drained")
+	return nil
+}
+
+// buildLogger assembles the daemon's structured logger from the
+// -log-level / -log-format / -quiet flags. A nil logger means silent.
+func buildLogger(level, format string, quiet bool) (*slog.Logger, error) {
+	if quiet {
+		return nil, nil
+	}
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level: unknown level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format: unknown format %q (want text or json)", format)
+	}
+}

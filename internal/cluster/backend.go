@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"cic/internal/obs"
+)
+
+// BackendSpec names one cic-gatewayd shard of the fleet.
+type BackendSpec struct {
+	// Name labels the backend in metrics and logs (Addr when empty).
+	Name string
+	// Addr is the backend's ingestion address (the v2 wire protocol).
+	Addr string
+	// ReadyURL is the backend's readiness probe (its /readyz debug
+	// endpoint). Empty falls back to a TCP dial probe of Addr.
+	ReadyURL string
+	// PubAddr is the backend's NDJSON subscriber address; when set the
+	// router subscribes and merges the backend's records into its own
+	// sink (see intake.go). Empty disables the fan-in for this backend.
+	PubAddr string
+}
+
+// withDefaults fills the spec's optional fields.
+func (s BackendSpec) withDefaults() BackendSpec {
+	if s.Name == "" {
+		s.Name = s.Addr
+	}
+	return s
+}
+
+// backend is one shard's live state: the last probe verdict plus a
+// circuit breaker fed by probe and session-transport failures. The
+// breaker opens with jittered exponential backoff so a flapping or
+// partitioned shard is not hammered by every failover at once.
+type backend struct {
+	spec BackendSpec
+
+	mu        sync.Mutex
+	probed    bool // at least one probe completed
+	healthy   bool // last probe verdict
+	fails     int  // consecutive failures feeding the breaker
+	openUntil time.Time
+	rng       *rand.Rand
+	// removedFlag: RemoveBackend marked this shard as draining out of
+	// the ring (see removed/setRemoved in router.go).
+	removedFlag bool
+	sessions    int
+
+	// Pre-resolved metric handles (nil-safe).
+	mHealthy  *obs.Gauge
+	mBreaker  *obs.Gauge
+	mSessions *obs.Gauge
+	mProbeOK  *obs.Counter
+	mProbeBad *obs.Counter
+	mFailures *obs.Counter
+}
+
+func newBackend(spec BackendSpec, m *clusterMetrics, seed int64) *backend {
+	spec = spec.withDefaults()
+	b := &backend{
+		spec: spec,
+		rng:  rand.New(rand.NewSource(seed ^ int64(fnv64a(spec.Name)))),
+
+		mHealthy:  m.BackendHealthy.With(spec.Name),
+		mBreaker:  m.BreakerOpen.With(spec.Name),
+		mSessions: m.BackendSessions.With(spec.Name),
+		mProbeOK:  m.BackendProbes.With(spec.Name, "ok"),
+		mProbeBad: m.BackendProbes.With(spec.Name, "fail"),
+		mFailures: m.BackendFailures.With(spec.Name),
+	}
+	// Optimistic until the first probe: a freshly configured fleet must
+	// accept sessions before the probe loop's first tick.
+	b.mHealthy.Set(1)
+	return b
+}
+
+// available reports whether the router may route a (new or failed-over)
+// session to this backend: not removed, not probed-down, breaker not
+// open.
+func (b *backend) available() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.removedFlag {
+		return false
+	}
+	if b.probed && !b.healthy {
+		return false
+	}
+	return !time.Now().Before(b.openUntil)
+}
+
+// noteFailure feeds the breaker: consecutive failures push the open
+// window out exponentially (base·2^(n-1), capped at max) with uniform
+// jitter over [d/2, d) so failovers across the fleet decorrelate.
+func (b *backend) noteFailure(base, max time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	d := base << (b.fails - 1)
+	if b.fails > 16 || d > max || d <= 0 {
+		d = max
+	}
+	d = d/2 + time.Duration(b.rng.Int63n(int64(d/2)+1))
+	b.openUntil = time.Now().Add(d)
+	b.mBreaker.Set(1)
+	b.mFailures.Inc()
+}
+
+// noteSuccess closes the breaker after demonstrated health (a
+// successful handshake, or a probe that passed once the open window
+// elapsed — half-open semantics: an open breaker is only reset by
+// evidence gathered after it expired).
+func (b *backend) noteSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if time.Now().Before(b.openUntil) {
+		return
+	}
+	b.fails = 0
+	b.openUntil = time.Time{}
+	b.mBreaker.Set(0)
+}
+
+// setProbe records one probe verdict.
+func (b *backend) setProbe(ok bool) {
+	b.mu.Lock()
+	b.probed = true
+	b.healthy = ok
+	b.mu.Unlock()
+	if ok {
+		b.mHealthy.Set(1)
+		b.mProbeOK.Inc()
+		b.noteSuccess()
+	} else {
+		b.mHealthy.Set(0)
+		b.mProbeBad.Inc()
+	}
+}
+
+// addSession / dropSession maintain the per-backend session gauge.
+func (b *backend) addSession() {
+	b.mu.Lock()
+	b.sessions++
+	n := b.sessions
+	b.mu.Unlock()
+	b.mSessions.Set(int64(n))
+}
+
+func (b *backend) dropSession() {
+	b.mu.Lock()
+	b.sessions--
+	n := b.sessions
+	b.mu.Unlock()
+	b.mSessions.Set(int64(n))
+}
+
+// probe runs one readiness check: an HTTP GET of ReadyURL when set
+// (200 = ready), otherwise a TCP dial of the ingest address.
+func (r *Router) probe(b *backend) bool {
+	// The timeout floor keeps a short probe interval from flagging a
+	// healthy-but-momentarily-slow backend: a dead one fails the dial
+	// immediately (connection refused), so down-detection still lands
+	// within one interval.
+	timeout := r.cfg.ProbeInterval
+	if timeout < time.Second {
+		timeout = time.Second
+	}
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	if b.spec.ReadyURL != "" {
+		client := &http.Client{Timeout: timeout}
+		resp, err := client.Get(b.spec.ReadyURL)
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	conn, err := r.dial(ctx, b.spec.Addr)
+	if err != nil {
+		return false
+	}
+	conn.Close()
+	return true
+}
+
+// probeLoop drives one backend's health prober until the router shuts
+// down. Probe failures also feed the breaker so a dead shard's open
+// window keeps extending without any session traffic.
+func (r *Router) probeLoop(b *backend) {
+	ticker := time.NewTicker(r.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-ticker.C:
+		}
+		ok := r.probe(b)
+		wasHealthy := b.currentlyHealthy()
+		b.setProbe(ok)
+		if !ok {
+			b.noteFailure(r.cfg.BreakerBase, r.cfg.BreakerMax)
+		}
+		if ok != wasHealthy {
+			r.info("backend health changed", "backend", b.spec.Name, "healthy", ok)
+		}
+	}
+}
+
+// currentlyHealthy reports the last probe verdict (optimistic before
+// the first probe).
+func (b *backend) currentlyHealthy() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.probed || b.healthy
+}
+
+// String names the backend for errors.
+func (b *backend) String() string { return fmt.Sprintf("backend %s (%s)", b.spec.Name, b.spec.Addr) }

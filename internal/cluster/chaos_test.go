@@ -1,0 +1,331 @@
+package cluster_test
+
+// Cluster chaos suite: N stations × M backends with seeded mid-collision
+// kills, partitions and fleet mutations. The acceptance bar everywhere
+// is record-identical NDJSON against a fault-free single-daemon run —
+// no gaps, no duplicates, air-time order intact.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cic/internal/cluster"
+	"cic/internal/server"
+)
+
+// writeChunks streams one IQ slice in chaosChunk frames.
+func writeChunks(c chaosClient, iq []complex128) error {
+	for off := 0; off < len(iq); off += chaosChunk {
+		end := off + chaosChunk
+		if end > len(iq) {
+			end = len(iq)
+		}
+		if err := c.WriteIQ(iq[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runPhased streams every trace concurrently, pausing all stations at
+// each cut fraction: when every station reaches cut i, between(i) runs
+// in the test goroutine (kill a backend, mutate the fleet, …), then
+// streaming resumes. Every station must close cleanly.
+func runPhased(t *testing.T, mk func(station string) chaosClient,
+	traces map[string][]complex128, cuts []float64, between func(phase int)) {
+	t.Helper()
+	n, phases := len(traces), len(cuts)
+	arrived := make([]*sync.WaitGroup, phases)
+	gates := make([]chan struct{}, phases)
+	for i := 0; i < phases; i++ {
+		arrived[i] = &sync.WaitGroup{}
+		arrived[i].Add(n)
+		gates[i] = make(chan struct{})
+	}
+	errc := make(chan error, n)
+	var wg sync.WaitGroup
+	for station, iq := range traces {
+		wg.Add(1)
+		go func(station string, iq []complex128) {
+			defer wg.Done()
+			bail := func(phase int, err error) {
+				errc <- fmt.Errorf("%s: %w", station, err)
+				for i := phase; i < phases; i++ {
+					arrived[i].Done()
+				}
+			}
+			c := mk(station)
+			if c == nil {
+				bail(0, errors.New("client construction failed"))
+				return
+			}
+			prev := 0
+			for i, f := range cuts {
+				cut := int(float64(len(iq)) * f)
+				if err := writeChunks(c, iq[prev:cut]); err != nil {
+					bail(i, fmt.Errorf("phase %d write: %w", i, err))
+					return
+				}
+				prev = cut
+				arrived[i].Done()
+				<-gates[i]
+			}
+			if err := writeChunks(c, iq[prev:]); err != nil {
+				errc <- fmt.Errorf("%s: final write: %w", station, err)
+				return
+			}
+			if err := c.Close(); err != nil {
+				errc <- fmt.Errorf("%s: close: %w", station, err)
+			}
+		}(station, iq)
+	}
+	for i := 0; i < phases; i++ {
+		arrived[i].Wait()
+		between(i)
+		close(gates[i])
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosClusterKillByteIdentical is the cluster acceptance test: six
+// resumable stations shard across three backends; with every station
+// mid-collision one backend is killed -9 (listener, connections and
+// record stream all die abruptly). The router must fail the victim's
+// sessions over — replaying their retained streams onto surviving
+// shards — and the merged output must be record-identical to a
+// fault-free single-daemon run.
+func TestChaosClusterKillByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos e2e in -short mode")
+	}
+	cfg := testConfig()
+	traces := map[string][]complex128{}
+	for i := 0; i < 6; i++ {
+		station := fmt.Sprintf("kill-%d", i)
+		iq, _ := collisionTrace(t, cfg, 500+int64(i), station)
+		traces[station] = iq
+	}
+	baseline := singleDaemonBaseline(t, cfg, traces)
+
+	tc := startCluster(t, 3, clusterOpts{
+		routerCfg: func(c *cluster.Config) {
+			c.ParkTimeout = 30 * time.Second
+			c.ProbeInterval = 50 * time.Millisecond
+		},
+	})
+	victim := ""
+	runPhased(t, func(station string) chaosClient { return tc.reconnecting(station, cfg) },
+		traces, []float64{2.0 / 3}, func(int) {
+			victim = tc.router.SessionBackend("kill-0")
+			if victim == "" {
+				t.Fatal("kill-0 has no routed session at the cut point")
+			}
+			tc.byName(victim).kill()
+			t.Logf("killed %s mid-collision", victim)
+		})
+
+	merged := tc.shutdownAndCollect()
+	assertIdentical(t, baseline, merged)
+
+	snap := tc.reg.Snapshot()
+	if got := vecTotal(snap.CounterVecs[cluster.MetricFailovers]); got < 1 {
+		t.Errorf("%s = %d, want ≥ 1 (a backend died with live sessions)", cluster.MetricFailovers, got)
+	}
+	if got := snap.Counters[cluster.MetricReplayedSamples]; got == 0 {
+		t.Errorf("%s = 0, want > 0 (failover must replay retained streams)", cluster.MetricReplayedSamples)
+	}
+	if got := snap.Gauges[cluster.MetricSessionsParked]; got != 0 {
+		t.Errorf("%s = %d after shutdown, want 0", cluster.MetricSessionsParked, got)
+	}
+	if v, ok := vecGet(snap.GaugeVecs[cluster.MetricBackendHealthy], victim); !ok || v != 0 {
+		t.Errorf("%s{%s} = %d, want 0 for the killed backend", cluster.MetricBackendHealthy, victim, v)
+	}
+}
+
+// TestChaosClusterPartitionHeals: a backend is partitioned from the
+// router (connections severed, dials blackholed) but keeps running — the
+// worst case for duplicates, because its park window later expires and
+// it republishes everything it had ingested. The router must fail over,
+// the dedup watermark must suppress every straggler record, the prober
+// must mark the backend down and then healthy again once the partition
+// heals, and a healed backend must accept new sessions.
+func TestChaosClusterPartitionHeals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos e2e in -short mode")
+	}
+	cfg := testConfig()
+	traces := map[string][]complex128{}
+	for i := 0; i < 4; i++ {
+		station := fmt.Sprintf("part-%d", i)
+		iq, _ := collisionTrace(t, cfg, 600+int64(i), station)
+		traces[station] = iq
+	}
+	// The healed backend serves one more station after the partition, so
+	// the baseline covers it too.
+	healIQ, _ := collisionTrace(t, cfg, 690, "part-healed")
+	fullTraces := map[string][]complex128{"part-healed": healIQ}
+	for st, iq := range traces {
+		fullTraces[st] = iq
+	}
+	baseline := singleDaemonBaseline(t, cfg, fullTraces)
+
+	tc := startCluster(t, 2, clusterOpts{
+		routerCfg: func(c *cluster.Config) {
+			c.ParkTimeout = 30 * time.Second
+			c.ProbeInterval = 50 * time.Millisecond
+		},
+		// The partitioned backend's park window expires mid-test, so its
+		// straggler republication flows into the router while it runs. The
+		// window must outlast the replacement's drain comfortably: the
+		// replacement's records have to reach the relay watermark first,
+		// or a straggler decoded from the victim's truncated stream would
+		// be relayed instead of suppressed.
+		backendCfg: func(c *server.Config) { c.ParkTimeout = 5 * time.Second },
+	})
+
+	var victim *testBackend
+	// The cut lands at 0.85 of the stream — past the overlapping first
+	// and second packets' last samples but before the third's. The
+	// duplicate-suppression assertions below need the victim's post-park
+	// drain to republish at least packet 1, so before severing it the
+	// hook waits for the victim to have ingested everything the client
+	// wrote: the victim's ingest is decode-paced and can trail the
+	// client's write mark by the full socket buffer (the router forwards
+	// ahead of a backpressured shard), and a victim cut mid-lag may hold
+	// too little of the stream to decode anything at all.
+	cutSamples := int(float64(len(traces["part-0"])) * 0.85)
+	runPhased(t, func(station string) chaosClient { return tc.reconnecting(station, cfg) },
+		traces, []float64{0.85}, func(int) {
+			name := tc.router.SessionBackend("part-0")
+			if name == "" {
+				t.Fatal("part-0 has no routed session at the cut point")
+			}
+			victim = tc.byName(name)
+			waitFor(t, "the victim to ingest the stream up to the cut", func() bool {
+				v, ok := vecGet(victim.reg.Snapshot().CounterVecs[server.MetricStationBytes], "part-0")
+				return ok && v >= int64(cutSamples*8)
+			})
+			tc.nm.sever(victim.addr)
+			victim.severConns()
+			t.Logf("partitioned %s mid-collision", name)
+		})
+
+	// The prober sees the partition (dials run through the netmap).
+	waitFor(t, "probe to mark the partitioned backend down", func() bool {
+		v, ok := vecGet(tc.reg.Snapshot().GaugeVecs[cluster.MetricBackendHealthy], victim.name)
+		return ok && v == 0
+	})
+
+	// The partitioned backend's park window expires and it republishes
+	// every record it had decoded; the watermark must drop them all.
+	waitFor(t, "straggler records to be deduplicated", func() bool {
+		return tc.reg.Snapshot().Counters[cluster.MetricRecordsDeduped] > 0
+	})
+
+	// Heal: probes recover within an interval, and a fresh station owned
+	// by the healed backend routes onto it.
+	tc.nm.heal(victim.addr)
+	waitFor(t, "probe to mark the healed backend up", func() bool {
+		v, ok := vecGet(tc.reg.Snapshot().GaugeVecs[cluster.MetricBackendHealthy], victim.name)
+		return ok && v == 1
+	})
+	if tc.router.BackendFor("part-healed") == victim.name {
+		t.Logf("post-heal station part-healed is owned by the healed backend")
+	}
+	c := tc.reconnecting("part-healed", cfg)
+	if _, err := c.Connect(); err != nil {
+		t.Fatalf("post-heal session: %v", err)
+	}
+	if err := writeChunks(c, healIQ); err != nil {
+		t.Fatalf("post-heal stream: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("post-heal close: %v", err)
+	}
+
+	merged := tc.shutdownAndCollect()
+	assertIdentical(t, baseline, merged)
+
+	snap := tc.reg.Snapshot()
+	if got := vecTotal(snap.CounterVecs[cluster.MetricFailovers]); got < 1 {
+		t.Errorf("%s = %d, want ≥ 1", cluster.MetricFailovers, got)
+	}
+	if got := snap.Counters[cluster.MetricRecordsDeduped]; got < 1 {
+		t.Errorf("%s = %d, want ≥ 1 (stragglers must have been suppressed)", cluster.MetricRecordsDeduped, got)
+	}
+}
+
+// TestChaosClusterRebalance: fleet mutations mid-collision. Six stations
+// start on a single shard; a second shard joins (stations whose ring
+// owner moved migrate with a full replay), then the first shard is
+// removed (its remaining stations drain onto the survivor). The merged
+// output must still be record-identical to the single-daemon run.
+func TestChaosClusterRebalance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos e2e in -short mode")
+	}
+	cfg := testConfig()
+	traces := map[string][]complex128{}
+	for i := 0; i < 6; i++ {
+		station := fmt.Sprintf("rebal-%d", i)
+		iq, _ := collisionTrace(t, cfg, 700+int64(i), station)
+		traces[station] = iq
+	}
+	baseline := singleDaemonBaseline(t, cfg, traces)
+
+	tc := startCluster(t, 1, clusterOpts{
+		routerCfg: func(c *cluster.Config) { c.ParkTimeout = 30 * time.Second },
+	})
+
+	movedOnAdd := 0
+	runPhased(t, func(station string) chaosClient { return tc.reconnecting(station, cfg) },
+		traces, []float64{0.5, 0.75}, func(phase int) {
+			switch phase {
+			case 0:
+				tc.addBackend(nil)
+				for station := range traces {
+					if tc.router.BackendFor(station) == "shard-1" {
+						movedOnAdd++
+					}
+				}
+				if movedOnAdd == 0 {
+					// The ring is a pure function of the fixed names above, so
+					// this is a deterministic outcome, not flake.
+					t.Fatal("no station's ring owner moved to the new backend")
+				}
+				t.Logf("shard-1 joined; %d/6 stations rebalance onto it", movedOnAdd)
+			case 1:
+				if err := tc.router.RemoveBackend("shard-0"); err != nil {
+					t.Fatalf("RemoveBackend(shard-0): %v", err)
+				}
+				for station := range traces {
+					if got := tc.router.BackendFor(station); got != "shard-1" {
+						t.Fatalf("BackendFor(%s) = %q after removal, want shard-1", station, got)
+					}
+				}
+			}
+		})
+
+	merged := tc.shutdownAndCollect()
+	assertIdentical(t, baseline, merged)
+
+	snap := tc.reg.Snapshot()
+	// Phase 0 migrates the moved stations; phase 1 migrates the rest.
+	if got := snap.Counters[cluster.MetricMigrations]; got != 6 {
+		t.Errorf("%s = %d, want 6 (every station migrates exactly once across the two mutations)",
+			cluster.MetricMigrations, got)
+	}
+	if got := snap.Counters[cluster.MetricReplayedSamples]; got == 0 {
+		t.Errorf("%s = 0, want > 0 (migration replays retained streams)", cluster.MetricReplayedSamples)
+	}
+	if got := snap.Counters[cluster.MetricRecordsDeduped]; got < 0 {
+		t.Errorf("%s = %d, want ≥ 0", cluster.MetricRecordsDeduped, got)
+	}
+}

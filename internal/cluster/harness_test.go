@@ -1,0 +1,493 @@
+package cluster_test
+
+// Shared harness for the cluster tests: in-process gatewayd shards whose
+// NDJSON output feeds the router's record intake through a cuttable
+// valve, a partitionable dial fabric, and the byte-identical comparison
+// helpers mirrored from the internal/server chaos suite.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"os"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+
+	"cic"
+	"cic/internal/cluster"
+	"cic/internal/obs"
+	"cic/internal/server"
+)
+
+// chaosChunk is the IQ chunk size the test clients stream with, matching
+// the server chaos suite so frame boundaries land mid-stream.
+const chaosChunk = 8192
+
+// testConfig is the PHY configuration used across the cluster tests:
+// the paper's SF8/250k setup at CR 4/7.
+func testConfig() cic.Config {
+	cfg := cic.DefaultConfig()
+	cfg.CodingRate = 3
+	return cfg
+}
+
+// collisionTrace synthesises a deterministic three-packet collision for
+// one station, returning the IQ (with a quiet tail) and the ground-truth
+// payloads in air-time order.
+func collisionTrace(t testing.TB, cfg cic.Config, seed int64, tag string) ([]complex128, [][]byte) {
+	t.Helper()
+	sym := int64(cfg.SamplesPerSymbol())
+	payloads := [][]byte{
+		[]byte(tag + "-pkt-alpha"),
+		[]byte(tag + "-pkt-bravo"),
+		[]byte(tag + "-pkt-charl"),
+	}
+	src, err := cic.SimulateCollision(cfg, []cic.Emission{
+		{Payload: payloads[0], StartSample: 4096, SNR: 27, CFO: 1500},
+		{Payload: payloads[1], StartSample: 4096 + 13*sym + 211, SNR: 24, CFO: -2400},
+		{Payload: payloads[2], StartSample: 4096 + 26*sym + 97, SNR: 25, CFO: 800},
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iq := cic.Samples(src)
+	iq = append(iq, make([]complex128, 8*cfg.SamplesPerSymbol())...)
+	return iq, payloads
+}
+
+// memSink is a concurrency-safe NDJSON capture for Fanout writers.
+type memSink struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (m *memSink) Write(p []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.buf.Write(p)
+}
+
+func (m *memSink) Records(t testing.TB) []server.Record {
+	t.Helper()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []server.Record
+	for _, line := range bytes.Split(m.buf.Bytes(), []byte{'\n'}) {
+		if len(line) == 0 {
+			continue
+		}
+		var r server.Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func waitFor(t testing.TB, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// groupByStation splits sink records per station, preserving order.
+func groupByStation(recs []server.Record) map[string][]server.Record {
+	out := map[string][]server.Record{}
+	for _, r := range recs {
+		out[r.Station] = append(out[r.Station], r)
+	}
+	return out
+}
+
+// assertIdentical compares two runs' per-station record sequences
+// field-by-field, ignoring only the server-assigned session id.
+func assertIdentical(t *testing.T, want, got map[string][]server.Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("records from %d stations, want %d", len(got), len(want))
+	}
+	for station, w := range want {
+		g := got[station]
+		if len(g) != len(w) {
+			t.Fatalf("%s: %d records, want %d\n got: %+v\nwant: %+v", station, len(g), len(w), g, w)
+		}
+		for i := range w {
+			a, b := g[i], w[i]
+			a.Session, b.Session = 0, 0
+			if a != b {
+				t.Errorf("%s: record %d differs under faults:\n got %+v\nwant %+v", station, i, a, b)
+			}
+		}
+	}
+}
+
+// chaosClient is the common surface of Client and ReconnectingClient
+// used by runStations.
+type chaosClient interface {
+	WriteIQ([]complex128) error
+	Close() error
+}
+
+// runStations streams each station's collision trace through clients
+// built by mkClient (nil on construction failure). Every station must
+// close cleanly.
+func runStations(t *testing.T, traces map[string][]complex128,
+	mkClient func(station string) chaosClient) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errc := make(chan error, len(traces))
+	for station, iq := range traces {
+		wg.Add(1)
+		go func(station string, iq []complex128) {
+			defer wg.Done()
+			c := mkClient(station)
+			if c == nil {
+				errc <- fmt.Errorf("%s: client construction failed", station)
+				return
+			}
+			for off := 0; off < len(iq); off += chaosChunk {
+				end := off + chaosChunk
+				if end > len(iq) {
+					end = len(iq)
+				}
+				if err := c.WriteIQ(iq[off:end]); err != nil {
+					errc <- fmt.Errorf("%s write: %w", station, err)
+					return
+				}
+			}
+			if err := c.Close(); err != nil {
+				errc <- fmt.Errorf("%s close: %w", station, err)
+			}
+		}(station, iq)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// helloClient dials and handshakes a plain (non-resumable) client
+// against addr, nil on failure.
+func helloClient(t *testing.T, addr, station string, cfg cic.Config) chaosClient {
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Errorf("%s dial: %v", station, err)
+		return nil
+	}
+	if err := c.Hello(station, cfg); err != nil {
+		t.Errorf("%s hello: %v", station, err)
+		return nil
+	}
+	return c
+}
+
+// singleDaemonBaseline runs every trace through one plain gatewayd and
+// returns the per-station record groups — the ground truth the cluster
+// runs must reproduce byte-for-byte.
+func singleDaemonBaseline(t *testing.T, cfg cic.Config, traces map[string][]complex128) map[string][]server.Record {
+	t.Helper()
+	sink := &memSink{}
+	srv := server.New(server.Config{
+		Workers: 1,
+		Metrics: cic.NewMetrics(),
+		Sink:    server.NewFanout(sink),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	runStations(t, traces, func(station string) chaosClient {
+		return helloClient(t, ln.Addr().String(), station, cfg)
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("baseline shutdown: %v", err)
+	}
+	baseline := groupByStation(sink.Records(t))
+	for station := range traces {
+		if len(baseline[station]) == 0 {
+			t.Fatalf("baseline: no records for %s", station)
+		}
+	}
+	return baseline
+}
+
+// valve forwards NDJSON bytes to a destination writer until shut off —
+// modelling the record stream of a backend whose process was killed
+// (records decoded after the kill never reach the router).
+type valve struct {
+	mu   sync.Mutex
+	dst  io.Writer
+	open bool
+}
+
+func (v *valve) Write(p []byte) (int, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !v.open || v.dst == nil {
+		return len(p), nil
+	}
+	return v.dst.Write(p)
+}
+
+func (v *valve) redirect(w io.Writer) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.dst = w
+}
+
+func (v *valve) shut() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.open = false
+}
+
+// netmap is the test dial fabric: the router's Config.Dial hook routes
+// through it, so cutting an address partitions a backend from the router
+// (new connects fail) without touching the backend process.
+type netmap struct {
+	mu  sync.Mutex
+	cut map[string]bool
+}
+
+func newNetmap() *netmap { return &netmap{cut: map[string]bool{}} }
+
+func (n *netmap) dial(ctx context.Context, addr string) (net.Conn, error) {
+	n.mu.Lock()
+	severed := n.cut[addr]
+	n.mu.Unlock()
+	if severed {
+		return nil, fmt.Errorf("netmap: %s partitioned", addr)
+	}
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+func (n *netmap) sever(addr string) { n.mu.Lock(); n.cut[addr] = true; n.mu.Unlock() }
+func (n *netmap) heal(addr string)  { n.mu.Lock(); delete(n.cut, addr); n.mu.Unlock() }
+
+// testBackend is one in-process gatewayd shard: a real server.Server on
+// a loopback listener, publishing through a valve into the router's
+// record intake, with every accepted connection tracked so kill and
+// partition can sever them abruptly.
+type testBackend struct {
+	name  string
+	srv   *server.Server
+	ln    net.Listener
+	addr  string
+	valve *valve
+	reg   *cic.Metrics
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	killed bool
+}
+
+func startTestBackend(t testing.TB, name string, mutate func(*server.Config)) *testBackend {
+	t.Helper()
+	b := &testBackend{name: name, valve: &valve{open: true}, conns: map[net.Conn]struct{}{}}
+	var blog *slog.Logger
+	if os.Getenv("CLUSTER_TEST_LOG") != "" {
+		blog = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug})).With("shard", name)
+	}
+	b.reg = cic.NewMetrics()
+	cfg := server.Config{
+		Workers: 1,
+		Metrics: b.reg,
+		Log:     blog,
+		Sink:    server.NewFanout(b.valve),
+		WrapConn: func(c net.Conn) net.Conn {
+			b.mu.Lock()
+			if b.killed {
+				b.mu.Unlock()
+				c.Close()
+				return c
+			}
+			b.conns[c] = struct{}{}
+			b.mu.Unlock()
+			return c
+		},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	b.srv = server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.ln, b.addr = ln, ln.Addr().String()
+	go b.srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		b.srv.Shutdown(ctx)
+	})
+	return b
+}
+
+// severConns abruptly closes every connection the backend has accepted
+// (the router's upstream legs included) without stopping the server.
+func (b *testBackend) severConns() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for c := range b.conns {
+		c.Close()
+	}
+	b.conns = map[net.Conn]struct{}{}
+}
+
+// kill models a kill -9: the record stream stops first (decodes after
+// the kill are lost, exactly like a dead process's stdout), then the
+// listener and every live connection die.
+func (b *testBackend) kill() {
+	b.mu.Lock()
+	b.killed = true
+	b.mu.Unlock()
+	b.valve.shut()
+	b.ln.Close()
+	b.severConns()
+}
+
+// testCluster is a router fronting a fleet of in-process shards.
+type testCluster struct {
+	t        *testing.T
+	router   *cluster.Router
+	addr     string
+	sink     *memSink
+	reg      *cic.Metrics
+	nm       *netmap
+	backends []*testBackend
+}
+
+// clusterOpts tweak the harness: routerCfg and backendCfg mutate the
+// respective configs before construction.
+type clusterOpts struct {
+	routerCfg  func(*cluster.Config)
+	backendCfg func(*server.Config)
+}
+
+// startCluster launches n shards and a router on loopback listeners and
+// wires every shard's NDJSON output into the router's record intake.
+func startCluster(t *testing.T, n int, opt clusterOpts) *testCluster {
+	t.Helper()
+	tc := &testCluster{t: t, sink: &memSink{}, reg: cic.NewMetrics(), nm: newNetmap()}
+	specs := make([]cluster.BackendSpec, 0, n)
+	for i := 0; i < n; i++ {
+		b := startTestBackend(t, fmt.Sprintf("shard-%d", i), opt.backendCfg)
+		tc.backends = append(tc.backends, b)
+		specs = append(specs, cluster.BackendSpec{Name: b.name, Addr: b.addr})
+	}
+	cfg := cluster.Config{
+		Backends: specs,
+		Metrics:  tc.reg,
+		Sink:     server.NewFanout(tc.sink),
+		Dial:     tc.nm.dial,
+		Seed:     1,
+	}
+	// CLUSTER_TEST_LOG=1 streams the router's structured log to stderr —
+	// the first thing to reach for when a chaos test fails.
+	if os.Getenv("CLUSTER_TEST_LOG") != "" {
+		cfg.Log = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	}
+	if opt.routerCfg != nil {
+		opt.routerCfg(&cfg)
+	}
+	tc.router = cluster.New(cfg)
+	for _, b := range tc.backends {
+		b.valve.redirect(tc.router.RecordWriter())
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.addr = ln.Addr().String()
+	go tc.router.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		tc.router.Shutdown(ctx)
+	})
+	return tc
+}
+
+// addBackend grows the fleet at runtime, wiring the new shard's records
+// into the router before it can receive sessions.
+func (tc *testCluster) addBackend(mutate func(*server.Config)) *testBackend {
+	tc.t.Helper()
+	b := startTestBackend(tc.t, fmt.Sprintf("shard-%d", len(tc.backends)), mutate)
+	b.valve.redirect(tc.router.RecordWriter())
+	tc.backends = append(tc.backends, b)
+	if err := tc.router.AddBackend(cluster.BackendSpec{Name: b.name, Addr: b.addr}); err != nil {
+		tc.t.Fatalf("AddBackend(%s): %v", b.name, err)
+	}
+	return b
+}
+
+// byName finds a harness backend by its cluster name.
+func (tc *testCluster) byName(name string) *testBackend {
+	for _, b := range tc.backends {
+		if b.name == name {
+			return b
+		}
+	}
+	tc.t.Fatalf("no harness backend named %q", name)
+	return nil
+}
+
+// shutdownAndCollect drains the router and returns the merged
+// per-station record groups.
+func (tc *testCluster) shutdownAndCollect() map[string][]server.Record {
+	tc.t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := tc.router.Shutdown(ctx); err != nil {
+		tc.t.Fatalf("router shutdown: %v", err)
+	}
+	return groupByStation(tc.sink.Records(tc.t))
+}
+
+// reconnecting builds a resumable client aimed at the router.
+func (tc *testCluster) reconnecting(station string, cfg cic.Config) *server.ReconnectingClient {
+	return server.NewReconnectingClient(server.ReconnectOptions{
+		Station:     station,
+		Config:      cfg,
+		Addr:        tc.addr,
+		MaxAttempts: 50,
+		BaseBackoff: 10 * time.Millisecond,
+	})
+}
+
+// vecTotal sums every series of a labeled family.
+func vecTotal(v obs.VecSnapshot) int64 {
+	var n int64
+	for _, s := range v.Series {
+		n += s.Value
+	}
+	return n
+}
+
+// vecGet reads one labeled series value (0, false when absent).
+func vecGet(v obs.VecSnapshot, values ...string) (int64, bool) {
+	for _, s := range v.Series {
+		if slices.Equal(s.Values, values) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"time"
+
+	"cic/internal/server"
+)
+
+// The record fan-in: each backend's NDJSON stream is merged into the
+// router's own sink behind a per-station dedup watermark, so failover
+// replay (which makes the replacement shard re-decode and re-publish
+// the whole stream) is invisible in the merged output.
+//
+// Correctness rests on two invariants. First, every backend session for
+// a station decodes the same deterministic stream from sample 0 (full
+// replay), so its records are byte-identical to the fault-free run's —
+// record k of any shard equals record k of any other. Second, one
+// router session is the only writer for its station (admitSession
+// enforces it), so "number of records already emitted" is a complete
+// dedup state: emit record k iff k equals the watermark.
+
+// relay merges one backend record into the router's sink. The watermark
+// lock is held across Publish to keep the per-station record order —
+// Publish is bounded (serialised writers plus non-blocking subscriber
+// queues), so the critical section cannot stall on a slow consumer.
+func (r *Router) relay(rec server.Record) {
+	r.wmMu.Lock()
+	st := r.wms[rec.Station]
+	if st == nil {
+		// No routed session ever (or the watermark was evicted): not ours
+		// to police, pass it through.
+		r.wmMu.Unlock()
+		r.sink.Publish(rec)
+		r.m.RecordsRelayed.Inc()
+		return
+	}
+	if int64(rec.Seq) < st.next {
+		r.wmMu.Unlock()
+		r.m.RecordsDeduped.Inc()
+		return
+	}
+	// rec.Seq == st.next in the normal interleave; a gap past the
+	// watermark cannot happen under per-shard ordered delivery, so
+	// emitting is always right. Records carry the router session id:
+	// downstream sees one session per station, whatever the fleet did.
+	st.next = int64(rec.Seq) + 1
+	rec.Session = st.sessID
+	r.sink.Publish(rec) //cic:lock-ok: Publish under wmMu preserves per-station record order by design; Fanout serialises writers and never blocks on a slow subscriber (dead-writer marking + bounded queues), so the hold is bounded
+	r.wmMu.Unlock()
+	r.m.RecordsRelayed.Inc()
+}
+
+// resetWatermark starts a fresh dedup state for a station's new routed
+// session.
+func (r *Router) resetWatermark(s *session) {
+	r.wmMu.Lock()
+	r.wms[s.station] = &wmState{sessID: s.id}
+	r.wmMu.Unlock()
+}
+
+// retireWatermark marks a closed session's watermark as retired. It is
+// kept — a drained-late shard (park expiry on an abandoned upstream)
+// can still emit stragglers that must stay suppressed — but retired
+// entries are evicted arbitrarily past maxWatermarks so the map stays
+// bounded.
+func (r *Router) retireWatermark(s *session) {
+	r.wmMu.Lock()
+	defer r.wmMu.Unlock()
+	st := r.wms[s.station]
+	if st == nil || st.sessID != s.id {
+		return
+	}
+	st.retired = true
+	if len(r.wms) <= maxWatermarks {
+		return
+	}
+	for k, v := range r.wms {
+		if len(r.wms) <= maxWatermarks {
+			return
+		}
+		if v.retired && v != st {
+			delete(r.wms, k)
+		}
+	}
+}
+
+// ingestLine parses one NDJSON line from a backend and relays it.
+func (r *Router) ingestLine(line []byte) {
+	line = bytes.TrimSpace(line)
+	if len(line) == 0 {
+		return
+	}
+	var rec server.Record
+	if err := json.Unmarshal(line, &rec); err != nil {
+		r.m.IntakeErrors.Inc()
+		r.warn("intake: bad record line", "err", err.Error())
+		return
+	}
+	r.relay(rec)
+}
+
+// recordWriter adapts the fan-in to io.Writer for in-process backends
+// and file-fed deployments: bytes are buffered until a newline
+// completes a record line.
+type recordWriter struct {
+	r   *Router
+	buf []byte
+}
+
+// RecordWriter returns a Writer that feeds backend NDJSON output into
+// the router's dedup fan-in (the transport-free alternative to a
+// PubAddr subscription). Each call returns an independent line buffer;
+// a writer is not safe for concurrent use.
+func (r *Router) RecordWriter() *recordWriter {
+	return &recordWriter{r: r}
+}
+
+func (w *recordWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	for {
+		i := bytes.IndexByte(w.buf, '\n')
+		if i < 0 {
+			return len(p), nil
+		}
+		w.r.ingestLine(w.buf[:i])
+		w.buf = append(w.buf[:0], w.buf[i+1:]...)
+	}
+}
+
+// Intake reconnect backoff bounds.
+const (
+	intakeBackoffBase = 100 * time.Millisecond
+	intakeBackoffMax  = time.Second
+)
+
+// runIntake subscribes to one backend's NDJSON stream and relays every
+// record, reconnecting with bounded backoff until the router shuts
+// down. A dead backend keeps the loop dialing — when the shard comes
+// back (or its replacement reuses the address), the fan-in resumes by
+// itself.
+func (r *Router) runIntake(b *backend) {
+	defer r.intakeWG.Done()
+	backoff := intakeBackoffBase
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-r.done:
+			return
+		default:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), r.cfg.DialTimeout)
+		conn, err := r.dial(ctx, b.spec.PubAddr)
+		cancel()
+		if err == nil {
+			if attempt > 0 {
+				r.m.IntakeReconnects.Inc()
+			}
+			r.intakeMu.Lock()
+			r.intakeConns[conn] = struct{}{}
+			r.intakeMu.Unlock()
+			sc := bufio.NewScanner(conn)
+			sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+			for sc.Scan() {
+				r.ingestLine(sc.Bytes())
+			}
+			r.intakeMu.Lock()
+			delete(r.intakeConns, conn)
+			r.intakeMu.Unlock()
+			conn.Close()
+			backoff = intakeBackoffBase
+		}
+		select {
+		case <-r.done:
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > intakeBackoffMax {
+			backoff = intakeBackoffMax
+		}
+	}
+}

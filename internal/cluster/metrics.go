@@ -1,0 +1,102 @@
+package cluster
+
+import "cic/internal/obs"
+
+// Canonical metric names for the routing frontend, registered on the
+// same registry as the decode and server metrics so one
+// cic.DebugHandler serves everything. docs/OBSERVABILITY.md documents
+// each.
+const (
+	// Fleet topology and health.
+	MetricBackends        = "cluster_backends"             // gauge
+	MetricBackendHealthy  = "cluster_backend_healthy"      // gauge {backend}
+	MetricBreakerOpen     = "cluster_backend_breaker_open" // gauge {backend}
+	MetricBackendSessions = "cluster_backend_sessions"     // gauge {backend}
+	MetricBackendProbes   = "cluster_backend_probes"       // counter {backend, result}
+	MetricBackendFailures = "cluster_backend_failures"     // counter {backend}
+
+	// Session routing lifecycle.
+	MetricSessionsActive = "cluster_sessions_active" // gauge
+	MetricSessionsTotal  = "cluster_sessions_total"  // counter
+	MetricSessionsParked = "cluster_sessions_parked" // gauge
+	MetricResumesTotal   = "cluster_resumes_total"   // counter
+	MetricRejected       = "cluster_rejected_total"  // counter
+	MetricSheds          = "cluster_sheds_total"     // counter {backend}
+
+	// Self-healing: failover, rebalance and replay.
+	MetricFailovers       = "cluster_failovers_total"  // counter {backend}
+	MetricMigrations      = "cluster_migrations_total" // counter
+	MetricReplayedSamples = "cluster_replayed_samples" // counter
+	MetricRetainSamples   = "cluster_retain_samples"   // gauge
+	MetricRetainTrimmed   = "cluster_retain_trimmed"   // counter
+
+	// Record fan-in (backend NDJSON streams merged behind the dedup
+	// watermark).
+	MetricRecordsRelayed   = "cluster_records_relayed"   // counter
+	MetricRecordsDeduped   = "cluster_records_deduped"   // counter
+	MetricIntakeErrors     = "cluster_intake_errors"     // counter
+	MetricIntakeReconnects = "cluster_intake_reconnects" // counter
+)
+
+// clusterMetrics is the pre-resolved handle set for the router,
+// mirroring internal/server's serverMetrics: built from a nil registry
+// every handle is nil and every operation a no-op.
+type clusterMetrics struct {
+	Backends        *obs.Gauge
+	BackendHealthy  *obs.GaugeVec
+	BreakerOpen     *obs.GaugeVec
+	BackendSessions *obs.GaugeVec
+	BackendProbes   *obs.CounterVec
+	BackendFailures *obs.CounterVec
+
+	SessionsActive *obs.Gauge
+	SessionsTotal  *obs.Counter
+	SessionsParked *obs.Gauge
+	ResumesTotal   *obs.Counter
+	Rejected       *obs.Counter
+	Sheds          *obs.CounterVec
+
+	Failovers       *obs.CounterVec
+	Migrations      *obs.Counter
+	ReplayedSamples *obs.Counter
+	RetainSamples   *obs.Gauge
+	RetainTrimmed   *obs.Counter
+
+	RecordsRelayed   *obs.Counter
+	RecordsDeduped   *obs.Counter
+	IntakeErrors     *obs.Counter
+	IntakeReconnects *obs.Counter
+}
+
+// newClusterMetrics registers the router's metrics on r (nil-safe).
+// Backend-label cardinality is the configured fleet size, so the vec
+// families use the registry default cap.
+func newClusterMetrics(r *obs.Registry) *clusterMetrics {
+	backend := []string{"backend"}
+	return &clusterMetrics{
+		Backends:        r.Gauge(MetricBackends),
+		BackendHealthy:  r.GaugeVec(MetricBackendHealthy, backend, 0),
+		BreakerOpen:     r.GaugeVec(MetricBreakerOpen, backend, 0),
+		BackendSessions: r.GaugeVec(MetricBackendSessions, backend, 0),
+		BackendProbes:   r.CounterVec(MetricBackendProbes, []string{"backend", "result"}, 0),
+		BackendFailures: r.CounterVec(MetricBackendFailures, backend, 0),
+
+		SessionsActive: r.Gauge(MetricSessionsActive),
+		SessionsTotal:  r.Counter(MetricSessionsTotal),
+		SessionsParked: r.Gauge(MetricSessionsParked),
+		ResumesTotal:   r.Counter(MetricResumesTotal),
+		Rejected:       r.Counter(MetricRejected),
+		Sheds:          r.CounterVec(MetricSheds, backend, 0),
+
+		Failovers:       r.CounterVec(MetricFailovers, backend, 0),
+		Migrations:      r.Counter(MetricMigrations),
+		ReplayedSamples: r.Counter(MetricReplayedSamples),
+		RetainSamples:   r.Gauge(MetricRetainSamples),
+		RetainTrimmed:   r.Counter(MetricRetainTrimmed),
+
+		RecordsRelayed:   r.Counter(MetricRecordsRelayed),
+		RecordsDeduped:   r.Counter(MetricRecordsDeduped),
+		IntakeErrors:     r.Counter(MetricIntakeErrors),
+		IntakeReconnects: r.Counter(MetricIntakeReconnects),
+	}
+}

@@ -1,0 +1,116 @@
+// Package cluster is the station-sharded scale-out layer for the cic
+// ingestion fleet: a Router (cmd/cic-routerd) terminates the v2 wire
+// protocol, consistently hashes each station id onto one of a set of
+// cic-gatewayd backends, and proxies the session upstream. The fleet is
+// self-healing — per-backend health probing and circuit breakers, full
+// session retention with RESUME-based replay onto a replacement shard
+// when a backend dies, drain-based rebalancing when the backend set
+// changes, and a record fan-in that merges the backends' NDJSON streams
+// behind a per-station dedup watermark so failover replay is invisible
+// in the output. docs/SERVER.md ("Cluster mode") is the walkthrough.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// vnodesPerBackend is the virtual-node count per backend on the hash
+// ring: enough that removing one backend redistributes its stations
+// roughly evenly over the survivors.
+const vnodesPerBackend = 128
+
+// ringPoint is one virtual node: a hash position owned by a backend.
+type ringPoint struct {
+	hash uint64
+	name string
+}
+
+// ring is an immutable consistent-hash ring over backend names. The
+// Router swaps the whole ring on membership changes, so readers never
+// need a lock beyond the pointer load.
+type ring struct {
+	points []ringPoint
+	names  []string // distinct backend names, stable order
+}
+
+// fnv64a is the 64-bit FNV-1a hash (inlined to keep the hot lookup
+// allocation-free).
+func fnv64a(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// ringHash positions a key on the ring. Raw FNV-1a barely avalanches
+// the high bits for short shared-prefix keys (vnode labels like
+// "shard-0#17" differ only in trailing digits), which clusters one
+// backend's vnodes into a narrow arc; the murmur3 finalizer spreads
+// them over the whole ring.
+func ringHash(s string) uint64 {
+	h := fnv64a(s)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// newRing builds a ring over the given backend names.
+func newRing(names []string) *ring {
+	r := &ring{names: append([]string(nil), names...)}
+	r.points = make([]ringPoint, 0, len(names)*vnodesPerBackend)
+	for _, name := range names {
+		for v := 0; v < vnodesPerBackend; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: ringHash(fmt.Sprintf("%s#%d", name, v)),
+				name: name,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].name < r.points[j].name
+	})
+	return r
+}
+
+// owner returns the backend that owns a station: the first virtual node
+// clockwise from the station's hash point. Empty ring returns "".
+func (r *ring) owner(station string) string {
+	name, _ := r.ownerSkipping(station, nil)
+	return name
+}
+
+// ownerSkipping walks clockwise from the station's hash point and
+// returns the first backend accepted by ok (nil ok accepts everything).
+// Each distinct backend is offered once; false when none qualifies.
+func (r *ring) ownerSkipping(station string, ok func(name string) bool) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := ringHash(station)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool, len(r.names))
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.name] {
+			continue
+		}
+		seen[p.name] = true
+		if ok == nil || ok(p.name) {
+			return p.name, true
+		}
+		if len(seen) == len(r.names) {
+			break
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestRingDeterministicOwner: the owner of a station is a pure function
+// of the backend name set — two independently built rings agree on every
+// station, and every owner is a configured backend.
+func TestRingDeterministicOwner(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	r1 := newRing(names)
+	r2 := newRing([]string{"c", "a", "b"}) // order must not matter
+	valid := map[string]bool{"a": true, "b": true, "c": true}
+	for i := 0; i < 1000; i++ {
+		station := fmt.Sprintf("station-%d", i)
+		o1, o2 := r1.owner(station), r2.owner(station)
+		if o1 != o2 {
+			t.Fatalf("owner(%q) differs across builds: %q vs %q", station, o1, o2)
+		}
+		if !valid[o1] {
+			t.Fatalf("owner(%q) = %q, not a configured backend", station, o1)
+		}
+	}
+	if got := newRing(nil).owner("x"); got != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", got)
+	}
+}
+
+// TestRingConsistency: growing the fleet by one backend only moves
+// stations onto the new backend — no station shuffles between surviving
+// backends, and the moved fraction is near 1/(n+1).
+func TestRingConsistency(t *testing.T) {
+	before := newRing([]string{"a", "b", "c"})
+	after := newRing([]string{"a", "b", "c", "d"})
+	const stations = 2000
+	moved := 0
+	for i := 0; i < stations; i++ {
+		station := fmt.Sprintf("station-%d", i)
+		was, now := before.owner(station), after.owner(station)
+		if was == now {
+			continue
+		}
+		moved++
+		if now != "d" {
+			t.Fatalf("station %q moved %q → %q, not onto the new backend", station, was, now)
+		}
+	}
+	// Expect ~1/4 of stations on the new backend; allow generous slack
+	// for hash variance (vnodesPerBackend keeps this tight in practice).
+	if moved < stations/8 || moved > stations/2 {
+		t.Errorf("%d/%d stations moved to the new backend, want roughly %d", moved, stations, stations/4)
+	}
+}
+
+// TestRingOwnerSkipping: the failover walk offers each distinct backend
+// exactly once, in ring order, and reports failure when every backend is
+// vetoed.
+func TestRingOwnerSkipping(t *testing.T) {
+	r := newRing([]string{"a", "b", "c"})
+	primary := r.owner("station-42")
+
+	// Accepting everything picks the primary owner.
+	got, ok := r.ownerSkipping("station-42", func(string) bool { return true })
+	if !ok || got != primary {
+		t.Fatalf("ownerSkipping(accept all) = %q,%v, want %q,true", got, ok, primary)
+	}
+
+	// Vetoing the primary picks a different backend.
+	got, ok = r.ownerSkipping("station-42", func(name string) bool { return name != primary })
+	if !ok || got == primary {
+		t.Fatalf("ownerSkipping(veto primary) = %q,%v, want a different backend", got, ok)
+	}
+
+	// The walk offers every distinct backend exactly once.
+	var offered []string
+	_, ok = r.ownerSkipping("station-42", func(name string) bool {
+		offered = append(offered, name)
+		return false
+	})
+	if ok {
+		t.Fatal("ownerSkipping(veto all) reported success")
+	}
+	if len(offered) != 3 {
+		t.Fatalf("walk offered %v, want each of 3 backends exactly once", offered)
+	}
+	seen := map[string]bool{}
+	for _, name := range offered {
+		if seen[name] {
+			t.Fatalf("walk offered %q twice: %v", name, offered)
+		}
+		seen[name] = true
+	}
+}
+
+// TestBreakerBackoff: consecutive failures open the breaker with
+// exponentially growing, capped, jittered windows; a success after the
+// window closes resets the failure streak.
+func TestBreakerBackoff(t *testing.T) {
+	b := newBackend(BackendSpec{Name: "x", Addr: "127.0.0.1:1"}, newClusterMetrics(nil), 7)
+	base, max := 100*time.Millisecond, 500*time.Millisecond
+
+	if !b.available() {
+		t.Fatal("fresh backend unavailable")
+	}
+	var prev time.Duration
+	for i := 1; i <= 5; i++ {
+		before := time.Now()
+		b.noteFailure(base, max)
+		b.mu.Lock()
+		window := b.openUntil.Sub(before)
+		fails := b.fails
+		b.mu.Unlock()
+		if fails != i {
+			t.Fatalf("after %d failures fails = %d", i, fails)
+		}
+		// Jitter keeps the window in [d/2, d] for d = min(base<<(i-1), max).
+		d := base << (i - 1)
+		if d > max {
+			d = max
+		}
+		if window < d/2-20*time.Millisecond || window > d+20*time.Millisecond {
+			t.Errorf("failure %d: open window %v outside [%v, %v]", i, window, d/2, d)
+		}
+		if i > 1 && d < max && window < prev/4 {
+			t.Errorf("failure %d: window %v collapsed vs previous %v", i, window, prev)
+		}
+		prev = window
+		if b.available() {
+			t.Errorf("failure %d: backend available while breaker open", i)
+		}
+	}
+
+	// A success while the window is still open is a half-open probe racing
+	// the breaker: it must not reset the streak.
+	b.noteSuccess()
+	b.mu.Lock()
+	stillOpen := b.fails
+	b.mu.Unlock()
+	if stillOpen == 0 {
+		t.Error("success inside the open window reset the breaker")
+	}
+
+	// Once the window elapses, a success closes the breaker for good.
+	b.mu.Lock()
+	b.openUntil = time.Now().Add(-time.Millisecond)
+	b.mu.Unlock()
+	b.noteSuccess()
+	b.mu.Lock()
+	fails := b.fails
+	b.mu.Unlock()
+	if fails != 0 {
+		t.Errorf("success after the open window left fails = %d", fails)
+	}
+	if !b.available() {
+		t.Error("backend unavailable after breaker reset")
+	}
+}
+
+// TestBackendSpecDefaults: a bare address derives the backend name.
+func TestBackendSpecDefaults(t *testing.T) {
+	s := BackendSpec{Addr: "127.0.0.1:7733"}.withDefaults()
+	if s.Name != "127.0.0.1:7733" {
+		t.Errorf("defaulted name %q, want the address", s.Name)
+	}
+	s = BackendSpec{Addr: "127.0.0.1:7733", Name: "alpha"}.withDefaults()
+	if s.Name != "alpha" {
+		t.Errorf("explicit name overridden to %q", s.Name)
+	}
+}

@@ -1,0 +1,855 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cic/internal/server"
+)
+
+// session is one routed client session: the router terminates the
+// client's v2 protocol here, retains the stream for replay, and proxies
+// it upstream to the station's shard. Exactly one goroutine drives a
+// session at a time (the connection handler, or — after the handler
+// released it — the park-expiry / shutdown drain), so the retention and
+// upstream fields need no lock.
+type session struct {
+	r         *Router
+	id        uint64
+	cid       string
+	hello     server.Hello
+	station   string
+	resumable bool
+
+	// conn is the attached client connection (Shutdown closes it to
+	// unblock the handler).
+	connMu sync.Mutex
+	conn   net.Conn
+
+	// Retention: the full session stream as raw IQ frame bodies, each
+	// chunk one client frame, chunkStarts its absolute sample offset.
+	// Failover replays chunks[retainStart:] onto the replacement shard;
+	// past RetainCap the oldest chunks are trimmed (lossy degraded mode).
+	chunks      [][]byte
+	chunkStarts []int64
+	retainStart int64
+	ingested    int64
+	retained    int64
+
+	up          *upstream
+	lastBackend string
+	ringVer     uint64
+
+	// bname mirrors the attached backend name for concurrent readers
+	// (Router.SessionBackend).
+	bname atomic.Value
+}
+
+// upstream is one live connection to a backend shard. The read loop
+// owns the inbound side (ACK/OK/ERROR frames); the session's driving
+// goroutine owns the outbound side.
+type upstream struct {
+	b    *backend
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	dead atomic.Bool
+	done chan struct{}
+	okCh chan struct{}
+
+	mu   sync.Mutex
+	rerr error               // transport-level reader exit
+	serr *server.ServerError // structured terminal ERROR from the backend
+}
+
+// terminalErr reports a structured terminal ERROR the backend sent
+// (decode failure, drain) — the session's fate, never a failover
+// trigger: replaying the same stream elsewhere would cycle a poison
+// packet through the fleet.
+func (u *upstream) terminalErr() *server.ServerError {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.serr
+}
+
+// readLoop drains backend→router frames until the connection dies.
+// Terminates when the peer or teardownUpstream closes the connection;
+// teardownUpstream waits on done.
+func (u *upstream) readLoop() {
+	defer func() {
+		u.dead.Store(true)
+		close(u.done)
+	}()
+	for {
+		typ, body, err := server.ReadFrame(u.br)
+		if err != nil {
+			u.mu.Lock()
+			u.rerr = err
+			u.mu.Unlock()
+			return
+		}
+		switch typ {
+		case server.FrameAck:
+			// Informational: the router's retention is the replay source
+			// of truth (a replacement shard resumes at offset 0, so the
+			// backend's ack high-water mark must not trim it).
+		case server.FrameOK:
+			select {
+			case u.okCh <- struct{}{}:
+			default:
+			}
+		case server.FrameError:
+			se, perr := server.ParseErrorBody(body)
+			if perr != nil {
+				se = &server.ServerError{Reason: perr.Error()}
+			}
+			u.mu.Lock()
+			u.serr = se
+			u.mu.Unlock()
+			return
+		default:
+			u.mu.Lock()
+			u.rerr = fmt.Errorf("unexpected upstream frame type 0x%02x", typ)
+			u.mu.Unlock()
+			return
+		}
+	}
+}
+
+func (s *session) setConn(conn net.Conn) {
+	s.connMu.Lock()
+	s.conn = conn
+	s.connMu.Unlock()
+}
+
+func (s *session) closeClientConn() {
+	s.connMu.Lock()
+	c := s.conn
+	s.connMu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+func (s *session) backendName() string {
+	if v, ok := s.bname.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// retain appends one IQ frame body to the replay retention, trimming
+// the oldest chunks past RetainCap. body is owned by the session from
+// here on (ReadFrame allocates a fresh slice per frame).
+func (s *session) retain(body []byte) {
+	n := int64(len(body) / 8)
+	s.chunks = append(s.chunks, body)
+	s.chunkStarts = append(s.chunkStarts, s.ingested)
+	s.ingested += n
+	s.retained += n
+	s.r.m.RetainSamples.Add(n)
+	cap := s.r.cfg.RetainCap
+	if cap <= 0 {
+		return
+	}
+	var trimmed int64
+	for s.retained > cap && len(s.chunks) > 1 {
+		dn := int64(len(s.chunks[0]) / 8)
+		s.chunks = s.chunks[1:]
+		s.chunkStarts = s.chunkStarts[1:]
+		s.retainStart = s.chunkStarts[0]
+		s.retained -= dn
+		trimmed += dn
+	}
+	if trimmed > 0 {
+		s.r.m.RetainTrimmed.Add(trimmed)
+		s.r.m.RetainSamples.Add(-trimmed)
+		s.r.warn("session retention trimmed (failover now lossy)",
+			"cid", s.cid, "station", s.station, "samples", trimmed)
+	}
+}
+
+// forward proxies one already-retained IQ body upstream. On a dead
+// transport it reconnects via ensureUpstream, whose replay covers the
+// body — the frame is never written twice to one upstream.
+func (s *session) forward(body []byte) *server.ServerError {
+	if s.up != nil && !s.up.dead.Load() {
+		err := server.WriteFrame(s.up.bw, server.FrameIQ, body)
+		if err == nil {
+			err = s.up.bw.Flush()
+		}
+		if err == nil {
+			return nil
+		}
+		s.up.dead.Store(true)
+	}
+	return s.ensureUpstream()
+}
+
+// ensureUpstream makes the session's upstream live: on first use it
+// routes the station onto its ring owner; after a transport death it
+// fails the session over — pick the next available shard, RESUME,
+// replay the retained stream — under the per-backend circuit breakers.
+// A non-nil return is the session's client-facing fate: overload
+// (retryable, parkable) when no shard can take it, or the backend's own
+// terminal error propagated verbatim.
+func (s *session) ensureUpstream() *server.ServerError {
+	if s.up != nil && !s.up.dead.Load() {
+		return nil
+	}
+	r := s.r
+	if s.up != nil {
+		if se := s.up.terminalErr(); se != nil {
+			s.teardownUpstream()
+			return se
+		}
+		prev := s.up.b
+		prev.noteFailure(r.cfg.BreakerBase, r.cfg.BreakerMax)
+		s.teardownUpstream()
+		r.m.Failovers.With(prev.spec.Name).Inc()
+		r.warn("upstream died, failing over",
+			"cid", s.cid, "station", s.station, "backend", prev.spec.Name)
+	}
+	maxAttempts := 2*r.backendCount() + 3
+	var lastReason string
+	for attempt := 0; ; attempt++ {
+		if r.isClosed() {
+			return &server.ServerError{Reason: "router draining"}
+		}
+		name, ok := r.currentRing().ownerSkipping(s.station, func(n string) bool {
+			b := r.backendByName(n)
+			return b != nil && b.available()
+		})
+		if !ok {
+			return &server.ServerError{
+				Code:       server.ErrCodeOverload,
+				RetryAfter: r.cfg.ProbeInterval,
+				Reason:     "no healthy backend for station",
+			}
+		}
+		b := r.backendByName(name)
+		if b == nil {
+			continue // raced a removal
+		}
+		se, retry := s.connectUpstream(b)
+		if se == nil {
+			return nil
+		}
+		if !retry {
+			return se
+		}
+		lastReason = se.Reason
+		if attempt+1 >= maxAttempts {
+			return &server.ServerError{
+				Code:       server.ErrCodeOverload,
+				RetryAfter: r.cfg.ProbeInterval,
+				Reason:     "no backend accepted the session: " + lastReason,
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// connectUpstream dials one backend, runs the RESUME handshake and
+// replays the retained stream from the backend's offset. retry reports
+// whether the failure is transport-level (try another shard) as opposed
+// to a verdict to propagate (an overload shed, a structured rejection).
+func (s *session) connectUpstream(b *backend) (se *server.ServerError, retry bool) {
+	r := s.r
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.DialTimeout)
+	conn, err := r.dial(ctx, b.spec.Addr)
+	cancel()
+	if err != nil {
+		b.noteFailure(r.cfg.BreakerBase, r.cfg.BreakerMax)
+		return &server.ServerError{Reason: err.Error()}, true
+	}
+	if r.cfg.WrapUpstream != nil {
+		conn = r.cfg.WrapUpstream(conn)
+	}
+	hb, err := server.EncodeHello(s.hello)
+	if err != nil {
+		conn.Close()
+		return &server.ServerError{Reason: err.Error()}, false
+	}
+	u := &upstream{
+		b:    b,
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 32<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+		done: make(chan struct{}),
+		okCh: make(chan struct{}, 1),
+	}
+	fail := func(err error) (*server.ServerError, bool) {
+		conn.Close()
+		b.noteFailure(r.cfg.BreakerBase, r.cfg.BreakerMax)
+		return &server.ServerError{Reason: err.Error()}, true
+	}
+	_ = conn.SetDeadline(time.Now().Add(r.cfg.DialTimeout))
+	if err := server.WriteFrame(u.bw, server.FrameResume, hb); err != nil {
+		return fail(err)
+	}
+	if err := u.bw.Flush(); err != nil {
+		return fail(err)
+	}
+	typ, body, err := server.ReadFrame(u.br)
+	if err != nil {
+		return fail(err)
+	}
+	switch typ {
+	case server.FrameOK:
+	case server.FrameError:
+		conn.Close()
+		se, perr := server.ParseErrorBody(body)
+		if perr != nil {
+			return &server.ServerError{Reason: perr.Error()}, false
+		}
+		if se.Code == server.ErrCodeOverload {
+			// The shard is shedding. Honor it — spilling the station onto
+			// a shard that does not own it would split its stream.
+			r.m.Sheds.With(b.spec.Name).Inc()
+			r.warn("backend shed session",
+				"cid", s.cid, "station", s.station, "backend", b.spec.Name,
+				"retry_after", se.RetryAfter)
+		}
+		return se, false
+	default:
+		return fail(fmt.Errorf("handshake reply frame type 0x%02x", typ))
+	}
+	off, err := server.ParseOffset(body)
+	if err != nil {
+		return fail(err)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	b.noteSuccess()
+	if err := s.replay(u, off); err != nil {
+		return fail(fmt.Errorf("replay: %w", err))
+	}
+	go u.readLoop()
+	s.up = u
+	b.addSession()
+	s.bname.Store(b.spec.Name)
+	s.lastBackend = b.spec.Name
+	r.info("session routed",
+		"cid", s.cid, "station", s.station, "backend", b.spec.Name,
+		"resume_offset", off, "ingested", s.ingested)
+	return nil, false
+}
+
+// replay rewrites the retained stream onto a fresh upstream from the
+// backend's resume offset, preserving the original frame boundaries.
+func (s *session) replay(u *upstream, off int64) error {
+	from := off
+	if from < s.retainStart {
+		// The retention cap trimmed samples this shard needs: replay what
+		// survives. The shard's sample indexing shifts by the gap, so
+		// failover is no longer byte-identical — counted on
+		// cluster_retain_trimmed at trim time.
+		s.r.warn("replay truncated by retention cap",
+			"cid", s.cid, "station", s.station, "missing", s.retainStart-from)
+		from = s.retainStart
+	}
+	if from >= s.ingested {
+		return nil
+	}
+	var replayed int64
+	for i, start := range s.chunkStarts {
+		chunk := s.chunks[i]
+		if start+int64(len(chunk)/8) <= from {
+			continue
+		}
+		body := chunk
+		if start < from {
+			body = chunk[(from-start)*8:]
+		}
+		if err := server.WriteFrame(u.bw, server.FrameIQ, body); err != nil {
+			return err
+		}
+		replayed += int64(len(body) / 8)
+	}
+	if err := u.bw.Flush(); err != nil {
+		return err
+	}
+	if replayed > 0 {
+		s.r.m.ReplayedSamples.Add(replayed)
+		s.r.info("session replayed",
+			"cid", s.cid, "station", s.station, "backend", u.b.spec.Name,
+			"from", from, "samples", replayed)
+	}
+	return nil
+}
+
+// teardownUpstream closes the upstream transport, waits the read loop
+// out and releases the backend's session slot.
+func (s *session) teardownUpstream() {
+	u := s.up
+	if u == nil {
+		return
+	}
+	s.up = nil
+	u.conn.Close()
+	select {
+	case <-u.done:
+	default:
+		// The read loop only runs once the connect handshake finished;
+		// conn.Close above forces its exit.
+		<-u.done
+	}
+	u.b.dropSession()
+}
+
+// drainUpstream runs the CLOSE handshake so the shard decodes and
+// publishes everything it buffered — failing over (replay, CLOSE again)
+// if the shard dies mid-drain, bounded by CloseTimeout.
+func (s *session) drainUpstream() error {
+	r := s.r
+	deadline := time.Now().Add(r.cfg.CloseTimeout)
+	for {
+		if se := s.ensureUpstream(); se != nil {
+			// A retryable fleet-wide outage (a breaker flap, every shard
+			// mid-probe) must not abort the drain: the samples are
+			// retained, so keep trying until the drain deadline.
+			if se.Temporary() && time.Now().Before(deadline) {
+				wait := se.RetryAfter
+				if wait <= 0 {
+					wait = 50 * time.Millisecond
+				}
+				if wait > time.Second {
+					wait = time.Second
+				}
+				time.Sleep(wait)
+				continue
+			}
+			return se
+		}
+		u := s.up
+		err := server.WriteFrame(u.bw, server.FrameClose, nil)
+		if err == nil {
+			err = u.bw.Flush()
+		}
+		if err == nil {
+			timer := time.NewTimer(time.Until(deadline))
+			select {
+			case <-u.okCh:
+				timer.Stop()
+				s.teardownUpstream()
+				return nil
+			case <-u.done:
+				timer.Stop()
+				// The backend may have delivered the OK and then closed on
+				// us; prefer the OK.
+				select {
+				case <-u.okCh:
+					s.teardownUpstream()
+					return nil
+				default:
+				}
+				if se := u.terminalErr(); se != nil && !se.Temporary() {
+					s.teardownUpstream()
+					return se
+				}
+			case <-timer.C:
+				s.teardownUpstream()
+				return fmt.Errorf("drain timed out after %v", r.cfg.CloseTimeout)
+			}
+		}
+		// Transport died before the OK: fail over and drain again (the
+		// replay reconstructs the stream on the replacement shard).
+		s.teardownUpstream()
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("drain timed out after %v", r.cfg.CloseTimeout)
+		}
+	}
+}
+
+// maybeMigrate moves the session onto its new ring owner after a
+// membership change. The old upstream is abandoned, not CLOSEd: a CLOSE
+// mid-stream would make the old shard decode a truncated trailing
+// packet and emit a record the fault-free run never produces. Abandoned,
+// the old shard parks the (resumable) upstream session and drains it
+// when its park window expires — by then the replacement has republished
+// those records and the dedup watermark suppresses the stragglers.
+func (s *session) maybeMigrate() {
+	if s.up == nil || s.up.dead.Load() {
+		return
+	}
+	cur := s.up.b
+	owner := s.r.currentRing().owner(s.station)
+	if owner == "" || owner == cur.spec.Name {
+		return
+	}
+	nb := s.r.backendByName(owner)
+	if nb == nil || !nb.available() {
+		return
+	}
+	s.teardownUpstream()
+	s.r.m.Migrations.Inc()
+	s.r.info("session migrating",
+		"cid", s.cid, "station", s.station, "from", cur.spec.Name, "to", owner)
+}
+
+// ---- Router-side session lifecycle -------------------------------------
+
+// reject answers a handshake with a structured ERROR frame.
+func (r *Router) reject(conn net.Conn, se *server.ServerError) {
+	r.m.Rejected.Inc()
+	_ = server.WriteFrame(conn, server.FrameError,
+		server.EncodeErrorBody(se.Code, se.RetryAfter, se.Reason))
+	conn.Close()
+}
+
+// admitSession creates and tracks a fresh routed session. The router
+// enforces one routed session per station — the dedup watermark is
+// per-station state, so two concurrent streams for one station would
+// corrupt each other's output (a documented cluster-mode constraint).
+func (r *Router) admitSession(h server.Hello, resumable bool) (*session, *server.ServerError) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, &server.ServerError{Reason: "router draining"}
+	}
+	if r.byStation[h.Station] != nil {
+		r.mu.Unlock()
+		return nil, &server.ServerError{
+			Reason: fmt.Sprintf("station %q already has a routed session", h.Station)}
+	}
+	if r.cfg.MaxSessions > 0 && len(r.sessions)+len(r.parked) >= r.cfg.MaxSessions {
+		limit := r.cfg.MaxSessions
+		r.mu.Unlock()
+		return nil, &server.ServerError{
+			Code:       server.ErrCodeOverload,
+			RetryAfter: r.retryAfter(),
+			Reason:     fmt.Sprintf("router session limit reached (%d)", limit),
+		}
+	}
+	r.nextID++
+	s := &session{
+		r:         r,
+		id:        r.nextID,
+		cid:       server.MintCID(),
+		hello:     h,
+		station:   h.Station,
+		resumable: resumable,
+	}
+	s.ringVer = r.ringVersion.Load()
+	r.sessions[s.id] = s
+	r.byStation[h.Station] = s
+	active := len(r.sessions)
+	r.mu.Unlock()
+	r.m.SessionsActive.Set(int64(active))
+	r.m.SessionsTotal.Inc()
+	r.resetWatermark(s)
+	return s, nil
+}
+
+// handleConn terminates one client connection: v2 handshake, then the
+// proxy frame loop.
+func (r *Router) handleConn(conn net.Conn) {
+	if r.cfg.WrapConn != nil {
+		conn = r.cfg.WrapConn(conn)
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	idle := r.cfg.IdleTimeout
+	if idle > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(idle))
+	}
+	typ, body, err := server.ReadFrame(br)
+	if err != nil || (typ != server.FrameHello && typ != server.FrameResume) {
+		if err == nil {
+			err = fmt.Errorf("first frame type 0x%02x, want HELLO or RESUME", typ)
+		}
+		r.reject(conn, &server.ServerError{Reason: fmt.Sprintf("bad handshake: %v", err)})
+		return
+	}
+	h, err := server.ParseHello(body)
+	if err != nil {
+		r.reject(conn, &server.ServerError{Reason: err.Error()})
+		return
+	}
+	resumable := typ == server.FrameResume
+
+	if resumable {
+		if s := r.awaitParked(h); s != nil {
+			s.setConn(conn)
+			off := s.ingested
+			if err := server.WriteFrame(conn, server.FrameOK, server.EncodeOffset(off)); err != nil {
+				r.parkOrFinish(s, conn, true)
+				return
+			}
+			r.m.ResumesTotal.Inc()
+			r.info("session resumed",
+				"cid", s.cid, "station", s.station,
+				"remote", conn.RemoteAddr().String(), "offset", off)
+			r.serveSession(s, conn, br)
+			return
+		}
+	}
+	if err := h.Config().Validate(); err != nil {
+		r.reject(conn, &server.ServerError{Reason: err.Error()})
+		return
+	}
+	s, se := r.admitSession(h, resumable)
+	if se != nil {
+		r.warn("session rejected", "station", h.Station,
+			"remote", conn.RemoteAddr().String(), "reason", se.Reason)
+		r.reject(conn, se)
+		return
+	}
+	s.setConn(conn)
+	// Route upstream before the OK so a backend's handshake verdict (an
+	// overload shed in particular) propagates into the client handshake.
+	if se := s.ensureUpstream(); se != nil {
+		r.warn("session rejected by fleet", "cid", s.cid, "station", h.Station,
+			"reason", se.Reason)
+		r.reject(conn, se)
+		r.finishSession(s)
+		return
+	}
+	var okBody []byte
+	if resumable {
+		okBody = server.EncodeOffset(0)
+	}
+	if err := server.WriteFrame(conn, server.FrameOK, okBody); err != nil {
+		r.parkOrFinish(s, conn, resumable)
+		return
+	}
+	r.info("session accepted",
+		"cid", s.cid, "station", h.Station, "remote", conn.RemoteAddr().String(),
+		"backend", s.backendName(), "resumable", resumable)
+	r.serveSession(s, conn, br)
+}
+
+// serveSession runs the proxy frame loop for an attached session and
+// tears it down: parked when a resumable connection dies abnormally (or
+// its fleet verdict is retryable), drained otherwise.
+func (r *Router) serveSession(s *session, conn net.Conn, br *bufio.Reader) {
+	idle := r.cfg.IdleTimeout
+	park := false
+	defer func() {
+		if v := recover(); v != nil {
+			r.warn("cluster session handler panic",
+				"cid", s.cid, "station", s.station, "panic", fmt.Sprint(v))
+			park = false
+		}
+		r.parkOrFinish(s, conn, park)
+	}()
+	for {
+		if idle > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(idle))
+		}
+		typ, body, err := server.ReadFrame(br)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				r.info("session idle timeout", "cid", s.cid, "station", s.station)
+			} else {
+				r.info("session disconnected",
+					"cid", s.cid, "station", s.station, "err", err.Error())
+				park = s.resumable
+			}
+			return
+		}
+		switch typ {
+		case server.FrameIQ:
+			if len(body) == 0 || len(body)%8 != 0 {
+				_ = server.WriteFrame(conn, server.FrameError,
+					server.EncodeErrorBody(server.ErrCodeGeneric, 0,
+						fmt.Sprintf("IQ body length %d not a positive multiple of 8", len(body))))
+				return
+			}
+			if v := r.ringVersion.Load(); v != s.ringVer {
+				s.ringVer = v
+				s.maybeMigrate()
+			}
+			s.retain(body)
+			if se := s.forward(body); se != nil {
+				_ = server.WriteFrame(conn, server.FrameError,
+					server.EncodeErrorBody(se.Code, se.RetryAfter, se.Reason))
+				// A retryable fleet verdict (overload, no shard available)
+				// parks the session: retention survives, so the client's
+				// RESUME continues with nothing lost. A terminal backend
+				// error does not — replay would reproduce it.
+				park = s.resumable && se.Temporary()
+				return
+			}
+			if s.resumable {
+				if err := server.WriteFrame(conn, server.FrameAck, server.EncodeOffset(s.ingested)); err != nil {
+					r.info("session ack write failed",
+						"cid", s.cid, "station", s.station, "err", err.Error())
+					park = true
+					return
+				}
+			}
+		case server.FrameClose:
+			_ = conn.SetReadDeadline(time.Time{})
+			if err := s.drainUpstream(); err != nil {
+				// Never OK a failed drain — the client would believe its
+				// records were published. A retryable failure parks the
+				// session (retention intact) so the client's reconnect
+				// resumes and re-runs the CLOSE once the fleet recovers.
+				r.warn("session drain failed",
+					"cid", s.cid, "station", s.station, "err", err.Error())
+				var se *server.ServerError
+				if !errors.As(err, &se) {
+					se = &server.ServerError{Reason: err.Error()}
+				}
+				_ = server.WriteFrame(conn, server.FrameError,
+					server.EncodeErrorBody(se.Code, se.RetryAfter, se.Reason))
+				park = s.resumable && se.Temporary()
+				return
+			}
+			_ = server.WriteFrame(conn, server.FrameOK, nil)
+			r.info("session closed", "cid", s.cid, "station", s.station)
+			return
+		default:
+			_ = server.WriteFrame(conn, server.FrameError,
+				server.EncodeErrorBody(server.ErrCodeGeneric, 0,
+					fmt.Sprintf("unexpected frame type 0x%02x", typ)))
+			return
+		}
+	}
+}
+
+// awaitParked reclaims the station's parked session, briefly waiting
+// out an in-flight park when the previous connection is still tearing
+// down (mirrors the daemon's resume grace).
+func (r *Router) awaitParked(h server.Hello) *session {
+	if s := r.resumeParked(h); s != nil {
+		return s
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for r.hasActiveStation(h) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		if s := r.resumeParked(h); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// hasActiveStation reports whether a resumable routed session for the
+// station is still attached to a client connection.
+func (r *Router) hasActiveStation(h server.Hello) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.byStation[h.Station]
+	return s != nil && s.resumable && r.sessions[s.id] == s
+}
+
+// resumeParked reclaims the station's parked session, nil when there is
+// nothing to reclaim (no parked session, a different stream config, the
+// park timer already fired, or the router is draining). Timer.Stop is
+// the arbiter against a concurrently firing expiry.
+func (r *Router) resumeParked(h server.Hello) *session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	p := r.parked[h.Station]
+	if p == nil || p.s.hello != h {
+		return nil
+	}
+	if !p.timer.Stop() {
+		return nil
+	}
+	delete(r.parked, h.Station)
+	r.sessions[p.s.id] = p.s
+	r.m.SessionsParked.Set(int64(len(r.parked)))
+	r.m.SessionsActive.Set(int64(len(r.sessions)))
+	return p.s
+}
+
+// parkOrFinish tears a session down after its client connection ends:
+// a resumable session parks for the resume window; anything else drains
+// the upstream gracefully (so the shard publishes its buffered packets)
+// and finishes.
+func (r *Router) parkOrFinish(s *session, conn net.Conn, park bool) {
+	if park && r.parkSession(s) {
+		conn.Close()
+		r.info("session parked",
+			"cid", s.cid, "station", s.station, "resume_window", r.cfg.ParkTimeout)
+		return
+	}
+	if s.up != nil {
+		if err := s.drainUpstream(); err != nil {
+			r.warn("session final drain failed",
+				"cid", s.cid, "station", s.station, "err", err.Error())
+		}
+	}
+	conn.Close()
+	r.finishSession(s)
+}
+
+// parkSession moves an attached session into the parked map and starts
+// its expiry timer. The upstream connection stays live so a prompt
+// RESUME continues with zero replay.
+func (r *Router) parkSession(s *session) bool {
+	if r.cfg.ParkTimeout <= 0 {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false
+	}
+	if _, dup := r.parked[s.station]; dup {
+		return false
+	}
+	delete(r.sessions, s.id)
+	p := &parkedEntry{s: s}
+	p.timer = time.AfterFunc(r.cfg.ParkTimeout, func() { r.expirePark(s.station, p) })
+	r.parked[s.station] = p
+	r.m.SessionsActive.Set(int64(len(r.sessions)))
+	r.m.SessionsParked.Set(int64(len(r.parked)))
+	return true
+}
+
+// expirePark drains a parked session whose resume window elapsed.
+func (r *Router) expirePark(station string, p *parkedEntry) {
+	r.mu.Lock()
+	if r.parked[station] != p {
+		r.mu.Unlock()
+		return
+	}
+	delete(r.parked, station)
+	parked := len(r.parked)
+	r.mu.Unlock()
+	r.m.SessionsParked.Set(int64(parked))
+	r.info("session resume window expired", "cid", p.s.cid, "station", station)
+	if p.s.up != nil {
+		if err := p.s.drainUpstream(); err != nil {
+			r.warn("session expiry drain failed",
+				"cid", p.s.cid, "station", station, "err", err.Error())
+		}
+	}
+	r.finishSession(p.s)
+}
+
+// finishSession unlinks a session and releases its retention. The
+// upstream, if still attached, is abandoned abruptly — callers drain
+// first when the shard should publish.
+func (r *Router) finishSession(s *session) {
+	if s.up != nil {
+		s.teardownUpstream()
+	}
+	r.mu.Lock()
+	delete(r.sessions, s.id)
+	if r.byStation[s.station] == s {
+		delete(r.byStation, s.station)
+	}
+	active := len(r.sessions)
+	r.mu.Unlock()
+	r.m.SessionsActive.Set(int64(active))
+	if s.retained > 0 {
+		r.m.RetainSamples.Add(-s.retained)
+	}
+	s.chunks, s.chunkStarts, s.retained = nil, nil, 0
+	r.retireWatermark(s)
+}

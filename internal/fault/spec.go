@@ -23,6 +23,60 @@ type Spec struct {
 	// Read and Write are the template event lists (offsets pre-jitter).
 	Read  []Event
 	Write []Event
+	// Leg names the connection leg this spec targets ("" = the default
+	// "client" leg). A proxy chain has one injector per hop, and every
+	// offset counts bytes on its own leg, not end-to-end: cic-routerd
+	// applies "client" specs to accepted connections and "upstream"
+	// specs to its backend dials; cic-gatewayd only has the client leg.
+	Leg string
+}
+
+// LegName canonicalises the spec's target leg ("" means "client").
+func (sp *Spec) LegName() string {
+	if sp == nil || sp.Leg == "" {
+		return "client"
+	}
+	return sp.Leg
+}
+
+// MultiSpec is a per-leg fault plan set, one Spec per connection leg.
+type MultiSpec []*Spec
+
+// ParseMultiSpec parses a '|'-separated list of per-leg specs, e.g.
+//
+//	leg=client;drop@65536|leg=upstream;seed=7;corrupt@1024:0x20
+//
+// Each part uses the ParseSpec grammar; duplicate legs are rejected.
+func ParseMultiSpec(s string) (MultiSpec, error) {
+	parts := strings.Split(s, "|")
+	ms := make(MultiSpec, 0, len(parts))
+	seen := map[string]bool{}
+	for _, p := range parts {
+		sp, err := ParseSpec(p)
+		if err != nil {
+			return nil, err
+		}
+		if seen[sp.LegName()] {
+			return nil, fmt.Errorf("fault: duplicate spec for leg %q", sp.LegName())
+		}
+		seen[sp.LegName()] = true
+		ms = append(ms, sp)
+	}
+	return ms, nil
+}
+
+// ForLeg returns the spec targeting the named leg (nil when the leg has
+// no plan). "" and "client" name the same default leg.
+func (ms MultiSpec) ForLeg(name string) *Spec {
+	if name == "" {
+		name = "client"
+	}
+	for _, sp := range ms {
+		if sp.LegName() == name {
+			return sp
+		}
+	}
+	return nil
 }
 
 // ParseSpec parses a fault-spec string: semicolon- or comma-separated
@@ -51,6 +105,13 @@ func ParseSpec(s string) (*Spec, error) {
 			continue
 		}
 		if k, v, ok := strings.Cut(f, "="); ok && !strings.Contains(k, "@") {
+			if k == "leg" {
+				if v == "" {
+					return nil, fmt.Errorf("fault: empty leg name in %q", f)
+				}
+				spec.Leg = v
+				continue
+			}
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
 				return nil, fmt.Errorf("fault: spec %q: %w", f, err)
@@ -171,6 +232,6 @@ func (sp *Spec) String() string {
 	if sp == nil {
 		return "<none>"
 	}
-	return fmt.Sprintf("seed=%d every=%d jitter=%d read=%d write=%d events",
-		sp.Seed, sp.Every, sp.Jitter, len(sp.Read), len(sp.Write))
+	return fmt.Sprintf("leg=%s seed=%d every=%d jitter=%d read=%d write=%d events",
+		sp.LegName(), sp.Seed, sp.Every, sp.Jitter, len(sp.Read), len(sp.Write))
 }

@@ -34,6 +34,7 @@ var GoroutineLeak = &Analyzer{
 // analyzer polices (fixture packages reuse these names to opt in).
 var goroutinePkgs = map[string]bool{
 	"server":     true,
+	"cluster":    true,
 	"cic":        true,
 	"experiment": true,
 	"main":       true,

@@ -32,6 +32,7 @@ var LockDiscipline = &Analyzer{
 // lockPkgs are the packages whose lock usage is policed.
 var lockPkgs = map[string]bool{
 	"server":     true,
+	"cluster":    true,
 	"cic":        true,
 	"obs":        true,
 	"experiment": true,

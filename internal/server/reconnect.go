@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -35,6 +36,11 @@ type ReconnectOptions struct {
 	Config  cic.Config
 	// Addr is the daemon's ingestion address, dialled with DialTimeout.
 	Addr string
+	// Context cancels the client: default dials abort with it, and a
+	// cancellation lands *immediately* — a reconnect backoff sleep in
+	// flight is interrupted rather than run to completion (nil =
+	// context.Background()). Custom Dial hooks should honour it too.
+	Context context.Context
 	// DialTimeout bounds each TCP connect (DefaultDialTimeout when 0).
 	DialTimeout time.Duration
 	// Dial overrides the transport — the fault-injection hook for
@@ -124,16 +130,24 @@ func (r *ReconnectingClient) logf(format string, args ...any) {
 	}
 }
 
-// dial opens the transport (options hook, else TCP to Addr).
+// ctx resolves the options context.
+func (r *ReconnectingClient) ctx() context.Context {
+	if r.o.Context != nil {
+		return r.o.Context
+	}
+	return context.Background()
+}
+
+// dial opens the transport (options hook, else TCP to Addr bounded by
+// DialTimeout and the options context).
 func (r *ReconnectingClient) dial() (net.Conn, error) {
 	if r.o.Dial != nil {
 		return r.o.Dial()
 	}
-	c, err := DialTimeout(r.o.Addr, r.o.DialTimeout)
-	if err != nil {
-		return nil, err
-	}
-	return c.conn, nil
+	ctx, cancel := context.WithTimeout(r.ctx(), r.o.DialTimeout)
+	defer cancel()
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", r.o.Addr)
 }
 
 // Connect establishes (or re-establishes) the session and returns the
@@ -205,6 +219,9 @@ func (r *ReconnectingClient) connect() error {
 		if closed {
 			return net.ErrClosed
 		}
+		if err := r.ctx().Err(); err != nil {
+			return fmt.Errorf("server: reconnect aborted: %w", err)
+		}
 		err := r.tryConnect(first)
 		if err == nil {
 			return nil
@@ -224,7 +241,15 @@ func (r *ReconnectingClient) connect() error {
 			sleep = se.RetryAfter
 		}
 		r.logf("reconnect attempt %d failed (%v); retrying in %v", attempt+1, err, sleep)
-		time.Sleep(sleep)
+		// The backoff sleep is context-cancellable: a canceled dial
+		// context aborts the wait immediately, not after the interval.
+		timer := time.NewTimer(sleep)
+		select {
+		case <-timer.C:
+		case <-r.ctx().Done():
+			timer.Stop()
+			return fmt.Errorf("server: reconnect aborted: %w", r.ctx().Err())
+		}
 		if backoff *= 2; backoff > r.o.MaxBackoff {
 			backoff = r.o.MaxBackoff
 		}

@@ -1,0 +1,123 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"cic/internal/server"
+)
+
+// TestReconnectContextCancelBound pins the cancellation latency of the
+// reconnect machinery: with a 5s base backoff and a dialer that always
+// fails, cancelling the context must abort Connect immediately — the
+// backoff sleep is interrupted, not waited out.
+func TestReconnectContextCancelBound(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	rc := server.NewReconnectingClient(server.ReconnectOptions{
+		Station:     "ctx-bound",
+		Config:      testConfig(),
+		Context:     ctx,
+		BaseBackoff: 5 * time.Second,
+		MaxAttempts: -1,
+		Dial:        func() (net.Conn, error) { return nil, errors.New("induced dial failure") },
+	})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := rc.Connect()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Connect succeeded with an always-failing dialer")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Connect error = %v, want to wrap context.Canceled", err)
+	}
+	// The regression bound: well under one backoff interval. Generous
+	// slack for loaded CI, still an order of magnitude below 5s.
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v; the 5s backoff sleep was not interrupted", elapsed)
+	}
+}
+
+// TestReconnectContextPreCancelled: an already-cancelled context fails
+// Connect before any dial or sleep.
+func TestReconnectContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dialled := false
+	rc := server.NewReconnectingClient(server.ReconnectOptions{
+		Station: "ctx-dead",
+		Config:  testConfig(),
+		Context: ctx,
+		Dial: func() (net.Conn, error) {
+			dialled = true
+			return nil, errors.New("unreachable")
+		},
+	})
+	if _, err := rc.Connect(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Connect error = %v, want context.Canceled", err)
+	}
+	if dialled {
+		t.Error("Connect dialled despite a cancelled context")
+	}
+}
+
+// TestReconnectContextCancelMidStream: cancellation also interrupts the
+// redial loop entered from WriteIQ after a connection loss.
+func TestReconnectContextCancelMidStream(t *testing.T) {
+	cfg := testConfig()
+	srv, addr, _, _ := chaosServer(t, server.Config{ParkTimeout: 30 * time.Second})
+	_ = srv
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var conns []net.Conn
+	rc := server.NewReconnectingClient(server.ReconnectOptions{
+		Station:     "ctx-mid",
+		Config:      cfg,
+		Context:     ctx,
+		BaseBackoff: 5 * time.Second,
+		MaxAttempts: -1,
+		Dial: func() (net.Conn, error) {
+			if len(conns) > 0 {
+				// After the first kill every redial fails, forcing the
+				// backoff sleep that cancellation must interrupt.
+				return nil, errors.New("induced redial failure")
+			}
+			c, err := net.Dial("tcp", addr)
+			if err == nil {
+				conns = append(conns, c)
+			}
+			return c, err
+		},
+	})
+	if _, err := rc.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.WriteIQ(make([]complex128, chaosChunk)); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	conns[0].Close() // sever the live connection
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	var err error
+	for i := 0; i < 100 && err == nil; i++ {
+		err = rc.WriteIQ(make([]complex128, chaosChunk))
+	}
+	if err == nil {
+		t.Fatal("WriteIQ kept succeeding on a severed connection with failing redials")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("WriteIQ error = %v, want to wrap context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("mid-stream cancellation took %v; backoff not interrupted", elapsed)
+	}
+}

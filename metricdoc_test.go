@@ -27,6 +27,7 @@ func TestMetricsDocumented(t *testing.T) {
 	srcs := []string{
 		filepath.Join("internal", "server", "metrics.go"),
 		filepath.Join("internal", "experiment", "metrics.go"),
+		filepath.Join("internal", "cluster", "metrics.go"),
 	}
 	obsFiles, err := filepath.Glob(filepath.Join("internal", "obs", "*.go"))
 	if err != nil {

@@ -1,20 +1,45 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the network ingestion pipeline:
 #   cic-gen capture → cic-feed → cic-gatewayd → NDJSON assert.
-# Builds the three tools, generates a 3-packet collision with known
-# ground truth, streams it into a live daemon over TCP, drains the
-# daemon with SIGTERM, and asserts every ground-truth payload appears
-# CRC-verified in the NDJSON output.
+# Builds the tools, generates a 3-packet collision with known ground
+# truth, streams it into a live daemon over TCP, drains the daemon with
+# SIGTERM, and asserts every ground-truth payload appears CRC-verified
+# in the NDJSON output. Then the resilience legs: a mid-stream
+# SIGKILL + restart of cic-feed must resume gap-free, and a two-shard
+# cic-routerd fleet must survive a backend SIGKILL with exactly-once
+# output (see the cluster scenario at the bottom).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 tmp=$(mktemp -d)
 daemon=
+pids=()
 cleanup() {
     [ -n "$daemon" ] && kill "$daemon" 2>/dev/null || true
+    for p in ${pids[@]+"${pids[@]}"}; do
+        kill -9 "$p" 2>/dev/null || true
+    done
     rm -rf "$tmp"
 }
 trap cleanup EXIT
+
+# wait_addr_file PATH PID LOG — block until the daemon at PID writes its
+# bound addresses to PATH, bailing out with its log if it dies first.
+wait_addr_file() {
+    local path=$1 pid=$2 log=$3
+    for _ in $(seq 100); do
+        [ -s "$path" ] && return 0
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "smoke: FAIL — daemon exited during startup (listen address in use?)"
+            cat "$log"
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "smoke: daemon never bound"
+    cat "$log"
+    exit 1
+}
 
 # Lint gate first: `make ci` reaches smoke only after `make lint`, but
 # when smoke runs standalone on a dirty tree the invariant suite must
@@ -29,7 +54,8 @@ if ! go run ./cmd/cic-lint -sarif-file "$tmp/lint.sarif" ./... > "$tmp/lint.out"
 fi
 
 echo "smoke: building tools"
-go build -o "$tmp/bin/" ./cmd/cic-gen ./cmd/cic-feed ./cmd/cic-gatewayd ./cmd/cic-decode ./cmd/cic-promcheck
+go build -o "$tmp/bin/" ./cmd/cic-gen ./cmd/cic-feed ./cmd/cic-gatewayd \
+    ./cmd/cic-routerd ./cmd/cic-decode ./cmd/cic-promcheck
 
 echo "smoke: generating collision capture"
 "$tmp/bin/cic-gen" -out "$tmp/capture.cf32" -packets 3 -payload 12 -cr 3 -seed 7 > "$tmp/truth.csv"
@@ -171,5 +197,97 @@ if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 echo "smoke: restart-resume OK — gap-free, duplicate-free after mid-stream kill"
+
+# Cluster scenario: two gatewayd shards behind cic-routerd. SIGKILL the
+# shard that owns the streaming session; the router must notice within
+# the probe window (cluster_backend_healthy → 0, asserted with
+# promcheck -await), fail the session over to the survivor via RESUME +
+# replay, and the merged NDJSON must still carry every ground-truth
+# payload exactly once.
+echo "smoke: cluster — starting 2 gatewayd shards"
+"$tmp/bin/cic-gatewayd" -listen 127.0.0.1:0 -out "" -pub 127.0.0.1:0 \
+    -addr-file "$tmp/b0.addr" -quiet 2> "$tmp/b0.log" &
+b0=$!; pids+=("$b0")
+"$tmp/bin/cic-gatewayd" -listen 127.0.0.1:0 -out "" -pub 127.0.0.1:0 \
+    -addr-file "$tmp/b1.addr" -quiet 2> "$tmp/b1.log" &
+b1=$!; pids+=("$b1")
+wait_addr_file "$tmp/b0.addr" "$b0" "$tmp/b0.log"
+wait_addr_file "$tmp/b1.addr" "$b1" "$tmp/b1.log"
+
+echo "smoke: cluster — starting cic-routerd"
+"$tmp/bin/cic-routerd" -listen 127.0.0.1:0 -out "$tmp/router.ndjson" \
+    -backend "addr=$(sed -n 1p "$tmp/b0.addr"),name=shard-0,pub=$(sed -n 2p "$tmp/b0.addr")" \
+    -backend "addr=$(sed -n 1p "$tmp/b1.addr"),name=shard-1,pub=$(sed -n 2p "$tmp/b1.addr")" \
+    -probe-interval 250ms -addr-file "$tmp/router.addr" \
+    -debug-addr 127.0.0.1:0 -quiet 2> "$tmp/router.log" &
+router=$!; pids+=("$router")
+wait_addr_file "$tmp/router.addr" "$router" "$tmp/router.log"
+raddr=$(sed -n 1p "$tmp/router.addr")
+rdbg=$(sed -n 3p "$tmp/router.addr")
+
+# Throttle the feed so the kill lands mid-stream, with reconnect
+# retries so the client rides out the failover window.
+samples=$(( $(wc -c < "$tmp/capture.cf32") / 8 ))
+rate=$(( samples / 5 ))
+echo "smoke: cluster — feeding through the router at $raddr"
+"$tmp/bin/cic-feed" -addr "$raddr" -in "$tmp/capture.cf32" -station cluster \
+    -cr 3 -rate "$rate" -retries -1 2> "$tmp/feed3.log" &
+feed=$!; pids+=("$feed")
+
+"$tmp/bin/cic-promcheck" -metrics "http://$rdbg/metrics" \
+    -await 5s -await-interval 100ms \
+    -contains 'cluster_sessions_active 1' > /dev/null
+
+if "$tmp/bin/cic-promcheck" -metrics "http://$rdbg/metrics" \
+      -contains 'cluster_backend_sessions{backend="shard-0"} 1' > /dev/null 2>&1; then
+    victim=$b0; victim_name=shard-0
+else
+    victim=$b1; victim_name=shard-1
+fi
+echo "smoke: cluster — SIGKILL $victim_name mid-stream"
+kill -9 "$victim"
+wait "$victim" 2>/dev/null || true
+
+# Down-detection: the healthy gauge must flip within the probe window.
+"$tmp/bin/cic-promcheck" -metrics "http://$rdbg/metrics" \
+    -await 3s -await-interval 100ms \
+    -contains "cluster_backend_healthy{backend=\"$victim_name\"} 0"
+
+echo "smoke: cluster — waiting for the feed to complete through the failover"
+if ! wait "$feed"; then
+    echo "smoke: FAIL — cic-feed did not survive the backend kill"
+    cat "$tmp/feed3.log"; cat "$tmp/router.log"
+    exit 1
+fi
+"$tmp/bin/cic-promcheck" -metrics "http://$rdbg/metrics" \
+    -require cluster_failovers_total,cluster_replayed_samples,cluster_records_relayed \
+    -contains "cluster_failovers_total{backend=\"$victim_name\"}" > /dev/null
+
+echo "smoke: cluster — draining router and surviving shard"
+kill -TERM "$router"
+wait "$router" || { echo "smoke: router exited non-zero"; cat "$tmp/router.log"; exit 1; }
+for p in "$b0" "$b1"; do
+    [ "$p" = "$victim" ] && continue
+    kill -TERM "$p" 2>/dev/null || true
+    wait "$p" 2>/dev/null || true
+done
+pids=()
+
+fail=0
+while IFS=, read -r _node _start _snr _cfo hex; do
+    count=$(grep -c "\"payload\":\"$hex\"" "$tmp/router.ndjson" || true)
+    if [ "$count" -ne 1 ]; then
+        echo "smoke: FAIL — cluster stream has $count record(s) for payload $hex, want exactly 1"
+        fail=1
+    fi
+done < <(tail -n +2 "$tmp/truth.csv")
+if [ "$fail" -ne 0 ]; then
+    echo "--- truth ---";   cat "$tmp/truth.csv"
+    echo "--- ndjson ---";  cat "$tmp/router.ndjson"
+    echo "--- router ---";  cat "$tmp/router.log"
+    echo "--- feed ---";    cat "$tmp/feed3.log"
+    exit 1
+fi
+echo "smoke: cluster OK — exactly-once through a $victim_name kill + failover"
 
 echo "smoke: OK — $(wc -l < "$tmp/out.ndjson") NDJSON record(s) delivered"
